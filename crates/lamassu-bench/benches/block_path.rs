@@ -1,0 +1,96 @@
+//! Criterion benchmarks of the end-to-end 4 KiB block path of each shim.
+//!
+//! Complements the throughput experiments (Figures 7/8) with steady-state
+//! per-block costs: write+fsync and read of one 4 KiB block through PlainFS,
+//! EncFS, LamassuFS (full integrity) and LamassuFS (meta-only), over the
+//! instant storage profile so only shim work is measured.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lamassu_core::{
+    EncFs, EncFsConfig, FileSystem, IntegrityMode, LamassuConfig, LamassuFs, PlainFs,
+};
+use lamassu_keymgr::ZoneKeys;
+use lamassu_storage::{DedupStore, StorageProfile};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const BLOCK: usize = 4096;
+
+fn keys() -> ZoneKeys {
+    ZoneKeys {
+        zone: 1,
+        generation: 0,
+        inner: [1u8; 32],
+        outer: [2u8; 32],
+    }
+}
+
+fn shims() -> Vec<(&'static str, Box<dyn FileSystem>)> {
+    let mut out: Vec<(&'static str, Box<dyn FileSystem>)> = Vec::new();
+    let store = Arc::new(DedupStore::new(4096, StorageProfile::instant()));
+    out.push(("plainfs", Box::new(PlainFs::new(store))));
+    let store = Arc::new(DedupStore::new(4096, StorageProfile::instant()));
+    out.push((
+        "encfs",
+        Box::new(EncFs::new(store, [2u8; 32], EncFsConfig::default())),
+    ));
+    let store = Arc::new(DedupStore::new(4096, StorageProfile::instant()));
+    out.push((
+        "lamassufs_full",
+        Box::new(LamassuFs::new(store, keys(), LamassuConfig::default())),
+    ));
+    let store = Arc::new(DedupStore::new(4096, StorageProfile::instant()));
+    out.push((
+        "lamassufs_meta_only",
+        Box::new(LamassuFs::new(
+            store,
+            keys(),
+            LamassuConfig::default().integrity(IntegrityMode::MetaOnly),
+        )),
+    ));
+    out
+}
+
+fn bench_block_write(c: &mut Criterion) {
+    let mut g = c.benchmark_group("block_write_fsync");
+    g.throughput(Throughput::Bytes(BLOCK as u64));
+    for (name, fs) in shims() {
+        let fd = fs.create("/bench").unwrap();
+        let data: Vec<u8> = (0..BLOCK).map(|i| (i % 256) as u8).collect();
+        let mut block_idx = 0u64;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                // Rotate through 1024 block positions so the file stays small
+                // while every iteration lands on a full aligned block.
+                let offset = (block_idx % 1024) * BLOCK as u64;
+                block_idx += 1;
+                fs.write(fd, offset, black_box(&data)).unwrap();
+                fs.fsync(fd).unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_block_read(c: &mut Criterion) {
+    let mut g = c.benchmark_group("block_read");
+    g.throughput(Throughput::Bytes(BLOCK as u64));
+    for (name, fs) in shims() {
+        let fd = fs.create("/bench").unwrap();
+        let data = vec![0xabu8; BLOCK * 256];
+        fs.write(fd, 0, &data).unwrap();
+        fs.fsync(fd).unwrap();
+        let mut block_idx = 0u64;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let offset = (block_idx % 256) * BLOCK as u64;
+                block_idx += 1;
+                black_box(fs.read(fd, offset, BLOCK).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_block_write, bench_block_read);
+criterion_main!(benches);

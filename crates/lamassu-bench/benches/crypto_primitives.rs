@@ -1,0 +1,81 @@
+//! Criterion microbenchmarks of the crypto substrate on 4 KiB blocks.
+//!
+//! These quantify the per-block costs that drive the paper's Figure 9
+//! breakdown: the SHA-256 hash behind `GetCEKey`, the AES-256-CBC data-block
+//! encryption, the AES-256-GCM metadata sealing, and the full convergent KDF.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lamassu_crypto::aes::Aes256;
+use lamassu_crypto::gcm::Aes256Gcm;
+use lamassu_crypto::kdf::ConvergentKdf;
+use lamassu_crypto::sha256::sha256;
+use lamassu_crypto::{cbc, FIXED_IV};
+use std::hint::black_box;
+
+const BLOCK: usize = 4096;
+
+fn block() -> Vec<u8> {
+    (0..BLOCK).map(|i| (i * 31 % 251) as u8).collect()
+}
+
+fn bench_sha256(c: &mut Criterion) {
+    let data = block();
+    let mut g = c.benchmark_group("sha256");
+    g.throughput(Throughput::Bytes(BLOCK as u64));
+    g.bench_function("hash_4k_block", |b| b.iter(|| sha256(black_box(&data))));
+    g.finish();
+}
+
+fn bench_aes_cbc(c: &mut Criterion) {
+    let data = block();
+    let key = [7u8; 32];
+    let mut g = c.benchmark_group("aes256_cbc");
+    g.throughput(Throughput::Bytes(BLOCK as u64));
+    g.bench_function("encrypt_4k_block_fresh_key", |b| {
+        b.iter(|| {
+            let cipher = Aes256::new(black_box(&key));
+            let mut buf = data.clone();
+            cbc::encrypt_in_place(&cipher, &FIXED_IV, &mut buf).unwrap();
+            buf
+        })
+    });
+    let cipher = Aes256::new(&key);
+    let mut encrypted = data.clone();
+    cbc::encrypt_in_place(&cipher, &FIXED_IV, &mut encrypted).unwrap();
+    g.bench_function("decrypt_4k_block", |b| {
+        b.iter(|| {
+            let mut buf = encrypted.clone();
+            cbc::decrypt_in_place(&cipher, &FIXED_IV, &mut buf).unwrap();
+            buf
+        })
+    });
+    g.finish();
+}
+
+fn bench_gcm(c: &mut Criterion) {
+    let data = block();
+    let gcm = Aes256Gcm::new(&[9u8; 32]);
+    let mut g = c.benchmark_group("aes256_gcm");
+    g.throughput(Throughput::Bytes(BLOCK as u64));
+    g.bench_function("seal_4k_metadata_block", |b| {
+        b.iter(|| {
+            let mut buf = data.clone();
+            gcm.encrypt_in_place(&[1u8; 12], b"seg", &mut buf)
+        })
+    });
+    g.finish();
+}
+
+fn bench_kdf(c: &mut Criterion) {
+    let data = block();
+    let kdf = ConvergentKdf::new(&[3u8; 32]);
+    let mut g = c.benchmark_group("convergent_kdf");
+    g.throughput(Throughput::Bytes(BLOCK as u64));
+    g.bench_function("derive_cekey_4k_block", |b| {
+        b.iter(|| kdf.derive_for_block(black_box(&data)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sha256, bench_aes_cbc, bench_gcm, bench_kdf);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benchmarks of the deduplicating backend simulator.
+//!
+//! Measures the cost of the backend's own work (object writes and the
+//! post-process dedup scan) so the shim benchmarks can be interpreted against
+//! it.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lamassu_storage::{DedupStore, ObjectStore, StorageProfile};
+use std::hint::black_box;
+
+fn bench_object_write(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dedup_store");
+    let chunk = 64 * 1024;
+    g.throughput(Throughput::Bytes(chunk as u64));
+    g.bench_function("write_64k", |b| {
+        let store = DedupStore::new(4096, StorageProfile::instant());
+        store.create("obj").unwrap();
+        let data = vec![7u8; chunk];
+        let mut offset = 0u64;
+        b.iter(|| {
+            store
+                .write_at("obj", offset % (16 * 1024 * 1024), black_box(&data))
+                .unwrap();
+            offset += chunk as u64;
+        })
+    });
+    g.finish();
+}
+
+fn bench_dedup_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dedup_store");
+    let size = 8 * 1024 * 1024;
+    let store = DedupStore::new(4096, StorageProfile::instant());
+    store.create("obj").unwrap();
+    let data: Vec<u8> = (0..size).map(|i| (i / 4096 % 256) as u8).collect();
+    store.write_at("obj", 0, &data).unwrap();
+    g.throughput(Throughput::Bytes(size as u64));
+    g.bench_function("post_process_dedup_8m", |b| b.iter(|| store.run_dedup()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_object_write, bench_dedup_scan);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Regenerates the §5.2 per-block vs per-file convergent-encryption ablation.
+
+fn main() {
+    lamassu_bench::experiments::ablation_ce_granularity::run(
+        lamassu_bench::efficiency_file_size().min(16 * 1024 * 1024),
+        4,
+        0.02,
+    );
+}

@@ -1,0 +1,5 @@
+//! Regenerates the §1 local-KDF vs server-aided-key-generation ablation.
+
+fn main() {
+    lamassu_bench::experiments::ablation_key_server::run(2048);
+}

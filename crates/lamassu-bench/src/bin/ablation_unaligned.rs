@@ -1,0 +1,5 @@
+//! Regenerates the §4.2 aligned-vs-unaligned EncFS comparison.
+
+fn main() {
+    lamassu_bench::experiments::ablation::run(lamassu_bench::fio_file_size().min(16 * 1024 * 1024));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 10: throughput as the reserved-slot count R varies.
+
+fn main() {
+    lamassu_bench::experiments::fig10::run(lamassu_bench::fio_file_size());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 6: storage efficiency with synthetic files.
+
+fn main() {
+    lamassu_bench::experiments::fig6::run(lamassu_bench::efficiency_file_size());
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 7: single-file FIO throughput over the NFS profile.
+
+use lamassu_storage::StorageProfile;
+
+fn main() {
+    lamassu_bench::experiments::throughput::run(
+        "fig7",
+        StorageProfile::nfs_1gbe(),
+        lamassu_bench::fio_file_size(),
+    );
+}

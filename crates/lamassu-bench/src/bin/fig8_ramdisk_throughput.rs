@@ -1,0 +1,11 @@
+//! Regenerates Figure 8: single-file FIO throughput on the RAM-disk profile.
+
+use lamassu_storage::StorageProfile;
+
+fn main() {
+    lamassu_bench::experiments::throughput::run(
+        "fig8",
+        StorageProfile::ram_disk(),
+        lamassu_bench::fio_file_size(),
+    );
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 9: LamassuFS read/write latency breakdown.
+
+fn main() {
+    lamassu_bench::experiments::fig9::run(lamassu_bench::fio_file_size());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 1: storage efficiency with (synthetic) VM images.
+
+fn main() {
+    lamassu_bench::experiments::table1::run(lamassu_bench::vm_scale());
+}

@@ -1,0 +1,358 @@
+//! `lamassu` — command-line front end for Lamassu volumes.
+//!
+//! A Lamassu *volume* is just a directory on any file system (local disk, an
+//! NFS mount of a deduplicating filer, …) used as the backing store, exactly
+//! like the paper's prototype (§3). Keys come from a key-manager snapshot
+//! file produced by `lamassu keygen`, standing in for a KMIP server.
+//!
+//! ```text
+//! lamassu keygen  --keys keys.json --zone 7
+//! lamassu put     --keys keys.json --zone 7 --volume /mnt/filer/vol  ./report.pdf  /docs/report.pdf
+//! lamassu get     --keys keys.json --zone 7 --volume /mnt/filer/vol  /docs/report.pdf  ./copy.pdf
+//! lamassu ls      --keys keys.json --zone 7 --volume /mnt/filer/vol
+//! lamassu stat    --keys keys.json --zone 7 --volume /mnt/filer/vol  /docs/report.pdf
+//! lamassu fsck    --keys keys.json --zone 7 --volume /mnt/filer/vol
+//! lamassu rekey   --keys keys.json --zone 7 --volume /mnt/filer/vol
+//! ```
+
+use lamassu_core::{FileSystem, LamassuConfig, LamassuFs, OpenFlags};
+use lamassu_keymgr::KeyManager;
+use lamassu_storage::{DirStore, StorageProfile};
+use std::collections::HashMap;
+use std::fs;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "\
+lamassu — storage-efficient host-side encryption (Lamassu reproduction)
+
+USAGE:
+    lamassu <command> [options] [args]
+
+COMMANDS:
+    keygen                     create (or extend) a key snapshot with a zone's key pair
+    put <src> <dest>           encrypt a local file into the volume
+    get <name> <out>           decrypt a file from the volume to a local path
+    ls                         list files in the volume
+    stat <name>                show logical/physical size and overhead of a file
+    rm <name>                  remove a file from the volume
+    verify <name>              run a full integrity check on one file
+    fsck                       recover mid-update segments and verify every file
+    rekey                      rotate the outer key and re-seal all metadata blocks
+
+OPTIONS:
+    --volume <dir>             backing-store directory (required except keygen)
+    --keys <file>              key-manager snapshot file (default: lamassu-keys.json)
+    --zone <id>                isolation zone id (default: 1)
+    --block-size <bytes>       Lamassu block size (default: 4096)
+    --reserved-slots <R>       reserved transient key slots (default: 8)
+";
+
+struct Options {
+    volume: Option<String>,
+    keys: String,
+    zone: u32,
+    block_size: usize,
+    reserved_slots: usize,
+    positional: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        volume: None,
+        keys: "lamassu-keys.json".to_string(),
+        zone: 1,
+        block_size: 4096,
+        reserved_slots: 8,
+        positional: Vec::new(),
+    };
+    let mut flags: HashMap<&str, fn(&mut Options, String) -> Result<(), String>> = HashMap::new();
+    flags.insert("--volume", |o, v| {
+        o.volume = Some(v);
+        Ok(())
+    });
+    flags.insert("--keys", |o, v| {
+        o.keys = v;
+        Ok(())
+    });
+    flags.insert("--zone", |o, v| {
+        o.zone = v.parse().map_err(|_| format!("bad zone id: {v}"))?;
+        Ok(())
+    });
+    flags.insert("--block-size", |o, v| {
+        o.block_size = v.parse().map_err(|_| format!("bad block size: {v}"))?;
+        Ok(())
+    });
+    flags.insert("--reserved-slots", |o, v| {
+        o.reserved_slots = v.parse().map_err(|_| format!("bad reserved slots: {v}"))?;
+        Ok(())
+    });
+
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if let Some(setter) = flags.get(arg.as_str()) {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("{arg} requires a value"))?;
+            setter(&mut opts, value.clone())?;
+            i += 2;
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown option: {arg}"));
+        } else {
+            opts.positional.push(arg.clone());
+            i += 1;
+        }
+    }
+    Ok(opts)
+}
+
+fn load_key_manager(path: &str) -> Result<KeyManager, String> {
+    let body = fs::read_to_string(path)
+        .map_err(|e| format!("cannot read key snapshot {path}: {e}"))?;
+    KeyManager::import_snapshot(&body).map_err(|e| format!("bad key snapshot {path}: {e}"))
+}
+
+fn mount(opts: &Options) -> Result<LamassuFs, String> {
+    let volume = opts
+        .volume
+        .as_ref()
+        .ok_or_else(|| "--volume is required".to_string())?;
+    let km = load_key_manager(&opts.keys)?;
+    let keys = km
+        .fetch_zone_keys(opts.zone)
+        .map_err(|e| format!("zone {}: {e}", opts.zone))?;
+    let store = Arc::new(
+        DirStore::open(volume, StorageProfile::instant())
+            .map_err(|e| format!("cannot open volume {volume}: {e}"))?,
+    );
+    let geometry = lamassu_format::Geometry::new(opts.block_size, opts.reserved_slots)
+        .map_err(|e| format!("invalid geometry: {e}"))?;
+    Ok(LamassuFs::new(
+        store,
+        keys,
+        LamassuConfig {
+            geometry,
+            integrity: lamassu_core::IntegrityMode::Full,
+        },
+    ))
+}
+
+fn cmd_keygen(opts: &Options) -> Result<(), String> {
+    let km = if std::path::Path::new(&opts.keys).exists() {
+        load_key_manager(&opts.keys)?
+    } else {
+        KeyManager::new()
+    };
+    km.create_zone(opts.zone)
+        .map_err(|e| format!("zone {}: {e}", opts.zone))?;
+    fs::write(&opts.keys, km.export_snapshot())
+        .map_err(|e| format!("cannot write {}: {e}", opts.keys))?;
+    println!("created isolation zone {} in {}", opts.zone, opts.keys);
+    println!("note: the snapshot contains secret keys — protect it like a key server.");
+    Ok(())
+}
+
+fn cmd_put(opts: &Options) -> Result<(), String> {
+    let [src, dest] = two_args(opts, "put <src> <dest>")?;
+    let fs_mount = mount(opts)?;
+    let data = fs::read(&src).map_err(|e| format!("cannot read {src}: {e}"))?;
+    let fd = if fs_mount.list().map_err(err)?.iter().any(|p| p == &dest) {
+        fs_mount.open(&dest, OpenFlags { truncate: true }).map_err(err)?
+    } else {
+        fs_mount.create(&dest).map_err(err)?
+    };
+    for (i, chunk) in data.chunks(1024 * 1024).enumerate() {
+        fs_mount
+            .write(fd, (i * 1024 * 1024) as u64, chunk)
+            .map_err(err)?;
+    }
+    fs_mount.fsync(fd).map_err(err)?;
+    fs_mount.close(fd).map_err(err)?;
+    let attr = fs_mount.stat(&dest).map_err(err)?;
+    println!(
+        "stored {src} as {dest}: {} logical bytes, {} physical bytes ({:.2}% overhead)",
+        attr.logical_size,
+        attr.physical_size,
+        (attr.physical_size as f64 / attr.logical_size.max(1) as f64 - 1.0) * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_get(opts: &Options) -> Result<(), String> {
+    let [name, out] = two_args(opts, "get <name> <out>")?;
+    let fs_mount = mount(opts)?;
+    let fd = fs_mount.open(&name, OpenFlags::default()).map_err(err)?;
+    let size = fs_mount.len(fd).map_err(err)?;
+    let mut data = Vec::with_capacity(size as usize);
+    let mut offset = 0u64;
+    while offset < size {
+        let take = (1024 * 1024).min((size - offset) as usize);
+        data.extend_from_slice(&fs_mount.read(fd, offset, take).map_err(err)?);
+        offset += take as u64;
+    }
+    fs::write(&out, &data).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("decrypted {name} ({size} bytes) to {out}");
+    Ok(())
+}
+
+fn cmd_ls(opts: &Options) -> Result<(), String> {
+    let fs_mount = mount(opts)?;
+    let mut names = fs_mount.list().map_err(err)?;
+    names.sort();
+    for name in names {
+        let attr = fs_mount.stat(&name).map_err(err)?;
+        println!("{:>12}  {name}", attr.logical_size);
+    }
+    Ok(())
+}
+
+fn cmd_stat(opts: &Options) -> Result<(), String> {
+    let [name] = one_arg(opts, "stat <name>")?;
+    let fs_mount = mount(opts)?;
+    let attr = fs_mount.stat(&name).map_err(err)?;
+    let geometry = fs_mount.geometry();
+    println!("{name}");
+    println!("  logical size:    {} bytes", attr.logical_size);
+    println!("  physical size:   {} bytes", attr.physical_size);
+    println!(
+        "  metadata blocks: {}",
+        geometry.segments_for_len(attr.logical_size)
+    );
+    println!(
+        "  space overhead:  {:.2}%",
+        (attr.physical_size as f64 / attr.logical_size.max(1) as f64 - 1.0) * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_rm(opts: &Options) -> Result<(), String> {
+    let [name] = one_arg(opts, "rm <name>")?;
+    let fs_mount = mount(opts)?;
+    fs_mount.remove(&name).map_err(err)?;
+    println!("removed {name}");
+    Ok(())
+}
+
+fn cmd_verify(opts: &Options) -> Result<(), String> {
+    let [name] = one_arg(opts, "verify <name>")?;
+    let fs_mount = mount(opts)?;
+    let report = fs_mount.verify(&name).map_err(err)?;
+    println!(
+        "{name}: {} data blocks, {} metadata blocks checked",
+        report.data_blocks_checked, report.metadata_blocks_checked
+    );
+    if report.is_clean() {
+        println!("  clean");
+        Ok(())
+    } else {
+        Err(format!(
+            "integrity failures: data blocks {:?}, metadata blocks {:?}",
+            report.corrupt_data_blocks, report.corrupt_metadata_blocks
+        ))
+    }
+}
+
+fn cmd_fsck(opts: &Options) -> Result<(), String> {
+    let fs_mount = mount(opts)?;
+    let reports = fs_mount.recover_all().map_err(err)?;
+    let mut dirty = 0;
+    for (path, report) in &reports {
+        if report.segments_repaired > 0 {
+            dirty += 1;
+            println!(
+                "{path}: repaired {} segments (kept-new {}, rolled-back {}, cleared {})",
+                report.segments_repaired,
+                report.blocks_kept_new,
+                report.blocks_restored_old,
+                report.blocks_cleared
+            );
+        }
+    }
+    println!("fsck: {} files scanned, {dirty} needed repair", reports.len());
+    let mut corrupt = 0;
+    for (path, _) in &reports {
+        if !fs_mount.verify(path).map_err(err)?.is_clean() {
+            println!("{path}: INTEGRITY FAILURE");
+            corrupt += 1;
+        }
+    }
+    if corrupt > 0 {
+        Err(format!("{corrupt} files failed verification"))
+    } else {
+        println!("all files verify clean");
+        Ok(())
+    }
+}
+
+fn cmd_rekey(opts: &Options) -> Result<(), String> {
+    let km = load_key_manager(&opts.keys)?;
+    let fs_mount = mount(opts)?;
+    let new_keys = km
+        .rotate_outer_key(opts.zone)
+        .map_err(|e| format!("zone {}: {e}", opts.zone))?;
+    let rewritten = fs_mount.rekey_outer_all(new_keys).map_err(err)?;
+    fs::write(&opts.keys, km.export_snapshot())
+        .map_err(|e| format!("cannot write {}: {e}", opts.keys))?;
+    println!(
+        "rotated outer key for zone {} (generation {}); re-sealed {rewritten} metadata blocks",
+        opts.zone, new_keys.generation
+    );
+    Ok(())
+}
+
+fn one_arg(opts: &Options, usage: &str) -> Result<[String; 1], String> {
+    match opts.positional.as_slice() {
+        [a] => Ok([a.clone()]),
+        _ => Err(format!("usage: lamassu {usage}")),
+    }
+}
+
+fn two_args(opts: &Options, usage: &str) -> Result<[String; 2], String> {
+    match opts.positional.as_slice() {
+        [a, b] => Ok([a.clone(), b.clone()]),
+        _ => Err(format!("usage: lamassu {usage}")),
+    }
+}
+
+fn err(e: lamassu_core::FsError) -> String {
+    e.to_string()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().cloned() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_args(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "keygen" => cmd_keygen(&opts),
+        "put" => cmd_put(&opts),
+        "get" => cmd_get(&opts),
+        "ls" => cmd_ls(&opts),
+        "stat" => cmd_stat(&opts),
+        "rm" => cmd_rm(&opts),
+        "verify" => cmd_verify(&opts),
+        "fsck" => cmd_fsck(&opts),
+        "rekey" => cmd_rekey(&opts),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command: {other}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

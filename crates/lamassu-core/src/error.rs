@@ -1,0 +1,98 @@
+use std::fmt;
+
+/// Errors surfaced by the shim file systems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// The path does not exist.
+    NotFound {
+        /// The requested path.
+        path: String,
+    },
+    /// The path already exists (on exclusive create).
+    AlreadyExists {
+        /// The conflicting path.
+        path: String,
+    },
+    /// The file descriptor is not open.
+    BadFd {
+        /// The offending descriptor.
+        fd: u64,
+    },
+    /// An error from the backing object store.
+    Storage(lamassu_storage::StorageError),
+    /// A metadata block failed authentication or could not be parsed.
+    Metadata(lamassu_format::FormatError),
+    /// A data block failed the convergent-hash integrity check (paper §2.5):
+    /// the stored key does not match the hash of the decrypted contents, and
+    /// the mismatch is not explained by an interrupted write.
+    IntegrityViolation {
+        /// The path of the affected file.
+        path: String,
+        /// The logical block index that failed verification.
+        logical_block: u64,
+    },
+    /// Recovery found a mid-update segment it could not repair (neither the
+    /// new nor the old key matches the on-disk data block).
+    Unrecoverable {
+        /// The path of the affected file.
+        path: String,
+        /// The segment that could not be repaired.
+        segment: u64,
+    },
+    /// The operation is not supported by this file system.
+    Unsupported {
+        /// Short description of the unsupported operation.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound { path } => write!(f, "no such file: {path}"),
+            FsError::AlreadyExists { path } => write!(f, "file exists: {path}"),
+            FsError::BadFd { fd } => write!(f, "bad file descriptor: {fd}"),
+            FsError::Storage(e) => write!(f, "storage error: {e}"),
+            FsError::Metadata(e) => write!(f, "metadata error: {e}"),
+            FsError::IntegrityViolation {
+                path,
+                logical_block,
+            } => write!(
+                f,
+                "integrity violation in {path} at logical block {logical_block}"
+            ),
+            FsError::Unrecoverable { path, segment } => {
+                write!(f, "unrecoverable mid-update segment {segment} in {path}")
+            }
+            FsError::Unsupported { what } => write!(f, "unsupported operation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FsError::Storage(e) => Some(e),
+            FsError::Metadata(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<lamassu_storage::StorageError> for FsError {
+    fn from(e: lamassu_storage::StorageError) -> Self {
+        FsError::Storage(e)
+    }
+}
+
+impl From<lamassu_format::FormatError> for FsError {
+    fn from(e: lamassu_format::FormatError) -> Self {
+        FsError::Metadata(e)
+    }
+}
+
+impl From<lamassu_crypto::CryptoError> for FsError {
+    fn from(e: lamassu_crypto::CryptoError) -> Self {
+        FsError::Metadata(e.into())
+    }
+}

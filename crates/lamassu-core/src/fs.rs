@@ -1,0 +1,77 @@
+//! The [`FileSystem`] trait: the interface applications see above the shim.
+//!
+//! In the paper's prototype this surface is exported through FUSE and the
+//! Linux VFS; applications use ordinary file I/O. In this reproduction the
+//! same operations are exposed as an in-process trait so that the benchmark
+//! harness, the examples and the CLI can drive any of the three shims
+//! (PlainFS, EncFS, LamassuFS) identically.
+
+use crate::Result;
+
+/// A file descriptor handed out by [`FileSystem::open`] / [`FileSystem::create`].
+pub type Fd = u64;
+
+/// Flags controlling how a file is opened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpenFlags {
+    /// Truncate the file to zero length on open.
+    pub truncate: bool,
+}
+
+/// Attributes of a stored file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileAttr {
+    /// Logical size in bytes: what the application sees, excluding any
+    /// padding and embedded cryptographic metadata.
+    pub logical_size: u64,
+    /// Physical size in bytes as stored on the backing store, including
+    /// block padding and (for LamassuFS) embedded metadata blocks.
+    pub physical_size: u64,
+}
+
+/// A mounted shim file system.
+///
+/// All methods are `&self`: implementations are internally synchronized so a
+/// multi-threaded workload generator can drive one mount concurrently.
+pub trait FileSystem: Send + Sync {
+    /// Creates a new empty file and opens it.
+    fn create(&self, path: &str) -> Result<Fd>;
+
+    /// Opens an existing file.
+    fn open(&self, path: &str, flags: OpenFlags) -> Result<Fd>;
+
+    /// Closes a descriptor, flushing any buffered writes for it.
+    fn close(&self, fd: Fd) -> Result<()>;
+
+    /// Reads up to `len` bytes at `offset`. Reads past end-of-file are
+    /// truncated (a short or empty vector is returned, not an error).
+    fn read(&self, fd: Fd, offset: u64, len: usize) -> Result<Vec<u8>>;
+
+    /// Writes `data` at `offset`, extending the file if needed. Returns the
+    /// number of bytes written (always `data.len()` on success).
+    fn write(&self, fd: Fd, offset: u64, data: &[u8]) -> Result<usize>;
+
+    /// Truncates (or extends with zeros) the file to `size` bytes.
+    fn truncate(&self, fd: Fd, size: u64) -> Result<()>;
+
+    /// Flushes buffered writes and commits them durably to the backing store.
+    fn fsync(&self, fd: Fd) -> Result<()>;
+
+    /// Logical size of the open file.
+    fn len(&self, fd: Fd) -> Result<u64>;
+
+    /// Attributes of a file by path.
+    fn stat(&self, path: &str) -> Result<FileAttr>;
+
+    /// Removes a file by path. Open descriptors to it become invalid.
+    fn remove(&self, path: &str) -> Result<()>;
+
+    /// Renames a file, replacing any existing file at `to`.
+    fn rename(&self, from: &str, to: &str) -> Result<()>;
+
+    /// Lists all file paths in the mount (unordered).
+    fn list(&self) -> Result<Vec<String>>;
+
+    /// Human-readable name of the shim (used in benchmark reports).
+    fn kind(&self) -> &'static str;
+}

@@ -1,0 +1,104 @@
+//! Shared file-descriptor table used by all three shims.
+
+use crate::{Fd, FsError, Result};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Maps descriptors to paths and counts open handles per path.
+#[derive(Default)]
+pub(crate) struct HandleTable {
+    next_fd: RwLock<Fd>,
+    fds: RwLock<HashMap<Fd, String>>,
+}
+
+impl HandleTable {
+    pub(crate) fn new() -> Self {
+        HandleTable {
+            next_fd: RwLock::new(3), // 0-2 reserved, in the unix spirit
+            fds: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Allocates a descriptor for `path`.
+    pub(crate) fn open(&self, path: &str) -> Fd {
+        let mut next = self.next_fd.write();
+        let fd = *next;
+        *next += 1;
+        self.fds.write().insert(fd, path.to_string());
+        fd
+    }
+
+    /// Resolves a descriptor to its path.
+    pub(crate) fn path_of(&self, fd: Fd) -> Result<String> {
+        self.fds
+            .read()
+            .get(&fd)
+            .cloned()
+            .ok_or(FsError::BadFd { fd })
+    }
+
+    /// Releases a descriptor, returning the path it referred to.
+    pub(crate) fn close(&self, fd: Fd) -> Result<String> {
+        self.fds
+            .write()
+            .remove(&fd)
+            .ok_or(FsError::BadFd { fd })
+    }
+
+    /// True if any open descriptor still refers to `path`.
+    pub(crate) fn is_open(&self, path: &str) -> bool {
+        self.fds.read().values().any(|p| p == path)
+    }
+
+    /// Rewrites the path behind every descriptor that points at `from`
+    /// (used by `rename`).
+    pub(crate) fn retarget(&self, from: &str, to: &str) {
+        for p in self.fds.write().values_mut() {
+            if p == from {
+                *p = to.to_string();
+            }
+        }
+    }
+
+    /// Invalidates all descriptors pointing at `path` (used by `remove`).
+    pub(crate) fn invalidate(&self, path: &str) {
+        self.fds.write().retain(|_, p| p != path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_close_cycle() {
+        let t = HandleTable::new();
+        let fd = t.open("/a");
+        assert_eq!(t.path_of(fd).unwrap(), "/a");
+        assert!(t.is_open("/a"));
+        assert_eq!(t.close(fd).unwrap(), "/a");
+        assert!(!t.is_open("/a"));
+        assert!(matches!(t.path_of(fd), Err(FsError::BadFd { .. })));
+        assert!(t.close(fd).is_err());
+    }
+
+    #[test]
+    fn fds_are_unique() {
+        let t = HandleTable::new();
+        let a = t.open("/a");
+        let b = t.open("/a");
+        assert_ne!(a, b);
+        t.close(a).unwrap();
+        assert!(t.is_open("/a"), "second handle still open");
+    }
+
+    #[test]
+    fn retarget_and_invalidate() {
+        let t = HandleTable::new();
+        let fd = t.open("/old");
+        t.retarget("/old", "/new");
+        assert_eq!(t.path_of(fd).unwrap(), "/new");
+        t.invalidate("/new");
+        assert!(t.path_of(fd).is_err());
+    }
+}

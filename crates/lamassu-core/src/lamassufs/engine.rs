@@ -1,0 +1,741 @@
+//! The Lamassu data path: segment I/O, multiphase commit, recovery.
+//!
+//! [`Engine`] holds everything shared by all files of one mount (backing
+//! store, geometry, crypto contexts, profiler); [`LamassuFile`] holds the
+//! per-object state (logical size, the in-memory write buffer that batches up
+//! to `R` dirty blocks, and a decrypted-metadata cache). All the mechanics
+//! described in §2.2–§2.5 of the paper live here.
+
+use crate::lamassufs::{IntegrityMode, LamassuConfig};
+use crate::profiler::{Category, Profiler};
+use crate::{FsError, Result};
+use lamassu_crypto::aes::Aes256;
+use lamassu_crypto::cbc;
+use lamassu_crypto::gcm::Aes256Gcm;
+use lamassu_crypto::kdf::ConvergentKdf;
+use lamassu_crypto::{Key256, FIXED_IV};
+use lamassu_format::{Geometry, MetadataBlock, TransientEntry};
+use lamassu_keymgr::ZoneKeys;
+use lamassu_storage::{ObjectStore, StorageError};
+use parking_lot::RwLock;
+use rand::RngCore;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Maximum number of decrypted metadata blocks cached per open file.
+const META_CACHE_CAP: usize = 8192;
+
+/// Outcome of a crash-recovery scan over one file (paper §2.4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Segments whose metadata block was examined.
+    pub segments_scanned: u64,
+    /// Segments found mid-update and repaired.
+    pub segments_repaired: u64,
+    /// Blocks whose *new* key matched the on-disk data (the data write made
+    /// it to disk before the crash).
+    pub blocks_kept_new: u64,
+    /// Blocks rolled back to their *previous* key (the crash hit before the
+    /// data write).
+    pub blocks_restored_old: u64,
+    /// Blocks that were brand new and never reached disk; their key slot was
+    /// cleared.
+    pub blocks_cleared: u64,
+}
+
+/// Outcome of a full integrity verification pass (paper §2.5).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Data blocks whose convergent-hash check was run.
+    pub data_blocks_checked: u64,
+    /// Metadata blocks whose AES-GCM tag was verified.
+    pub metadata_blocks_checked: u64,
+    /// Segments still marked mid-update (recovery should be run).
+    pub mid_update_segments: u64,
+    /// Logical block indices that failed the convergent-hash check.
+    pub corrupt_data_blocks: Vec<u64>,
+    /// Segment indices whose metadata block failed authentication.
+    pub corrupt_metadata_blocks: Vec<u64>,
+}
+
+impl VerifyReport {
+    /// True if no corruption was found.
+    pub fn is_clean(&self) -> bool {
+        self.corrupt_data_blocks.is_empty() && self.corrupt_metadata_blocks.is_empty()
+    }
+}
+
+/// Crypto material derived from the zone keys, rebuilt on re-keying.
+struct CryptoCtx {
+    keys: ZoneKeys,
+    kdf: ConvergentKdf,
+    gcm: Aes256Gcm,
+}
+
+impl CryptoCtx {
+    fn new(keys: ZoneKeys) -> Self {
+        CryptoCtx {
+            kdf: ConvergentKdf::new(&keys.inner),
+            gcm: Aes256Gcm::new(&keys.outer),
+            keys,
+        }
+    }
+}
+
+/// Per-file state: logical size, write buffer and metadata cache.
+pub(crate) struct LamassuFile {
+    name: String,
+    logical_size: u64,
+    size_dirty: bool,
+    /// Dirty plaintext blocks not yet committed, keyed by logical block
+    /// index. Flushed as a batch once it holds `R` blocks (§2.4).
+    pending: BTreeMap<u64, Vec<u8>>,
+    /// Decrypted metadata blocks, keyed by segment index. Write-through.
+    meta_cache: HashMap<u64, MetadataBlock>,
+}
+
+impl LamassuFile {
+    fn new(name: &str) -> Self {
+        LamassuFile {
+            name: name.to_string(),
+            logical_size: 0,
+            size_dirty: false,
+            pending: BTreeMap::new(),
+            meta_cache: HashMap::new(),
+        }
+    }
+
+    /// The file's logical (application-visible) size in bytes.
+    pub(crate) fn logical_size(&self) -> u64 {
+        self.logical_size
+    }
+
+    /// Points the state at a new object name after a rename.
+    pub(crate) fn set_name(&mut self, name: &str) {
+        self.name = name.to_string();
+    }
+}
+
+/// Shared per-mount machinery.
+pub(crate) struct Engine {
+    store: Arc<dyn ObjectStore>,
+    geometry: Geometry,
+    integrity: IntegrityMode,
+    crypto: RwLock<CryptoCtx>,
+    profiler: Arc<Profiler>,
+}
+
+impl Engine {
+    pub(crate) fn new(store: Arc<dyn ObjectStore>, keys: ZoneKeys, config: LamassuConfig) -> Self {
+        Engine {
+            store,
+            geometry: config.geometry,
+            integrity: config.integrity,
+            crypto: RwLock::new(CryptoCtx::new(keys)),
+            profiler: Profiler::new(),
+        }
+    }
+
+    pub(crate) fn profiler(&self) -> Arc<Profiler> {
+        self.profiler.clone()
+    }
+
+    pub(crate) fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    pub(crate) fn integrity_mode(&self) -> IntegrityMode {
+        self.integrity
+    }
+
+    pub(crate) fn object_exists(&self, name: &str) -> bool {
+        self.store.exists(name)
+    }
+
+    pub(crate) fn list_objects(&self) -> Vec<String> {
+        self.store.list()
+    }
+
+    pub(crate) fn physical_size(&self, name: &str) -> Result<u64> {
+        self.io(|| self.store.len(name))
+    }
+
+    pub(crate) fn remove(&self, name: &str) -> Result<()> {
+        self.io(|| self.store.remove(name)).map_err(|e| match e {
+            FsError::Storage(StorageError::NotFound { name }) => FsError::NotFound { path: name },
+            other => other,
+        })
+    }
+
+    pub(crate) fn rename(&self, from: &str, to: &str) -> Result<()> {
+        self.io(|| self.store.rename(from, to))
+    }
+
+    pub(crate) fn sync_object(&self, name: &str) -> Result<()> {
+        self.io(|| self.store.flush(name))
+    }
+
+    /// Replaces the mount's key pair (after a completed re-keying pass).
+    pub(crate) fn switch_keys(&self, keys: ZoneKeys) {
+        *self.crypto.write() = CryptoCtx::new(keys);
+    }
+
+    /// Charges a backing-store call to the I/O latency category.
+    fn io<T>(&self, f: impl FnOnce() -> lamassu_storage::Result<T>) -> Result<T> {
+        let virt_before = self.store.io_time();
+        let start = Instant::now();
+        let out = f();
+        let elapsed = start.elapsed() + self.store.io_time().saturating_sub(virt_before);
+        self.profiler.add(Category::Io, elapsed);
+        out.map_err(FsError::from)
+    }
+
+    /// Additional authenticated data binding a metadata block to its segment
+    /// position so sealed blocks cannot be transplanted between segments.
+    fn aad(segment: u64) -> Vec<u8> {
+        let mut aad = b"lamassu-v1-seg-".to_vec();
+        aad.extend_from_slice(&segment.to_le_bytes());
+        aad
+    }
+
+    // ------------------------------------------------------------------
+    // Object lifecycle
+    // ------------------------------------------------------------------
+
+    /// Creates a new empty Lamassu object: one sealed metadata block holding
+    /// a logical size of zero.
+    pub(crate) fn create(&self, name: &str) -> Result<LamassuFile> {
+        self.io(|| self.store.create(name)).map_err(|e| match e {
+            FsError::Storage(StorageError::AlreadyExists { name }) => {
+                FsError::AlreadyExists { path: name }
+            }
+            other => other,
+        })?;
+        let mut file = LamassuFile::new(name);
+        let mb = MetadataBlock::new(&self.geometry);
+        self.write_meta(&mut file, 0, mb)?;
+        Ok(file)
+    }
+
+    /// Loads an existing object, reading its authoritative logical size from
+    /// the final segment's metadata block (paper §2.3).
+    pub(crate) fn load(&self, name: &str) -> Result<LamassuFile> {
+        let mut file = LamassuFile::new(name);
+        let last = self.last_physical_segment(name)?;
+        let mb = self.read_meta(&mut file, last)?;
+        file.logical_size = mb.logical_size;
+        Ok(file)
+    }
+
+    /// Index of the last segment present in the physical object.
+    fn last_physical_segment(&self, name: &str) -> Result<u64> {
+        let physical = self.io(|| self.store.len(name))?;
+        let seg_bytes = self.geometry.segment_bytes();
+        Ok(physical.div_ceil(seg_bytes).max(1) - 1)
+    }
+
+    // ------------------------------------------------------------------
+    // Metadata I/O
+    // ------------------------------------------------------------------
+
+    /// Reads (and caches) the metadata block for `segment`, returning an
+    /// empty block for segments that do not exist on disk yet.
+    fn read_meta(&self, file: &mut LamassuFile, segment: u64) -> Result<MetadataBlock> {
+        if let Some(mb) = file.meta_cache.get(&segment) {
+            return Ok(mb.clone());
+        }
+        let offset = self.geometry.metadata_block_offset(segment);
+        let bs = self.geometry.block_size();
+        // Read the sealed block directly; a segment that does not exist on
+        // disk yet surfaces as an out-of-bounds read and means "empty".
+        let sealed = match self.io(|| self.store.read_at(&file.name, offset, bs)) {
+            Ok(sealed) => Some(sealed),
+            Err(FsError::Storage(StorageError::OutOfBounds { .. })) => None,
+            Err(e) => return Err(e),
+        };
+        let mb = match sealed {
+            None => MetadataBlock::new(&self.geometry),
+            Some(sealed) if sealed.iter().all(|&b| b == 0) => {
+                // A hole left by a sparse write: no metadata was ever stored.
+                MetadataBlock::new(&self.geometry)
+            }
+            Some(sealed) => {
+                let crypto = self.crypto.read();
+                self.profiler.time(Category::Decrypt, || {
+                    MetadataBlock::unseal(&self.geometry, &crypto.gcm, &Self::aad(segment), &sealed)
+                })?
+            }
+        };
+        if file.meta_cache.len() >= META_CACHE_CAP {
+            file.meta_cache.clear();
+        }
+        file.meta_cache.insert(segment, mb.clone());
+        Ok(mb)
+    }
+
+    /// Seals and writes the metadata block for `segment`, updating the cache.
+    fn write_meta(&self, file: &mut LamassuFile, segment: u64, mb: MetadataBlock) -> Result<()> {
+        let mut nonce = [0u8; 12];
+        rand::thread_rng().fill_bytes(&mut nonce);
+        let sealed = {
+            let crypto = self.crypto.read();
+            self.profiler.time(Category::Encrypt, || {
+                mb.seal(&self.geometry, &crypto.gcm, &nonce, &Self::aad(segment))
+            })
+        };
+        let offset = self.geometry.metadata_block_offset(segment);
+        self.io(|| self.store.write_at(&file.name, offset, &sealed))?;
+        if file.meta_cache.len() >= META_CACHE_CAP {
+            file.meta_cache.clear();
+        }
+        file.meta_cache.insert(segment, mb);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Data-block crypto
+    // ------------------------------------------------------------------
+
+    /// Derives the convergent key for a plaintext block (Equation 1),
+    /// charging the hash/KDF time to the `GetCEKey` category.
+    fn derive_key(&self, plaintext: &[u8]) -> Key256 {
+        let crypto = self.crypto.read();
+        self.profiler
+            .time(Category::GetCeKey, || crypto.kdf.derive_for_block(plaintext))
+    }
+
+    /// Convergent encryption of one data block (Equation 2).
+    fn encrypt_block(&self, plaintext: &[u8], key: &Key256) -> Vec<u8> {
+        self.profiler.time(Category::Encrypt, || {
+            let mut buf = plaintext.to_vec();
+            let cipher = Aes256::new(key);
+            cbc::encrypt_in_place(&cipher, &FIXED_IV, &mut buf)
+                .expect("data blocks are 16-byte aligned");
+            buf
+        })
+    }
+
+    /// Decryption of one data block.
+    fn decrypt_block(&self, ciphertext: &[u8], key: &Key256) -> Vec<u8> {
+        self.profiler.time(Category::Decrypt, || {
+            let mut buf = ciphertext.to_vec();
+            let cipher = Aes256::new(key);
+            cbc::decrypt_in_place(&cipher, &FIXED_IV, &mut buf)
+                .expect("data blocks are 16-byte aligned");
+            buf
+        })
+    }
+
+    /// The §2.5 integrity self-check: the hash of the decrypted block must
+    /// re-derive the key it was decrypted with.
+    fn key_matches_plaintext(&self, plaintext: &[u8], key: &Key256) -> bool {
+        self.derive_key(plaintext) == *key
+    }
+
+    // ------------------------------------------------------------------
+    // Read path
+    // ------------------------------------------------------------------
+
+    /// Reads one logical block as plaintext. `None` means the block has never
+    /// been written (a hole) and reads as zeros.
+    fn read_block(
+        &self,
+        file: &mut LamassuFile,
+        logical_block: u64,
+        force_integrity: bool,
+    ) -> Result<Option<Vec<u8>>> {
+        if let Some(plain) = file.pending.get(&logical_block) {
+            return Ok(Some(plain.clone()));
+        }
+        let loc = self.geometry.locate_block(logical_block);
+        let mb = self.read_meta(file, loc.segment)?;
+        let key = match mb.key(loc.slot) {
+            Some(k) => *k,
+            None => return Ok(None),
+        };
+        let bs = self.geometry.block_size();
+        let ciphertext =
+            match self.io(|| self.store.read_at(&file.name, loc.physical_offset, bs)) {
+                Ok(ct) => ct,
+                // Key present but data never reached disk (should only happen
+                // on an unrecovered crash); treat as a hole.
+                Err(FsError::Storage(StorageError::OutOfBounds { .. })) => return Ok(None),
+                Err(e) => return Err(e),
+            };
+        let plain = self.decrypt_block(&ciphertext, &key);
+        let check = force_integrity || matches!(self.integrity, IntegrityMode::Full);
+        if check && !self.key_matches_plaintext(&plain, &key) {
+            return Err(FsError::IntegrityViolation {
+                path: file.name.clone(),
+                logical_block,
+            });
+        }
+        Ok(Some(plain))
+    }
+
+    /// Reads `len` bytes at `offset`, clamped to the logical size.
+    pub(crate) fn read_range(
+        &self,
+        file: &mut LamassuFile,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>> {
+        if offset >= file.logical_size {
+            return Ok(Vec::new());
+        }
+        let len = len.min((file.logical_size - offset) as usize);
+        let mut out = Vec::with_capacity(len);
+        for (block, in_block, take) in self.geometry.block_spans(offset, len) {
+            match self.read_block(file, block, false)? {
+                Some(plain) => out.extend_from_slice(&plain[in_block..in_block + take]),
+                None => out.extend(std::iter::repeat(0u8).take(take)),
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Write path
+    // ------------------------------------------------------------------
+
+    /// Buffers `data` at `offset`, committing batches of `R` blocks as they
+    /// accumulate (paper §2.4).
+    pub(crate) fn write_range(
+        &self,
+        file: &mut LamassuFile,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        let bs = self.geometry.block_size();
+        let mut src = 0usize;
+        for (block, in_block, take) in self.geometry.block_spans(offset, data.len()) {
+            let mut plain = if in_block == 0 && take == bs {
+                vec![0u8; bs]
+            } else {
+                self.read_block(file, block, false)?
+                    .unwrap_or_else(|| vec![0u8; bs])
+            };
+            plain[in_block..in_block + take].copy_from_slice(&data[src..src + take]);
+            file.pending.insert(block, plain);
+            src += take;
+        }
+        let end = offset + data.len() as u64;
+        if end > file.logical_size {
+            file.logical_size = end;
+            file.size_dirty = true;
+        }
+        if file.pending.len() >= self.geometry.reserved_slots() {
+            self.flush(file)?;
+        }
+        Ok(())
+    }
+
+    /// Commits every buffered block and persists the logical size.
+    pub(crate) fn flush(&self, file: &mut LamassuFile) -> Result<()> {
+        // Group the pending blocks by segment, preserving block order.
+        let pending = std::mem::take(&mut file.pending);
+        let mut by_segment: BTreeMap<u64, Vec<(u64, Vec<u8>)>> = BTreeMap::new();
+        for (block, plain) in pending {
+            let segment = self.geometry.locate_block(block).segment;
+            by_segment.entry(segment).or_default().push((block, plain));
+        }
+        let r = self.geometry.reserved_slots();
+        for (segment, blocks) in by_segment {
+            for chunk in blocks.chunks(r) {
+                self.commit_chunk(file, segment, chunk)?;
+            }
+        }
+        if file.size_dirty {
+            let final_segment = self.final_segment(file);
+            let mut mb = self.read_meta(file, final_segment)?;
+            mb.logical_size = file.logical_size;
+            self.write_meta(file, final_segment, mb)?;
+            file.size_dirty = false;
+        }
+        Ok(())
+    }
+
+    /// Index of the segment holding the authoritative logical size.
+    fn final_segment(&self, file: &LamassuFile) -> u64 {
+        self.geometry.segments_for_len(file.logical_size).max(1) - 1
+    }
+
+    /// The multiphase commit of §2.4 for up to `R` dirty blocks of one
+    /// segment:
+    ///
+    /// 1. park the previous keys in the transient area, install the new keys,
+    ///    mark the segment mid-update, write the metadata block;
+    /// 2. write the encrypted data blocks;
+    /// 3. clear the mid-update mark and the transient area, write the
+    ///    metadata block again.
+    fn commit_chunk(
+        &self,
+        file: &mut LamassuFile,
+        segment: u64,
+        blocks: &[(u64, Vec<u8>)],
+    ) -> Result<()> {
+        debug_assert!(blocks.len() <= self.geometry.reserved_slots());
+        let mut mb = self.read_meta(file, segment)?;
+
+        // Phase 1: stage old + new keys and flag the segment.
+        let mut new_keys = Vec::with_capacity(blocks.len());
+        for (block, plain) in blocks {
+            let slot = self.geometry.locate_block(*block).slot;
+            let old_key = mb.key(slot).copied().unwrap_or([0u8; 32]);
+            mb.push_transient(
+                &self.geometry,
+                TransientEntry {
+                    slot: slot as u16,
+                    old_key,
+                },
+            )?;
+            let key = self.derive_key(plain);
+            mb.set_key(slot, key)?;
+            new_keys.push(key);
+        }
+        mb.flags.set_mid_update(true);
+        if segment == self.final_segment(file) {
+            mb.logical_size = file.logical_size;
+        }
+        self.write_meta(file, segment, mb.clone())?;
+
+        // Phase 2: write the convergently encrypted data blocks.
+        for ((block, plain), key) in blocks.iter().zip(new_keys.iter()) {
+            let loc = self.geometry.locate_block(*block);
+            let ciphertext = self.encrypt_block(plain, key);
+            self.io(|| self.store.write_at(&file.name, loc.physical_offset, &ciphertext))?;
+        }
+
+        // Phase 3: the segment is consistent again.
+        mb.clear_transient();
+        mb.flags.set_mid_update(false);
+        self.write_meta(file, segment, mb)?;
+
+        if segment == self.final_segment(file) {
+            file.size_dirty = false;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Truncate
+    // ------------------------------------------------------------------
+
+    /// Truncates (or extends) the file to `new_size` logical bytes.
+    pub(crate) fn truncate(&self, file: &mut LamassuFile, new_size: u64) -> Result<()> {
+        self.flush(file)?;
+        let old_size = file.logical_size;
+        file.logical_size = new_size;
+        file.size_dirty = true;
+
+        if new_size < old_size {
+            let bs = self.geometry.block_size() as u64;
+            // Zero the tail of the new final block so stale bytes cannot be
+            // resurrected by a later extension.
+            if new_size % bs != 0 {
+                let last_block = new_size / bs;
+                if let Some(mut plain) = self.read_block(file, last_block, false)? {
+                    for b in plain[(new_size % bs) as usize..].iter_mut() {
+                        *b = 0;
+                    }
+                    self.commit_chunk(file, self.geometry.locate_block(last_block).segment, &[(
+                        last_block, plain,
+                    )])?;
+                }
+            }
+            // Drop keys for blocks past the new end.
+            let first_dropped = self.geometry.data_blocks_for_len(new_size);
+            let last_old = self.geometry.data_blocks_for_len(old_size);
+            let mut segment_updates: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+            for block in first_dropped..last_old {
+                let loc = self.geometry.locate_block(block);
+                segment_updates.entry(loc.segment).or_default().push(loc.slot);
+            }
+            let new_segments = self.geometry.segments_for_len(new_size);
+            for (segment, slots) in segment_updates {
+                if segment >= new_segments {
+                    // The whole segment disappears with the physical truncate.
+                    continue;
+                }
+                let mut mb = self.read_meta(file, segment)?;
+                for slot in slots {
+                    mb.clear_key(slot)?;
+                }
+                self.write_meta(file, segment, mb)?;
+            }
+            // Shrink the physical object and drop stale cache entries.
+            let physical = self.geometry.encrypted_size(new_size);
+            self.io(|| self.store.truncate(&file.name, physical))?;
+            file.meta_cache.retain(|seg, _| *seg < new_segments);
+        }
+
+        let final_segment = self.final_segment(file);
+        let mut mb = self.read_meta(file, final_segment)?;
+        mb.logical_size = new_size;
+        self.write_meta(file, final_segment, mb)?;
+        file.size_dirty = false;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery, verification, re-keying
+    // ------------------------------------------------------------------
+
+    /// Scans every segment for the mid-update flag and repairs interrupted
+    /// commits using the transient keys (paper §2.4).
+    pub(crate) fn recover(&self, file: &mut LamassuFile) -> Result<RecoveryReport> {
+        file.meta_cache.clear();
+        file.pending.clear();
+        let mut report = RecoveryReport::default();
+        let last_segment = self.last_physical_segment(&file.name)?;
+        let physical = self.io(|| self.store.len(&file.name))?;
+        let bs = self.geometry.block_size();
+
+        for segment in 0..=last_segment {
+            let mut mb = self.read_meta(file, segment)?;
+            report.segments_scanned += 1;
+            if !mb.flags.is_mid_update() {
+                continue;
+            }
+            for entry in mb.transient().to_vec() {
+                let slot = entry.slot as usize;
+                let logical_block =
+                    segment * self.geometry.keys_per_metadata_block() as u64 + slot as u64;
+                let loc = self.geometry.locate_block(logical_block);
+                let new_key = mb.key(slot).copied();
+                let had_old = entry.old_key != [0u8; 32];
+
+                let on_disk = if loc.physical_offset + bs as u64 <= physical {
+                    Some(self.io(|| self.store.read_at(&file.name, loc.physical_offset, bs))?)
+                } else {
+                    None
+                };
+
+                let resolved = match (&on_disk, new_key) {
+                    (Some(ct), Some(nk)) => {
+                        let plain = self.decrypt_block(ct, &nk);
+                        if self.key_matches_plaintext(&plain, &nk) {
+                            report.blocks_kept_new += 1;
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    _ => false,
+                };
+                if resolved {
+                    continue;
+                }
+                if had_old {
+                    // Either the data block still holds the old contents, or
+                    // it never existed; in both cases the old key is the
+                    // consistent one.
+                    let consistent = match &on_disk {
+                        Some(ct) => {
+                            let plain = self.decrypt_block(ct, &entry.old_key);
+                            self.key_matches_plaintext(&plain, &entry.old_key)
+                        }
+                        None => false,
+                    };
+                    if consistent {
+                        mb.set_key(slot, entry.old_key)?;
+                        report.blocks_restored_old += 1;
+                    } else {
+                        return Err(FsError::Unrecoverable {
+                            path: file.name.clone(),
+                            segment,
+                        });
+                    }
+                } else {
+                    // A brand-new block whose data never reached disk.
+                    mb.clear_key(slot)?;
+                    report.blocks_cleared += 1;
+                }
+            }
+            mb.clear_transient();
+            mb.flags.set_mid_update(false);
+            self.write_meta(file, segment, mb)?;
+            report.segments_repaired += 1;
+        }
+
+        // Reload the authoritative size after repairs.
+        let last = self.last_physical_segment(&file.name)?;
+        let mb = self.read_meta(file, last)?;
+        file.logical_size = mb.logical_size;
+        Ok(report)
+    }
+
+    /// Verifies every metadata and data block of the file (paper §2.5),
+    /// collecting failures rather than stopping at the first one.
+    pub(crate) fn verify(&self, file: &mut LamassuFile) -> Result<VerifyReport> {
+        self.flush(file)?;
+        file.meta_cache.clear();
+        let mut report = VerifyReport::default();
+        let data_blocks = self.geometry.data_blocks_for_len(file.logical_size);
+        let segments = self.geometry.segments_for_len(file.logical_size);
+
+        for segment in 0..segments {
+            match self.read_meta(file, segment) {
+                Ok(mb) => {
+                    report.metadata_blocks_checked += 1;
+                    if mb.flags.is_mid_update() {
+                        report.mid_update_segments += 1;
+                    }
+                }
+                Err(FsError::Metadata(_)) => {
+                    report.corrupt_metadata_blocks.push(segment);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        for block in 0..data_blocks {
+            match self.read_block(file, block, true) {
+                Ok(_) => report.data_blocks_checked += 1,
+                Err(FsError::IntegrityViolation { logical_block, .. }) => {
+                    report.data_blocks_checked += 1;
+                    report.corrupt_data_blocks.push(logical_block);
+                }
+                Err(FsError::Metadata(_)) => {
+                    // Already counted above per segment; skip its blocks.
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(report)
+    }
+
+    /// Re-seals every metadata block under `new_keys.outer` (the paper's
+    /// partial re-keying, §2.2). Returns the number of metadata blocks
+    /// rewritten.
+    pub(crate) fn rekey_outer(&self, file: &mut LamassuFile, new_keys: &ZoneKeys) -> Result<u64> {
+        self.flush(file)?;
+        {
+            let crypto = self.crypto.read();
+            assert_eq!(
+                crypto.keys.inner, new_keys.inner,
+                "outer re-keying must not change the inner key; use a full re-encryption instead"
+            );
+        }
+        let new_gcm = Aes256Gcm::new(&new_keys.outer);
+        let last_segment = self.last_physical_segment(&file.name)?;
+        let mut rewritten = 0;
+        for segment in 0..=last_segment {
+            let mb = self.read_meta(file, segment)?;
+            let mut nonce = [0u8; 12];
+            rand::thread_rng().fill_bytes(&mut nonce);
+            let sealed = self.profiler.time(Category::Encrypt, || {
+                mb.seal(&self.geometry, &new_gcm, &nonce, &Self::aad(segment))
+            });
+            let offset = self.geometry.metadata_block_offset(segment);
+            self.io(|| self.store.write_at(&file.name, offset, &sealed))?;
+            rewritten += 1;
+        }
+        Ok(rewritten)
+    }
+}

@@ -1,0 +1,249 @@
+//! PlainFS: the unencrypted pass-through baseline.
+//!
+//! The paper's *PlainFS* is "a simple pass-through front end for the relevant
+//! Linux system calls associated with FUSE operations" (§4 setup). It exists
+//! so that the encrypted systems can be compared against a baseline that
+//! still pays the shim overhead but does no cryptography, and so that the
+//! storage-efficiency experiments have an upper bound: plaintext blocks
+//! deduplicate perfectly.
+
+use crate::fs::{FileAttr, FileSystem, OpenFlags};
+use crate::handles::HandleTable;
+use crate::profiler::{Category, Profiler};
+use crate::{Fd, FsError, Result};
+use lamassu_storage::ObjectStore;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The unencrypted pass-through shim.
+pub struct PlainFs {
+    store: Arc<dyn ObjectStore>,
+    handles: HandleTable,
+    profiler: Arc<Profiler>,
+}
+
+impl PlainFs {
+    /// Mounts a PlainFS over `store`.
+    pub fn new(store: Arc<dyn ObjectStore>) -> Self {
+        PlainFs {
+            store,
+            handles: HandleTable::new(),
+            profiler: Profiler::new(),
+        }
+    }
+
+    /// The latency profiler for this mount.
+    pub fn profiler(&self) -> Arc<Profiler> {
+        self.profiler.clone()
+    }
+
+    /// Runs a backing-store call, charging real plus virtual time to `Io`.
+    fn io<T>(&self, f: impl FnOnce() -> lamassu_storage::Result<T>) -> Result<T> {
+        let virt_before = self.store.io_time();
+        let start = Instant::now();
+        let out = f();
+        let elapsed = start.elapsed() + self.store.io_time().saturating_sub(virt_before);
+        self.profiler.add(Category::Io, elapsed);
+        out.map_err(FsError::from)
+    }
+}
+
+impl FileSystem for PlainFs {
+    fn create(&self, path: &str) -> Result<Fd> {
+        self.io(|| self.store.create(path)).map_err(|e| match e {
+            FsError::Storage(lamassu_storage::StorageError::AlreadyExists { name }) => {
+                FsError::AlreadyExists { path: name }
+            }
+            other => other,
+        })?;
+        Ok(self.handles.open(path))
+    }
+
+    fn open(&self, path: &str, flags: OpenFlags) -> Result<Fd> {
+        if !self.store.exists(path) {
+            return Err(FsError::NotFound {
+                path: path.to_string(),
+            });
+        }
+        if flags.truncate {
+            self.io(|| self.store.truncate(path, 0))?;
+        }
+        Ok(self.handles.open(path))
+    }
+
+    fn close(&self, fd: Fd) -> Result<()> {
+        self.handles.close(fd).map(|_| ())
+    }
+
+    fn read(&self, fd: Fd, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let path = self.handles.path_of(fd)?;
+        // Optimistically read the full range; short files surface as an
+        // out-of-bounds error carrying the object size, so clamping does not
+        // cost an extra round trip on the common path.
+        match self.io(|| self.store.read_at(&path, offset, len)) {
+            Ok(data) => Ok(data),
+            Err(FsError::Storage(lamassu_storage::StorageError::OutOfBounds { size, .. })) => {
+                if offset >= size {
+                    Ok(Vec::new())
+                } else {
+                    self.io(|| self.store.read_at(&path, offset, (size - offset) as usize))
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn write(&self, fd: Fd, offset: u64, data: &[u8]) -> Result<usize> {
+        let path = self.handles.path_of(fd)?;
+        self.io(|| self.store.write_at(&path, offset, data))?;
+        Ok(data.len())
+    }
+
+    fn truncate(&self, fd: Fd, size: u64) -> Result<()> {
+        let path = self.handles.path_of(fd)?;
+        self.io(|| self.store.truncate(&path, size))
+    }
+
+    fn fsync(&self, fd: Fd) -> Result<()> {
+        let path = self.handles.path_of(fd)?;
+        self.io(|| self.store.flush(&path))
+    }
+
+    fn len(&self, fd: Fd) -> Result<u64> {
+        let path = self.handles.path_of(fd)?;
+        self.io(|| self.store.len(&path))
+    }
+
+    fn stat(&self, path: &str) -> Result<FileAttr> {
+        if !self.store.exists(path) {
+            return Err(FsError::NotFound {
+                path: path.to_string(),
+            });
+        }
+        let size = self.io(|| self.store.len(path))?;
+        Ok(FileAttr {
+            logical_size: size,
+            physical_size: size,
+        })
+    }
+
+    fn remove(&self, path: &str) -> Result<()> {
+        self.io(|| self.store.remove(path)).map_err(|e| match e {
+            FsError::Storage(lamassu_storage::StorageError::NotFound { name }) => {
+                FsError::NotFound { path: name }
+            }
+            other => other,
+        })?;
+        self.handles.invalidate(path);
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        self.io(|| self.store.rename(from, to))?;
+        self.handles.retarget(from, to);
+        Ok(())
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        Ok(self.store.list())
+    }
+
+    fn kind(&self) -> &'static str {
+        "PlainFS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lamassu_storage::{DedupStore, StorageProfile};
+
+    fn mount() -> PlainFs {
+        PlainFs::new(Arc::new(DedupStore::new(4096, StorageProfile::instant())))
+    }
+
+    #[test]
+    fn create_write_read_round_trip() {
+        let fs = mount();
+        let fd = fs.create("/x").unwrap();
+        fs.write(fd, 0, b"hello world").unwrap();
+        assert_eq!(fs.read(fd, 0, 11).unwrap(), b"hello world");
+        assert_eq!(fs.read(fd, 6, 100).unwrap(), b"world");
+        assert_eq!(fs.len(fd).unwrap(), 11);
+        fs.close(fd).unwrap();
+    }
+
+    #[test]
+    fn read_past_eof_is_empty() {
+        let fs = mount();
+        let fd = fs.create("/x").unwrap();
+        fs.write(fd, 0, b"abc").unwrap();
+        assert!(fs.read(fd, 10, 5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn open_missing_fails() {
+        let fs = mount();
+        assert!(matches!(
+            fs.open("/nope", OpenFlags::default()),
+            Err(FsError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn create_existing_fails() {
+        let fs = mount();
+        fs.create("/x").unwrap();
+        assert!(matches!(fs.create("/x"), Err(FsError::AlreadyExists { .. })));
+    }
+
+    #[test]
+    fn open_truncate_clears_content() {
+        let fs = mount();
+        let fd = fs.create("/x").unwrap();
+        fs.write(fd, 0, b"data").unwrap();
+        fs.close(fd).unwrap();
+        let fd = fs
+            .open("/x", OpenFlags { truncate: true })
+            .unwrap();
+        assert_eq!(fs.len(fd).unwrap(), 0);
+    }
+
+    #[test]
+    fn stat_remove_rename_list() {
+        let fs = mount();
+        let fd = fs.create("/a").unwrap();
+        fs.write(fd, 0, &[0u8; 100]).unwrap();
+        let attr = fs.stat("/a").unwrap();
+        assert_eq!(attr.logical_size, 100);
+        fs.rename("/a", "/b").unwrap();
+        assert!(fs.stat("/a").is_err());
+        assert_eq!(fs.list().unwrap(), vec!["/b".to_string()]);
+        // The old fd follows the rename.
+        assert_eq!(fs.len(fd).unwrap(), 100);
+        fs.remove("/b").unwrap();
+        assert!(matches!(fs.len(fd), Err(FsError::BadFd { .. })));
+        assert!(matches!(fs.remove("/b"), Err(FsError::NotFound { .. })));
+    }
+
+    #[test]
+    fn bad_fd_rejected() {
+        let fs = mount();
+        assert!(matches!(fs.read(99, 0, 1), Err(FsError::BadFd { fd: 99 })));
+        assert!(fs.write(99, 0, b"x").is_err());
+        assert!(fs.close(99).is_err());
+    }
+
+    #[test]
+    fn plaintext_deduplicates_perfectly() {
+        let store = Arc::new(DedupStore::new(4096, StorageProfile::instant()));
+        let fs = PlainFs::new(store.clone());
+        let fd = fs.create("/a").unwrap();
+        fs.write(fd, 0, &vec![7u8; 4096 * 4]).unwrap();
+        let fd2 = fs.create("/b").unwrap();
+        fs.write(fd2, 0, &vec![7u8; 4096 * 4]).unwrap();
+        let report = store.run_dedup();
+        assert_eq!(report.total_blocks, 8);
+        assert_eq!(report.unique_blocks, 1);
+    }
+}

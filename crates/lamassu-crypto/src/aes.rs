@@ -1,0 +1,402 @@
+//! AES-256 block cipher (FIPS 197), implemented from scratch.
+//!
+//! Lamassu uses AES-256 in three places (paper §2.2):
+//!
+//! * CBC mode with a fixed IV for convergent data-block encryption,
+//! * ECB as the key-derivation function that mixes the inner key into the
+//!   block hash (Equation 1),
+//! * GCM for the authenticated encryption of metadata blocks.
+//!
+//! This module provides the raw block cipher ([`Aes256`]); the modes live in
+//! [`crate::cbc`], [`crate::ctr`] and [`crate::gcm`].
+//!
+//! The implementation is a straightforward byte-oriented one (S-box lookups
+//! plus `xtime` multiplication in MixColumns). It is validated against the
+//! FIPS-197 Appendix C.3 and NIST SP 800-38A vectors.
+
+use crate::Key256;
+
+/// AES S-box (FIPS 197 §5.1.1).
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+/// AES inverse S-box (FIPS 197 §5.3.2).
+const INV_SBOX: [u8; 256] = [
+    0x52, 0x09, 0x6a, 0xd5, 0x30, 0x36, 0xa5, 0x38, 0xbf, 0x40, 0xa3, 0x9e, 0x81, 0xf3, 0xd7,
+    0xfb, 0x7c, 0xe3, 0x39, 0x82, 0x9b, 0x2f, 0xff, 0x87, 0x34, 0x8e, 0x43, 0x44, 0xc4, 0xde,
+    0xe9, 0xcb, 0x54, 0x7b, 0x94, 0x32, 0xa6, 0xc2, 0x23, 0x3d, 0xee, 0x4c, 0x95, 0x0b, 0x42,
+    0xfa, 0xc3, 0x4e, 0x08, 0x2e, 0xa1, 0x66, 0x28, 0xd9, 0x24, 0xb2, 0x76, 0x5b, 0xa2, 0x49,
+    0x6d, 0x8b, 0xd1, 0x25, 0x72, 0xf8, 0xf6, 0x64, 0x86, 0x68, 0x98, 0x16, 0xd4, 0xa4, 0x5c,
+    0xcc, 0x5d, 0x65, 0xb6, 0x92, 0x6c, 0x70, 0x48, 0x50, 0xfd, 0xed, 0xb9, 0xda, 0x5e, 0x15,
+    0x46, 0x57, 0xa7, 0x8d, 0x9d, 0x84, 0x90, 0xd8, 0xab, 0x00, 0x8c, 0xbc, 0xd3, 0x0a, 0xf7,
+    0xe4, 0x58, 0x05, 0xb8, 0xb3, 0x45, 0x06, 0xd0, 0x2c, 0x1e, 0x8f, 0xca, 0x3f, 0x0f, 0x02,
+    0xc1, 0xaf, 0xbd, 0x03, 0x01, 0x13, 0x8a, 0x6b, 0x3a, 0x91, 0x11, 0x41, 0x4f, 0x67, 0xdc,
+    0xea, 0x97, 0xf2, 0xcf, 0xce, 0xf0, 0xb4, 0xe6, 0x73, 0x96, 0xac, 0x74, 0x22, 0xe7, 0xad,
+    0x35, 0x85, 0xe2, 0xf9, 0x37, 0xe8, 0x1c, 0x75, 0xdf, 0x6e, 0x47, 0xf1, 0x1a, 0x71, 0x1d,
+    0x29, 0xc5, 0x89, 0x6f, 0xb7, 0x62, 0x0e, 0xaa, 0x18, 0xbe, 0x1b, 0xfc, 0x56, 0x3e, 0x4b,
+    0xc6, 0xd2, 0x79, 0x20, 0x9a, 0xdb, 0xc0, 0xfe, 0x78, 0xcd, 0x5a, 0xf4, 0x1f, 0xdd, 0xa8,
+    0x33, 0x88, 0x07, 0xc7, 0x31, 0xb1, 0x12, 0x10, 0x59, 0x27, 0x80, 0xec, 0x5f, 0x60, 0x51,
+    0x7f, 0xa9, 0x19, 0xb5, 0x4a, 0x0d, 0x2d, 0xe5, 0x7a, 0x9f, 0x93, 0xc9, 0x9c, 0xef, 0xa0,
+    0xe0, 0x3b, 0x4d, 0xae, 0x2a, 0xf5, 0xb0, 0xc8, 0xeb, 0xbb, 0x3c, 0x83, 0x53, 0x99, 0x61,
+    0x17, 0x2b, 0x04, 0x7e, 0xba, 0x77, 0xd6, 0x26, 0xe1, 0x69, 0x14, 0x63, 0x55, 0x21, 0x0c,
+    0x7d,
+];
+
+/// Round constants used by the key schedule.
+const RCON: [u8; 15] = [
+    0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36, 0x6c, 0xd8, 0xab, 0x4d, 0x9a,
+];
+
+/// Number of rounds for AES-256.
+const ROUNDS: usize = 14;
+/// Number of 32-bit words in an AES-256 key.
+const NK: usize = 8;
+
+/// Multiplication by `x` (i.e. 2) in GF(2^8) with the AES polynomial.
+#[inline]
+fn xtime(b: u8) -> u8 {
+    let hi = b & 0x80;
+    let mut r = b << 1;
+    if hi != 0 {
+        r ^= 0x1b;
+    }
+    r
+}
+
+/// Multiplication of two elements of GF(2^8).
+#[inline]
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+/// An expanded AES-256 key ready for block encryption and decryption.
+///
+/// # Examples
+///
+/// ```
+/// use lamassu_crypto::aes::Aes256;
+///
+/// let key = [0x42u8; 32];
+/// let aes = Aes256::new(&key);
+/// let pt = *b"sixteen byte msg";
+/// let ct = aes.encrypt_block(&pt);
+/// assert_eq!(aes.decrypt_block(&ct), pt);
+/// ```
+#[derive(Clone)]
+pub struct Aes256 {
+    /// Round keys: (ROUNDS + 1) × 16 bytes.
+    round_keys: [[u8; 16]; ROUNDS + 1],
+}
+
+impl Aes256 {
+    /// Expands `key` into the round-key schedule.
+    pub fn new(key: &Key256) -> Self {
+        // The key schedule operates on 4-byte words: 60 words for AES-256.
+        let mut w = [[0u8; 4]; 4 * (ROUNDS + 1)];
+        for i in 0..NK {
+            w[i].copy_from_slice(&key[i * 4..i * 4 + 4]);
+        }
+        for i in NK..4 * (ROUNDS + 1) {
+            let mut temp = w[i - 1];
+            if i % NK == 0 {
+                // RotWord + SubWord + Rcon.
+                temp = [
+                    SBOX[temp[1] as usize] ^ RCON[i / NK - 1],
+                    SBOX[temp[2] as usize],
+                    SBOX[temp[3] as usize],
+                    SBOX[temp[0] as usize],
+                ];
+            } else if i % NK == 4 {
+                // AES-256 applies SubWord every 4 words as well.
+                temp = [
+                    SBOX[temp[0] as usize],
+                    SBOX[temp[1] as usize],
+                    SBOX[temp[2] as usize],
+                    SBOX[temp[3] as usize],
+                ];
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - NK][j] ^ temp[j];
+            }
+        }
+
+        let mut round_keys = [[0u8; 16]; ROUNDS + 1];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
+            }
+        }
+        Aes256 { round_keys }
+    }
+
+    /// Encrypts a single 16-byte block.
+    pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut state = *block;
+        add_round_key(&mut state, &self.round_keys[0]);
+        for round in 1..ROUNDS {
+            sub_bytes(&mut state);
+            shift_rows(&mut state);
+            mix_columns(&mut state);
+            add_round_key(&mut state, &self.round_keys[round]);
+        }
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        add_round_key(&mut state, &self.round_keys[ROUNDS]);
+        state
+    }
+
+    /// Decrypts a single 16-byte block.
+    pub fn decrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut state = *block;
+        add_round_key(&mut state, &self.round_keys[ROUNDS]);
+        for round in (1..ROUNDS).rev() {
+            inv_shift_rows(&mut state);
+            inv_sub_bytes(&mut state);
+            add_round_key(&mut state, &self.round_keys[round]);
+            inv_mix_columns(&mut state);
+        }
+        inv_shift_rows(&mut state);
+        inv_sub_bytes(&mut state);
+        add_round_key(&mut state, &self.round_keys[0]);
+        state
+    }
+}
+
+// The state is stored column-major: state[4*c + r] is row r, column c, which
+// matches the byte order of the input block (FIPS 197 §3.4).
+
+#[inline]
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for i in 0..16 {
+        state[i] ^= rk[i];
+    }
+}
+
+#[inline]
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+#[inline]
+fn inv_sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = INV_SBOX[*b as usize];
+    }
+}
+
+#[inline]
+fn shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    // Row r is cyclically shifted left by r positions.
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * c + r] = s[4 * ((c + r) % 4) + r];
+        }
+    }
+}
+
+#[inline]
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * ((c + r) % 4) + r] = s[4 * c + r];
+        }
+    }
+}
+
+#[inline]
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
+        state[4 * c] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
+        state[4 * c + 3] = (xtime(col[0]) ^ col[0]) ^ col[1] ^ col[2] ^ xtime(col[3]);
+    }
+}
+
+#[inline]
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
+        state[4 * c] =
+            gmul(col[0], 0x0e) ^ gmul(col[1], 0x0b) ^ gmul(col[2], 0x0d) ^ gmul(col[3], 0x09);
+        state[4 * c + 1] =
+            gmul(col[0], 0x09) ^ gmul(col[1], 0x0e) ^ gmul(col[2], 0x0b) ^ gmul(col[3], 0x0d);
+        state[4 * c + 2] =
+            gmul(col[0], 0x0d) ^ gmul(col[1], 0x09) ^ gmul(col[2], 0x0e) ^ gmul(col[3], 0x0b);
+        state[4 * c + 3] =
+            gmul(col[0], 0x0b) ^ gmul(col[1], 0x0d) ^ gmul(col[2], 0x09) ^ gmul(col[3], 0x0e);
+    }
+}
+
+/// Encrypts `data` in-place in ECB mode.
+///
+/// Lamassu's key-derivation function (Equation 1) is AES-256-ECB of the
+/// 32-byte block hash under the inner key; ECB over two independent blocks is
+/// exactly what is needed there. `data` must be a multiple of 16 bytes.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of 16.
+pub fn ecb_encrypt_in_place(aes: &Aes256, data: &mut [u8]) {
+    assert!(data.len() % 16 == 0, "ECB input must be block-aligned");
+    for chunk in data.chunks_exact_mut(16) {
+        let mut block = [0u8; 16];
+        block.copy_from_slice(chunk);
+        chunk.copy_from_slice(&aes.encrypt_block(&block));
+    }
+}
+
+/// Decrypts `data` in-place in ECB mode (inverse of [`ecb_encrypt_in_place`]).
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of 16.
+pub fn ecb_decrypt_in_place(aes: &Aes256, data: &mut [u8]) {
+    assert!(data.len() % 16 == 0, "ECB input must be block-aligned");
+    for chunk in data.chunks_exact_mut(16) {
+        let mut block = [0u8; 16];
+        block.copy_from_slice(chunk);
+        chunk.copy_from_slice(&aes.decrypt_block(&block));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::from_hex;
+
+    fn key_from_hex(s: &str) -> Key256 {
+        let v = from_hex(s).unwrap();
+        let mut k = [0u8; 32];
+        k.copy_from_slice(&v);
+        k
+    }
+
+    fn block_from_hex(s: &str) -> [u8; 16] {
+        let v = from_hex(s).unwrap();
+        let mut b = [0u8; 16];
+        b.copy_from_slice(&v);
+        b
+    }
+
+    #[test]
+    fn fips197_appendix_c3() {
+        // FIPS 197, Appendix C.3 (AES-256).
+        let key = key_from_hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+        let pt = block_from_hex("00112233445566778899aabbccddeeff");
+        let expect = block_from_hex("8ea2b7ca516745bfeafc49904b496089");
+        let aes = Aes256::new(&key);
+        assert_eq!(aes.encrypt_block(&pt), expect);
+        assert_eq!(aes.decrypt_block(&expect), pt);
+    }
+
+    #[test]
+    fn sp800_38a_ecb_vectors() {
+        // NIST SP 800-38A, F.1.5 ECB-AES256.Encrypt.
+        let key = key_from_hex("603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4");
+        let aes = Aes256::new(&key);
+        let cases = [
+            (
+                "6bc1bee22e409f96e93d7e117393172a",
+                "f3eed1bdb5d2a03c064b5a7e3db181f8",
+            ),
+            (
+                "ae2d8a571e03ac9c9eb76fac45af8e51",
+                "591ccb10d410ed26dc5ba74a31362870",
+            ),
+            (
+                "30c81c46a35ce411e5fbc1191a0a52ef",
+                "b6ed21b99ca6f4f9f153e7b1beafed1d",
+            ),
+            (
+                "f69f2445df4f9b17ad2b417be66c3710",
+                "23304b7a39f9f3ff067d8d8f9e24ecc7",
+            ),
+        ];
+        for (pt_hex, ct_hex) in cases {
+            let pt = block_from_hex(pt_hex);
+            let ct = block_from_hex(ct_hex);
+            assert_eq!(aes.encrypt_block(&pt), ct);
+            assert_eq!(aes.decrypt_block(&ct), pt);
+        }
+    }
+
+    #[test]
+    fn ecb_round_trip_multi_block() {
+        let key = [7u8; 32];
+        let aes = Aes256::new(&key);
+        let mut data: Vec<u8> = (0..256u32).map(|i| (i * 37 % 251) as u8).collect();
+        let original = data.clone();
+        ecb_encrypt_in_place(&aes, &mut data);
+        assert_ne!(data, original);
+        ecb_decrypt_in_place(&aes, &mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    #[should_panic(expected = "block-aligned")]
+    fn ecb_rejects_unaligned() {
+        let aes = Aes256::new(&[0u8; 32]);
+        let mut data = vec![0u8; 17];
+        ecb_encrypt_in_place(&aes, &mut data);
+    }
+
+    #[test]
+    fn gmul_is_commutative_and_matches_xtime() {
+        for a in 0..=255u8 {
+            assert_eq!(gmul(a, 2), xtime(a));
+            for b in [0u8, 1, 2, 3, 0x0e, 0x1b, 0x80, 0xff] {
+                assert_eq!(gmul(a, b), gmul(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn different_keys_different_ciphertext() {
+        let pt = [0xabu8; 16];
+        let a = Aes256::new(&[1u8; 32]);
+        let b = Aes256::new(&[2u8; 32]);
+        assert_ne!(a.encrypt_block(&pt), b.encrypt_block(&pt));
+    }
+}

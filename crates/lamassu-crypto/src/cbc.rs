@@ -1,0 +1,160 @@
+//! AES-256-CBC without padding, for full-block convergent data encryption.
+//!
+//! Lamassu encrypts each fixed-size data block (default 4096 bytes, always a
+//! multiple of the AES block size) with AES-256 in CBC mode under the
+//! block-specific convergent key and a *fixed* IV, so that identical
+//! plaintext blocks encrypt to identical ciphertext blocks (paper §2.2,
+//! Equation 2). Because every Lamassu write is a full block, no padding
+//! scheme is needed; inputs must be 16-byte aligned.
+
+use crate::aes::Aes256;
+use crate::util::xor_in_place;
+use crate::{CryptoError, Iv128, Result};
+
+/// Encrypts `data` in place with AES-256-CBC.
+///
+/// Returns [`CryptoError::InvalidLength`] if `data` is not a multiple of 16
+/// bytes.
+///
+/// # Examples
+///
+/// ```
+/// use lamassu_crypto::{aes::Aes256, cbc, FIXED_IV};
+///
+/// let aes = Aes256::new(&[9u8; 32]);
+/// let mut buf = vec![0u8; 64];
+/// cbc::encrypt_in_place(&aes, &FIXED_IV, &mut buf).unwrap();
+/// cbc::decrypt_in_place(&aes, &FIXED_IV, &mut buf).unwrap();
+/// assert_eq!(buf, vec![0u8; 64]);
+/// ```
+pub fn encrypt_in_place(aes: &Aes256, iv: &Iv128, data: &mut [u8]) -> Result<()> {
+    if data.len() % 16 != 0 {
+        return Err(CryptoError::InvalidLength {
+            len: data.len(),
+            expected_multiple_of: 16,
+        });
+    }
+    let mut prev = *iv;
+    for chunk in data.chunks_exact_mut(16) {
+        xor_in_place(chunk, &prev);
+        let mut block = [0u8; 16];
+        block.copy_from_slice(chunk);
+        let ct = aes.encrypt_block(&block);
+        chunk.copy_from_slice(&ct);
+        prev = ct;
+    }
+    Ok(())
+}
+
+/// Decrypts `data` in place with AES-256-CBC (inverse of
+/// [`encrypt_in_place`]).
+///
+/// Returns [`CryptoError::InvalidLength`] if `data` is not a multiple of 16
+/// bytes.
+pub fn decrypt_in_place(aes: &Aes256, iv: &Iv128, data: &mut [u8]) -> Result<()> {
+    if data.len() % 16 != 0 {
+        return Err(CryptoError::InvalidLength {
+            len: data.len(),
+            expected_multiple_of: 16,
+        });
+    }
+    let mut prev = *iv;
+    for chunk in data.chunks_exact_mut(16) {
+        let mut ct = [0u8; 16];
+        ct.copy_from_slice(chunk);
+        let mut pt = aes.decrypt_block(&ct);
+        xor_in_place(&mut pt, &prev);
+        chunk.copy_from_slice(&pt);
+        prev = ct;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::from_hex;
+    use crate::FIXED_IV;
+
+    fn key_from_hex(s: &str) -> [u8; 32] {
+        let v = from_hex(s).unwrap();
+        let mut k = [0u8; 32];
+        k.copy_from_slice(&v);
+        k
+    }
+
+    #[test]
+    fn sp800_38a_cbc_aes256() {
+        // NIST SP 800-38A, F.2.5 CBC-AES256.Encrypt.
+        let key = key_from_hex("603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4");
+        let iv: [u8; 16] = from_hex("000102030405060708090a0b0c0d0e0f")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        let pt = from_hex(
+            "6bc1bee22e409f96e93d7e117393172a\
+             ae2d8a571e03ac9c9eb76fac45af8e51\
+             30c81c46a35ce411e5fbc1191a0a52ef\
+             f69f2445df4f9b17ad2b417be66c3710",
+        )
+        .unwrap();
+        let expected_ct = from_hex(
+            "f58c4c04d6e5f1ba779eabfb5f7bfbd6\
+             9cfc4e967edb808d679f777bc6702c7d\
+             39f23369a9d9bacfa530e26304231461\
+             b2eb05e2c39be9fcda6c19078c6a9d1b",
+        )
+        .unwrap();
+
+        let aes = Aes256::new(&key);
+        let mut buf = pt.clone();
+        encrypt_in_place(&aes, &iv, &mut buf).unwrap();
+        assert_eq!(buf, expected_ct);
+        decrypt_in_place(&aes, &iv, &mut buf).unwrap();
+        assert_eq!(buf, pt);
+    }
+
+    #[test]
+    fn fixed_iv_is_deterministic() {
+        let aes = Aes256::new(&[3u8; 32]);
+        let pt = vec![0x5au8; 4096];
+        let mut a = pt.clone();
+        let mut b = pt.clone();
+        encrypt_in_place(&aes, &FIXED_IV, &mut a).unwrap();
+        encrypt_in_place(&aes, &FIXED_IV, &mut b).unwrap();
+        assert_eq!(a, b, "convergent CBC must be deterministic");
+    }
+
+    #[test]
+    fn different_iv_different_ciphertext() {
+        let aes = Aes256::new(&[3u8; 32]);
+        let pt = vec![0x5au8; 64];
+        let mut a = pt.clone();
+        let mut b = pt.clone();
+        encrypt_in_place(&aes, &[0u8; 16], &mut a).unwrap();
+        encrypt_in_place(&aes, &[1u8; 16], &mut b).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rejects_unaligned_input() {
+        let aes = Aes256::new(&[0u8; 32]);
+        let mut data = vec![0u8; 30];
+        assert!(matches!(
+            encrypt_in_place(&aes, &FIXED_IV, &mut data),
+            Err(CryptoError::InvalidLength { len: 30, .. })
+        ));
+        assert!(decrypt_in_place(&aes, &FIXED_IV, &mut data).is_err());
+    }
+
+    #[test]
+    fn round_trip_4k_block() {
+        let aes = Aes256::new(&[0xaau8; 32]);
+        let pt: Vec<u8> = (0..4096u32).map(|i| (i % 256) as u8).collect();
+        let mut buf = pt.clone();
+        encrypt_in_place(&aes, &FIXED_IV, &mut buf).unwrap();
+        assert_ne!(buf, pt);
+        decrypt_in_place(&aes, &FIXED_IV, &mut buf).unwrap();
+        assert_eq!(buf, pt);
+    }
+}

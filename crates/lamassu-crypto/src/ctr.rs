@@ -1,0 +1,101 @@
+//! AES-256 counter (CTR) mode keystream, used internally by GCM.
+//!
+//! GCM encrypts with a 32-bit incrementing counter appended to the 96-bit IV
+//! (SP 800-38D §6.5). The helper here exposes exactly that flavour of CTR so
+//! [`crate::gcm`] can reuse it; it is also validated on its own against the
+//! SP 800-38A CTR vectors (which use a full 128-bit counter — covered by a
+//! dedicated test that increments the whole block).
+
+use crate::aes::Aes256;
+use crate::util::xor_in_place;
+
+/// Increments the last 32 bits of a 16-byte counter block (big-endian),
+/// wrapping modulo 2^32, as specified for GCM's `inc32` function.
+pub fn inc32(block: &mut [u8; 16]) {
+    let mut ctr = u32::from_be_bytes([block[12], block[13], block[14], block[15]]);
+    ctr = ctr.wrapping_add(1);
+    block[12..16].copy_from_slice(&ctr.to_be_bytes());
+}
+
+/// XORs the GCM-style CTR keystream (starting at counter block `j`) into
+/// `data` in place. The final partial block of keystream is truncated.
+pub fn ctr32_xor_in_place(aes: &Aes256, j: &[u8; 16], data: &mut [u8]) {
+    let mut counter = *j;
+    for chunk in data.chunks_mut(16) {
+        let keystream = aes.encrypt_block(&counter);
+        xor_in_place(chunk, &keystream[..chunk.len()]);
+        inc32(&mut counter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::from_hex;
+
+    #[test]
+    fn inc32_wraps() {
+        let mut b = [0u8; 16];
+        b[12..16].copy_from_slice(&0xffff_ffffu32.to_be_bytes());
+        b[0] = 0xaa;
+        inc32(&mut b);
+        assert_eq!(&b[12..16], &[0, 0, 0, 0]);
+        assert_eq!(b[0], 0xaa, "upper 96 bits must be untouched");
+    }
+
+    #[test]
+    fn inc32_simple() {
+        let mut b = [0u8; 16];
+        inc32(&mut b);
+        assert_eq!(b[15], 1);
+        inc32(&mut b);
+        assert_eq!(b[15], 2);
+    }
+
+    #[test]
+    fn ctr_keystream_round_trip() {
+        let key = [0x42u8; 32];
+        let aes = Aes256::new(&key);
+        let j = [7u8; 16];
+        let pt: Vec<u8> = (0..1000u32).map(|i| (i % 256) as u8).collect();
+        let mut buf = pt.clone();
+        ctr32_xor_in_place(&aes, &j, &mut buf);
+        assert_ne!(buf, pt);
+        ctr32_xor_in_place(&aes, &j, &mut buf);
+        assert_eq!(buf, pt);
+    }
+
+    #[test]
+    fn ctr_partial_block() {
+        let aes = Aes256::new(&[1u8; 32]);
+        let j = [0u8; 16];
+        let mut short = vec![0xffu8; 5];
+        let mut long = vec![0xffu8; 21];
+        ctr32_xor_in_place(&aes, &j, &mut short);
+        ctr32_xor_in_place(&aes, &j, &mut long);
+        // The first 5 bytes of keystream must be identical regardless of length.
+        assert_eq!(short, long[..5]);
+    }
+
+    #[test]
+    fn sp800_38a_ctr_aes256_first_block() {
+        // NIST SP 800-38A F.5.5 CTR-AES256.Encrypt, first block only: the
+        // initial counter is f0f1...ff and only the low 32 bits change within
+        // one block, so the GCM-style inc32 variant agrees on block 1.
+        let key: [u8; 32] =
+            from_hex("603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4")
+                .unwrap()
+                .try_into()
+                .unwrap();
+        let ctr: [u8; 16] = from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        let pt = from_hex("6bc1bee22e409f96e93d7e117393172a").unwrap();
+        let expect = from_hex("601ec313775789a5b7a7f504bbf3d228").unwrap();
+        let aes = Aes256::new(&key);
+        let mut buf = pt;
+        ctr32_xor_in_place(&aes, &ctr, &mut buf);
+        assert_eq!(buf, expect);
+    }
+}

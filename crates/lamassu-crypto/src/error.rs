@@ -1,0 +1,40 @@
+use std::fmt;
+
+/// Errors produced by the primitives in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// Input length is not a multiple of the cipher block size.
+    InvalidLength {
+        /// The offending length in bytes.
+        len: usize,
+        /// The required alignment in bytes.
+        expected_multiple_of: usize,
+    },
+    /// An AES-GCM authentication tag did not verify.
+    TagMismatch,
+    /// An initialization vector had an unsupported length.
+    InvalidIvLength {
+        /// The offending IV length in bytes.
+        len: usize,
+    },
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::InvalidLength {
+                len,
+                expected_multiple_of,
+            } => write!(
+                f,
+                "invalid input length {len}: must be a multiple of {expected_multiple_of} bytes"
+            ),
+            CryptoError::TagMismatch => write!(f, "AES-GCM authentication tag mismatch"),
+            CryptoError::InvalidIvLength { len } => {
+                write!(f, "invalid IV length {len}: expected 12 or 16 bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}

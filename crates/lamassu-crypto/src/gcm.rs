@@ -1,0 +1,263 @@
+//! AES-256-GCM authenticated encryption (NIST SP 800-38D).
+//!
+//! Lamassu encrypts every *metadata* block with AES-256-GCM under the outer
+//! key and a random per-write IV (paper §2.2, Equation 3). The GCM
+//! authentication tag stored in the metadata block header is what provides
+//! metadata integrity (paper §2.5): a reader that lacks the outer key, or a
+//! storage system that tampers with a metadata block, fails tag verification.
+//!
+//! Only 96-bit (12-byte) IVs are supported, which is the recommended GCM
+//! nonce size and the one Lamassu uses; the 16-byte IV field in the metadata
+//! block header stores the 12-byte nonce zero-padded.
+
+use crate::aes::Aes256;
+use crate::ctr::{ctr32_xor_in_place, inc32};
+use crate::ghash::Ghash;
+use crate::util::constant_time_eq;
+use crate::{CryptoError, Key256, Result};
+
+/// Length of a GCM nonce in bytes.
+pub const NONCE_LEN: usize = 12;
+/// Length of a GCM authentication tag in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// An AES-256-GCM cipher instance bound to one key.
+///
+/// # Examples
+///
+/// ```
+/// use lamassu_crypto::gcm::Aes256Gcm;
+///
+/// let gcm = Aes256Gcm::new(&[7u8; 32]);
+/// let nonce = [1u8; 12];
+/// let mut buf = b"segment metadata".to_vec();
+/// let tag = gcm.encrypt_in_place(&nonce, b"aad", &mut buf);
+/// gcm.decrypt_in_place(&nonce, b"aad", &mut buf, &tag).unwrap();
+/// assert_eq!(buf, b"segment metadata");
+/// ```
+#[derive(Clone)]
+pub struct Aes256Gcm {
+    aes: Aes256,
+    /// The GHASH subkey H = AES_K(0^128).
+    h: [u8; 16],
+}
+
+impl Aes256Gcm {
+    /// Creates a GCM instance from a 256-bit key.
+    pub fn new(key: &Key256) -> Self {
+        let aes = Aes256::new(key);
+        let h = aes.encrypt_block(&[0u8; 16]);
+        Aes256Gcm { aes, h }
+    }
+
+    /// Builds the pre-counter block J0 from a 96-bit nonce.
+    fn j0(nonce: &[u8; NONCE_LEN]) -> [u8; 16] {
+        let mut j0 = [0u8; 16];
+        j0[..NONCE_LEN].copy_from_slice(nonce);
+        j0[15] = 1;
+        j0
+    }
+
+    /// Encrypts `data` in place and returns the 16-byte authentication tag.
+    ///
+    /// `aad` is additional authenticated (but not encrypted) data; Lamassu
+    /// binds each metadata block to its object name and segment index through
+    /// the AAD so blocks cannot be transplanted between segments unnoticed.
+    pub fn encrypt_in_place(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        data: &mut [u8],
+    ) -> [u8; TAG_LEN] {
+        let j0 = Self::j0(nonce);
+        let mut ctr = j0;
+        inc32(&mut ctr);
+        ctr32_xor_in_place(&self.aes, &ctr, data);
+
+        self.compute_tag(&j0, aad, data)
+    }
+
+    /// Verifies the tag and decrypts `data` in place.
+    ///
+    /// On tag mismatch the buffer is left in its (still encrypted) input
+    /// state and [`CryptoError::TagMismatch`] is returned.
+    pub fn decrypt_in_place(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        data: &mut [u8],
+        tag: &[u8; TAG_LEN],
+    ) -> Result<()> {
+        let j0 = Self::j0(nonce);
+        let expected = self.compute_tag(&j0, aad, data);
+        if !constant_time_eq(&expected, tag) {
+            return Err(CryptoError::TagMismatch);
+        }
+        let mut ctr = j0;
+        inc32(&mut ctr);
+        ctr32_xor_in_place(&self.aes, &ctr, data);
+        Ok(())
+    }
+
+    /// Computes the GCM tag over (`aad`, ciphertext) with pre-counter `j0`.
+    fn compute_tag(&self, j0: &[u8; 16], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
+        let mut ghash = Ghash::new(&self.h);
+        ghash.update_padded(aad);
+        ghash.update_padded(ciphertext);
+        let s = ghash.finalize(aad.len(), ciphertext.len());
+
+        let mut tag = s;
+        ctr32_xor_in_place(&self.aes, j0, &mut tag);
+        tag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::from_hex;
+
+    fn key(s: &str) -> Key256 {
+        from_hex(s).unwrap().try_into().unwrap()
+    }
+
+    fn nonce(s: &str) -> [u8; 12] {
+        from_hex(s).unwrap().try_into().unwrap()
+    }
+
+    /// GCM spec (McGrew & Viega) Test Case 13: empty plaintext, empty AAD.
+    #[test]
+    fn gcm_test_case_13() {
+        let gcm = Aes256Gcm::new(&[0u8; 32]);
+        let mut data = Vec::new();
+        let tag = gcm.encrypt_in_place(&[0u8; 12], &[], &mut data);
+        assert_eq!(
+            tag.to_vec(),
+            from_hex("530f8afbc74536b9a963b4f1c4cb738b").unwrap()
+        );
+    }
+
+    /// GCM spec Test Case 14: one zero block.
+    #[test]
+    fn gcm_test_case_14() {
+        let gcm = Aes256Gcm::new(&[0u8; 32]);
+        let mut data = vec![0u8; 16];
+        let tag = gcm.encrypt_in_place(&[0u8; 12], &[], &mut data);
+        assert_eq!(
+            data,
+            from_hex("cea7403d4d606b6e074ec5d3baf39d18").unwrap()
+        );
+        assert_eq!(
+            tag.to_vec(),
+            from_hex("d0d1c8a799996bf0265b98b5d48ab919").unwrap()
+        );
+    }
+
+    /// GCM spec Test Case 15: four blocks, no AAD.
+    #[test]
+    fn gcm_test_case_15() {
+        let gcm = Aes256Gcm::new(&key(
+            "feffe9928665731c6d6a8f9467308308feffe9928665731c6d6a8f9467308308",
+        ));
+        let pt = from_hex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+        )
+        .unwrap();
+        let mut data = pt.clone();
+        let tag = gcm.encrypt_in_place(&nonce("cafebabefacedbaddecaf888"), &[], &mut data);
+        assert_eq!(
+            data,
+            from_hex(
+                "522dc1f099567d07f47f37a32a84427d643a8cdcbfe5c0c97598a2bd2555d1aa\
+                 8cb08e48590dbb3da7b08b1056828838c5f61e6393ba7a0abcc9f662898015ad"
+            )
+            .unwrap()
+        );
+        assert_eq!(
+            tag.to_vec(),
+            from_hex("b094dac5d93471bdec1a502270e3cc6c").unwrap()
+        );
+    }
+
+    /// GCM spec Test Case 16: 60-byte plaintext with AAD.
+    #[test]
+    fn gcm_test_case_16() {
+        let gcm = Aes256Gcm::new(&key(
+            "feffe9928665731c6d6a8f9467308308feffe9928665731c6d6a8f9467308308",
+        ));
+        let aad = from_hex("feedfacedeadbeeffeedfacedeadbeefabaddad2").unwrap();
+        let pt = from_hex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+        )
+        .unwrap();
+        let mut data = pt.clone();
+        let n = nonce("cafebabefacedbaddecaf888");
+        let tag = gcm.encrypt_in_place(&n, &aad, &mut data);
+        assert_eq!(
+            data,
+            from_hex(
+                "522dc1f099567d07f47f37a32a84427d643a8cdcbfe5c0c97598a2bd2555d1aa\
+                 8cb08e48590dbb3da7b08b1056828838c5f61e6393ba7a0abcc9f662"
+            )
+            .unwrap()
+        );
+        assert_eq!(
+            tag.to_vec(),
+            from_hex("76fc6ece0f4e1768cddf8853bb2d551b").unwrap()
+        );
+
+        // And the decryption path round-trips and authenticates.
+        gcm.decrypt_in_place(&n, &aad, &mut data, &tag).unwrap();
+        assert_eq!(data, pt);
+    }
+
+    #[test]
+    fn tampered_ciphertext_is_rejected() {
+        let gcm = Aes256Gcm::new(&[9u8; 32]);
+        let n = [3u8; 12];
+        let mut data = vec![0x11u8; 100];
+        let tag = gcm.encrypt_in_place(&n, b"hdr", &mut data);
+        data[50] ^= 1;
+        let before = data.clone();
+        let err = gcm.decrypt_in_place(&n, b"hdr", &mut data, &tag);
+        assert_eq!(err, Err(CryptoError::TagMismatch));
+        assert_eq!(data, before, "buffer must be untouched on failure");
+    }
+
+    #[test]
+    fn tampered_aad_is_rejected() {
+        let gcm = Aes256Gcm::new(&[9u8; 32]);
+        let n = [3u8; 12];
+        let mut data = vec![0x11u8; 32];
+        let tag = gcm.encrypt_in_place(&n, b"segment-1", &mut data);
+        assert_eq!(
+            gcm.decrypt_in_place(&n, b"segment-2", &mut data, &tag),
+            Err(CryptoError::TagMismatch)
+        );
+    }
+
+    #[test]
+    fn wrong_key_is_rejected() {
+        let gcm = Aes256Gcm::new(&[1u8; 32]);
+        let other = Aes256Gcm::new(&[2u8; 32]);
+        let n = [0u8; 12];
+        let mut data = vec![7u8; 48];
+        let tag = gcm.encrypt_in_place(&n, &[], &mut data);
+        assert_eq!(
+            other.decrypt_in_place(&n, &[], &mut data, &tag),
+            Err(CryptoError::TagMismatch)
+        );
+    }
+
+    #[test]
+    fn random_nonces_randomize_ciphertext() {
+        let gcm = Aes256Gcm::new(&[5u8; 32]);
+        let mut a = vec![0xaau8; 64];
+        let mut b = vec![0xaau8; 64];
+        gcm.encrypt_in_place(&[1u8; 12], &[], &mut a);
+        gcm.encrypt_in_place(&[2u8; 12], &[], &mut b);
+        assert_ne!(a, b, "metadata encryption must not be convergent");
+    }
+}

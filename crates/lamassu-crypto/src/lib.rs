@@ -1,0 +1,60 @@
+//! From-scratch cryptographic primitives for the Lamassu reproduction.
+//!
+//! The Lamassu paper (§2.2) relies on three primitives, all of which are
+//! implemented here without external crypto crates so the reproduction is
+//! fully self-contained:
+//!
+//! * [`sha256`] — the SHA-256 hash (FIPS 180-4), used to fingerprint plaintext
+//!   data blocks before deriving a convergent key, and to fingerprint
+//!   ciphertext blocks inside the deduplicating store simulator.
+//! * [`aes`] — the AES-256 block cipher (FIPS 197), plus the block modes in
+//!   [`cbc`], [`ctr`] and the authenticated [`gcm`] mode (SP 800-38A/D).
+//! * [`kdf`] — the convergent key-derivation function
+//!   `CEKey = AES256-ECB(H(block), K_in)` from Equation (1) of the paper.
+//!
+//! All implementations are validated against the official FIPS / NIST test
+//! vectors in their module tests. They favour clarity and portability over
+//! raw speed; the relative cost model (SHA-256 dominating the convergent
+//! write path) that the paper's Figure 9 analyses is preserved.
+//!
+//! # Security note
+//!
+//! These are table-based, non-hardened software implementations written for a
+//! systems-research reproduction. They are **not** constant-time with respect
+//! to cache timing and must not be used to protect real data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod cbc;
+pub mod ctr;
+pub mod gcm;
+pub mod ghash;
+pub mod kdf;
+pub mod sha256;
+pub mod util;
+
+mod error;
+
+pub use error::CryptoError;
+
+/// A 256-bit symmetric key (AES-256 key or SHA-256 digest used as a key).
+pub type Key256 = [u8; 32];
+
+/// A 128-bit initialization vector / block.
+pub type Iv128 = [u8; 16];
+
+/// The fixed initialization vector used for convergent (deterministic) CBC
+/// encryption of data blocks, per §2.2 of the paper.
+///
+/// Convergent encryption must be deterministic so that identical plaintext
+/// blocks produce identical ciphertext blocks; a fixed IV is what previous
+/// convergent systems (Douceur et al.) use and what Lamassu adopts.
+pub const FIXED_IV: Iv128 = [
+    0x4c, 0x61, 0x6d, 0x61, 0x73, 0x73, 0x75, 0x20, 0x46, 0x49, 0x58, 0x45, 0x44, 0x20, 0x49,
+    0x56,
+];
+
+/// Result alias for fallible crypto operations.
+pub type Result<T> = std::result::Result<T, CryptoError>;

@@ -1,0 +1,111 @@
+//! Small helpers: hex encoding, constant-time comparison, XOR.
+
+/// Encodes `bytes` as a lowercase hex string.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(lamassu_crypto::util::to_hex(&[0xde, 0xad]), "dead");
+/// ```
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Decodes a hex string into bytes, returning `None` on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(lamassu_crypto::util::from_hex("dead"), Some(vec![0xde, 0xad]));
+/// assert_eq!(lamassu_crypto::util::from_hex("xyz"), None);
+/// ```
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Some(out)
+}
+
+/// Compares two byte slices in constant time (with respect to content).
+///
+/// Used when verifying AES-GCM authentication tags so that a prefix-match
+/// timing oracle cannot be built against the metadata integrity check.
+pub fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// XORs `src` into `dst` element-wise.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn xor_in_place(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "xor_in_place length mismatch");
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d ^= s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(from_hex(&to_hex(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn from_hex_rejects_odd_length() {
+        assert_eq!(from_hex("abc"), None);
+    }
+
+    #[test]
+    fn from_hex_rejects_non_hex() {
+        assert_eq!(from_hex("zz"), None);
+    }
+
+    #[test]
+    fn constant_time_eq_basic() {
+        assert!(constant_time_eq(b"abc", b"abc"));
+        assert!(!constant_time_eq(b"abc", b"abd"));
+        assert!(!constant_time_eq(b"abc", b"ab"));
+        assert!(constant_time_eq(b"", b""));
+    }
+
+    #[test]
+    fn xor_in_place_is_involution() {
+        let mut a = vec![1u8, 2, 3, 4];
+        let b = vec![9u8, 8, 7, 6];
+        let orig = a.clone();
+        xor_in_place(&mut a, &b);
+        xor_in_place(&mut a, &b);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn xor_in_place_length_mismatch_panics() {
+        let mut a = vec![0u8; 3];
+        xor_in_place(&mut a, &[0u8; 4]);
+    }
+}

@@ -1,0 +1,37 @@
+//! On-disk format of a Lamassu file: segment geometry and metadata blocks.
+//!
+//! A Lamassu file (paper §2.3, Figures 2 and 3) is stored on the backing
+//! store as a sequence of fixed-size **segments**. Each segment starts with
+//! one **metadata block** followed by `N` **data blocks**; the metadata block
+//! carries the convergent encryption key for every data block in its segment,
+//! plus a small header (IV, AES-GCM tag, logical file size, flags) and a
+//! *transient area* of `R` reserved slots used by the multiphase-commit
+//! protocol (paper §2.4).
+//!
+//! This crate owns:
+//!
+//! * [`geometry`] — all of the layout arithmetic: slots per metadata block,
+//!   segment sizes, logical↔physical offset mapping, and the space-overhead
+//!   formulas (Equations 4–8 of the paper).
+//! * [`metadata`] — the in-memory representation of a metadata block, its
+//!   (de)serialization, and its sealing/unsealing with AES-256-GCM under the
+//!   outer key.
+//!
+//! The geometry reproduces the paper's published reference points exactly:
+//! with 4096-byte blocks, `R = 1` gives 125 data keys per metadata block
+//! (0.80 % minimum overhead) and `R = 8` gives 118 (0.85 %).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod geometry;
+pub mod metadata;
+
+mod error;
+
+pub use error::FormatError;
+pub use geometry::Geometry;
+pub use metadata::{MetadataBlock, SegmentFlags, TransientEntry};
+
+/// Result alias for format-level operations.
+pub type Result<T> = std::result::Result<T, FormatError>;

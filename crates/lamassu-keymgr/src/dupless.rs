@@ -1,0 +1,169 @@
+//! DupLESS-style server-aided convergent key generation (modelled).
+//!
+//! DupLESS (Bellare et al., USENIX Security 2013) strengthens convergent
+//! encryption against brute-force confirmation attacks by deriving each key
+//! through an oblivious protocol with a key server: the client never learns
+//! the server's secret and the server never sees the block hash. The Lamassu
+//! paper (§1, §5.2) deliberately rejects this design for block-level
+//! operation because "each key generation operation requires multiple network
+//! round-trips between the application host and the key server, making it
+//! impractical for block-level operation", settling instead for the locally
+//! evaluated inner-key KDF.
+//!
+//! To let the benchmark harness quantify that trade-off (the
+//! `ablation_key_server` experiment), this module models a DupLESS-style key
+//! server: derivations are keyed by a server-held secret the client never
+//! receives, and every derivation charges the configured number of messages
+//! at the configured round-trip latency to a virtual network clock. The
+//! *cryptographic blinding* of the real protocol is out of scope — only its
+//! key-partitioning and latency behaviour matter to the reproduction.
+
+use lamassu_crypto::aes::{ecb_encrypt_in_place, Aes256};
+use lamassu_crypto::sha256::sha256;
+use lamassu_crypto::Key256;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A key server that evaluates convergent-key derivations on behalf of
+/// clients, without ever shipping its secret to them.
+pub struct KeyServer {
+    secret: Aes256,
+    /// Round-trip time between client and server.
+    rtt: Duration,
+    /// Protocol messages per derivation (DupLESS uses a request/response pair
+    /// plus an epoch/rate-limit exchange; the paper calls it a "3-way key
+    /// exchange").
+    messages_per_derivation: u32,
+    network_time: Mutex<Duration>,
+    requests: AtomicU64,
+}
+
+impl KeyServer {
+    /// Creates a key server with the given secret and link characteristics.
+    pub fn new(secret: &Key256, rtt: Duration, messages_per_derivation: u32) -> Arc<Self> {
+        Arc::new(KeyServer {
+            secret: Aes256::new(secret),
+            rtt,
+            messages_per_derivation: messages_per_derivation.max(1),
+            network_time: Mutex::new(Duration::ZERO),
+            requests: AtomicU64::new(0),
+        })
+    }
+
+    /// A LAN-attached key server (0.5 ms RTT, as in the DupLESS evaluation).
+    pub fn lan(secret: &Key256) -> Arc<Self> {
+        Self::new(secret, Duration::from_micros(500), 3)
+    }
+
+    /// A WAN / cross-datacenter key server (10 ms RTT).
+    pub fn wan(secret: &Key256) -> Arc<Self> {
+        Self::new(secret, Duration::from_millis(10), 3)
+    }
+
+    /// Server-side evaluation of one derivation request.
+    fn evaluate(&self, block_hash: &[u8; 32]) -> Key256 {
+        let mut key = *block_hash;
+        ecb_encrypt_in_place(&self.secret, &mut key);
+        key
+    }
+
+    /// Total virtual network time charged so far.
+    pub fn network_time(&self) -> Duration {
+        *self.network_time.lock()
+    }
+
+    /// Number of derivation requests served.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Resets the virtual network clock and request counter.
+    pub fn reset_accounting(&self) {
+        *self.network_time.lock() = Duration::ZERO;
+        self.requests.store(0, Ordering::Relaxed);
+    }
+
+    /// Virtual network cost of a single derivation.
+    pub fn per_derivation_cost(&self) -> Duration {
+        // Each message pair costs one RTT; an odd trailing message costs half.
+        self.rtt * self.messages_per_derivation / 2
+    }
+}
+
+/// Client-side handle that derives convergent keys through a [`KeyServer`].
+#[derive(Clone)]
+pub struct ServerAidedKdf {
+    server: Arc<KeyServer>,
+}
+
+impl ServerAidedKdf {
+    /// Creates a client bound to `server`.
+    pub fn new(server: Arc<KeyServer>) -> Self {
+        ServerAidedKdf { server }
+    }
+
+    /// Derives the convergent key for `block`, charging the protocol's
+    /// network cost to the server's virtual clock and returning it alongside
+    /// the key so callers can fold it into their own time accounting.
+    pub fn derive_for_block(&self, block: &[u8]) -> (Key256, Duration) {
+        let hash = sha256(block);
+        let key = self.server.evaluate(&hash);
+        let cost = self.server.per_derivation_cost();
+        *self.server.network_time.lock() += cost;
+        self.server.requests.fetch_add(1, Ordering::Relaxed);
+        (key, cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivations_are_deterministic_and_server_keyed() {
+        let server_a = KeyServer::lan(&[1u8; 32]);
+        let server_b = KeyServer::lan(&[2u8; 32]);
+        let kdf_a = ServerAidedKdf::new(server_a);
+        let kdf_b = ServerAidedKdf::new(server_b);
+        let block = vec![7u8; 4096];
+        let (k1, _) = kdf_a.derive_for_block(&block);
+        let (k2, _) = kdf_a.derive_for_block(&block);
+        let (k3, _) = kdf_b.derive_for_block(&block);
+        assert_eq!(k1, k2, "same server, same block => same key (convergent)");
+        assert_ne!(k1, k3, "different server secrets partition dedup domains");
+    }
+
+    #[test]
+    fn network_cost_is_charged_per_block() {
+        let server = KeyServer::new(&[1u8; 32], Duration::from_millis(1), 3);
+        let kdf = ServerAidedKdf::new(server.clone());
+        for i in 0..10u8 {
+            kdf.derive_for_block(&[i; 4096]);
+        }
+        assert_eq!(server.requests(), 10);
+        assert_eq!(server.network_time(), Duration::from_micros(1500) * 10);
+        server.reset_accounting();
+        assert_eq!(server.requests(), 0);
+        assert_eq!(server.network_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn wan_costs_more_than_lan() {
+        let lan = KeyServer::lan(&[1u8; 32]);
+        let wan = KeyServer::wan(&[1u8; 32]);
+        assert!(wan.per_derivation_cost() > lan.per_derivation_cost() * 10);
+    }
+
+    #[test]
+    fn server_aided_key_differs_from_local_kdf_with_other_secret() {
+        // A client that only has the zone's inner key cannot reproduce keys
+        // rooted in the key server's secret, and vice versa.
+        let server = KeyServer::lan(&[0xaa; 32]);
+        let kdf = ServerAidedKdf::new(server);
+        let local = lamassu_crypto::kdf::ConvergentKdf::new(&[0xbb; 32]);
+        let block = vec![1u8; 4096];
+        assert_ne!(kdf.derive_for_block(&block).0, local.derive_for_block(&block));
+    }
+}

@@ -1,0 +1,43 @@
+use std::fmt;
+
+/// Errors returned by the key manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyMgrError {
+    /// No such isolation zone is registered.
+    UnknownZone {
+        /// The requested zone identifier.
+        zone: u32,
+    },
+    /// An isolation zone with this identifier already exists.
+    ZoneExists {
+        /// The conflicting zone identifier.
+        zone: u32,
+    },
+    /// The requested key generation does not exist for this zone.
+    UnknownGeneration {
+        /// The zone identifier.
+        zone: u32,
+        /// The requested generation number.
+        generation: u32,
+    },
+    /// A persisted snapshot could not be parsed.
+    BadSnapshot {
+        /// Human-readable parse failure description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for KeyMgrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyMgrError::UnknownZone { zone } => write!(f, "unknown isolation zone {zone}"),
+            KeyMgrError::ZoneExists { zone } => write!(f, "isolation zone {zone} already exists"),
+            KeyMgrError::UnknownGeneration { zone, generation } => {
+                write!(f, "zone {zone} has no key generation {generation}")
+            }
+            KeyMgrError::BadSnapshot { reason } => write!(f, "bad key-manager snapshot: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for KeyMgrError {}

@@ -1,0 +1,42 @@
+//! KMIP-like key manager with isolation zones.
+//!
+//! The paper's prototype (§3) retrieves two 256-bit AES keys from a KMIP
+//! server at start time: the **inner key** `K_in` that parameterises the
+//! convergent KDF (and therefore defines the *deduplication domain*) and the
+//! **outer key** `K_out` that secures metadata blocks (and therefore defines
+//! the *trust/access domain*). Every key carries an integer *isolation zone*
+//! attribute; clients in one isolation zone obtain the same key pair, so they
+//! can read each other's data and their data deduplicates together (§2.1).
+//!
+//! We do not have a Cryptsoft KMIP SDK or a KMIP appliance, so this crate
+//! provides an in-process key server with the same semantics (see DESIGN.md
+//! §3): zone-scoped key pairs, key generations, rotation of either key
+//! independently (the paper's §2.2 discussion of partial re-keying), and a
+//! JSON snapshot format for persistence.
+//!
+//! # Examples
+//!
+//! ```
+//! use lamassu_keymgr::KeyManager;
+//!
+//! let km = KeyManager::new();
+//! let zone = km.create_zone(42).unwrap();
+//! let a = km.fetch_zone_keys(zone).unwrap();
+//! let b = km.fetch_zone_keys(zone).unwrap();
+//! assert_eq!(a.inner, b.inner, "clients of one zone share the inner key");
+//! assert_eq!(a.outer, b.outer, "clients of one zone share the outer key");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod dupless;
+pub mod manager;
+
+pub use dupless::{KeyServer, ServerAidedKdf};
+pub use error::KeyMgrError;
+pub use manager::{KeyGeneration, KeyManager, ZoneId, ZoneKeys};
+
+/// Result alias for key-manager operations.
+pub type Result<T> = std::result::Result<T, KeyMgrError>;

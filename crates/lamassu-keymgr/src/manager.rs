@@ -1,0 +1,350 @@
+//! The in-process key server: zones, generations, rotation, snapshots.
+
+use crate::{KeyMgrError, Result};
+use lamassu_crypto::util::{from_hex, to_hex};
+use lamassu_crypto::Key256;
+use parking_lot::RwLock;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifier of an isolation zone (the integer attribute attached to keys
+/// in the paper's KMIP deployment, §3).
+pub type ZoneId = u32;
+
+/// A generation counter for rotated keys. Generation 0 is created with the
+/// zone; each rotation of either key bumps the zone's current generation.
+pub type KeyGeneration = u32;
+
+/// The key material a Lamassu client fetches at mount time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZoneKeys {
+    /// The isolation zone these keys belong to.
+    pub zone: ZoneId,
+    /// Generation of this key pair.
+    pub generation: KeyGeneration,
+    /// Inner key `K_in`: parameterises the convergent KDF and defines the
+    /// deduplication domain.
+    pub inner: Key256,
+    /// Outer key `K_out`: protects metadata blocks and defines the access
+    /// domain.
+    pub outer: Key256,
+}
+
+#[derive(Clone, Serialize, Deserialize)]
+struct ZoneRecord {
+    /// Hex-encoded (inner, outer) pair per generation, oldest first.
+    generations: Vec<(String, String)>,
+}
+
+/// An in-process KMIP-stand-in key server.
+///
+/// All state lives behind a [`RwLock`] so a single `KeyManager` can serve
+/// many concurrently mounted clients, mirroring a shared key appliance.
+#[derive(Default)]
+pub struct KeyManager {
+    zones: RwLock<BTreeMap<ZoneId, ZoneRecord>>,
+}
+
+impl KeyManager {
+    /// Creates an empty key manager.
+    pub fn new() -> Self {
+        KeyManager::default()
+    }
+
+    fn random_key() -> Key256 {
+        let mut key = [0u8; 32];
+        rand::thread_rng().fill_bytes(&mut key);
+        key
+    }
+
+    /// Registers a new isolation zone and generates its generation-0 key
+    /// pair. Returns the zone id for convenience.
+    pub fn create_zone(&self, zone: ZoneId) -> Result<ZoneId> {
+        let mut zones = self.zones.write();
+        if zones.contains_key(&zone) {
+            return Err(KeyMgrError::ZoneExists { zone });
+        }
+        zones.insert(
+            zone,
+            ZoneRecord {
+                generations: vec![(to_hex(&Self::random_key()), to_hex(&Self::random_key()))],
+            },
+        );
+        Ok(zone)
+    }
+
+    /// Lists the registered isolation zones.
+    pub fn zones(&self) -> Vec<ZoneId> {
+        self.zones.read().keys().copied().collect()
+    }
+
+    /// Removes a zone and all its key generations. Data encrypted under the
+    /// zone's keys becomes unreadable — this is the "crypto-shredding" path.
+    pub fn revoke_zone(&self, zone: ZoneId) -> Result<()> {
+        let mut zones = self.zones.write();
+        zones
+            .remove(&zone)
+            .map(|_| ())
+            .ok_or(KeyMgrError::UnknownZone { zone })
+    }
+
+    /// Fetches the *current* key pair for a zone, as a client does at mount
+    /// time.
+    pub fn fetch_zone_keys(&self, zone: ZoneId) -> Result<ZoneKeys> {
+        let zones = self.zones.read();
+        let record = zones.get(&zone).ok_or(KeyMgrError::UnknownZone { zone })?;
+        let generation = (record.generations.len() - 1) as KeyGeneration;
+        Self::decode(zone, generation, record.generations.last().expect("non-empty"))
+    }
+
+    /// Fetches a *specific* key generation (needed while re-encrypting data
+    /// from an old generation to the current one).
+    pub fn fetch_generation(&self, zone: ZoneId, generation: KeyGeneration) -> Result<ZoneKeys> {
+        let zones = self.zones.read();
+        let record = zones.get(&zone).ok_or(KeyMgrError::UnknownZone { zone })?;
+        let pair = record
+            .generations
+            .get(generation as usize)
+            .ok_or(KeyMgrError::UnknownGeneration { zone, generation })?;
+        Self::decode(zone, generation, pair)
+    }
+
+    /// Current generation number of a zone.
+    pub fn current_generation(&self, zone: ZoneId) -> Result<KeyGeneration> {
+        let zones = self.zones.read();
+        let record = zones.get(&zone).ok_or(KeyMgrError::UnknownZone { zone })?;
+        Ok((record.generations.len() - 1) as KeyGeneration)
+    }
+
+    /// Rotates only the **outer** key of a zone. This is the cheap, partial
+    /// re-keying the paper describes in §2.2: only metadata blocks need to be
+    /// re-encrypted, data blocks (and their dedup relationships) are
+    /// untouched.
+    pub fn rotate_outer_key(&self, zone: ZoneId) -> Result<ZoneKeys> {
+        self.rotate(zone, false, true)
+    }
+
+    /// Rotates only the **inner** key of a zone. Data written afterwards
+    /// belongs to a new deduplication domain; old data must be fully
+    /// re-encrypted to join it.
+    pub fn rotate_inner_key(&self, zone: ZoneId) -> Result<ZoneKeys> {
+        self.rotate(zone, true, false)
+    }
+
+    /// Rotates both keys of a zone.
+    pub fn rotate_all(&self, zone: ZoneId) -> Result<ZoneKeys> {
+        self.rotate(zone, true, true)
+    }
+
+    fn rotate(&self, zone: ZoneId, inner: bool, outer: bool) -> Result<ZoneKeys> {
+        let mut zones = self.zones.write();
+        let record = zones.get_mut(&zone).ok_or(KeyMgrError::UnknownZone { zone })?;
+        let (cur_inner, cur_outer) = record.generations.last().expect("non-empty").clone();
+        let new_inner = if inner {
+            to_hex(&Self::random_key())
+        } else {
+            cur_inner
+        };
+        let new_outer = if outer {
+            to_hex(&Self::random_key())
+        } else {
+            cur_outer
+        };
+        record.generations.push((new_inner, new_outer));
+        let generation = (record.generations.len() - 1) as KeyGeneration;
+        Self::decode(zone, generation, record.generations.last().expect("non-empty"))
+    }
+
+    fn decode(zone: ZoneId, generation: KeyGeneration, pair: &(String, String)) -> Result<ZoneKeys> {
+        let decode_one = |s: &str| -> Result<Key256> {
+            from_hex(s)
+                .and_then(|v| v.try_into().ok())
+                .ok_or_else(|| KeyMgrError::BadSnapshot {
+                    reason: format!("key for zone {zone} is not 32 hex-encoded bytes"),
+                })
+        };
+        Ok(ZoneKeys {
+            zone,
+            generation,
+            inner: decode_one(&pair.0)?,
+            outer: decode_one(&pair.1)?,
+        })
+    }
+
+    /// Serializes the full key-server state to JSON (an encrypted-at-rest
+    /// snapshot in a real deployment; plain JSON here).
+    pub fn export_snapshot(&self) -> String {
+        let zones = self.zones.read();
+        serde_json::to_string_pretty(&*zones).expect("BTreeMap<String> serializes")
+    }
+
+    /// Restores a key manager from a snapshot produced by
+    /// [`Self::export_snapshot`].
+    pub fn import_snapshot(snapshot: &str) -> Result<Self> {
+        let zones: BTreeMap<ZoneId, ZoneRecord> =
+            serde_json::from_str(snapshot).map_err(|e| KeyMgrError::BadSnapshot {
+                reason: e.to_string(),
+            })?;
+        for (zone, record) in &zones {
+            if record.generations.is_empty() {
+                return Err(KeyMgrError::BadSnapshot {
+                    reason: format!("zone {zone} has no key generations"),
+                });
+            }
+            for pair in &record.generations {
+                Self::decode(*zone, 0, pair)?;
+            }
+        }
+        Ok(KeyManager {
+            zones: RwLock::new(zones),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zone_keys_are_stable_across_fetches() {
+        let km = KeyManager::new();
+        km.create_zone(1).unwrap();
+        let a = km.fetch_zone_keys(1).unwrap();
+        let b = km.fetch_zone_keys(1).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_zones_have_different_keys() {
+        let km = KeyManager::new();
+        km.create_zone(1).unwrap();
+        km.create_zone(2).unwrap();
+        let a = km.fetch_zone_keys(1).unwrap();
+        let b = km.fetch_zone_keys(2).unwrap();
+        assert_ne!(a.inner, b.inner);
+        assert_ne!(a.outer, b.outer);
+    }
+
+    #[test]
+    fn duplicate_zone_rejected() {
+        let km = KeyManager::new();
+        km.create_zone(1).unwrap();
+        assert_eq!(km.create_zone(1), Err(KeyMgrError::ZoneExists { zone: 1 }));
+    }
+
+    #[test]
+    fn unknown_zone_rejected() {
+        let km = KeyManager::new();
+        assert_eq!(
+            km.fetch_zone_keys(9),
+            Err(KeyMgrError::UnknownZone { zone: 9 })
+        );
+        assert!(km.revoke_zone(9).is_err());
+        assert!(km.rotate_outer_key(9).is_err());
+    }
+
+    #[test]
+    fn outer_rotation_preserves_inner_key() {
+        let km = KeyManager::new();
+        km.create_zone(1).unwrap();
+        let before = km.fetch_zone_keys(1).unwrap();
+        let after = km.rotate_outer_key(1).unwrap();
+        assert_eq!(before.inner, after.inner, "dedup domain unchanged");
+        assert_ne!(before.outer, after.outer, "access domain re-keyed");
+        assert_eq!(after.generation, 1);
+    }
+
+    #[test]
+    fn inner_rotation_preserves_outer_key() {
+        let km = KeyManager::new();
+        km.create_zone(1).unwrap();
+        let before = km.fetch_zone_keys(1).unwrap();
+        let after = km.rotate_inner_key(1).unwrap();
+        assert_ne!(before.inner, after.inner);
+        assert_eq!(before.outer, after.outer);
+    }
+
+    #[test]
+    fn rotate_all_changes_both() {
+        let km = KeyManager::new();
+        km.create_zone(1).unwrap();
+        let before = km.fetch_zone_keys(1).unwrap();
+        let after = km.rotate_all(1).unwrap();
+        assert_ne!(before.inner, after.inner);
+        assert_ne!(before.outer, after.outer);
+    }
+
+    #[test]
+    fn old_generations_remain_fetchable() {
+        let km = KeyManager::new();
+        km.create_zone(1).unwrap();
+        let gen0 = km.fetch_zone_keys(1).unwrap();
+        km.rotate_all(1).unwrap();
+        km.rotate_all(1).unwrap();
+        assert_eq!(km.current_generation(1).unwrap(), 2);
+        let fetched = km.fetch_generation(1, 0).unwrap();
+        assert_eq!(fetched.inner, gen0.inner);
+        assert_eq!(fetched.outer, gen0.outer);
+        assert_eq!(
+            km.fetch_generation(1, 7),
+            Err(KeyMgrError::UnknownGeneration {
+                zone: 1,
+                generation: 7
+            })
+        );
+    }
+
+    #[test]
+    fn revoked_zone_is_gone() {
+        let km = KeyManager::new();
+        km.create_zone(1).unwrap();
+        km.revoke_zone(1).unwrap();
+        assert!(km.fetch_zone_keys(1).is_err());
+        assert!(km.zones().is_empty());
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let km = KeyManager::new();
+        km.create_zone(1).unwrap();
+        km.create_zone(2).unwrap();
+        km.rotate_outer_key(2).unwrap();
+        let snapshot = km.export_snapshot();
+        let restored = KeyManager::import_snapshot(&snapshot).unwrap();
+        assert_eq!(
+            km.fetch_zone_keys(1).unwrap(),
+            restored.fetch_zone_keys(1).unwrap()
+        );
+        assert_eq!(
+            km.fetch_zone_keys(2).unwrap(),
+            restored.fetch_zone_keys(2).unwrap()
+        );
+        assert_eq!(restored.current_generation(2).unwrap(), 1);
+    }
+
+    #[test]
+    fn bad_snapshot_rejected() {
+        assert!(matches!(
+            KeyManager::import_snapshot("not json"),
+            Err(KeyMgrError::BadSnapshot { .. })
+        ));
+        assert!(matches!(
+            KeyManager::import_snapshot(r#"{"5": {"generations": []}}"#),
+            Err(KeyMgrError::BadSnapshot { .. })
+        ));
+        assert!(matches!(
+            KeyManager::import_snapshot(r#"{"5": {"generations": [["abcd", "ef"]]}}"#),
+            Err(KeyMgrError::BadSnapshot { .. })
+        ));
+    }
+
+    #[test]
+    fn zones_listed_in_order() {
+        let km = KeyManager::new();
+        km.create_zone(5).unwrap();
+        km.create_zone(1).unwrap();
+        km.create_zone(3).unwrap();
+        assert_eq!(km.zones(), vec![1, 3, 5]);
+    }
+}

@@ -1,0 +1,51 @@
+use std::fmt;
+
+/// Errors returned by the storage substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The named object does not exist.
+    NotFound {
+        /// Name of the missing object.
+        name: String,
+    },
+    /// An object with this name already exists.
+    AlreadyExists {
+        /// Name of the conflicting object.
+        name: String,
+    },
+    /// A read extended past the end of the object.
+    OutOfBounds {
+        /// Name of the object.
+        name: String,
+        /// Requested offset.
+        offset: u64,
+        /// Requested length.
+        len: usize,
+        /// Actual object size.
+        size: u64,
+    },
+    /// The store has been "powered off" by fault injection; every operation
+    /// fails until a new client mounts the surviving media.
+    Crashed,
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::NotFound { name } => write!(f, "object not found: {name}"),
+            StorageError::AlreadyExists { name } => write!(f, "object already exists: {name}"),
+            StorageError::OutOfBounds {
+                name,
+                offset,
+                len,
+                size,
+            } => write!(
+                f,
+                "read out of bounds on {name}: offset {offset} + len {len} > size {size}"
+            ),
+            StorageError::Crashed => write!(f, "storage backend crashed (fault injection)"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

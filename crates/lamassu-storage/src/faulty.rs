@@ -1,0 +1,252 @@
+//! Crash (power-cut) injection for exercising multiphase-commit recovery.
+//!
+//! The paper's consistency model (§2.4) assumes the backing store applies
+//! individual block writes atomically but can lose power *between* writes,
+//! leaving a segment marked mid-update. [`FaultyStore`] wraps any
+//! [`ObjectStore`] and simulates exactly that: after a configured number of
+//! write operations the "machine" powers off — the triggering write and every
+//! subsequent operation fail with [`StorageError::Crashed`], while all data
+//! already written survives on the wrapped store, ready for a fresh client to
+//! mount and recover.
+
+use crate::profile::IoCounters;
+use crate::store::ObjectStore;
+use crate::{Result, StorageError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// An [`ObjectStore`] wrapper that injects a crash after N writes.
+///
+/// # Examples
+///
+/// ```
+/// use lamassu_storage::{DedupStore, FaultyStore, ObjectStore, StorageProfile};
+/// use std::sync::Arc;
+///
+/// let inner = Arc::new(DedupStore::new(4096, StorageProfile::instant()));
+/// let faulty = FaultyStore::new(inner.clone());
+/// inner.create("f").unwrap();
+/// faulty.crash_after_writes(1);
+/// assert!(faulty.write_at("f", 0, b"first").is_ok());
+/// assert!(faulty.write_at("f", 0, b"second").is_err()); // power cut
+/// assert!(inner.read_at("f", 0, 5).is_ok()); // media survives
+/// ```
+pub struct FaultyStore {
+    inner: Arc<dyn ObjectStore>,
+    /// Remaining writes before the crash fires; `u64::MAX` means "never".
+    writes_until_crash: AtomicU64,
+    crashed: AtomicBool,
+}
+
+impl FaultyStore {
+    /// Wraps `inner` with no crash armed.
+    pub fn new(inner: Arc<dyn ObjectStore>) -> Self {
+        FaultyStore {
+            inner,
+            writes_until_crash: AtomicU64::new(u64::MAX),
+            crashed: AtomicBool::new(false),
+        }
+    }
+
+    /// Arms the fault: the `n + 1`-th subsequent write (0-based: after `n`
+    /// successful writes) and everything after it will fail.
+    pub fn crash_after_writes(&self, n: u64) {
+        self.writes_until_crash.store(n, Ordering::SeqCst);
+        self.crashed.store(false, Ordering::SeqCst);
+    }
+
+    /// Disarms the fault and clears the crashed state (a "reboot" of the
+    /// client would instead mount the inner store directly).
+    pub fn disarm(&self) {
+        self.writes_until_crash.store(u64::MAX, Ordering::SeqCst);
+        self.crashed.store(false, Ordering::SeqCst);
+    }
+
+    /// True once the injected crash has fired.
+    pub fn has_crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Number of successful writes still allowed before the crash.
+    pub fn writes_remaining(&self) -> u64 {
+        self.writes_until_crash.load(Ordering::SeqCst)
+    }
+
+    /// Access to the wrapped store (the "surviving media").
+    pub fn inner(&self) -> Arc<dyn ObjectStore> {
+        self.inner.clone()
+    }
+
+    fn check_alive(&self) -> Result<()> {
+        if self.crashed.load(Ordering::SeqCst) {
+            Err(StorageError::Crashed)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Consumes one write credit, crashing when it hits zero.
+    fn consume_write_credit(&self) -> Result<()> {
+        self.check_alive()?;
+        let mut cur = self.writes_until_crash.load(Ordering::SeqCst);
+        loop {
+            if cur == u64::MAX {
+                return Ok(());
+            }
+            if cur == 0 {
+                self.crashed.store(true, Ordering::SeqCst);
+                return Err(StorageError::Crashed);
+            }
+            match self.writes_until_crash.compare_exchange(
+                cur,
+                cur - 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+impl ObjectStore for FaultyStore {
+    fn create(&self, name: &str) -> Result<()> {
+        self.check_alive()?;
+        self.inner.create(name)
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.inner.exists(name)
+    }
+
+    fn read_at(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
+        self.check_alive()?;
+        self.inner.read_at(name, offset, len)
+    }
+
+    fn write_at(&self, name: &str, offset: u64, data: &[u8]) -> Result<()> {
+        self.consume_write_credit()?;
+        self.inner.write_at(name, offset, data)
+    }
+
+    fn len(&self, name: &str) -> Result<u64> {
+        self.check_alive()?;
+        self.inner.len(name)
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> Result<()> {
+        self.check_alive()?;
+        self.inner.truncate(name, len)
+    }
+
+    fn remove(&self, name: &str) -> Result<()> {
+        self.check_alive()?;
+        self.inner.remove(name)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        self.check_alive()?;
+        self.inner.rename(from, to)
+    }
+
+    fn list(&self) -> Vec<String> {
+        self.inner.list()
+    }
+
+    fn flush(&self, name: &str) -> Result<()> {
+        self.check_alive()?;
+        self.inner.flush(name)
+    }
+
+    fn io_time(&self) -> Duration {
+        self.inner.io_time()
+    }
+
+    fn io_counters(&self) -> IoCounters {
+        self.inner.io_counters()
+    }
+
+    fn reset_io_accounting(&self) {
+        self.inner.reset_io_accounting()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dedup::DedupStore;
+    use crate::profile::StorageProfile;
+
+    fn setup() -> (Arc<DedupStore>, FaultyStore) {
+        let inner = Arc::new(DedupStore::new(4096, StorageProfile::instant()));
+        inner.create("f").unwrap();
+        let faulty = FaultyStore::new(inner.clone());
+        (inner, faulty)
+    }
+
+    #[test]
+    fn unarmed_store_passes_through() {
+        let (_inner, faulty) = setup();
+        faulty.write_at("f", 0, b"abc").unwrap();
+        assert_eq!(faulty.read_at("f", 0, 3).unwrap(), b"abc");
+        assert!(!faulty.has_crashed());
+    }
+
+    #[test]
+    fn crash_fires_exactly_after_n_writes() {
+        let (inner, faulty) = setup();
+        faulty.crash_after_writes(3);
+        for i in 0..3u8 {
+            faulty.write_at("f", i as u64, &[i]).unwrap();
+        }
+        assert!(matches!(
+            faulty.write_at("f", 3, &[9]),
+            Err(StorageError::Crashed)
+        ));
+        assert!(faulty.has_crashed());
+        // The failed write must not have reached the media.
+        assert_eq!(inner.len("f").unwrap(), 3);
+    }
+
+    #[test]
+    fn all_operations_fail_after_crash() {
+        let (_inner, faulty) = setup();
+        faulty.crash_after_writes(0);
+        assert!(faulty.write_at("f", 0, b"x").is_err());
+        assert!(faulty.read_at("f", 0, 0).is_err());
+        assert!(faulty.len("f").is_err());
+        assert!(faulty.truncate("f", 0).is_err());
+        assert!(faulty.flush("f").is_err());
+        assert!(faulty.create("g").is_err());
+    }
+
+    #[test]
+    fn media_survives_crash() {
+        let (inner, faulty) = setup();
+        faulty.crash_after_writes(1);
+        faulty.write_at("f", 0, b"durable").unwrap();
+        let _ = faulty.write_at("f", 0, b"lost");
+        assert_eq!(inner.read_at("f", 0, 7).unwrap(), b"durable");
+    }
+
+    #[test]
+    fn disarm_restores_service() {
+        let (_inner, faulty) = setup();
+        faulty.crash_after_writes(0);
+        assert!(faulty.write_at("f", 0, b"x").is_err());
+        faulty.disarm();
+        assert!(faulty.write_at("f", 0, b"x").is_ok());
+    }
+
+    #[test]
+    fn writes_remaining_reports_credits() {
+        let (_inner, faulty) = setup();
+        assert_eq!(faulty.writes_remaining(), u64::MAX);
+        faulty.crash_after_writes(2);
+        assert_eq!(faulty.writes_remaining(), 2);
+        faulty.write_at("f", 0, b"x").unwrap();
+        assert_eq!(faulty.writes_remaining(), 1);
+    }
+}

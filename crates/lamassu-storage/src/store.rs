@@ -1,0 +1,65 @@
+//! The [`ObjectStore`] trait: the backing-store interface of the shims.
+//!
+//! In the paper's prototype the backing store is "a configurable directory,
+//! mounted on the native Linux file system", typically an NFS mount of the
+//! deduplicating filer (§3). The shim treats every file in that directory as
+//! an opaque byte object it reads and writes at block granularity. This trait
+//! captures exactly that contract: named byte objects with random-access
+//! reads and writes, plus the accounting hooks the benchmark harness needs.
+
+use crate::profile::IoCounters;
+use crate::Result;
+use std::time::Duration;
+
+/// A named-object byte store, the downstream "untrusted storage system".
+///
+/// Implementations must be thread-safe: the FIO-style tester issues I/O from
+/// multiple client threads in some configurations.
+pub trait ObjectStore: Send + Sync {
+    /// Creates an empty object. Fails with
+    /// [`crate::StorageError::AlreadyExists`] if the name is taken.
+    fn create(&self, name: &str) -> Result<()>;
+
+    /// Returns true if the object exists.
+    fn exists(&self, name: &str) -> bool;
+
+    /// Reads `len` bytes at `offset`. Reads past the end of the object
+    /// return an [`crate::StorageError::OutOfBounds`] error; the shims always
+    /// read whole blocks they know to exist.
+    fn read_at(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>>;
+
+    /// Writes `data` at `offset`, extending (and zero-filling) the object if
+    /// needed.
+    fn write_at(&self, name: &str, offset: u64, data: &[u8]) -> Result<()>;
+
+    /// Current size of the object in bytes.
+    fn len(&self, name: &str) -> Result<u64>;
+
+    /// Truncates or extends the object to exactly `len` bytes.
+    fn truncate(&self, name: &str, len: u64) -> Result<()>;
+
+    /// Removes the object.
+    fn remove(&self, name: &str) -> Result<()>;
+
+    /// Renames an object, replacing any existing object at `to`.
+    fn rename(&self, from: &str, to: &str) -> Result<()>;
+
+    /// Lists all object names (unordered).
+    fn list(&self) -> Vec<String>;
+
+    /// Durably flushes the object (a no-op for the in-memory stores, but the
+    /// shims call it where a real deployment would `fsync`).
+    fn flush(&self, name: &str) -> Result<()>;
+
+    /// Total *virtual* I/O time charged so far by the storage profile.
+    ///
+    /// The benchmark harness adds this to the measured compute time to obtain
+    /// end-to-end latency under the modelled transport (NFS or RAM disk).
+    fn io_time(&self) -> Duration;
+
+    /// Cumulative operation/byte counters.
+    fn io_counters(&self) -> IoCounters;
+
+    /// Resets the virtual clock and counters (used between benchmark phases).
+    fn reset_io_accounting(&self);
+}

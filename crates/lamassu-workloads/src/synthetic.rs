@@ -1,0 +1,201 @@
+//! Synthetic files with a controlled fraction of redundant blocks.
+//!
+//! The paper's storage-efficiency experiment (§4.1) uses "a simple tool to
+//! generate 4 GB synthetic data files with various redundancy profiles (as
+//! the percentage of redundant 4 KB blocks in a file, denoted α) ranging from
+//! 10 % to 50 %". This module is that tool: a file of `total_blocks` blocks
+//! contains exactly `round(α · total_blocks)` blocks that are copies of
+//! earlier blocks, so a fixed-block deduplicating store retains exactly
+//! `(1 − α)` of it.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Specification of a synthetic redundancy-profile file.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticSpec {
+    /// Total file size in bytes (rounded down to whole blocks).
+    pub size_bytes: u64,
+    /// Block size used for both generation and downstream deduplication.
+    pub block_size: usize,
+    /// Fraction of blocks that are duplicates of other blocks in the file
+    /// (the paper's α), in `[0, 1)`.
+    pub redundancy: f64,
+    /// RNG seed so corpora are reproducible.
+    pub seed: u64,
+}
+
+impl SyntheticSpec {
+    /// Creates a spec with the paper's defaults (4 KiB blocks).
+    pub fn new(size_bytes: u64, redundancy: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&redundancy), "redundancy must be in [0, 1)");
+        SyntheticSpec {
+            size_bytes,
+            block_size: 4096,
+            redundancy,
+            seed,
+        }
+    }
+
+    /// Number of whole blocks in the file.
+    pub fn total_blocks(&self) -> u64 {
+        self.size_bytes / self.block_size as u64
+    }
+
+    /// Number of duplicate blocks the file will contain.
+    pub fn duplicate_blocks(&self) -> u64 {
+        (self.total_blocks() as f64 * self.redundancy).round() as u64
+    }
+
+    /// Number of distinct blocks after fixed-block deduplication.
+    pub fn unique_blocks(&self) -> u64 {
+        self.total_blocks() - self.duplicate_blocks()
+    }
+
+    /// Expected relative disk usage after deduplication, in percent — the
+    /// quantity Figure 6 plots for PlainFS (`(1 − α) · 100`).
+    pub fn expected_relative_usage_pct(&self) -> f64 {
+        self.unique_blocks() as f64 / self.total_blocks() as f64 * 100.0
+    }
+
+    /// Generates the whole file in memory.
+    ///
+    /// The layout interleaves unique and duplicate blocks pseudo-randomly
+    /// (seeded), so duplicates are spread through the file rather than
+    /// clustered at the end.
+    pub fn generate(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity((self.total_blocks() as usize) * self.block_size);
+        self.for_each_block(|block| out.extend_from_slice(block));
+        out
+    }
+
+    /// Streams the file block by block to `sink` without materializing it.
+    ///
+    /// Blocks are produced in file order; `sink` receives each block exactly
+    /// once.
+    pub fn for_each_block(&self, mut sink: impl FnMut(&[u8])) {
+        let total = self.total_blocks();
+        if total == 0 {
+            return;
+        }
+        let duplicates = self.duplicate_blocks();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Choose which block positions hold duplicates. Position 0 is always
+        // unique so there is something to duplicate.
+        let mut is_duplicate = vec![false; total as usize];
+        let mut positions: Vec<usize> = (1..total as usize).collect();
+        positions.shuffle(&mut rng);
+        for &pos in positions.iter().take(duplicates as usize) {
+            is_duplicate[pos] = true;
+        }
+
+        // Generate blocks in order; duplicates copy a previously emitted
+        // unique block chosen deterministically.
+        let mut unique_so_far: Vec<Vec<u8>> = Vec::new();
+        let mut block = vec![0u8; self.block_size];
+        for dup in is_duplicate.into_iter() {
+            if dup && !unique_so_far.is_empty() {
+                let idx = rng.gen_range(0..unique_so_far.len());
+                sink(&unique_so_far[idx]);
+            } else {
+                rng.fill_bytes(&mut block);
+                sink(&block);
+                // Keep a bounded pool of source blocks for duplication; a few
+                // hundred is plenty to spread references around.
+                if unique_so_far.len() < 512 {
+                    unique_so_far.push(block.clone());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn unique_block_count(data: &[u8], block_size: usize) -> usize {
+        data.chunks(block_size)
+            .map(|c| c.to_vec())
+            .collect::<HashSet<_>>()
+            .len()
+    }
+
+    #[test]
+    fn zero_redundancy_is_all_unique() {
+        let spec = SyntheticSpec::new(4096 * 100, 0.0, 1);
+        let data = spec.generate();
+        assert_eq!(data.len(), 4096 * 100);
+        assert_eq!(unique_block_count(&data, 4096), 100);
+    }
+
+    #[test]
+    fn redundancy_profile_matches_alpha() {
+        for alpha in [0.1, 0.2, 0.3, 0.4, 0.5] {
+            let spec = SyntheticSpec::new(4096 * 1000, alpha, 42);
+            let data = spec.generate();
+            let unique = unique_block_count(&data, 4096);
+            let expected = spec.unique_blocks() as usize;
+            // Duplicates could collide with each other's source selection but
+            // every duplicated position copies an existing unique block, so
+            // the unique count is exact.
+            assert_eq!(unique, expected, "alpha = {alpha}");
+            let measured_usage = unique as f64 / 1000.0 * 100.0;
+            assert!(
+                (measured_usage - spec.expected_relative_usage_pct()).abs() < 1e-9,
+                "alpha = {alpha}"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = SyntheticSpec::new(4096 * 50, 0.3, 7).generate();
+        let b = SyntheticSpec::new(4096 * 50, 0.3, 7).generate();
+        let c = SyntheticSpec::new(4096 * 50, 0.3, 8).generate();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn streaming_matches_generate() {
+        let spec = SyntheticSpec::new(4096 * 64, 0.25, 3);
+        let mut streamed = Vec::new();
+        spec.for_each_block(|b| streamed.extend_from_slice(b));
+        assert_eq!(streamed, spec.generate());
+    }
+
+    #[test]
+    fn duplicates_are_spread_not_clustered() {
+        let spec = SyntheticSpec::new(4096 * 400, 0.5, 9);
+        let data = spec.generate();
+        let blocks: Vec<&[u8]> = data.chunks(4096).collect();
+        let mut seen = HashSet::new();
+        let mut first_half_dups = 0;
+        for b in &blocks[..200] {
+            if !seen.insert(b.to_vec()) {
+                first_half_dups += 1;
+            }
+        }
+        assert!(
+            first_half_dups > 40,
+            "expected duplicates in the first half, got {first_half_dups}"
+        );
+    }
+
+    #[test]
+    fn sub_block_sizes_truncate() {
+        let spec = SyntheticSpec::new(4096 * 10 + 123, 0.0, 1);
+        assert_eq!(spec.total_blocks(), 10);
+        assert_eq!(spec.generate().len(), 4096 * 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "redundancy")]
+    fn invalid_redundancy_rejected() {
+        SyntheticSpec::new(4096, 1.5, 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Synthetic stand-ins for the VM images of Table 1.
+//!
+//! The paper's Table 1 measures deduplication on five real VirtualBox images
+//! downloaded from virtualboxes.org. Those images are not redistributable
+//! inside this reproduction, so each is replaced by a synthetic file with the
+//! same size and the same intra-file duplicate-block fraction (the "%
+//! deduplicated through PlainFS" column), which is the only property the
+//! experiment depends on: the dedup and overhead numbers are a function of
+//! how many 4 KiB blocks repeat, not of what the bytes mean.
+
+use crate::synthetic::SyntheticSpec;
+
+/// Description of one VM image from Table 1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VmImageSpec {
+    /// Image file name as listed in Table 1.
+    pub name: &'static str,
+    /// Image size in bytes (Table 1 "Size" column).
+    pub size_bytes: u64,
+    /// Fraction of 4 KiB blocks that deduplicate when stored through PlainFS
+    /// (Table 1 "% Deduplicated / PlainFS" column), in `[0, 1)`.
+    pub dedup_fraction: f64,
+}
+
+/// The five images of Table 1.
+pub const VM_IMAGES: [VmImageSpec; 5] = [
+    VmImageSpec {
+        name: "FreeDOS.vdi",
+        size_bytes: 379 * 1024 * 1024,
+        dedup_fraction: 0.0935,
+    },
+    VmImageSpec {
+        name: "FreeBSD-7.1-i386.vdi",
+        size_bytes: 1843 * 1024 * 1024,
+        dedup_fraction: 0.1540,
+    },
+    VmImageSpec {
+        name: "xubuntu_1204.vdi",
+        size_bytes: 2355 * 1024 * 1024,
+        dedup_fraction: 0.2207,
+    },
+    VmImageSpec {
+        name: "Fedora-17-x86.vdi",
+        size_bytes: 2662 * 1024 * 1024,
+        dedup_fraction: 0.3673,
+    },
+    VmImageSpec {
+        name: "opensolaris-x86.vdi",
+        size_bytes: 3584 * 1024 * 1024,
+        dedup_fraction: 0.0808,
+    },
+];
+
+impl VmImageSpec {
+    /// Builds a [`SyntheticSpec`] reproducing this image's dedup profile,
+    /// scaled down by `scale` (e.g. `scale = 16` produces a file 1/16 the
+    /// size with the same duplicate-block fraction). `scale = 1` reproduces
+    /// the full image size.
+    pub fn to_synthetic(&self, scale: u64, seed: u64) -> SyntheticSpec {
+        assert!(scale >= 1, "scale must be at least 1");
+        SyntheticSpec::new(self.size_bytes / scale, self.dedup_fraction, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn table_1_inventory_is_complete() {
+        assert_eq!(VM_IMAGES.len(), 5);
+        let names: Vec<_> = VM_IMAGES.iter().map(|v| v.name).collect();
+        assert!(names.contains(&"FreeDOS.vdi"));
+        assert!(names.contains(&"opensolaris-x86.vdi"));
+        // Sizes are ordered as in the paper (379M .. 3.5G).
+        assert!(VM_IMAGES[0].size_bytes < VM_IMAGES[4].size_bytes);
+    }
+
+    #[test]
+    fn dedup_fractions_match_table_1() {
+        let fedora = VM_IMAGES.iter().find(|v| v.name.contains("Fedora")).unwrap();
+        assert!((fedora.dedup_fraction - 0.3673).abs() < 1e-9);
+        for img in &VM_IMAGES {
+            assert!(img.dedup_fraction > 0.0 && img.dedup_fraction < 0.5);
+        }
+    }
+
+    #[test]
+    fn synthetic_image_has_expected_dedup_profile() {
+        let spec = VM_IMAGES[0].to_synthetic(64, 5); // ~6 MiB scaled FreeDOS
+        let data = spec.generate();
+        let total = data.len() / 4096;
+        let unique = data
+            .chunks(4096)
+            .map(|c| c.to_vec())
+            .collect::<HashSet<_>>()
+            .len();
+        let dedup_frac = 1.0 - unique as f64 / total as f64;
+        assert!(
+            (dedup_frac - VM_IMAGES[0].dedup_fraction).abs() < 0.01,
+            "measured {dedup_frac}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn zero_scale_rejected() {
+        VM_IMAGES[0].to_synthetic(0, 1);
+    }
+}

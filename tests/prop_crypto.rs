@@ -1,0 +1,145 @@
+//! Property-based tests over the from-scratch crypto substrate.
+
+use lamassu::crypto::aes::{ecb_decrypt_in_place, ecb_encrypt_in_place, Aes256};
+use lamassu::crypto::gcm::Aes256Gcm;
+use lamassu::crypto::kdf::ConvergentKdf;
+use lamassu::crypto::sha256::{sha256, Sha256};
+use lamassu::crypto::{cbc, ctr, CryptoError, FIXED_IV};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sha256_streaming_equals_one_shot(
+        data in prop::collection::vec(any::<u8>(), 0..20_000),
+        splits in prop::collection::vec(0usize..20_000, 0..8)
+    ) {
+        let mut hasher = Sha256::new();
+        let mut cuts: Vec<usize> = splits.into_iter().map(|s| s % (data.len() + 1)).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut prev = 0;
+        for cut in cuts {
+            hasher.update(&data[prev..cut]);
+            prev = cut;
+        }
+        hasher.update(&data[prev..]);
+        prop_assert_eq!(hasher.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn sha256_is_sensitive_to_single_bit_flips(
+        mut data in prop::collection::vec(any::<u8>(), 1..4096),
+        pos in any::<prop::sample::Index>(),
+        bit in 0u8..8
+    ) {
+        let original = sha256(&data);
+        let idx = pos.index(data.len());
+        data[idx] ^= 1 << bit;
+        prop_assert_ne!(sha256(&data), original);
+    }
+
+    #[test]
+    fn aes_block_round_trip(key in any::<[u8; 32]>(), block in any::<[u8; 16]>()) {
+        let aes = Aes256::new(&key);
+        prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
+    }
+
+    #[test]
+    fn ecb_round_trip_arbitrary_block_counts(
+        key in any::<[u8; 32]>(),
+        blocks in 0usize..64,
+        seed in any::<u8>()
+    ) {
+        let aes = Aes256::new(&key);
+        let original: Vec<u8> = (0..blocks * 16).map(|i| (i as u8).wrapping_add(seed)).collect();
+        let mut buf = original.clone();
+        ecb_encrypt_in_place(&aes, &mut buf);
+        ecb_decrypt_in_place(&aes, &mut buf);
+        prop_assert_eq!(buf, original);
+    }
+
+    #[test]
+    fn cbc_round_trip_and_determinism(
+        key in any::<[u8; 32]>(),
+        iv in any::<[u8; 16]>(),
+        blocks in 1usize..64,
+        seed in any::<u8>()
+    ) {
+        let aes = Aes256::new(&key);
+        let original: Vec<u8> = (0..blocks * 16).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect();
+        let mut a = original.clone();
+        let mut b = original.clone();
+        cbc::encrypt_in_place(&aes, &iv, &mut a).unwrap();
+        cbc::encrypt_in_place(&aes, &iv, &mut b).unwrap();
+        prop_assert_eq!(&a, &b, "CBC with a fixed IV must be deterministic");
+        prop_assert_ne!(&a, &original);
+        cbc::decrypt_in_place(&aes, &iv, &mut a).unwrap();
+        prop_assert_eq!(a, original);
+    }
+
+    #[test]
+    fn cbc_rejects_unaligned_lengths(len in 1usize..256) {
+        prop_assume!(len % 16 != 0);
+        let aes = Aes256::new(&[0u8; 32]);
+        let mut buf = vec![0u8; len];
+        let rejected = matches!(
+            cbc::encrypt_in_place(&aes, &FIXED_IV, &mut buf),
+            Err(CryptoError::InvalidLength { .. })
+        );
+        prop_assert!(rejected);
+    }
+
+    #[test]
+    fn ctr_keystream_is_an_involution(
+        key in any::<[u8; 32]>(),
+        counter in any::<[u8; 16]>(),
+        data in prop::collection::vec(any::<u8>(), 0..2000)
+    ) {
+        let aes = Aes256::new(&key);
+        let mut buf = data.clone();
+        ctr::ctr32_xor_in_place(&aes, &counter, &mut buf);
+        ctr::ctr32_xor_in_place(&aes, &counter, &mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn gcm_round_trip_rejects_any_single_byte_corruption(
+        key in any::<[u8; 32]>(),
+        nonce in any::<[u8; 12]>(),
+        aad in prop::collection::vec(any::<u8>(), 0..64),
+        data in prop::collection::vec(any::<u8>(), 1..2000),
+        corrupt_at in any::<prop::sample::Index>()
+    ) {
+        let gcm = Aes256Gcm::new(&key);
+        let mut buf = data.clone();
+        let tag = gcm.encrypt_in_place(&nonce, &aad, &mut buf);
+
+        // Tampering with any ciphertext byte is detected.
+        let mut tampered = buf.clone();
+        let idx = corrupt_at.index(tampered.len());
+        tampered[idx] ^= 0x01;
+        prop_assert_eq!(
+            gcm.decrypt_in_place(&nonce, &aad, &mut tampered, &tag),
+            Err(CryptoError::TagMismatch)
+        );
+
+        // The untampered ciphertext decrypts back to the plaintext.
+        gcm.decrypt_in_place(&nonce, &aad, &mut buf, &tag).unwrap();
+        prop_assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn convergent_kdf_equality_mirrors_plaintext_equality(
+        inner in any::<[u8; 32]>(),
+        a in prop::collection::vec(any::<u8>(), 64..256),
+        b in prop::collection::vec(any::<u8>(), 64..256)
+    ) {
+        let kdf = ConvergentKdf::new(&inner);
+        let ka = kdf.derive_for_block(&a);
+        let kb = kdf.derive_for_block(&b);
+        prop_assert_eq!(ka == kb, a == b, "key equality must track plaintext equality");
+        prop_assert_eq!(kdf.invert(&ka), sha256(&a));
+    }
+}

@@ -1,0 +1,197 @@
+//! Property-based tests: the shims behave like an in-memory reference file
+//! for arbitrary sequences of operations, and the core convergence /
+//! geometry invariants hold for arbitrary inputs.
+
+use lamassu::core::{EncFs, EncFsConfig, FileSystem, LamassuConfig, LamassuFs, PlainFs};
+use lamassu::crypto::kdf::ConvergentKdf;
+use lamassu::crypto::{aes::Aes256, cbc, FIXED_IV};
+use lamassu::format::Geometry;
+use lamassu::keymgr::ZoneKeys;
+use lamassu::storage::{DedupStore, StorageProfile};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn zone_keys() -> ZoneKeys {
+    ZoneKeys {
+        zone: 1,
+        generation: 0,
+        inner: [0x11; 32],
+        outer: [0x22; 32],
+    }
+}
+
+/// One step of the model-based test.
+#[derive(Debug, Clone)]
+enum Op {
+    Write { offset: u64, data: Vec<u8> },
+    Read { offset: u64, len: usize },
+    Truncate { size: u64 },
+    Fsync,
+}
+
+fn op_strategy(max_file: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..max_file, prop::collection::vec(any::<u8>(), 1..6000))
+            .prop_map(|(offset, data)| Op::Write { offset, data }),
+        3 => (0..max_file, 0usize..6000).prop_map(|(offset, len)| Op::Read { offset, len }),
+        1 => (0..max_file).prop_map(|size| Op::Truncate { size }),
+        1 => Just(Op::Fsync),
+    ]
+}
+
+/// Applies an op sequence to a shim and to a plain `Vec<u8>` model, checking
+/// every read against the model.
+fn check_against_model(fs: &dyn FileSystem, ops: &[Op]) {
+    let mut model: Vec<u8> = Vec::new();
+    let fd = fs.create("/model.bin").unwrap();
+    for op in ops {
+        match op {
+            Op::Write { offset, data } => {
+                fs.write(fd, *offset, data).unwrap();
+                let end = *offset as usize + data.len();
+                if end > model.len() {
+                    model.resize(end, 0);
+                }
+                model[*offset as usize..end].copy_from_slice(data);
+            }
+            Op::Read { offset, len } => {
+                let got = fs.read(fd, *offset, *len).unwrap();
+                let expected: &[u8] = if *offset as usize >= model.len() {
+                    &[]
+                } else {
+                    let end = (*offset as usize + len).min(model.len());
+                    &model[*offset as usize..end]
+                };
+                assert_eq!(got, expected, "read at {offset}+{len}");
+            }
+            Op::Truncate { size } => {
+                fs.truncate(fd, *size).unwrap();
+                model.resize(*size as usize, 0);
+            }
+            Op::Fsync => fs.fsync(fd).unwrap(),
+        }
+        assert_eq!(fs.len(fd).unwrap(), model.len() as u64);
+    }
+    // Final full read-back after a flush.
+    fs.fsync(fd).unwrap();
+    assert_eq!(fs.read(fd, 0, model.len().max(1)).unwrap(), model);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lamassufs_matches_reference_model(ops in prop::collection::vec(op_strategy(40_000), 1..25)) {
+        let store = Arc::new(DedupStore::new(4096, StorageProfile::instant()));
+        let fs = LamassuFs::new(store, zone_keys(), LamassuConfig::default());
+        check_against_model(&fs, &ops);
+    }
+
+    #[test]
+    fn lamassufs_small_r_matches_reference_model(ops in prop::collection::vec(op_strategy(30_000), 1..20)) {
+        let store = Arc::new(DedupStore::new(4096, StorageProfile::instant()));
+        let fs = LamassuFs::new(
+            store,
+            zone_keys(),
+            LamassuConfig::with_reserved_slots(1).unwrap(),
+        );
+        check_against_model(&fs, &ops);
+    }
+
+    #[test]
+    fn encfs_matches_reference_model(ops in prop::collection::vec(op_strategy(30_000), 1..20)) {
+        let store = Arc::new(DedupStore::new(4096, StorageProfile::instant()));
+        let fs = EncFs::new(store, [9u8; 32], EncFsConfig::default());
+        check_against_model(&fs, &ops);
+    }
+
+    #[test]
+    fn plainfs_matches_reference_model(ops in prop::collection::vec(op_strategy(30_000), 1..20)) {
+        let store = Arc::new(DedupStore::new(4096, StorageProfile::instant()));
+        let fs = PlainFs::new(store);
+        check_against_model(&fs, &ops);
+    }
+
+    #[test]
+    fn lamassu_remount_preserves_arbitrary_contents(data in prop::collection::vec(any::<u8>(), 0..60_000)) {
+        let store = Arc::new(DedupStore::new(4096, StorageProfile::instant()));
+        {
+            let fs = LamassuFs::new(store.clone(), zone_keys(), LamassuConfig::default());
+            let fd = fs.create("/f").unwrap();
+            fs.write(fd, 0, &data).unwrap();
+            fs.close(fd).unwrap();
+        }
+        let fs = LamassuFs::new(store, zone_keys(), LamassuConfig::default());
+        let fd = fs.open("/f", Default::default()).unwrap();
+        prop_assert_eq!(fs.read(fd, 0, data.len().max(1)).unwrap(), data);
+    }
+
+    #[test]
+    fn convergent_encryption_is_deterministic(block in prop::collection::vec(any::<u8>(), 4096..=4096)) {
+        // Equation 1 + 2: same plaintext, same inner key => same ciphertext.
+        let kdf = ConvergentKdf::new(&[7u8; 32]);
+        let key = kdf.derive_for_block(&block);
+        let encrypt = |key: &[u8; 32]| {
+            let mut buf = block.clone();
+            cbc::encrypt_in_place(&Aes256::new(key), &FIXED_IV, &mut buf).unwrap();
+            buf
+        };
+        prop_assert_eq!(encrypt(&key), encrypt(&kdf.derive_for_block(&block)));
+        // And a different inner key diverges.
+        let other = ConvergentKdf::new(&[8u8; 32]).derive_for_block(&block);
+        prop_assert_ne!(key, other);
+    }
+
+    #[test]
+    fn geometry_locate_block_is_injective_and_ordered(
+        r in 1usize..=60,
+        blocks in prop::collection::vec(0u64..5_000, 2..40)
+    ) {
+        let g = Geometry::new(4096, r).unwrap();
+        let mut sorted = blocks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let locations: Vec<_> = sorted.iter().map(|b| g.locate_block(*b)).collect();
+        for w in locations.windows(2) {
+            // Strictly increasing physical placement, never colliding with a
+            // metadata block offset.
+            prop_assert!(w[0].physical_offset < w[1].physical_offset);
+        }
+        for loc in &locations {
+            prop_assert_ne!(loc.physical_offset, g.metadata_block_offset(loc.segment));
+            prop_assert!(loc.slot < g.keys_per_metadata_block());
+        }
+    }
+
+    #[test]
+    fn geometry_overhead_formulas_are_consistent(
+        r in 1usize..=60,
+        len in 0u64..50_000_000
+    ) {
+        let g = Geometry::new(4096, r).unwrap();
+        let encrypted = g.encrypted_size(len);
+        // Physical size is block-aligned, no smaller than the data, and the
+        // overhead equals the number of metadata blocks times the block size.
+        prop_assert_eq!(encrypted % 4096, 0);
+        let ndb = g.data_blocks_for_len(len);
+        let nmb = g.metadata_blocks_for_data_blocks(ndb);
+        prop_assert_eq!(encrypted, (ndb + nmb) * 4096);
+        prop_assert!(nmb >= 1);
+        prop_assert!(nmb <= ndb.max(1));
+    }
+
+    #[test]
+    fn block_spans_partition_any_range(offset in 0u64..1_000_000, len in 0usize..100_000) {
+        let g = Geometry::default();
+        let spans = g.block_spans(offset, len);
+        let total: usize = spans.iter().map(|s| s.2).sum();
+        prop_assert_eq!(total, len);
+        // Spans are contiguous and in order.
+        let mut cursor = offset;
+        for (block, in_block, take) in spans {
+            prop_assert_eq!(block * 4096 + in_block as u64, cursor);
+            prop_assert!(take > 0);
+            cursor += take as u64;
+        }
+    }
+}
