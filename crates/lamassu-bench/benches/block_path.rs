@@ -4,6 +4,11 @@
 //! per-block costs: write+fsync and read of one 4 KiB block through PlainFS,
 //! EncFS, LamassuFS (full integrity) and LamassuFS (meta-only), over the
 //! instant storage profile so only shim work is measured.
+//!
+//! The read benchmarks come in two flavours per shim: the zero-copy
+//! `read_into` primitive (steady-state path, no per-call allocation) and the
+//! allocating `read` convenience, so the cost the fd-centric API removes is
+//! visible directly in the output.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use lamassu_core::{
@@ -12,6 +17,7 @@ use lamassu_core::{
 use lamassu_keymgr::ZoneKeys;
 use lamassu_storage::{DedupStore, StorageProfile};
 use std::hint::black_box;
+use std::io::IoSlice;
 use std::sync::Arc;
 
 const BLOCK: usize = 4096;
@@ -64,7 +70,8 @@ fn bench_block_write(c: &mut Criterion) {
                 // while every iteration lands on a full aligned block.
                 let offset = (block_idx % 1024) * BLOCK as u64;
                 block_idx += 1;
-                fs.write(fd, offset, black_box(&data)).unwrap();
+                fs.write_vectored(fd, offset, black_box(&[IoSlice::new(&data)]))
+                    .unwrap();
                 fs.fsync(fd).unwrap();
             })
         });
@@ -73,7 +80,28 @@ fn bench_block_write(c: &mut Criterion) {
 }
 
 fn bench_block_read(c: &mut Criterion) {
-    let mut g = c.benchmark_group("block_read");
+    let mut g = c.benchmark_group("block_read_into");
+    g.throughput(Throughput::Bytes(BLOCK as u64));
+    for (name, fs) in shims() {
+        let fd = fs.create("/bench").unwrap();
+        let data = vec![0xabu8; BLOCK * 256];
+        fs.write(fd, 0, &data).unwrap();
+        fs.fsync(fd).unwrap();
+        let mut buf = vec![0u8; BLOCK];
+        let mut block_idx = 0u64;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let offset = (block_idx % 256) * BLOCK as u64;
+                block_idx += 1;
+                black_box(fs.read_into(fd, offset, black_box(&mut buf)).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_block_read_alloc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("block_read_alloc");
     g.throughput(Throughput::Bytes(BLOCK as u64));
     for (name, fs) in shims() {
         let fd = fs.create("/bench").unwrap();
@@ -92,5 +120,10 @@ fn bench_block_read(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_block_write, bench_block_read);
+criterion_group!(
+    benches,
+    bench_block_write,
+    bench_block_read,
+    bench_block_read_alloc
+);
 criterion_main!(benches);

@@ -1,5 +1,7 @@
 //! Regenerates Figure 11: storage efficiency as the reserved-slot count R varies.
 
 fn main() {
-    lamassu_bench::experiments::fig11::run(lamassu_bench::efficiency_file_size().min(32 * 1024 * 1024));
+    lamassu_bench::experiments::fig11::run(
+        lamassu_bench::efficiency_file_size().min(32 * 1024 * 1024),
+    );
 }

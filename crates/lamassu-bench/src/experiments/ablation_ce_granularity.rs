@@ -58,7 +58,11 @@ pub fn run(file_size: u64, versions: usize, churn: f64) -> Vec<GranularityRow> {
     for per_block in [true, false] {
         let store = Arc::new(DedupStore::new(4096, StorageProfile::instant()));
         let fs: Box<dyn FileSystem> = if per_block {
-            Box::new(LamassuFs::new(store.clone(), keys, LamassuConfig::default()))
+            Box::new(LamassuFs::new(
+                store.clone(),
+                keys,
+                LamassuConfig::default(),
+            ))
         } else {
             Box::new(CeFileFs::new(store.clone(), keys, 4096))
         };
@@ -66,7 +70,8 @@ pub fn run(file_size: u64, versions: usize, churn: f64) -> Vec<GranularityRow> {
             let path = format!("/backup/version-{v}");
             let fd = fs.create(&path).expect("fresh path");
             for (i, chunk) in data.chunks(1024 * 1024).enumerate() {
-                fs.write(fd, (i * 1024 * 1024) as u64, chunk).expect("write");
+                fs.write(fd, (i * 1024 * 1024) as u64, chunk)
+                    .expect("write");
             }
             fs.close(fd).expect("close");
         }
@@ -89,7 +94,12 @@ pub fn run(file_size: u64, versions: usize, churn: f64) -> Vec<GranularityRow> {
             "Ablation (§5.2): CE granularity, {versions} versions, {:.1}% churn per version",
             churn * 100.0
         ),
-        &["system", "logical (MiB)", "after dedup (MiB)", "% deduplicated"],
+        &[
+            "system",
+            "logical (MiB)",
+            "after dedup (MiB)",
+            "% deduplicated",
+        ],
     );
     for r in &rows {
         table.row(&[

@@ -46,12 +46,22 @@ pub fn run(blocks: usize) -> Vec<KeyServerRow> {
     for block in &payload {
         std::hint::black_box(local.derive_for_block(block));
     }
-    rows.push(row("local inner-key KDF (Lamassu)", start.elapsed(), blocks));
+    rows.push(row(
+        "local inner-key KDF (Lamassu)",
+        start.elapsed(),
+        blocks,
+    ));
 
     // Server-aided: measured compute plus modelled network time.
     for (label, server) in [
-        ("DupLESS-style, LAN key server (0.5 ms RTT)", KeyServer::lan(&[0x22; 32])),
-        ("DupLESS-style, WAN key server (10 ms RTT)", KeyServer::wan(&[0x22; 32])),
+        (
+            "DupLESS-style, LAN key server (0.5 ms RTT)",
+            KeyServer::lan(&[0x22; 32]),
+        ),
+        (
+            "DupLESS-style, WAN key server (10 ms RTT)",
+            KeyServer::wan(&[0x22; 32]),
+        ),
     ] {
         let kdf = ServerAidedKdf::new(server.clone());
         server.reset_accounting();
@@ -65,7 +75,12 @@ pub fn run(blocks: usize) -> Vec<KeyServerRow> {
 
     let mut table = Table::new(
         "Ablation (§1): convergent key generation strategies, 4 KiB blocks",
-        &["strategy", "per-key (us)", "keys/s", "projected seq-write (MiB/s)"],
+        &[
+            "strategy",
+            "per-key (us)",
+            "keys/s",
+            "projected seq-write (MiB/s)",
+        ],
     );
     for r in &rows {
         table.row(&[

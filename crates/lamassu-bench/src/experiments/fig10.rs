@@ -42,7 +42,9 @@ pub fn run(file_size: u64) -> Vec<Fig10Point> {
 
     for r in R_VALUES {
         let m = mount(FsKind::Lamassu, StorageProfile::ram_disk(), r);
-        tester.populate(m.fs.as_ref(), "/fio.dat").expect("populate");
+        tester
+            .populate(m.fs.as_ref(), "/fio.dat")
+            .expect("populate");
         for workload in workloads {
             let result = tester
                 .run(m.fs.as_ref(), m.store.as_ref(), "/fio.dat", workload)

@@ -122,7 +122,10 @@ mod tests {
     #[test]
     fn measured_points_track_analytic() {
         let points = run(4 * 1024 * 1024);
-        let measured: Vec<_> = points.iter().filter(|p| p.measured_data_pct.is_some()).collect();
+        let measured: Vec<_> = points
+            .iter()
+            .filter(|p| p.measured_data_pct.is_some())
+            .collect();
         assert!(!measured.is_empty());
         for p in measured {
             let m = p.measured_data_pct.unwrap();

@@ -41,7 +41,10 @@ pub fn run(file_size: u64) -> Vec<Fig6Row> {
         let data = spec.generate();
         let plaintext_bytes = ((data.len() as u64).div_ceil(4096) * 4096) as f64;
         let mut after = [0.0f64; 3];
-        for (j, kind) in [FsKind::Enc, FsKind::Plain, FsKind::Lamassu].iter().enumerate() {
+        for (j, kind) in [FsKind::Enc, FsKind::Plain, FsKind::Lamassu]
+            .iter()
+            .enumerate()
+        {
             let m = mount(*kind, StorageProfile::instant(), 8);
             write_file(m.fs.as_ref(), "/dataset.bin", &data);
             after[j] = m.store.usage().used_after_dedup as f64;

@@ -49,7 +49,9 @@ pub fn run(file_size: u64) -> Vec<Fig9Row> {
 
     for kind in [FsKind::Lamassu, FsKind::LamassuMetaOnly] {
         let m = mount(kind, StorageProfile::ram_disk(), 8);
-        tester.populate(m.fs.as_ref(), "/fio.dat").expect("populate");
+        tester
+            .populate(m.fs.as_ref(), "/fio.dat")
+            .expect("populate");
         for workload in [Workload::SeqWrite, Workload::SeqRead] {
             let profiler = m.profiler.clone();
             profiler.reset();
@@ -73,7 +75,16 @@ pub fn run(file_size: u64) -> Vec<Fig9Row> {
 
     let mut table = Table::new(
         "Figure 9: LamassuFS latency breakdown per 4 KiB op on a RAM disk (us)",
-        &["variant", "workload", "Encrypt", "Decrypt", "GetCEKey", "I/O", "Misc", "GetCEKey %"],
+        &[
+            "variant",
+            "workload",
+            "Encrypt",
+            "Decrypt",
+            "GetCEKey",
+            "I/O",
+            "Misc",
+            "GetCEKey %",
+        ],
     );
     for r in &rows {
         table.row(&[

@@ -41,7 +41,10 @@ pub fn run(scale: u64) -> Vec<Table1Row> {
         let data = spec.generate();
         let mut dedup_pct = [0.0f64; 3];
         let mut after = [0.0f64; 3];
-        for (j, kind) in [FsKind::Plain, FsKind::Lamassu, FsKind::Enc].iter().enumerate() {
+        for (j, kind) in [FsKind::Plain, FsKind::Lamassu, FsKind::Enc]
+            .iter()
+            .enumerate()
+        {
             let m = mount(*kind, StorageProfile::instant(), 8);
             write_file(m.fs.as_ref(), "/image.vdi", &data);
             let usage = m.store.usage();
@@ -60,7 +63,13 @@ pub fn run(scale: u64) -> Vec<Table1Row> {
 
     let mut table = Table::new(
         "Table 1: storage efficiency with VM images (synthetic stand-ins)",
-        &["VM image", "Size (MiB)", "% dedup PlainFS", "% dedup LamassuFS", "Space overhead"],
+        &[
+            "VM image",
+            "Size (MiB)",
+            "% dedup PlainFS",
+            "% dedup LamassuFS",
+            "Space overhead",
+        ],
     );
     for r in &rows {
         table.row(&[
@@ -95,7 +104,11 @@ mod tests {
                 r.lamassufs_dedup_pct
             );
             // …with a small (<~2.5 %) space overhead, while EncFS saves ~nothing.
-            assert!(r.space_overhead_pct > 0.0 && r.space_overhead_pct < 2.5, "{}", r.image);
+            assert!(
+                r.space_overhead_pct > 0.0 && r.space_overhead_pct < 2.5,
+                "{}",
+                r.image
+            );
             assert!(r.encfs_dedup_pct < 1.0, "{}", r.image);
             // The dedup fraction roughly matches the image profile.
             let expected = VM_IMAGES

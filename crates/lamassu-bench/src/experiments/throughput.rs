@@ -66,12 +66,22 @@ pub fn run(figure: &str, profile: StorageProfile, file_size: u64) -> Vec<Through
 
     let title = format!(
         "{}: single-file I/O throughput (MiB/s), backing store = {}",
-        if figure == "fig7" { "Figure 7" } else { "Figure 8" },
+        if figure == "fig7" {
+            "Figure 7"
+        } else {
+            "Figure 8"
+        },
         profile.name
     );
     let mut table = Table::new(
         &title,
-        &["workload", "PlainFS", "EncFS", "LamassuFS", "LamassuFS(meta-only)"],
+        &[
+            "workload",
+            "PlainFS",
+            "EncFS",
+            "LamassuFS",
+            "LamassuFS(meta-only)",
+        ],
     );
     for workload in Workload::ALL {
         let mut row = vec![workload.label().to_string()];
@@ -137,8 +147,14 @@ mod tests {
         let lms_full = bandwidth(&cells, "LamassuFS", "seq-read");
         let lms_meta = bandwidth(&cells, "LamassuFS(meta-only)", "seq-read");
         // Removing the transport bottleneck exposes the crypto cost...
-        assert!(plain_r > lms_full * 1.5, "plain {plain_r} vs lamassu {lms_full}");
+        assert!(
+            plain_r > lms_full * 1.5,
+            "plain {plain_r} vs lamassu {lms_full}"
+        );
         // ...and skipping the per-block hash on reads recovers throughput.
-        assert!(lms_meta > lms_full, "meta-only {lms_meta} vs full {lms_full}");
+        assert!(
+            lms_meta > lms_full,
+            "meta-only {lms_meta} vs full {lms_full}"
+        );
     }
 }

@@ -57,6 +57,8 @@ struct Options {
     positional: Vec<String>,
 }
 
+type FlagSetter = fn(&mut Options, String) -> Result<(), String>;
+
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         volume: None,
@@ -66,7 +68,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         reserved_slots: 8,
         positional: Vec::new(),
     };
-    let mut flags: HashMap<&str, fn(&mut Options, String) -> Result<(), String>> = HashMap::new();
+    let mut flags: HashMap<&str, FlagSetter> = HashMap::new();
     flags.insert("--volume", |o, v| {
         o.volume = Some(v);
         Ok(())
@@ -108,8 +110,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 }
 
 fn load_key_manager(path: &str) -> Result<KeyManager, String> {
-    let body = fs::read_to_string(path)
-        .map_err(|e| format!("cannot read key snapshot {path}: {e}"))?;
+    let body =
+        fs::read_to_string(path).map_err(|e| format!("cannot read key snapshot {path}: {e}"))?;
     KeyManager::import_snapshot(&body).map_err(|e| format!("bad key snapshot {path}: {e}"))
 }
 
@@ -158,7 +160,9 @@ fn cmd_put(opts: &Options) -> Result<(), String> {
     let fs_mount = mount(opts)?;
     let data = fs::read(&src).map_err(|e| format!("cannot read {src}: {e}"))?;
     let fd = if fs_mount.list().map_err(err)?.iter().any(|p| p == &dest) {
-        fs_mount.open(&dest, OpenFlags { truncate: true }).map_err(err)?
+        fs_mount
+            .open(&dest, OpenFlags { truncate: true })
+            .map_err(err)?
     } else {
         fs_mount.create(&dest).map_err(err)?
     };
@@ -184,14 +188,20 @@ fn cmd_get(opts: &Options) -> Result<(), String> {
     let fs_mount = mount(opts)?;
     let fd = fs_mount.open(&name, OpenFlags::default()).map_err(err)?;
     let size = fs_mount.len(fd).map_err(err)?;
-    let mut data = Vec::with_capacity(size as usize);
+    // Stream through one reused buffer via the zero-copy read primitive
+    // instead of materializing the whole file in memory.
+    let mut out_file = fs::File::create(&out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    let mut buf = vec![0u8; 1024 * 1024];
     let mut offset = 0u64;
     while offset < size {
-        let take = (1024 * 1024).min((size - offset) as usize);
-        data.extend_from_slice(&fs_mount.read(fd, offset, take).map_err(err)?);
-        offset += take as u64;
+        let n = fs_mount.read_into(fd, offset, &mut buf).map_err(err)?;
+        if n == 0 {
+            break;
+        }
+        std::io::Write::write_all(&mut out_file, &buf[..n])
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        offset += n as u64;
     }
-    fs::write(&out, &data).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("decrypted {name} ({size} bytes) to {out}");
     Ok(())
 }
@@ -269,7 +279,10 @@ fn cmd_fsck(opts: &Options) -> Result<(), String> {
             );
         }
     }
-    println!("fsck: {} files scanned, {dirty} needed repair", reports.len());
+    println!(
+        "fsck: {} files scanned, {dirty} needed repair",
+        reports.len()
+    );
     let mut corrupt = 0;
     for (path, _) in &reports {
         if !fs_mount.verify(path).map_err(err)?.is_clean() {

@@ -24,7 +24,8 @@
 //! by the CBC-encrypted body, padded to whole blocks.
 
 use crate::fs::{FileAttr, FileSystem, OpenFlags};
-use crate::handles::HandleTable;
+use crate::handles::{HandleTable, PathRegistry};
+use crate::iovec::{self, GatherCursor};
 use crate::profiler::{Category, Profiler};
 use crate::{Fd, FsError, Result};
 use lamassu_crypto::aes::Aes256;
@@ -34,9 +35,9 @@ use lamassu_crypto::kdf::ConvergentKdf;
 use lamassu_crypto::{Key256, FIXED_IV};
 use lamassu_keymgr::ZoneKeys;
 use lamassu_storage::ObjectStore;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use rand::RngCore;
-use std::collections::HashMap;
+use std::io::IoSlice;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -50,21 +51,23 @@ struct CeFileState {
     dirty: bool,
 }
 
+type SharedState = Arc<Mutex<CeFileState>>;
+
 /// Whole-file convergent encryption (Tahoe-LAFS-style) baseline.
 pub struct CeFileFs {
     store: Arc<dyn ObjectStore>,
     block_size: usize,
     kdf: ConvergentKdf,
     gcm: Aes256Gcm,
-    handles: HandleTable,
+    handles: HandleTable<SharedState>,
     profiler: Arc<Profiler>,
-    files: RwLock<HashMap<String, Arc<Mutex<CeFileState>>>>,
+    files: PathRegistry<SharedState>,
 }
 
 impl CeFileFs {
     /// Mounts a per-file-CE file system over `store` with the zone's keys.
     pub fn new(store: Arc<dyn ObjectStore>, keys: ZoneKeys, block_size: usize) -> Self {
-        assert!(block_size >= 64 && block_size % 16 == 0);
+        assert!(block_size >= 64 && block_size.is_multiple_of(16));
         CeFileFs {
             store,
             block_size,
@@ -72,7 +75,7 @@ impl CeFileFs {
             gcm: Aes256Gcm::new(&keys.outer),
             handles: HandleTable::new(),
             profiler: Profiler::new(),
-            files: RwLock::new(HashMap::new()),
+            files: PathRegistry::new(),
         }
     }
 
@@ -107,7 +110,8 @@ impl CeFileFs {
             .expect("16 bytes");
         let mut sealed = header[NONCE_LEN + TAG_LEN..NONCE_LEN + TAG_LEN + 48].to_vec();
         self.profiler.time(Category::Decrypt, || {
-            self.gcm.decrypt_in_place(&nonce, b"cefile-header", &mut sealed, &tag)
+            self.gcm
+                .decrypt_in_place(&nonce, b"cefile-header", &mut sealed, &tag)
         })?;
         if &sealed[..8] != MAGIC {
             return Err(FsError::Metadata(
@@ -147,9 +151,9 @@ impl CeFileFs {
 
     /// Encrypts and writes the whole file back to the store.
     fn store_file(&self, path: &str, state: &mut CeFileState) -> Result<()> {
-        let file_key = self
-            .profiler
-            .time(Category::GetCeKey, || self.kdf.derive_for_block(&state.data));
+        let file_key = self.profiler.time(Category::GetCeKey, || {
+            self.kdf.derive_for_block(&state.data)
+        });
 
         let mut body = state.data.clone();
         let padded = body.len().div_ceil(self.block_size) * self.block_size;
@@ -165,7 +169,8 @@ impl CeFileFs {
         let mut nonce = [0u8; NONCE_LEN];
         rand::thread_rng().fill_bytes(&mut nonce);
         let tag = self.profiler.time(Category::Encrypt, || {
-            self.gcm.encrypt_in_place(&nonce, b"cefile-header", &mut sealed)
+            self.gcm
+                .encrypt_in_place(&nonce, b"cefile-header", &mut sealed)
         });
         let mut header = vec![0u8; self.block_size];
         header[..NONCE_LEN].copy_from_slice(&nonce);
@@ -181,21 +186,15 @@ impl CeFileFs {
         Ok(())
     }
 
-    fn state(&self, path: &str) -> Result<Arc<Mutex<CeFileState>>> {
-        if let Some(s) = self.files.read().get(path) {
-            return Ok(s.clone());
-        }
+    /// Loads the per-file state for a path that must already exist (no
+    /// registry interaction — callers go through [`PathRegistry`]).
+    fn load_state(&self, path: &str) -> Result<SharedState> {
         if !self.store.exists(path) {
             return Err(FsError::NotFound {
                 path: path.to_string(),
             });
         }
-        let state = Arc::new(Mutex::new(self.load(path)?));
-        let mut files = self.files.write();
-        Ok(files
-            .entry(path.to_string())
-            .or_insert_with(|| state.clone())
-            .clone())
+        Ok(Arc::new(Mutex::new(self.load(path)?)))
     }
 }
 
@@ -212,74 +211,77 @@ impl FileSystem for CeFileFs {
             dirty: false,
         };
         self.store_file(path, &mut state)?;
-        self.files
-            .write()
-            .insert(path.to_string(), Arc::new(Mutex::new(state)));
-        Ok(self.handles.open(path))
+        let state = Arc::new(Mutex::new(state));
+        self.files.insert_open(path, state.clone());
+        Ok(self.handles.open(path, state))
     }
 
     fn open(&self, path: &str, flags: OpenFlags) -> Result<Fd> {
-        let state = self.state(path)?;
+        let state = self.files.open_with(path, || self.load_state(path))?;
         if flags.truncate {
             let mut st = state.lock();
             st.data.clear();
-            self.store_file(path, &mut st)?;
+            if let Err(e) = self.store_file(path, &mut st) {
+                drop(st);
+                self.files.release(path);
+                return Err(e);
+            }
         }
-        Ok(self.handles.open(path))
+        Ok(self.handles.open(path, state))
     }
 
     fn close(&self, fd: Fd) -> Result<()> {
-        let path = self.handles.path_of(fd)?;
-        if let Some(state) = self.files.read().get(&path).cloned() {
-            let mut st = state.lock();
+        let entry = self.handles.close(fd)?;
+        let path = entry.path();
+        let flushed = {
+            let mut st = entry.state.lock();
             if st.dirty {
-                self.store_file(&path, &mut st)?;
+                self.store_file(&path, &mut st)
+            } else {
+                Ok(())
             }
-        }
-        self.handles.close(fd)?;
-        if !self.handles.is_open(&path) {
-            self.files.write().remove(&path);
-        }
-        Ok(())
+        };
+        self.files.release(&path);
+        flushed
     }
 
-    fn read(&self, fd: Fd, offset: u64, len: usize) -> Result<Vec<u8>> {
-        let path = self.handles.path_of(fd)?;
-        let state = self.state(&path)?;
-        let st = state.lock();
+    fn read_into(&self, fd: Fd, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        let entry = self.handles.get(fd)?;
+        let st = entry.state.lock();
         if offset as usize >= st.data.len() {
-            return Ok(Vec::new());
+            return Ok(0);
         }
-        let end = (offset as usize + len).min(st.data.len());
-        Ok(st.data[offset as usize..end].to_vec())
+        let n = buf.len().min(st.data.len() - offset as usize);
+        buf[..n].copy_from_slice(&st.data[offset as usize..offset as usize + n]);
+        Ok(n)
     }
 
-    fn write(&self, fd: Fd, offset: u64, data: &[u8]) -> Result<usize> {
-        let path = self.handles.path_of(fd)?;
-        let state = self.state(&path)?;
-        let mut st = state.lock();
-        let end = offset as usize + data.len();
+    fn write_vectored(&self, fd: Fd, offset: u64, bufs: &[IoSlice<'_>]) -> Result<usize> {
+        let total = iovec::total_len(bufs);
+        let entry = self.handles.get(fd)?;
+        let mut st = entry.state.lock();
+        let end = offset as usize + total;
         if end > st.data.len() {
             st.data.resize(end, 0);
         }
-        st.data[offset as usize..end].copy_from_slice(data);
+        GatherCursor::new(bufs).copy_to(&mut st.data[offset as usize..end]);
         st.dirty = true;
-        Ok(data.len())
+        Ok(total)
     }
 
     fn truncate(&self, fd: Fd, size: u64) -> Result<()> {
-        let path = self.handles.path_of(fd)?;
-        let state = self.state(&path)?;
-        let mut st = state.lock();
+        let entry = self.handles.get(fd)?;
+        let mut st = entry.state.lock();
         st.data.resize(size as usize, 0);
         st.dirty = true;
         Ok(())
     }
 
     fn fsync(&self, fd: Fd) -> Result<()> {
-        let path = self.handles.path_of(fd)?;
-        if let Some(state) = self.files.read().get(&path).cloned() {
-            let mut st = state.lock();
+        let entry = self.handles.get(fd)?;
+        let path = entry.path();
+        {
+            let mut st = entry.state.lock();
             if st.dirty {
                 self.store_file(&path, &mut st)?;
             }
@@ -288,14 +290,13 @@ impl FileSystem for CeFileFs {
     }
 
     fn len(&self, fd: Fd) -> Result<u64> {
-        let path = self.handles.path_of(fd)?;
-        let state = self.state(&path)?;
-        let len = state.lock().data.len() as u64;
+        let entry = self.handles.get(fd)?;
+        let len = entry.state.lock().data.len() as u64;
         Ok(len)
     }
 
     fn stat(&self, path: &str) -> Result<FileAttr> {
-        let state = self.state(path)?;
+        let state = self.files.lookup_with(path, || self.load_state(path))?;
         let logical = state.lock().data.len() as u64;
         let physical = self.io(|| self.store.len(path))?;
         Ok(FileAttr {
@@ -311,17 +312,17 @@ impl FileSystem for CeFileFs {
             }
             other => other,
         })?;
-        self.files.write().remove(path);
+        self.files.remove(path);
         self.handles.invalidate(path);
         Ok(())
     }
 
     fn rename(&self, from: &str, to: &str) -> Result<()> {
         self.io(|| self.store.rename(from, to))?;
-        let moved = self.files.write().remove(from);
-        if let Some(state) = moved {
-            self.files.write().insert(to.to_string(), state);
-        }
+        // The registry moves the entry under a single map lock, so no
+        // concurrent open can observe (or resurrect) the old path's entry
+        // mid-rename.
+        self.files.rename(from, to);
         self.handles.retarget(from, to);
         Ok(())
     }

@@ -17,18 +17,23 @@
 //!   configuration stores only the raw header bytes, shifting every data
 //!   block — the configuration the paper measured as "at least 10x slower"
 //!   over NFS, reproduced by the `ablation_unaligned` bench.
+//!
+//! The descriptor table hands every operation the file's state directly; the
+//! data path stages blocks in a per-file scratch buffer, so steady-state
+//! reads and writes allocate nothing.
 
 use crate::fs::{FileAttr, FileSystem, OpenFlags};
-use crate::handles::HandleTable;
+use crate::handles::{HandleTable, PathRegistry};
+use crate::iovec::{self, GatherCursor};
 use crate::profiler::{Category, Profiler};
 use crate::{Fd, FsError, Result};
 use lamassu_crypto::aes::Aes256;
 use lamassu_crypto::cbc;
 use lamassu_crypto::Key256;
 use lamassu_storage::ObjectStore;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use rand::RngCore;
-use std::collections::HashMap;
+use std::io::IoSlice;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -62,23 +67,29 @@ struct EncFileState {
     cipher: Aes256,
     logical_size: u64,
     header_dirty: bool,
+    /// Block staging buffer reused across operations so the data path does
+    /// not allocate per call.
+    scratch: Vec<u8>,
 }
+
+type SharedState = Arc<Mutex<EncFileState>>;
 
 /// The conventional (non-convergent) encrypted shim.
 pub struct EncFs {
     store: Arc<dyn ObjectStore>,
     volume_cipher: Aes256,
     config: EncFsConfig,
-    handles: HandleTable,
+    handles: HandleTable<SharedState>,
     profiler: Arc<Profiler>,
-    files: RwLock<HashMap<String, Arc<Mutex<EncFileState>>>>,
+    /// Open-file states shared between descriptors on the same path.
+    files: PathRegistry<SharedState>,
 }
 
 impl EncFs {
     /// Mounts an EncFS over `store`, protecting file keys with `volume_key`.
     pub fn new(store: Arc<dyn ObjectStore>, volume_key: Key256, config: EncFsConfig) -> Self {
         assert!(
-            config.block_size >= RAW_HEADER_LEN && config.block_size % 16 == 0,
+            config.block_size >= RAW_HEADER_LEN && config.block_size.is_multiple_of(16),
             "EncFS block size must be a multiple of 16 and at least {RAW_HEADER_LEN}"
         );
         EncFs {
@@ -87,7 +98,7 @@ impl EncFs {
             config,
             handles: HandleTable::new(),
             profiler: Profiler::new(),
-            files: RwLock::new(HashMap::new()),
+            files: PathRegistry::new(),
         }
     }
 
@@ -123,12 +134,12 @@ impl EncFs {
     }
 
     /// Derives the CBC IV for (file, logical block index).
-    fn block_iv(state: &EncFileState, block: u64) -> [u8; 16] {
-        let mut iv = state.file_iv;
+    fn block_iv(cipher: &Aes256, file_iv: &[u8; 16], block: u64) -> [u8; 16] {
+        let mut iv = *file_iv;
         for (i, b) in block.to_le_bytes().iter().enumerate() {
             iv[8 + i] ^= b;
         }
-        state.cipher.encrypt_block(&iv)
+        cipher.encrypt_block(&iv)
     }
 
     fn serialize_header(&self, state: &EncFileState, header_iv: &[u8; 16]) -> Vec<u8> {
@@ -155,11 +166,9 @@ impl EncFs {
         Ok(())
     }
 
-    fn load_state(&self, path: &str) -> Result<Arc<Mutex<EncFileState>>> {
-        if let Some(state) = self.files.read().get(path) {
-            return Ok(state.clone());
-        }
-        // Read and unwrap the header from the store.
+    /// Reads and unwraps a file's header into a fresh state (no registry
+    /// interaction — callers go through [`PathRegistry`] for sharing).
+    fn load_state(&self, path: &str) -> Result<SharedState> {
         let header = self.io(|| self.store.read_at(path, 0, RAW_HEADER_LEN))?;
         if &header[0..8] != MAGIC {
             return Err(FsError::Metadata(
@@ -180,51 +189,57 @@ impl EncFs {
             cipher: Aes256::new(&file_key),
             logical_size,
             header_dirty: false,
+            scratch: vec![0u8; self.config.block_size],
         }));
-        self.files
-            .write()
-            .entry(path.to_string())
-            .or_insert_with(|| state.clone());
         Ok(state)
     }
 
-    /// Reads and decrypts one full logical block (zero-filled if absent).
-    fn read_block(&self, path: &str, state: &EncFileState, block: u64) -> Result<Vec<u8>> {
-        let bs = self.config.block_size;
+    /// Reads and decrypts one full logical block into `dest` (zero-filled
+    /// for holes). `dest` must be exactly one block.
+    fn read_block_into(
+        &self,
+        path: &str,
+        cipher: &Aes256,
+        file_iv: &[u8; 16],
+        block: u64,
+        dest: &mut [u8],
+    ) -> Result<()> {
+        debug_assert_eq!(dest.len(), self.config.block_size);
         let phys = self.data_offset(block);
-        // Optimistic full-block read; blocks past the stored length come back
-        // as an out-of-bounds error carrying the object size.
-        let mut buf = match self.io(|| self.store.read_at(path, phys, bs)) {
-            Ok(buf) => buf,
-            Err(FsError::Storage(lamassu_storage::StorageError::OutOfBounds { size, .. })) => {
-                if phys >= size {
-                    return Ok(vec![0u8; bs]);
-                }
-                self.io(|| self.store.read_at(path, phys, (size - phys) as usize))?
-            }
-            Err(e) => return Err(e),
-        };
-        buf.resize(bs, 0);
+        let n = self.io(|| self.store.read_into(path, phys, dest))?;
+        dest[n..].fill(0);
         // A hole: sparse regions created by writes past the end of file are
         // zero-filled ciphertext, which must read back as zero plaintext
         // (the same convention real EncFS uses for holes).
-        if buf.iter().all(|&b| b == 0) {
-            return Ok(buf);
+        if dest.iter().all(|&b| b == 0) {
+            return Ok(());
         }
-        let iv = Self::block_iv(state, block);
-        self.profiler
-            .time(Category::Decrypt, || cbc::decrypt_in_place(&state.cipher, &iv, &mut buf))?;
-        Ok(buf)
+        let iv = Self::block_iv(cipher, file_iv, block);
+        self.profiler.time(Category::Decrypt, || {
+            cbc::decrypt_in_place(cipher, &iv, dest)
+        })?;
+        Ok(())
     }
 
-    /// Encrypts and writes one full logical block.
-    fn write_block(&self, path: &str, state: &EncFileState, block: u64, plain: &[u8]) -> Result<()> {
-        debug_assert_eq!(plain.len(), self.config.block_size);
-        let mut buf = plain.to_vec();
-        let iv = Self::block_iv(state, block);
-        self.profiler
-            .time(Category::Encrypt, || cbc::encrypt_in_place(&state.cipher, &iv, &mut buf))?;
-        self.io(|| self.store.write_at(path, self.data_offset(block), &buf))
+    /// Encrypts `block_buf` (one full block of plaintext, consumed in place)
+    /// and writes it.
+    fn encrypt_and_write_block(
+        &self,
+        path: &str,
+        cipher: &Aes256,
+        file_iv: &[u8; 16],
+        block: u64,
+        block_buf: &mut [u8],
+    ) -> Result<()> {
+        debug_assert_eq!(block_buf.len(), self.config.block_size);
+        let iv = Self::block_iv(cipher, file_iv, block);
+        self.profiler.time(Category::Encrypt, || {
+            cbc::encrypt_in_place(cipher, &iv, block_buf)
+        })?;
+        self.io(|| {
+            self.store
+                .write_at(path, self.data_offset(block), block_buf)
+        })
     }
 }
 
@@ -246,12 +261,12 @@ impl FileSystem for EncFs {
             cipher: Aes256::new(&file_key),
             logical_size: 0,
             header_dirty: false,
+            scratch: vec![0u8; self.config.block_size],
         };
         self.write_header(path, &mut state)?;
-        self.files
-            .write()
-            .insert(path.to_string(), Arc::new(Mutex::new(state)));
-        Ok(self.handles.open(path))
+        let state = Arc::new(Mutex::new(state));
+        self.files.insert_open(path, state.clone());
+        Ok(self.handles.open(path, state))
     }
 
     fn open(&self, path: &str, flags: OpenFlags) -> Result<Fd> {
@@ -260,114 +275,147 @@ impl FileSystem for EncFs {
                 path: path.to_string(),
             });
         }
-        let state = self.load_state(path)?;
+        let state = self.files.open_with(path, || self.load_state(path))?;
         if flags.truncate {
             let mut st = state.lock();
             st.logical_size = 0;
-            self.io(|| self.store.truncate(path, self.header_len()))?;
-            self.write_header(path, &mut st)?;
+            let truncated = self
+                .io(|| self.store.truncate(path, self.header_len()))
+                .and_then(|()| self.write_header(path, &mut st));
+            if let Err(e) = truncated {
+                drop(st);
+                self.files.release(path);
+                return Err(e);
+            }
         }
-        Ok(self.handles.open(path))
+        Ok(self.handles.open(path, state))
     }
 
     fn close(&self, fd: Fd) -> Result<()> {
-        let path = self.handles.path_of(fd)?;
-        if let Some(state) = self.files.read().get(&path).cloned() {
-            let mut st = state.lock();
+        let entry = self.handles.close(fd)?;
+        let path = entry.path();
+        let flushed = {
+            let mut st = entry.state.lock();
             if st.header_dirty {
-                self.write_header(&path, &mut st)?;
+                self.write_header(&path, &mut st)
+            } else {
+                Ok(())
             }
-        }
-        self.handles.close(fd)?;
-        if !self.handles.is_open(&path) {
-            self.files.write().remove(&path);
-        }
-        Ok(())
+        };
+        self.files.release(&path);
+        flushed
     }
 
-    fn read(&self, fd: Fd, offset: u64, len: usize) -> Result<Vec<u8>> {
-        let path = self.handles.path_of(fd)?;
-        let state = self.load_state(&path)?;
-        let st = state.lock();
+    fn read_into(&self, fd: Fd, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        let entry = self.handles.get(fd)?;
+        let path = entry.path();
+        let mut st = entry.state.lock();
         if offset >= st.logical_size {
-            return Ok(Vec::new());
-        }
-        let len = len.min((st.logical_size - offset) as usize);
-        let bs = self.config.block_size as u64;
-        let mut out = Vec::with_capacity(len);
-        let mut cur = offset;
-        let end = offset + len as u64;
-        while cur < end {
-            let block = cur / bs;
-            let in_block = (cur % bs) as usize;
-            let take = ((bs - in_block as u64).min(end - cur)) as usize;
-            let plain = self.read_block(&path, &st, block)?;
-            out.extend_from_slice(&plain[in_block..in_block + take]);
-            cur += take as u64;
-        }
-        Ok(out)
-    }
-
-    fn write(&self, fd: Fd, offset: u64, data: &[u8]) -> Result<usize> {
-        if data.is_empty() {
             return Ok(0);
         }
-        let path = self.handles.path_of(fd)?;
-        let state = self.load_state(&path)?;
-        let mut st = state.lock();
+        let len = buf.len().min((st.logical_size - offset) as usize);
         let bs = self.config.block_size as u64;
+        // The scratch buffer stages partial blocks; aligned full blocks are
+        // decrypted directly in the caller's buffer.
+        let mut scratch = std::mem::take(&mut st.scratch);
         let mut cur = offset;
-        let end = offset + data.len() as u64;
-        let mut src = 0usize;
-        while cur < end {
-            let block = cur / bs;
-            let in_block = (cur % bs) as usize;
-            let take = ((bs - in_block as u64).min(end - cur)) as usize;
-            let mut plain = if in_block == 0 && take == bs as usize {
-                vec![0u8; bs as usize]
-            } else {
-                self.read_block(&path, &st, block)?
-            };
-            plain[in_block..in_block + take].copy_from_slice(&data[src..src + take]);
-            self.write_block(&path, &st, block, &plain)?;
-            cur += take as u64;
-            src += take;
+        let end = offset + len as u64;
+        let mut out_pos = 0usize;
+        let result = (|| {
+            while cur < end {
+                let block = cur / bs;
+                let in_block = (cur % bs) as usize;
+                let take = ((bs - in_block as u64).min(end - cur)) as usize;
+                if in_block == 0 && take == bs as usize {
+                    self.read_block_into(
+                        &path,
+                        &st.cipher,
+                        &st.file_iv,
+                        block,
+                        &mut buf[out_pos..out_pos + take],
+                    )?;
+                } else {
+                    self.read_block_into(&path, &st.cipher, &st.file_iv, block, &mut scratch)?;
+                    buf[out_pos..out_pos + take]
+                        .copy_from_slice(&scratch[in_block..in_block + take]);
+                }
+                cur += take as u64;
+                out_pos += take;
+            }
+            Ok(len)
+        })();
+        st.scratch = scratch;
+        result
+    }
+
+    fn write_vectored(&self, fd: Fd, offset: u64, bufs: &[IoSlice<'_>]) -> Result<usize> {
+        let total = iovec::total_len(bufs);
+        if total == 0 {
+            return Ok(0);
         }
+        let entry = self.handles.get(fd)?;
+        let path = entry.path();
+        let mut st = entry.state.lock();
+        let bs = self.config.block_size as u64;
+        let mut scratch = std::mem::take(&mut st.scratch);
+        let mut cursor = GatherCursor::new(bufs);
+        let mut cur = offset;
+        let end = offset + total as u64;
+        let result: Result<()> = (|| {
+            while cur < end {
+                let block = cur / bs;
+                let in_block = (cur % bs) as usize;
+                let take = ((bs - in_block as u64).min(end - cur)) as usize;
+                if in_block == 0 && take == bs as usize {
+                    cursor.copy_to(&mut scratch);
+                } else {
+                    // Read-modify-write of a partially covered block.
+                    self.read_block_into(&path, &st.cipher, &st.file_iv, block, &mut scratch)?;
+                    cursor.copy_to(&mut scratch[in_block..in_block + take]);
+                }
+                self.encrypt_and_write_block(&path, &st.cipher, &st.file_iv, block, &mut scratch)?;
+                cur += take as u64;
+            }
+            Ok(())
+        })();
+        st.scratch = scratch;
+        result?;
         if end > st.logical_size {
             st.logical_size = end;
             st.header_dirty = true;
         }
-        Ok(data.len())
+        Ok(total)
     }
 
     fn truncate(&self, fd: Fd, size: u64) -> Result<()> {
-        let path = self.handles.path_of(fd)?;
-        let state = self.load_state(&path)?;
-        let mut st = state.lock();
+        let entry = self.handles.get(fd)?;
+        let path = entry.path();
+        let mut st = entry.state.lock();
         let bs = self.config.block_size as u64;
         // When shrinking to a mid-block size, zero the tail of the surviving
         // final block so stale bytes cannot reappear if the file grows again.
-        if size < st.logical_size && size % bs != 0 {
+        if size < st.logical_size && !size.is_multiple_of(bs) {
             let block = size / bs;
-            let mut plain = self.read_block(&path, &st, block)?;
-            for b in plain[(size % bs) as usize..].iter_mut() {
-                *b = 0;
-            }
-            self.write_block(&path, &st, block, &plain)?;
+            let mut scratch = std::mem::take(&mut st.scratch);
+            let result = (|| {
+                self.read_block_into(&path, &st.cipher, &st.file_iv, block, &mut scratch)?;
+                scratch[(size % bs) as usize..].fill(0);
+                self.encrypt_and_write_block(&path, &st.cipher, &st.file_iv, block, &mut scratch)
+            })();
+            st.scratch = scratch;
+            result?;
         }
         let blocks = size.div_ceil(bs);
-        self.io(|| {
-            self.store
-                .truncate(&path, self.header_len() + blocks * bs)
-        })?;
+        self.io(|| self.store.truncate(&path, self.header_len() + blocks * bs))?;
         st.logical_size = size;
         self.write_header(&path, &mut st)
     }
 
     fn fsync(&self, fd: Fd) -> Result<()> {
-        let path = self.handles.path_of(fd)?;
-        if let Some(state) = self.files.read().get(&path).cloned() {
-            let mut st = state.lock();
+        let entry = self.handles.get(fd)?;
+        let path = entry.path();
+        {
+            let mut st = entry.state.lock();
             if st.header_dirty {
                 self.write_header(&path, &mut st)?;
             }
@@ -376,9 +424,8 @@ impl FileSystem for EncFs {
     }
 
     fn len(&self, fd: Fd) -> Result<u64> {
-        let path = self.handles.path_of(fd)?;
-        let state = self.load_state(&path)?;
-        let size = state.lock().logical_size;
+        let entry = self.handles.get(fd)?;
+        let size = entry.state.lock().logical_size;
         Ok(size)
     }
 
@@ -388,7 +435,7 @@ impl FileSystem for EncFs {
                 path: path.to_string(),
             });
         }
-        let state = self.load_state(path)?;
+        let state = self.files.lookup_with(path, || self.load_state(path))?;
         let logical = state.lock().logical_size;
         let physical = self.io(|| self.store.len(path))?;
         Ok(FileAttr {
@@ -404,17 +451,17 @@ impl FileSystem for EncFs {
             }
             other => other,
         })?;
-        self.files.write().remove(path);
+        self.files.remove(path);
         self.handles.invalidate(path);
         Ok(())
     }
 
     fn rename(&self, from: &str, to: &str) -> Result<()> {
         self.io(|| self.store.rename(from, to))?;
-        let state = self.files.write().remove(from);
-        if let Some(state) = state {
-            self.files.write().insert(to.to_string(), state);
-        }
+        // The registry moves the entry under a single map lock, so no
+        // concurrent open can observe (or resurrect) the old path's entry
+        // mid-rename.
+        self.files.rename(from, to);
         self.handles.retarget(from, to);
         Ok(())
     }
@@ -454,11 +501,29 @@ mod tests {
     }
 
     #[test]
+    fn read_into_and_write_vectored_round_trip() {
+        let (_s, fs) = mount();
+        let fd = fs.create("/f").unwrap();
+        let head = vec![0x11u8; 5000];
+        let tail = vec![0x22u8; 3000];
+        let n = fs
+            .write_vectored(fd, 100, &[IoSlice::new(&head), IoSlice::new(&tail)])
+            .unwrap();
+        assert_eq!(n, 8000);
+        let mut buf = vec![0u8; 8200];
+        let read = fs.read_into(fd, 0, &mut buf).unwrap();
+        assert_eq!(read, 8100);
+        assert_eq!(&buf[..100], &[0u8; 100]);
+        assert_eq!(&buf[100..5100], &head[..]);
+        assert_eq!(&buf[5100..8100], &tail[..]);
+    }
+
+    #[test]
     fn unaligned_offsets_round_trip() {
         let (_s, fs) = mount();
         let fd = fs.create("/f").unwrap();
         fs.write(fd, 0, &vec![1u8; 9000]).unwrap();
-        fs.write(fd, 4000, &vec![2u8; 200]).unwrap();
+        fs.write(fd, 4000, &[2u8; 200]).unwrap();
         let back = fs.read(fd, 3990, 220).unwrap();
         assert_eq!(&back[..10], &[1u8; 10]);
         assert_eq!(&back[10..210], &[2u8; 200]);

@@ -3,10 +3,32 @@
 //! In the paper's prototype this surface is exported through FUSE and the
 //! Linux VFS; applications use ordinary file I/O. In this reproduction the
 //! same operations are exposed as an in-process trait so that the benchmark
-//! harness, the examples and the CLI can drive any of the three shims
-//! (PlainFS, EncFS, LamassuFS) identically.
+//! harness, the examples and the CLI can drive any of the shims (PlainFS,
+//! EncFS, CeFileFS, LamassuFS) identically.
+//!
+//! # Fd-centric, zero-copy I/O
+//!
+//! The shim sits on the data path of *every* block I/O, so per-operation
+//! overhead is the product metric. The trait is therefore organised around
+//! two allocation-free primitives:
+//!
+//! * [`FileSystem::read_into`] fills a caller-owned buffer, so steady-state
+//!   readers reuse one buffer across calls instead of receiving a fresh
+//!   `Vec` per operation;
+//! * [`FileSystem::write_vectored`] accepts a scatter list
+//!   ([`std::io::IoSlice`]), so callers can submit header + payload (or
+//!   several fragments) in one call without concatenating them first.
+//!
+//! The familiar [`FileSystem::read`] / [`FileSystem::write`] remain as
+//! default-implemented conveniences on top of the primitives, so existing
+//! call sites keep working and can migrate incrementally.
+//!
+//! Internally, every shim resolves a descriptor to an `Arc` of its per-file
+//! state **once at `open`/`create` time**; per-operation work is a single
+//! descriptor-table lookup with no path strings cloned and no re-resolution.
 
 use crate::Result;
+use std::io::IoSlice;
 
 /// A file descriptor handed out by [`FileSystem::open`] / [`FileSystem::create`].
 pub type Fd = u64;
@@ -43,13 +65,49 @@ pub trait FileSystem: Send + Sync {
     /// Closes a descriptor, flushing any buffered writes for it.
     fn close(&self, fd: Fd) -> Result<()>;
 
-    /// Reads up to `len` bytes at `offset`. Reads past end-of-file are
-    /// truncated (a short or empty vector is returned, not an error).
-    fn read(&self, fd: Fd, offset: u64, len: usize) -> Result<Vec<u8>>;
+    /// Reads up to `buf.len()` bytes at `offset` into the caller's buffer,
+    /// returning the number of bytes read. Reads past end-of-file are
+    /// truncated (a short or zero count is returned, not an error).
+    ///
+    /// This is the primitive read operation: implementations fill `buf`
+    /// without allocating, so a caller reusing one buffer pays no per-call
+    /// allocation.
+    fn read_into(&self, fd: Fd, offset: u64, buf: &mut [u8]) -> Result<usize>;
+
+    /// Writes the concatenation of `bufs` at `offset`, extending the file if
+    /// needed. Returns the total number of bytes written (always the sum of
+    /// the slice lengths on success).
+    ///
+    /// This is the primitive write operation: the scatter list lets callers
+    /// submit multiple fragments in one call without building a contiguous
+    /// copy first.
+    fn write_vectored(&self, fd: Fd, offset: u64, bufs: &[IoSlice<'_>]) -> Result<usize>;
+
+    /// Reads up to `len` bytes at `offset` into a fresh vector. Reads past
+    /// end-of-file are truncated (a short or empty vector is returned, not an
+    /// error).
+    ///
+    /// Convenience wrapper over [`FileSystem::read_into`]; it allocates one
+    /// vector per call, so hot loops should prefer the primitive. The
+    /// allocation is clamped to the remaining file size, so "read the whole
+    /// file" calls with a generous `len` stay cheap.
+    fn read(&self, fd: Fd, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let remaining = self.len(fd)?.saturating_sub(offset);
+        let len = len.min(usize::try_from(remaining).unwrap_or(usize::MAX));
+        let mut buf = vec![0u8; len];
+        let n = self.read_into(fd, offset, &mut buf)?;
+        buf.truncate(n);
+        Ok(buf)
+    }
 
     /// Writes `data` at `offset`, extending the file if needed. Returns the
     /// number of bytes written (always `data.len()` on success).
-    fn write(&self, fd: Fd, offset: u64, data: &[u8]) -> Result<usize>;
+    ///
+    /// Convenience wrapper over [`FileSystem::write_vectored`] with a single
+    /// slice.
+    fn write(&self, fd: Fd, offset: u64, data: &[u8]) -> Result<usize> {
+        self.write_vectored(fd, offset, &[IoSlice::new(data)])
+    }
 
     /// Truncates (or extends with zeros) the file to `size` bytes.
     fn truncate(&self, fd: Fd, size: u64) -> Result<()>;

@@ -1,35 +1,68 @@
-//! Shared file-descriptor table used by all three shims.
+//! Shared file-descriptor table and path-state registry used by all shims.
+//!
+//! [`HandleTable`] is generic over the shim's per-file state `S` (typically
+//! an `Arc<Mutex<…>>`): [`HandleTable::open`] captures the state once, and
+//! every subsequent operation resolves the descriptor to the same [`FdEntry`]
+//! with a single map lookup — no path re-resolution, no `String` clone, no
+//! secondary per-file-map lookup on the hot path.
+//!
+//! [`PathRegistry`] is the companion per-path side: it hands out *one* shared
+//! state per open path (so every descriptor on a path sees the same buffered
+//! writes) and garbage-collects it when the last descriptor closes. All of
+//! its transitions — get-or-load, pin, release, rename — run under a single
+//! map lock, so an `open` racing a last `close` can never end up with two
+//! divergent states for one file.
 
 use crate::{Fd, FsError, Result};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// Maps descriptors to paths and counts open handles per path.
-#[derive(Default)]
-pub(crate) struct HandleTable {
-    next_fd: RwLock<Fd>,
-    fds: RwLock<HashMap<Fd, String>>,
+/// One open descriptor: the (renameable) path plus the shim's per-file state.
+pub(crate) struct FdEntry<S> {
+    /// Current path of the file. Behind its own lock only because `rename`
+    /// must retarget it; per-op readers take an uncontended read lock and
+    /// clone the `Arc<str>` (a refcount bump, not a string copy).
+    path: RwLock<Arc<str>>,
+    /// Per-file state captured at open/create time.
+    pub(crate) state: S,
 }
 
-impl HandleTable {
+impl<S> FdEntry<S> {
+    /// The entry's current path, shared without copying the string bytes.
+    pub(crate) fn path(&self) -> Arc<str> {
+        self.path.read().clone()
+    }
+}
+
+/// Maps descriptors to their entries and tracks open handles per path.
+pub(crate) struct HandleTable<S> {
+    next_fd: AtomicU64,
+    fds: RwLock<HashMap<Fd, Arc<FdEntry<S>>>>,
+}
+
+impl<S> HandleTable<S> {
     pub(crate) fn new() -> Self {
         HandleTable {
-            next_fd: RwLock::new(3), // 0-2 reserved, in the unix spirit
+            next_fd: AtomicU64::new(3), // 0-2 reserved, in the unix spirit
             fds: RwLock::new(HashMap::new()),
         }
     }
 
-    /// Allocates a descriptor for `path`.
-    pub(crate) fn open(&self, path: &str) -> Fd {
-        let mut next = self.next_fd.write();
-        let fd = *next;
-        *next += 1;
-        self.fds.write().insert(fd, path.to_string());
+    /// Allocates a descriptor for `path`, capturing its per-file state.
+    pub(crate) fn open(&self, path: &str, state: S) -> Fd {
+        let fd = self.next_fd.fetch_add(1, Ordering::Relaxed);
+        let entry = Arc::new(FdEntry {
+            path: RwLock::new(Arc::from(path)),
+            state,
+        });
+        self.fds.write().insert(fd, entry);
         fd
     }
 
-    /// Resolves a descriptor to its path.
-    pub(crate) fn path_of(&self, fd: Fd) -> Result<String> {
+    /// Resolves a descriptor to its entry.
+    pub(crate) fn get(&self, fd: Fd) -> Result<Arc<FdEntry<S>>> {
         self.fds
             .read()
             .get(&fd)
@@ -37,32 +70,141 @@ impl HandleTable {
             .ok_or(FsError::BadFd { fd })
     }
 
-    /// Releases a descriptor, returning the path it referred to.
-    pub(crate) fn close(&self, fd: Fd) -> Result<String> {
-        self.fds
-            .write()
-            .remove(&fd)
-            .ok_or(FsError::BadFd { fd })
+    /// Releases a descriptor, returning the entry it referred to.
+    pub(crate) fn close(&self, fd: Fd) -> Result<Arc<FdEntry<S>>> {
+        self.fds.write().remove(&fd).ok_or(FsError::BadFd { fd })
     }
 
-    /// True if any open descriptor still refers to `path`.
+    /// True if any open descriptor still refers to `path` (kept for tests;
+    /// shims track per-path lifetimes through [`PathRegistry`] instead).
+    #[cfg(test)]
     pub(crate) fn is_open(&self, path: &str) -> bool {
-        self.fds.read().values().any(|p| p == path)
+        self.fds.read().values().any(|e| &**e.path.read() == path)
     }
 
     /// Rewrites the path behind every descriptor that points at `from`
     /// (used by `rename`).
     pub(crate) fn retarget(&self, from: &str, to: &str) {
-        for p in self.fds.write().values_mut() {
-            if p == from {
-                *p = to.to_string();
+        let to: Arc<str> = Arc::from(to);
+        for entry in self.fds.read().values() {
+            let mut path = entry.path.write();
+            if &**path == from {
+                *path = to.clone();
             }
         }
     }
 
     /// Invalidates all descriptors pointing at `path` (used by `remove`).
     pub(crate) fn invalidate(&self, path: &str) {
-        self.fds.write().retain(|_, p| p != path);
+        self.fds.write().retain(|_, e| &**e.path.read() != path);
+    }
+}
+
+/// One path's shared state plus the number of descriptors pinning it.
+struct RegEntry<S> {
+    state: S,
+    open_handles: usize,
+}
+
+/// Per-path shared-state registry: the single source of truth for "which
+/// state object serves path P right now".
+///
+/// `open`/`create` **pin** an entry; `close` releases the pin and drops the
+/// entry when no descriptors remain. Path-level operations (`stat`,
+/// `verify`, …) look states up **without** pinning, mirroring the historical
+/// behaviour where such entries live until an open/close cycle or a
+/// remove/rename retires them.
+pub(crate) struct PathRegistry<S: Clone> {
+    entries: RwLock<HashMap<String, RegEntry<S>>>,
+}
+
+impl<S: Clone> PathRegistry<S> {
+    pub(crate) fn new() -> Self {
+        PathRegistry {
+            entries: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Gets (or loads, via `load`) the state for `path` and pins it for a
+    /// new descriptor. The whole transition happens under the map lock, so a
+    /// concurrent last-`close` either runs before (and `load` produces a
+    /// fresh state) or after (and the pin keeps the entry alive) — never in
+    /// between.
+    pub(crate) fn open_with(&self, path: &str, load: impl FnOnce() -> Result<S>) -> Result<S> {
+        let mut entries = self.entries.write();
+        if let Some(entry) = entries.get_mut(path) {
+            entry.open_handles += 1;
+            return Ok(entry.state.clone());
+        }
+        let state = load()?;
+        entries.insert(
+            path.to_string(),
+            RegEntry {
+                state: state.clone(),
+                open_handles: 1,
+            },
+        );
+        Ok(state)
+    }
+
+    /// Registers a freshly created file's state, pinned for its descriptor.
+    pub(crate) fn insert_open(&self, path: &str, state: S) {
+        self.entries.write().insert(
+            path.to_string(),
+            RegEntry {
+                state,
+                open_handles: 1,
+            },
+        );
+    }
+
+    /// Gets (or loads) the state for `path` without pinning it — for
+    /// path-level operations that do not hand out a descriptor.
+    pub(crate) fn lookup_with(&self, path: &str, load: impl FnOnce() -> Result<S>) -> Result<S> {
+        let mut entries = self.entries.write();
+        if let Some(entry) = entries.get(path) {
+            return Ok(entry.state.clone());
+        }
+        let state = load()?;
+        entries.insert(
+            path.to_string(),
+            RegEntry {
+                state: state.clone(),
+                open_handles: 0,
+            },
+        );
+        Ok(state)
+    }
+
+    /// The state for `path`, if one is registered.
+    pub(crate) fn peek(&self, path: &str) -> Option<S> {
+        self.entries.read().get(path).map(|e| e.state.clone())
+    }
+
+    /// Releases one descriptor's pin; the entry is dropped when none remain.
+    pub(crate) fn release(&self, path: &str) {
+        let mut entries = self.entries.write();
+        if let Some(entry) = entries.get_mut(path) {
+            entry.open_handles = entry.open_handles.saturating_sub(1);
+            if entry.open_handles == 0 {
+                entries.remove(path);
+            }
+        }
+    }
+
+    /// Drops the entry for `path` (the file was removed).
+    pub(crate) fn remove(&self, path: &str) {
+        self.entries.write().remove(path);
+    }
+
+    /// Moves the entry (state and pins) from `from` to `to` in one critical
+    /// section, returning the moved state so the caller can re-point it.
+    pub(crate) fn rename(&self, from: &str, to: &str) -> Option<S> {
+        let mut entries = self.entries.write();
+        let entry = entries.remove(from)?;
+        let state = entry.state.clone();
+        entries.insert(to.to_string(), entry);
+        Some(state)
     }
 }
 
@@ -72,33 +214,93 @@ mod tests {
 
     #[test]
     fn open_close_cycle() {
-        let t = HandleTable::new();
-        let fd = t.open("/a");
-        assert_eq!(t.path_of(fd).unwrap(), "/a");
+        let t: HandleTable<u32> = HandleTable::new();
+        let fd = t.open("/a", 7);
+        let entry = t.get(fd).unwrap();
+        assert_eq!(&*entry.path(), "/a");
+        assert_eq!(entry.state, 7);
         assert!(t.is_open("/a"));
-        assert_eq!(t.close(fd).unwrap(), "/a");
+        assert_eq!(&*t.close(fd).unwrap().path(), "/a");
         assert!(!t.is_open("/a"));
-        assert!(matches!(t.path_of(fd), Err(FsError::BadFd { .. })));
+        assert!(matches!(t.get(fd), Err(FsError::BadFd { .. })));
         assert!(t.close(fd).is_err());
     }
 
     #[test]
-    fn fds_are_unique() {
-        let t = HandleTable::new();
-        let a = t.open("/a");
-        let b = t.open("/a");
+    fn fds_are_unique_and_states_independent() {
+        let t: HandleTable<u32> = HandleTable::new();
+        let a = t.open("/a", 1);
+        let b = t.open("/a", 2);
         assert_ne!(a, b);
+        assert_eq!(t.get(a).unwrap().state, 1);
+        assert_eq!(t.get(b).unwrap().state, 2);
         t.close(a).unwrap();
         assert!(t.is_open("/a"), "second handle still open");
     }
 
     #[test]
     fn retarget_and_invalidate() {
-        let t = HandleTable::new();
-        let fd = t.open("/old");
+        let t: HandleTable<()> = HandleTable::new();
+        let fd = t.open("/old", ());
         t.retarget("/old", "/new");
-        assert_eq!(t.path_of(fd).unwrap(), "/new");
+        assert_eq!(&*t.get(fd).unwrap().path(), "/new");
         t.invalidate("/new");
-        assert!(t.path_of(fd).is_err());
+        assert!(t.get(fd).is_err());
+    }
+
+    #[test]
+    fn entry_survives_close_via_arc() {
+        // An in-flight operation holding the entry keeps it alive even if
+        // the descriptor is closed concurrently.
+        let t: HandleTable<u32> = HandleTable::new();
+        let fd = t.open("/f", 9);
+        let entry = t.get(fd).unwrap();
+        t.close(fd).unwrap();
+        assert_eq!(entry.state, 9);
+    }
+
+    #[test]
+    fn registry_pins_share_one_state_until_last_release() {
+        let r: PathRegistry<u32> = PathRegistry::new();
+        let a = r.open_with("/f", || Ok(1)).unwrap();
+        let b = r.open_with("/f", || Ok(2)).unwrap();
+        assert_eq!((a, b), (1, 1), "second open shares the first state");
+        r.release("/f");
+        assert_eq!(r.peek("/f"), Some(1), "still pinned by the other handle");
+        r.release("/f");
+        assert_eq!(r.peek("/f"), None, "dropped with the last pin");
+        let c = r.open_with("/f", || Ok(3)).unwrap();
+        assert_eq!(c, 3, "a fresh open reloads");
+    }
+
+    #[test]
+    fn registry_lookup_does_not_pin() {
+        let r: PathRegistry<u32> = PathRegistry::new();
+        assert_eq!(r.lookup_with("/f", || Ok(7)).unwrap(), 7);
+        // An open/close cycle retires the unpinned entry too.
+        assert_eq!(r.open_with("/f", || Ok(8)).unwrap(), 7);
+        r.release("/f");
+        assert_eq!(r.peek("/f"), None);
+    }
+
+    #[test]
+    fn registry_rename_moves_pins() {
+        let r: PathRegistry<u32> = PathRegistry::new();
+        r.insert_open("/a", 5);
+        assert_eq!(r.rename("/a", "/b"), Some(5));
+        assert_eq!(r.peek("/a"), None);
+        assert_eq!(r.peek("/b"), Some(5));
+        r.release("/b");
+        assert_eq!(r.peek("/b"), None);
+        assert_eq!(r.rename("/missing", "/x"), None);
+    }
+
+    #[test]
+    fn registry_failed_load_inserts_nothing() {
+        let r: PathRegistry<u32> = PathRegistry::new();
+        assert!(r
+            .open_with("/f", || Err(crate::FsError::BadFd { fd: 0 }))
+            .is_err());
+        assert_eq!(r.peek("/f"), None);
     }
 }

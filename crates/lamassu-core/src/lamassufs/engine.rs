@@ -3,9 +3,20 @@
 //! [`Engine`] holds everything shared by all files of one mount (backing
 //! store, geometry, crypto contexts, profiler); [`LamassuFile`] holds the
 //! per-object state (logical size, the in-memory write buffer that batches up
-//! to `R` dirty blocks, and a decrypted-metadata cache). All the mechanics
+//! to `R` dirty blocks, a decrypted-metadata cache, and the reusable block
+//! buffers that keep the data path allocation-free). All the mechanics
 //! described in §2.2–§2.5 of the paper live here.
+//!
+//! # Hot-path buffer discipline
+//!
+//! * Reads land directly in the caller's buffer when they cover whole
+//!   aligned blocks (ciphertext is read into the destination and decrypted
+//!   in place); sub-block spans stage through the file's one scratch block.
+//! * Writes stage dirty plaintext blocks in a small pool recycled across
+//!   commits, so steady-state writing performs no per-call allocation.
+//! * Commit encrypts each staged block in place before writing it out.
 
+use crate::iovec::{self, GatherCursor};
 use crate::lamassufs::{IntegrityMode, LamassuConfig};
 use crate::profiler::{Category, Profiler};
 use crate::{FsError, Result};
@@ -20,6 +31,7 @@ use lamassu_storage::{ObjectStore, StorageError};
 use parking_lot::RwLock;
 use rand::RngCore;
 use std::collections::{BTreeMap, HashMap};
+use std::io::IoSlice;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -83,7 +95,8 @@ impl CryptoCtx {
     }
 }
 
-/// Per-file state: logical size, write buffer and metadata cache.
+/// Per-file state: logical size, write buffer, metadata cache and the
+/// recycled block buffers of the zero-copy data path.
 pub(crate) struct LamassuFile {
     name: String,
     logical_size: u64,
@@ -93,16 +106,32 @@ pub(crate) struct LamassuFile {
     pending: BTreeMap<u64, Vec<u8>>,
     /// Decrypted metadata blocks, keyed by segment index. Write-through.
     meta_cache: HashMap<u64, MetadataBlock>,
+    /// One staging block for sub-block read/write spans.
+    scratch: Vec<u8>,
+    /// Separate staging block for sealed metadata reads. Kept distinct from
+    /// `scratch` because metadata reads happen *inside* data-path operations
+    /// that have already borrowed `scratch`.
+    meta_scratch: Vec<u8>,
+    /// Recycled block buffers for `pending`, so steady-state writes reuse
+    /// the buffers freed by the previous commit.
+    spare: Vec<Vec<u8>>,
+    /// Upper bound on `spare` (writes batch at most `R` blocks, so `R`
+    /// buffers plus a little slack cycle forever).
+    spare_cap: usize,
 }
 
 impl LamassuFile {
-    fn new(name: &str) -> Self {
+    fn new(name: &str, geometry: &Geometry) -> Self {
         LamassuFile {
             name: name.to_string(),
             logical_size: 0,
             size_dirty: false,
             pending: BTreeMap::new(),
             meta_cache: HashMap::new(),
+            scratch: vec![0u8; geometry.block_size()],
+            meta_scratch: vec![0u8; geometry.block_size()],
+            spare: Vec::new(),
+            spare_cap: geometry.reserved_slots() + 2,
         }
     }
 
@@ -111,9 +140,27 @@ impl LamassuFile {
         self.logical_size
     }
 
+    /// The object name this state currently refers to.
+    pub(crate) fn name(&self) -> &str {
+        &self.name
+    }
+
     /// Points the state at a new object name after a rename.
     pub(crate) fn set_name(&mut self, name: &str) {
         self.name = name.to_string();
+    }
+
+    /// Hands out a block buffer from the recycle pool (callers must fully
+    /// initialize it — recycled buffers hold stale bytes).
+    fn take_block(&mut self, block_size: usize) -> Vec<u8> {
+        self.spare.pop().unwrap_or_else(|| vec![0u8; block_size])
+    }
+
+    /// Returns a block buffer to the recycle pool.
+    fn recycle(&mut self, buf: Vec<u8>) {
+        if self.spare.len() < self.spare_cap {
+            self.spare.push(buf);
+        }
     }
 }
 
@@ -212,7 +259,7 @@ impl Engine {
             }
             other => other,
         })?;
-        let mut file = LamassuFile::new(name);
+        let mut file = LamassuFile::new(name, &self.geometry);
         let mb = MetadataBlock::new(&self.geometry);
         self.write_meta(&mut file, 0, mb)?;
         Ok(file)
@@ -221,7 +268,7 @@ impl Engine {
     /// Loads an existing object, reading its authoritative logical size from
     /// the final segment's metadata block (paper §2.3).
     pub(crate) fn load(&self, name: &str) -> Result<LamassuFile> {
-        let mut file = LamassuFile::new(name);
+        let mut file = LamassuFile::new(name, &self.geometry);
         let last = self.last_physical_segment(name)?;
         let mb = self.read_meta(&mut file, last)?;
         file.logical_size = mb.logical_size;
@@ -247,26 +294,37 @@ impl Engine {
         }
         let offset = self.geometry.metadata_block_offset(segment);
         let bs = self.geometry.block_size();
-        // Read the sealed block directly; a segment that does not exist on
-        // disk yet surfaces as an out-of-bounds read and means "empty".
-        let sealed = match self.io(|| self.store.read_at(&file.name, offset, bs)) {
-            Ok(sealed) => Some(sealed),
-            Err(FsError::Storage(StorageError::OutOfBounds { .. })) => None,
-            Err(e) => return Err(e),
-        };
-        let mb = match sealed {
-            None => MetadataBlock::new(&self.geometry),
-            Some(sealed) if sealed.iter().all(|&b| b == 0) => {
+        // Read the sealed block through the metadata staging buffer; a
+        // segment that does not exist on disk yet comes back short and means
+        // "empty".
+        let mut staged = std::mem::take(&mut file.meta_scratch);
+        debug_assert_eq!(staged.len(), bs);
+        let read = self.io(|| self.store.read_into(&file.name, offset, &mut staged));
+        let mb = match read {
+            Err(e) => {
+                file.meta_scratch = staged;
+                return Err(e);
+            }
+            Ok(n) if n < bs => MetadataBlock::new(&self.geometry),
+            Ok(_) if staged.iter().all(|&b| b == 0) => {
                 // A hole left by a sparse write: no metadata was ever stored.
                 MetadataBlock::new(&self.geometry)
             }
-            Some(sealed) => {
+            Ok(_) => {
                 let crypto = self.crypto.read();
-                self.profiler.time(Category::Decrypt, || {
-                    MetadataBlock::unseal(&self.geometry, &crypto.gcm, &Self::aad(segment), &sealed)
-                })?
+                let unsealed = self.profiler.time(Category::Decrypt, || {
+                    MetadataBlock::unseal(&self.geometry, &crypto.gcm, &Self::aad(segment), &staged)
+                });
+                match unsealed {
+                    Ok(mb) => mb,
+                    Err(e) => {
+                        file.meta_scratch = staged;
+                        return Err(e.into());
+                    }
+                }
             }
         };
+        file.meta_scratch = staged;
         if file.meta_cache.len() >= META_CACHE_CAP {
             file.meta_cache.clear();
         }
@@ -301,30 +359,34 @@ impl Engine {
     /// charging the hash/KDF time to the `GetCEKey` category.
     fn derive_key(&self, plaintext: &[u8]) -> Key256 {
         let crypto = self.crypto.read();
-        self.profiler
-            .time(Category::GetCeKey, || crypto.kdf.derive_for_block(plaintext))
+        self.profiler.time(Category::GetCeKey, || {
+            crypto.kdf.derive_for_block(plaintext)
+        })
     }
 
-    /// Convergent encryption of one data block (Equation 2).
-    fn encrypt_block(&self, plaintext: &[u8], key: &Key256) -> Vec<u8> {
+    /// Convergent encryption of one data block in place (Equation 2).
+    fn encrypt_in_place(&self, buf: &mut [u8], key: &Key256) {
         self.profiler.time(Category::Encrypt, || {
-            let mut buf = plaintext.to_vec();
             let cipher = Aes256::new(key);
-            cbc::encrypt_in_place(&cipher, &FIXED_IV, &mut buf)
+            cbc::encrypt_in_place(&cipher, &FIXED_IV, buf)
                 .expect("data blocks are 16-byte aligned");
-            buf
         })
     }
 
-    /// Decryption of one data block.
-    fn decrypt_block(&self, ciphertext: &[u8], key: &Key256) -> Vec<u8> {
+    /// Decryption of one data block in place.
+    fn decrypt_in_place(&self, buf: &mut [u8], key: &Key256) {
         self.profiler.time(Category::Decrypt, || {
-            let mut buf = ciphertext.to_vec();
             let cipher = Aes256::new(key);
-            cbc::decrypt_in_place(&cipher, &FIXED_IV, &mut buf)
+            cbc::decrypt_in_place(&cipher, &FIXED_IV, buf)
                 .expect("data blocks are 16-byte aligned");
-            buf
         })
+    }
+
+    /// Decryption of one data block into a fresh vector (recovery path).
+    fn decrypt_block(&self, ciphertext: &[u8], key: &Key256) -> Vec<u8> {
+        let mut buf = ciphertext.to_vec();
+        self.decrypt_in_place(&mut buf, key);
+        buf
     }
 
     /// The §2.5 integrity self-check: the hash of the decrypted block must
@@ -337,93 +399,117 @@ impl Engine {
     // Read path
     // ------------------------------------------------------------------
 
-    /// Reads one logical block as plaintext. `None` means the block has never
-    /// been written (a hole) and reads as zeros.
-    fn read_block(
+    /// Reads one logical block as plaintext into `dest` (exactly one block
+    /// long). Returns `false` — with `dest` zero-filled — when the block has
+    /// never been written (a hole).
+    fn read_block_into(
         &self,
         file: &mut LamassuFile,
         logical_block: u64,
+        dest: &mut [u8],
         force_integrity: bool,
-    ) -> Result<Option<Vec<u8>>> {
+    ) -> Result<bool> {
+        debug_assert_eq!(dest.len(), self.geometry.block_size());
         if let Some(plain) = file.pending.get(&logical_block) {
-            return Ok(Some(plain.clone()));
+            dest.copy_from_slice(plain);
+            return Ok(true);
         }
         let loc = self.geometry.locate_block(logical_block);
         let mb = self.read_meta(file, loc.segment)?;
         let key = match mb.key(loc.slot) {
             Some(k) => *k,
-            None => return Ok(None),
+            None => {
+                dest.fill(0);
+                return Ok(false);
+            }
         };
-        let bs = self.geometry.block_size();
-        let ciphertext =
-            match self.io(|| self.store.read_at(&file.name, loc.physical_offset, bs)) {
-                Ok(ct) => ct,
-                // Key present but data never reached disk (should only happen
-                // on an unrecovered crash); treat as a hole.
-                Err(FsError::Storage(StorageError::OutOfBounds { .. })) => return Ok(None),
-                Err(e) => return Err(e),
-            };
-        let plain = self.decrypt_block(&ciphertext, &key);
+        let n = self.io(|| self.store.read_into(&file.name, loc.physical_offset, dest))?;
+        if n < dest.len() {
+            // Key present but data never reached disk (should only happen on
+            // an unrecovered crash); treat as a hole.
+            dest.fill(0);
+            return Ok(false);
+        }
+        self.decrypt_in_place(dest, &key);
         let check = force_integrity || matches!(self.integrity, IntegrityMode::Full);
-        if check && !self.key_matches_plaintext(&plain, &key) {
+        if check && !self.key_matches_plaintext(dest, &key) {
             return Err(FsError::IntegrityViolation {
                 path: file.name.clone(),
                 logical_block,
             });
         }
-        Ok(Some(plain))
+        Ok(true)
     }
 
-    /// Reads `len` bytes at `offset`, clamped to the logical size.
-    pub(crate) fn read_range(
+    /// Reads into `buf` at `offset`, clamped to the logical size; returns the
+    /// number of bytes read. Whole aligned blocks are decrypted directly in
+    /// `buf`; sub-block spans stage through the file's scratch block.
+    pub(crate) fn read_range_into(
         &self,
         file: &mut LamassuFile,
         offset: u64,
-        len: usize,
-    ) -> Result<Vec<u8>> {
+        buf: &mut [u8],
+    ) -> Result<usize> {
         if offset >= file.logical_size {
-            return Ok(Vec::new());
+            return Ok(0);
         }
-        let len = len.min((file.logical_size - offset) as usize);
-        let mut out = Vec::with_capacity(len);
-        for (block, in_block, take) in self.geometry.block_spans(offset, len) {
-            match self.read_block(file, block, false)? {
-                Some(plain) => out.extend_from_slice(&plain[in_block..in_block + take]),
-                None => out.extend(std::iter::repeat(0u8).take(take)),
+        let len = buf.len().min((file.logical_size - offset) as usize);
+        let bs = self.geometry.block_size();
+        let mut scratch = std::mem::take(&mut file.scratch);
+        let mut out = 0usize;
+        let result = (|| {
+            for (block, in_block, take) in self.geometry.block_spans(offset, len) {
+                if in_block == 0 && take == bs {
+                    self.read_block_into(file, block, &mut buf[out..out + take], false)?;
+                } else {
+                    self.read_block_into(file, block, &mut scratch, false)?;
+                    buf[out..out + take].copy_from_slice(&scratch[in_block..in_block + take]);
+                }
+                out += take;
             }
-        }
-        Ok(out)
+            Ok(len)
+        })();
+        file.scratch = scratch;
+        result
     }
 
     // ------------------------------------------------------------------
     // Write path
     // ------------------------------------------------------------------
 
-    /// Buffers `data` at `offset`, committing batches of `R` blocks as they
-    /// accumulate (paper §2.4).
-    pub(crate) fn write_range(
+    /// Buffers the gather list `bufs` at `offset`, committing batches of `R`
+    /// blocks as they accumulate (paper §2.4). Returns the number of bytes
+    /// written.
+    pub(crate) fn write_vectored_range(
         &self,
         file: &mut LamassuFile,
         offset: u64,
-        data: &[u8],
-    ) -> Result<()> {
-        if data.is_empty() {
-            return Ok(());
+        bufs: &[IoSlice<'_>],
+    ) -> Result<usize> {
+        let total = iovec::total_len(bufs);
+        if total == 0 {
+            return Ok(0);
         }
         let bs = self.geometry.block_size();
-        let mut src = 0usize;
-        for (block, in_block, take) in self.geometry.block_spans(offset, data.len()) {
-            let mut plain = if in_block == 0 && take == bs {
-                vec![0u8; bs]
+        let mut cursor = GatherCursor::new(bufs);
+        for (block, in_block, take) in self.geometry.block_spans(offset, total) {
+            if let Some(existing) = file.pending.get_mut(&block) {
+                // The block is already staged: overlay in place.
+                cursor.copy_to(&mut existing[in_block..in_block + take]);
+                continue;
+            }
+            let mut plain = file.take_block(bs);
+            if in_block == 0 && take == bs {
+                cursor.copy_to(&mut plain);
             } else {
-                self.read_block(file, block, false)?
-                    .unwrap_or_else(|| vec![0u8; bs])
-            };
-            plain[in_block..in_block + take].copy_from_slice(&data[src..src + take]);
+                // Read-modify-write of a partially covered block (fills with
+                // zeros when the block is a hole).
+                self.read_block_into(file, block, &mut plain, false)?;
+                cursor.copy_to(&mut plain[in_block..in_block + take]);
+            }
             file.pending.insert(block, plain);
-            src += take;
         }
-        let end = offset + data.len() as u64;
+        let end = offset + total as u64;
         if end > file.logical_size {
             file.logical_size = end;
             file.size_dirty = true;
@@ -431,7 +517,7 @@ impl Engine {
         if file.pending.len() >= self.geometry.reserved_slots() {
             self.flush(file)?;
         }
-        Ok(())
+        Ok(total)
     }
 
     /// Commits every buffered block and persists the logical size.
@@ -444,9 +530,14 @@ impl Engine {
             by_segment.entry(segment).or_default().push((block, plain));
         }
         let r = self.geometry.reserved_slots();
-        for (segment, blocks) in by_segment {
-            for chunk in blocks.chunks(r) {
+        for (segment, mut blocks) in by_segment {
+            for chunk in blocks.chunks_mut(r) {
                 self.commit_chunk(file, segment, chunk)?;
+            }
+            // The commit encrypted the staged buffers in place; recycle them
+            // for the next batch of writes.
+            for (_, buf) in blocks {
+                file.recycle(buf);
             }
         }
         if file.size_dirty {
@@ -469,21 +560,22 @@ impl Engine {
     ///
     /// 1. park the previous keys in the transient area, install the new keys,
     ///    mark the segment mid-update, write the metadata block;
-    /// 2. write the encrypted data blocks;
+    /// 2. write the convergently encrypted data blocks (each staged plaintext
+    ///    buffer is encrypted in place);
     /// 3. clear the mid-update mark and the transient area, write the
     ///    metadata block again.
     fn commit_chunk(
         &self,
         file: &mut LamassuFile,
         segment: u64,
-        blocks: &[(u64, Vec<u8>)],
+        blocks: &mut [(u64, Vec<u8>)],
     ) -> Result<()> {
         debug_assert!(blocks.len() <= self.geometry.reserved_slots());
         let mut mb = self.read_meta(file, segment)?;
 
         // Phase 1: stage old + new keys and flag the segment.
         let mut new_keys = Vec::with_capacity(blocks.len());
-        for (block, plain) in blocks {
+        for (block, plain) in blocks.iter() {
             let slot = self.geometry.locate_block(*block).slot;
             let old_key = mb.key(slot).copied().unwrap_or([0u8; 32]);
             mb.push_transient(
@@ -503,11 +595,11 @@ impl Engine {
         }
         self.write_meta(file, segment, mb.clone())?;
 
-        // Phase 2: write the convergently encrypted data blocks.
-        for ((block, plain), key) in blocks.iter().zip(new_keys.iter()) {
+        // Phase 2: encrypt in place and write the data blocks.
+        for ((block, plain), key) in blocks.iter_mut().zip(new_keys.iter()) {
             let loc = self.geometry.locate_block(*block);
-            let ciphertext = self.encrypt_block(plain, key);
-            self.io(|| self.store.write_at(&file.name, loc.physical_offset, &ciphertext))?;
+            self.encrypt_in_place(plain, key);
+            self.io(|| self.store.write_at(&file.name, loc.physical_offset, plain))?;
         }
 
         // Phase 3: the segment is consistent again.
@@ -536,15 +628,24 @@ impl Engine {
             let bs = self.geometry.block_size() as u64;
             // Zero the tail of the new final block so stale bytes cannot be
             // resurrected by a later extension.
-            if new_size % bs != 0 {
+            if !new_size.is_multiple_of(bs) {
                 let last_block = new_size / bs;
-                if let Some(mut plain) = self.read_block(file, last_block, false)? {
-                    for b in plain[(new_size % bs) as usize..].iter_mut() {
-                        *b = 0;
+                let mut plain = file.take_block(bs as usize);
+                let existed = self.read_block_into(file, last_block, &mut plain, false);
+                match existed {
+                    Ok(true) => {
+                        plain[(new_size % bs) as usize..].fill(0);
+                        let segment = self.geometry.locate_block(last_block).segment;
+                        let mut batch = [(last_block, plain)];
+                        self.commit_chunk(file, segment, &mut batch)?;
+                        let [(_, buf)] = batch;
+                        file.recycle(buf);
                     }
-                    self.commit_chunk(file, self.geometry.locate_block(last_block).segment, &[(
-                        last_block, plain,
-                    )])?;
+                    Ok(false) => file.recycle(plain),
+                    Err(e) => {
+                        file.recycle(plain);
+                        return Err(e);
+                    }
                 }
             }
             // Drop keys for blocks past the new end.
@@ -553,7 +654,10 @@ impl Engine {
             let mut segment_updates: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
             for block in first_dropped..last_old {
                 let loc = self.geometry.locate_block(block);
-                segment_updates.entry(loc.segment).or_default().push(loc.slot);
+                segment_updates
+                    .entry(loc.segment)
+                    .or_default()
+                    .push(loc.slot);
             }
             let new_segments = self.geometry.segments_for_len(new_size);
             for (segment, slots) in segment_updates {
@@ -694,19 +798,25 @@ impl Engine {
             }
         }
 
-        for block in 0..data_blocks {
-            match self.read_block(file, block, true) {
-                Ok(_) => report.data_blocks_checked += 1,
-                Err(FsError::IntegrityViolation { logical_block, .. }) => {
-                    report.data_blocks_checked += 1;
-                    report.corrupt_data_blocks.push(logical_block);
+        let mut buf = file.take_block(self.geometry.block_size());
+        let result = (|| {
+            for block in 0..data_blocks {
+                match self.read_block_into(file, block, &mut buf, true) {
+                    Ok(_) => report.data_blocks_checked += 1,
+                    Err(FsError::IntegrityViolation { logical_block, .. }) => {
+                        report.data_blocks_checked += 1;
+                        report.corrupt_data_blocks.push(logical_block);
+                    }
+                    Err(FsError::Metadata(_)) => {
+                        // Already counted above per segment; skip its blocks.
+                    }
+                    Err(e) => return Err(e),
                 }
-                Err(FsError::Metadata(_)) => {
-                    // Already counted above per segment; skip its blocks.
-                }
-                Err(e) => return Err(e),
             }
-        }
+            Ok(())
+        })();
+        file.recycle(buf);
+        result?;
         Ok(report)
     }
 

@@ -21,21 +21,25 @@
 //! * supports offline recovery ([`LamassuFs::recover`]), full verification
 //!   ([`LamassuFs::verify`]) and partial re-keying of the outer key
 //!   ([`LamassuFs::rekey_outer`], the §2.2 "much faster partial re-keying").
+//!
+//! Descriptors returned by `open`/`create` carry an `Arc` of the per-file
+//! engine state, so the `read_into`/`write_vectored` hot path runs without
+//! path re-resolution or per-call allocation (see [`crate::fs`]).
 
 mod engine;
 #[cfg(test)]
 mod tests;
 
 use crate::fs::{FileAttr, FileSystem, OpenFlags};
-use crate::handles::HandleTable;
+use crate::handles::{HandleTable, PathRegistry};
 use crate::profiler::Profiler;
 use crate::{Fd, FsError, Result};
 use engine::{Engine, LamassuFile};
 use lamassu_format::Geometry;
 use lamassu_keymgr::ZoneKeys;
 use lamassu_storage::ObjectStore;
-use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use parking_lot::Mutex;
+use std::io::IoSlice;
 use std::sync::Arc;
 
 pub use engine::{RecoveryReport, VerifyReport};
@@ -88,11 +92,14 @@ impl LamassuConfig {
     }
 }
 
+type SharedFile = Arc<Mutex<LamassuFile>>;
+
 /// The Lamassu shim file system.
 pub struct LamassuFs {
     engine: Arc<Engine>,
-    handles: HandleTable,
-    files: RwLock<HashMap<String, Arc<Mutex<LamassuFile>>>>,
+    handles: HandleTable<SharedFile>,
+    /// Open-file states shared between descriptors on the same path.
+    files: PathRegistry<SharedFile>,
 }
 
 impl LamassuFs {
@@ -102,7 +109,7 @@ impl LamassuFs {
         LamassuFs {
             engine: Arc::new(Engine::new(store, keys, config)),
             handles: HandleTable::new(),
-            files: RwLock::new(HashMap::new()),
+            files: PathRegistry::new(),
         }
     }
 
@@ -121,21 +128,19 @@ impl LamassuFs {
         self.engine.integrity_mode()
     }
 
-    fn file_state(&self, path: &str) -> Result<Arc<Mutex<LamassuFile>>> {
-        if let Some(f) = self.files.read().get(path) {
-            return Ok(f.clone());
-        }
+    /// Loads the per-file state for a path that must already exist.
+    fn load_state(&self, path: &str) -> Result<SharedFile> {
         if !self.engine.object_exists(path) {
             return Err(FsError::NotFound {
                 path: path.to_string(),
             });
         }
-        let file = Arc::new(Mutex::new(self.engine.load(path)?));
-        let mut files = self.files.write();
-        Ok(files
-            .entry(path.to_string())
-            .or_insert_with(|| file.clone())
-            .clone())
+        Ok(Arc::new(Mutex::new(self.engine.load(path)?)))
+    }
+
+    /// Shared state for path-level operations (no descriptor pin).
+    fn file_state(&self, path: &str) -> Result<SharedFile> {
+        self.files.lookup_with(path, || self.load_state(path))
     }
 
     /// Scans a file for segments left mid-update by a crash and repairs them
@@ -190,69 +195,63 @@ impl LamassuFs {
 
 impl FileSystem for LamassuFs {
     fn create(&self, path: &str) -> Result<Fd> {
-        let file = self.engine.create(path)?;
-        self.files
-            .write()
-            .insert(path.to_string(), Arc::new(Mutex::new(file)));
-        Ok(self.handles.open(path))
+        let file = Arc::new(Mutex::new(self.engine.create(path)?));
+        self.files.insert_open(path, file.clone());
+        Ok(self.handles.open(path, file))
     }
 
     fn open(&self, path: &str, flags: OpenFlags) -> Result<Fd> {
-        let state = self.file_state(path)?;
+        let state = self.files.open_with(path, || self.load_state(path))?;
         if flags.truncate {
             let mut file = state.lock();
-            self.engine.truncate(&mut file, 0)?;
+            if let Err(e) = self.engine.truncate(&mut file, 0) {
+                drop(file);
+                self.files.release(path);
+                return Err(e);
+            }
         }
-        Ok(self.handles.open(path))
+        Ok(self.handles.open(path, state))
     }
 
     fn close(&self, fd: Fd) -> Result<()> {
-        let path = self.handles.path_of(fd)?;
-        if let Some(state) = self.files.read().get(&path).cloned() {
-            let mut file = state.lock();
-            self.engine.flush(&mut file)?;
-        }
-        self.handles.close(fd)?;
-        if !self.handles.is_open(&path) {
-            self.files.write().remove(&path);
-        }
-        Ok(())
+        let entry = self.handles.close(fd)?;
+        let path = entry.path();
+        let flushed = {
+            let mut file = entry.state.lock();
+            self.engine.flush(&mut file)
+        };
+        self.files.release(&path);
+        flushed
     }
 
-    fn read(&self, fd: Fd, offset: u64, len: usize) -> Result<Vec<u8>> {
-        let path = self.handles.path_of(fd)?;
-        let state = self.file_state(&path)?;
-        let mut file = state.lock();
-        self.engine.read_range(&mut file, offset, len)
+    fn read_into(&self, fd: Fd, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        let entry = self.handles.get(fd)?;
+        let mut file = entry.state.lock();
+        self.engine.read_range_into(&mut file, offset, buf)
     }
 
-    fn write(&self, fd: Fd, offset: u64, data: &[u8]) -> Result<usize> {
-        let path = self.handles.path_of(fd)?;
-        let state = self.file_state(&path)?;
-        let mut file = state.lock();
-        self.engine.write_range(&mut file, offset, data)?;
-        Ok(data.len())
+    fn write_vectored(&self, fd: Fd, offset: u64, bufs: &[IoSlice<'_>]) -> Result<usize> {
+        let entry = self.handles.get(fd)?;
+        let mut file = entry.state.lock();
+        self.engine.write_vectored_range(&mut file, offset, bufs)
     }
 
     fn truncate(&self, fd: Fd, size: u64) -> Result<()> {
-        let path = self.handles.path_of(fd)?;
-        let state = self.file_state(&path)?;
-        let mut file = state.lock();
+        let entry = self.handles.get(fd)?;
+        let mut file = entry.state.lock();
         self.engine.truncate(&mut file, size)
     }
 
     fn fsync(&self, fd: Fd) -> Result<()> {
-        let path = self.handles.path_of(fd)?;
-        let state = self.file_state(&path)?;
-        let mut file = state.lock();
+        let entry = self.handles.get(fd)?;
+        let mut file = entry.state.lock();
         self.engine.flush(&mut file)?;
-        self.engine.sync_object(&path)
+        self.engine.sync_object(file.name())
     }
 
     fn len(&self, fd: Fd) -> Result<u64> {
-        let path = self.handles.path_of(fd)?;
-        let state = self.file_state(&path)?;
-        let len = state.lock().logical_size();
+        let entry = self.handles.get(fd)?;
+        let len = entry.state.lock().logical_size();
         Ok(len)
     }
 
@@ -268,22 +267,23 @@ impl FileSystem for LamassuFs {
 
     fn remove(&self, path: &str) -> Result<()> {
         self.engine.remove(path)?;
-        self.files.write().remove(path);
+        self.files.remove(path);
         self.handles.invalidate(path);
         Ok(())
     }
 
     fn rename(&self, from: &str, to: &str) -> Result<()> {
         // Flush buffered writes under the old name first so nothing is lost.
-        if let Some(state) = self.files.read().get(from).cloned() {
+        if let Some(state) = self.files.peek(from) {
             let mut file = state.lock();
             self.engine.flush(&mut file)?;
         }
         self.engine.rename(from, to)?;
-        let moved = self.files.write().remove(from);
-        if let Some(state) = moved {
+        // The registry moves the entry under a single map lock, so no
+        // concurrent open can observe (or resurrect) the old path's entry
+        // mid-rename.
+        if let Some(state) = self.files.rename(from, to) {
             state.lock().set_name(to);
-            self.files.write().insert(to.to_string(), state);
         }
         self.handles.retarget(from, to);
         Ok(())

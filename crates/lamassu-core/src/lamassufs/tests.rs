@@ -214,7 +214,10 @@ fn open_missing_and_create_existing_fail() {
         Err(FsError::NotFound { .. })
     ));
     fs.create("/f").unwrap();
-    assert!(matches!(fs.create("/f"), Err(FsError::AlreadyExists { .. })));
+    assert!(matches!(
+        fs.create("/f"),
+        Err(FsError::AlreadyExists { .. })
+    ));
 }
 
 #[test]
@@ -286,7 +289,8 @@ fn batching_amortizes_metadata_writes() {
     s.reset_io_accounting();
     let blocks = 64usize;
     for i in 0..blocks {
-        fs.write(fd, (i * 4096) as u64, &unique_data(4096, i as u64)).unwrap();
+        fs.write(fd, (i * 4096) as u64, &unique_data(4096, i as u64))
+            .unwrap();
     }
     fs.fsync(fd).unwrap();
     let writes = s.io_counters().write_ops;
@@ -337,7 +341,10 @@ fn integrity_violation_detected_on_corrupted_data_block() {
     assert!(fs.read(fd2, 0, 4096).is_ok(), "untouched block still reads");
     assert!(matches!(
         fs.read(fd2, 2 * 4096, 4096),
-        Err(FsError::IntegrityViolation { logical_block: 2, .. })
+        Err(FsError::IntegrityViolation {
+            logical_block: 2,
+            ..
+        })
     ));
     // The meta-only variant does not notice (by design, §4.2).
     let fs_meta = LamassuFs::new(

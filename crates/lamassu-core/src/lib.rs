@@ -29,6 +29,7 @@
 
 mod error;
 mod handles;
+mod iovec;
 
 pub mod cefilefs;
 pub mod encfs;

@@ -6,19 +6,25 @@
 //! still pays the shim overhead but does no cryptography, and so that the
 //! storage-efficiency experiments have an upper bound: plaintext blocks
 //! deduplicate perfectly.
+//!
+//! Being the thinnest shim, PlainFS is where the fd-centric API pays off most
+//! visibly: `read_into`/`write_vectored` forward straight from the descriptor
+//! entry to the store with no allocation and no path materialization.
 
 use crate::fs::{FileAttr, FileSystem, OpenFlags};
 use crate::handles::HandleTable;
+use crate::iovec;
 use crate::profiler::{Category, Profiler};
 use crate::{Fd, FsError, Result};
 use lamassu_storage::ObjectStore;
+use std::io::IoSlice;
 use std::sync::Arc;
 use std::time::Instant;
 
 /// The unencrypted pass-through shim.
 pub struct PlainFs {
     store: Arc<dyn ObjectStore>,
-    handles: HandleTable,
+    handles: HandleTable<()>,
     profiler: Arc<Profiler>,
 }
 
@@ -56,7 +62,7 @@ impl FileSystem for PlainFs {
             }
             other => other,
         })?;
-        Ok(self.handles.open(path))
+        Ok(self.handles.open(path, ()))
     }
 
     fn open(&self, path: &str, flags: OpenFlags) -> Result<Fd> {
@@ -68,49 +74,41 @@ impl FileSystem for PlainFs {
         if flags.truncate {
             self.io(|| self.store.truncate(path, 0))?;
         }
-        Ok(self.handles.open(path))
+        Ok(self.handles.open(path, ()))
     }
 
     fn close(&self, fd: Fd) -> Result<()> {
         self.handles.close(fd).map(|_| ())
     }
 
-    fn read(&self, fd: Fd, offset: u64, len: usize) -> Result<Vec<u8>> {
-        let path = self.handles.path_of(fd)?;
-        // Optimistically read the full range; short files surface as an
-        // out-of-bounds error carrying the object size, so clamping does not
-        // cost an extra round trip on the common path.
-        match self.io(|| self.store.read_at(&path, offset, len)) {
-            Ok(data) => Ok(data),
-            Err(FsError::Storage(lamassu_storage::StorageError::OutOfBounds { size, .. })) => {
-                if offset >= size {
-                    Ok(Vec::new())
-                } else {
-                    self.io(|| self.store.read_at(&path, offset, (size - offset) as usize))
-                }
-            }
-            Err(e) => Err(e),
-        }
+    fn read_into(&self, fd: Fd, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        let entry = self.handles.get(fd)?;
+        let path = entry.path();
+        self.io(|| self.store.read_into(&path, offset, buf))
     }
 
-    fn write(&self, fd: Fd, offset: u64, data: &[u8]) -> Result<usize> {
-        let path = self.handles.path_of(fd)?;
-        self.io(|| self.store.write_at(&path, offset, data))?;
-        Ok(data.len())
+    fn write_vectored(&self, fd: Fd, offset: u64, bufs: &[IoSlice<'_>]) -> Result<usize> {
+        let entry = self.handles.get(fd)?;
+        let path = entry.path();
+        self.io(|| self.store.write_at_vectored(&path, offset, bufs))?;
+        Ok(iovec::total_len(bufs))
     }
 
     fn truncate(&self, fd: Fd, size: u64) -> Result<()> {
-        let path = self.handles.path_of(fd)?;
+        let entry = self.handles.get(fd)?;
+        let path = entry.path();
         self.io(|| self.store.truncate(&path, size))
     }
 
     fn fsync(&self, fd: Fd) -> Result<()> {
-        let path = self.handles.path_of(fd)?;
+        let entry = self.handles.get(fd)?;
+        let path = entry.path();
         self.io(|| self.store.flush(&path))
     }
 
     fn len(&self, fd: Fd) -> Result<u64> {
-        let path = self.handles.path_of(fd)?;
+        let entry = self.handles.get(fd)?;
+        let path = entry.path();
         self.io(|| self.store.len(&path))
     }
 
@@ -174,11 +172,47 @@ mod tests {
     }
 
     #[test]
+    fn read_into_reuses_caller_buffer() {
+        let fs = mount();
+        let fd = fs.create("/x").unwrap();
+        fs.write(fd, 0, b"abcdef").unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(fs.read_into(fd, 1, &mut buf).unwrap(), 4);
+        assert_eq!(&buf, b"bcde");
+        // Short read at end of file.
+        assert_eq!(fs.read_into(fd, 4, &mut buf).unwrap(), 2);
+        assert_eq!(&buf[..2], b"ef");
+    }
+
+    #[test]
+    fn write_vectored_concatenates_slices() {
+        let fs = mount();
+        let fd = fs.create("/x").unwrap();
+        let n = fs
+            .write_vectored(fd, 0, &[IoSlice::new(b"head-"), IoSlice::new(b"tail")])
+            .unwrap();
+        assert_eq!(n, 9);
+        assert_eq!(fs.read(fd, 0, 9).unwrap(), b"head-tail");
+    }
+
+    #[test]
     fn read_past_eof_is_empty() {
         let fs = mount();
         let fd = fs.create("/x").unwrap();
         fs.write(fd, 0, b"abc").unwrap();
         assert!(fs.read(fd, 10, 5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn read_with_generous_len_is_clamped() {
+        // "Read the whole file" with a huge upper bound must allocate only
+        // the file's size, not `len` bytes.
+        let fs = mount();
+        let fd = fs.create("/x").unwrap();
+        fs.write(fd, 0, b"small").unwrap();
+        let back = fs.read(fd, 0, usize::MAX / 2).unwrap();
+        assert_eq!(back, b"small");
+        assert!(back.capacity() < 4096, "allocation was not clamped");
     }
 
     #[test]
@@ -194,7 +228,10 @@ mod tests {
     fn create_existing_fails() {
         let fs = mount();
         fs.create("/x").unwrap();
-        assert!(matches!(fs.create("/x"), Err(FsError::AlreadyExists { .. })));
+        assert!(matches!(
+            fs.create("/x"),
+            Err(FsError::AlreadyExists { .. })
+        ));
     }
 
     #[test]
@@ -203,9 +240,7 @@ mod tests {
         let fd = fs.create("/x").unwrap();
         fs.write(fd, 0, b"data").unwrap();
         fs.close(fd).unwrap();
-        let fd = fs
-            .open("/x", OpenFlags { truncate: true })
-            .unwrap();
+        let fd = fs.open("/x", OpenFlags { truncate: true }).unwrap();
         assert_eq!(fs.len(fd).unwrap(), 0);
     }
 
@@ -231,6 +266,8 @@ mod tests {
         let fs = mount();
         assert!(matches!(fs.read(99, 0, 1), Err(FsError::BadFd { fd: 99 })));
         assert!(fs.write(99, 0, b"x").is_err());
+        let mut buf = [0u8; 1];
+        assert!(fs.read_into(99, 0, &mut buf).is_err());
         assert!(fs.close(99).is_err());
     }
 

@@ -28,7 +28,7 @@ use crate::{CryptoError, Iv128, Result};
 /// assert_eq!(buf, vec![0u8; 64]);
 /// ```
 pub fn encrypt_in_place(aes: &Aes256, iv: &Iv128, data: &mut [u8]) -> Result<()> {
-    if data.len() % 16 != 0 {
+    if !data.len().is_multiple_of(16) {
         return Err(CryptoError::InvalidLength {
             len: data.len(),
             expected_multiple_of: 16,
@@ -52,7 +52,7 @@ pub fn encrypt_in_place(aes: &Aes256, iv: &Iv128, data: &mut [u8]) -> Result<()>
 /// Returns [`CryptoError::InvalidLength`] if `data` is not a multiple of 16
 /// bytes.
 pub fn decrypt_in_place(aes: &Aes256, iv: &Iv128, data: &mut [u8]) -> Result<()> {
-    if data.len() % 16 != 0 {
+    if !data.len().is_multiple_of(16) {
         return Err(CryptoError::InvalidLength {
             len: data.len(),
             expected_multiple_of: 16,

@@ -143,10 +143,7 @@ mod tests {
         let gcm = Aes256Gcm::new(&[0u8; 32]);
         let mut data = vec![0u8; 16];
         let tag = gcm.encrypt_in_place(&[0u8; 12], &[], &mut data);
-        assert_eq!(
-            data,
-            from_hex("cea7403d4d606b6e074ec5d3baf39d18").unwrap()
-        );
+        assert_eq!(data, from_hex("cea7403d4d606b6e074ec5d3baf39d18").unwrap());
         assert_eq!(
             tag.to_vec(),
             from_hex("d0d1c8a799996bf0265b98b5d48ab919").unwrap()

@@ -52,8 +52,7 @@ pub type Iv128 = [u8; 16];
 /// blocks produce identical ciphertext blocks; a fixed IV is what previous
 /// convergent systems (Douceur et al.) use and what Lamassu adopts.
 pub const FIXED_IV: Iv128 = [
-    0x4c, 0x61, 0x6d, 0x61, 0x73, 0x73, 0x75, 0x20, 0x46, 0x49, 0x58, 0x45, 0x44, 0x20, 0x49,
-    0x56,
+    0x4c, 0x61, 0x6d, 0x61, 0x73, 0x73, 0x75, 0x20, 0x46, 0x49, 0x58, 0x45, 0x44, 0x20, 0x49, 0x56,
 ];
 
 /// Result alias for fallible crypto operations.

@@ -24,7 +24,7 @@ pub fn to_hex(bytes: &[u8]) -> String {
 /// assert_eq!(lamassu_crypto::util::from_hex("xyz"), None);
 /// ```
 pub fn from_hex(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     let mut out = Vec::with_capacity(s.len() / 2);

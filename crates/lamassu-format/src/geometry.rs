@@ -83,7 +83,7 @@ impl Geometry {
     /// hold the header, the transient area and at least one key slot, or if
     /// the block size is not a multiple of the AES block size (16 bytes).
     pub fn new(block_size: usize, reserved_slots: usize) -> crate::Result<Self> {
-        if block_size % 16 != 0 {
+        if !block_size.is_multiple_of(16) {
             return Err(FormatError::InvalidGeometry {
                 block_size,
                 reserved_slots,

@@ -360,7 +360,13 @@ mod tests {
 
     #[test]
     fn round_trip_various_geometries() {
-        for (bs, r) in [(512usize, 1usize), (4096, 1), (4096, 8), (4096, 60), (8192, 32)] {
+        for (bs, r) in [
+            (512usize, 1usize),
+            (4096, 1),
+            (4096, 8),
+            (4096, 60),
+            (8192, 32),
+        ] {
             let g = Geometry::new(bs, r).unwrap();
             let mut mb = MetadataBlock::new(&g);
             mb.logical_size = 42;
@@ -426,7 +432,7 @@ mod tests {
     fn unseal_rejects_wrong_length() {
         let g = Geometry::default();
         assert!(matches!(
-            MetadataBlock::unseal(&g, &gcm(), b"", &vec![0u8; 100]),
+            MetadataBlock::unseal(&g, &gcm(), b"", &[0u8; 100]),
             Err(FormatError::BadMetadataLength { got: 100, .. })
         ));
     }

@@ -164,6 +164,9 @@ mod tests {
         let kdf = ServerAidedKdf::new(server);
         let local = lamassu_crypto::kdf::ConvergentKdf::new(&[0xbb; 32]);
         let block = vec![1u8; 4096];
-        assert_ne!(kdf.derive_for_block(&block).0, local.derive_for_block(&block));
+        assert_ne!(
+            kdf.derive_for_block(&block).0,
+            local.derive_for_block(&block)
+        );
     }
 }

@@ -30,8 +30,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod error;
 pub mod dupless;
+mod error;
 pub mod manager;
 
 pub use dupless::{KeyServer, ServerAidedKdf};

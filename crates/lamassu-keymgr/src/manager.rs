@@ -95,7 +95,11 @@ impl KeyManager {
         let zones = self.zones.read();
         let record = zones.get(&zone).ok_or(KeyMgrError::UnknownZone { zone })?;
         let generation = (record.generations.len() - 1) as KeyGeneration;
-        Self::decode(zone, generation, record.generations.last().expect("non-empty"))
+        Self::decode(
+            zone,
+            generation,
+            record.generations.last().expect("non-empty"),
+        )
     }
 
     /// Fetches a *specific* key generation (needed while re-encrypting data
@@ -139,7 +143,9 @@ impl KeyManager {
 
     fn rotate(&self, zone: ZoneId, inner: bool, outer: bool) -> Result<ZoneKeys> {
         let mut zones = self.zones.write();
-        let record = zones.get_mut(&zone).ok_or(KeyMgrError::UnknownZone { zone })?;
+        let record = zones
+            .get_mut(&zone)
+            .ok_or(KeyMgrError::UnknownZone { zone })?;
         let (cur_inner, cur_outer) = record.generations.last().expect("non-empty").clone();
         let new_inner = if inner {
             to_hex(&Self::random_key())
@@ -153,10 +159,18 @@ impl KeyManager {
         };
         record.generations.push((new_inner, new_outer));
         let generation = (record.generations.len() - 1) as KeyGeneration;
-        Self::decode(zone, generation, record.generations.last().expect("non-empty"))
+        Self::decode(
+            zone,
+            generation,
+            record.generations.last().expect("non-empty"),
+        )
     }
 
-    fn decode(zone: ZoneId, generation: KeyGeneration, pair: &(String, String)) -> Result<ZoneKeys> {
+    fn decode(
+        zone: ZoneId,
+        generation: KeyGeneration,
+        pair: &(String, String),
+    ) -> Result<ZoneKeys> {
         let decode_one = |s: &str| -> Result<Key256> {
             from_hex(s)
                 .and_then(|v| v.try_into().ok())

@@ -150,6 +150,35 @@ impl DedupStore {
     pub fn object_count(&self) -> usize {
         self.objects.read().len()
     }
+
+    /// Charges the transport for every backend block a write span touches; a
+    /// block only partially covered forces a read-modify-write on the
+    /// controller, which is what makes block-unaligned writes so expensive
+    /// over NFS (§4.2 of the paper observes a >10x penalty).
+    fn charge_write_span(&self, offset: u64, len: usize) {
+        let bs = self.block_size as u64;
+        if len == 0 {
+            self.clock.charge_write(&self.profile, 0);
+            return;
+        }
+        let first = offset / bs;
+        let last = (offset + len as u64 - 1) / bs;
+        let touched = (last - first + 1) as usize;
+        let head_partial = !offset.is_multiple_of(bs);
+        let tail_partial = !(offset + len as u64).is_multiple_of(bs);
+        let mut rmw_blocks = 0usize;
+        if head_partial {
+            rmw_blocks += 1;
+        }
+        if tail_partial && (last != first || !head_partial) {
+            rmw_blocks += 1;
+        }
+        for _ in 0..rmw_blocks.min(touched) {
+            self.clock.charge_read(&self.profile, self.block_size);
+        }
+        self.clock
+            .charge_write(&self.profile, touched * self.block_size);
+    }
 }
 
 impl ObjectStore for DedupStore {
@@ -167,6 +196,21 @@ impl ObjectStore for DedupStore {
 
     fn exists(&self, name: &str) -> bool {
         self.objects.read().contains_key(name)
+    }
+
+    fn read_into(&self, name: &str, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        let objects = self.objects.read();
+        let data = objects.get(name).ok_or_else(|| StorageError::NotFound {
+            name: name.to_string(),
+        })?;
+        let n = (data.len() as u64)
+            .saturating_sub(offset)
+            .min(buf.len() as u64) as usize;
+        self.clock.charge_read(&self.profile, n);
+        if n > 0 {
+            buf[..n].copy_from_slice(&data[offset as usize..offset as usize + n]);
+        }
+        Ok(n)
     }
 
     fn read_at(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
@@ -188,41 +232,34 @@ impl ObjectStore for DedupStore {
     }
 
     fn write_at(&self, name: &str, offset: u64, buf: &[u8]) -> Result<()> {
-        // Charge the transport for every backend block the write touches; a
-        // block only partially covered forces a read-modify-write on the
-        // controller, which is what makes block-unaligned writes so expensive
-        // over NFS (§4.2 of the paper observes a >10x penalty).
-        let bs = self.block_size as u64;
-        if !buf.is_empty() {
-            let first = offset / bs;
-            let last = (offset + buf.len() as u64 - 1) / bs;
-            let touched = (last - first + 1) as usize;
-            let head_partial = offset % bs != 0;
-            let tail_partial = (offset + buf.len() as u64) % bs != 0;
-            let mut rmw_blocks = 0usize;
-            if head_partial {
-                rmw_blocks += 1;
-            }
-            if tail_partial && (last != first || !head_partial) {
-                rmw_blocks += 1;
-            }
-            for _ in 0..rmw_blocks.min(touched) {
-                self.clock.charge_read(&self.profile, self.block_size);
-            }
-            self.clock
-                .charge_write(&self.profile, touched * self.block_size);
-        } else {
-            self.clock.charge_write(&self.profile, 0);
-        }
+        self.write_at_vectored(name, offset, &[std::io::IoSlice::new(buf)])
+    }
+
+    fn write_at_vectored(
+        &self,
+        name: &str,
+        offset: u64,
+        bufs: &[std::io::IoSlice<'_>],
+    ) -> Result<()> {
+        // One store operation covering the whole scatter list: charged as a
+        // single contiguous write, applied under one lock acquisition.
+        let total: usize = bufs.iter().map(|b| b.len()).sum();
+        self.charge_write_span(offset, total);
         let mut objects = self.objects.write();
-        let data = objects.get_mut(name).ok_or_else(|| StorageError::NotFound {
-            name: name.to_string(),
-        })?;
-        let end = offset as usize + buf.len();
+        let data = objects
+            .get_mut(name)
+            .ok_or_else(|| StorageError::NotFound {
+                name: name.to_string(),
+            })?;
+        let end = offset as usize + total;
         if end > data.len() {
             data.resize(end, 0);
         }
-        data[offset as usize..end].copy_from_slice(buf);
+        let mut pos = offset as usize;
+        for buf in bufs {
+            data[pos..pos + buf.len()].copy_from_slice(buf);
+            pos += buf.len();
+        }
         Ok(())
     }
 
@@ -240,9 +277,11 @@ impl ObjectStore for DedupStore {
     fn truncate(&self, name: &str, len: u64) -> Result<()> {
         self.clock.charge_op(&self.profile);
         let mut objects = self.objects.write();
-        let data = objects.get_mut(name).ok_or_else(|| StorageError::NotFound {
-            name: name.to_string(),
-        })?;
+        let data = objects
+            .get_mut(name)
+            .ok_or_else(|| StorageError::NotFound {
+                name: name.to_string(),
+            })?;
         data.resize(len as usize, 0);
         Ok(())
     }

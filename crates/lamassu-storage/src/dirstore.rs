@@ -100,6 +100,22 @@ impl ObjectStore for DirStore {
         self.path_for(name).exists()
     }
 
+    fn read_into(&self, name: &str, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        let path = self.path_for(name);
+        let mut file = File::open(&path).map_err(|e| Self::io_err(name, e))?;
+        let size = file.metadata().map_err(|e| Self::io_err(name, e))?.len();
+        let n = size.saturating_sub(offset).min(buf.len() as u64) as usize;
+        self.clock.charge_read(&self.profile, n);
+        if n == 0 {
+            return Ok(0);
+        }
+        file.seek(SeekFrom::Start(offset))
+            .map_err(|e| Self::io_err(name, e))?;
+        file.read_exact(&mut buf[..n])
+            .map_err(|e| Self::io_err(name, e))?;
+        Ok(n)
+    }
+
     fn read_at(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
         self.clock.charge_read(&self.profile, len);
         let path = self.path_for(name);
@@ -116,7 +132,8 @@ impl ObjectStore for DirStore {
         file.seek(SeekFrom::Start(offset))
             .map_err(|e| Self::io_err(name, e))?;
         let mut buf = vec![0u8; len];
-        file.read_exact(&mut buf).map_err(|e| Self::io_err(name, e))?;
+        file.read_exact(&mut buf)
+            .map_err(|e| Self::io_err(name, e))?;
         Ok(buf)
     }
 
@@ -130,6 +147,30 @@ impl ObjectStore for DirStore {
         file.seek(SeekFrom::Start(offset))
             .map_err(|e| Self::io_err(name, e))?;
         file.write_all(data).map_err(|e| Self::io_err(name, e))?;
+        Ok(())
+    }
+
+    fn write_at_vectored(
+        &self,
+        name: &str,
+        offset: u64,
+        bufs: &[std::io::IoSlice<'_>],
+    ) -> Result<()> {
+        let total: usize = bufs.iter().map(|b| b.len()).sum();
+        self.clock.charge_write(&self.profile, total);
+        let path = self.path_for(name);
+        let mut file = OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .map_err(|e| Self::io_err(name, e))?;
+        file.seek(SeekFrom::Start(offset))
+            .map_err(|e| Self::io_err(name, e))?;
+        // `write_all_vectored` is unstable; loop over slices on the one open
+        // descriptor instead (the kernel write combining is identical for a
+        // buffered local file).
+        for buf in bufs {
+            file.write_all(buf).map_err(|e| Self::io_err(name, e))?;
+        }
         Ok(())
     }
 

@@ -121,6 +121,11 @@ impl ObjectStore for FaultyStore {
         self.inner.exists(name)
     }
 
+    fn read_into(&self, name: &str, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        self.check_alive()?;
+        self.inner.read_into(name, offset, buf)
+    }
+
     fn read_at(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
         self.check_alive()?;
         self.inner.read_at(name, offset, len)
@@ -129,6 +134,19 @@ impl ObjectStore for FaultyStore {
     fn write_at(&self, name: &str, offset: u64, data: &[u8]) -> Result<()> {
         self.consume_write_credit()?;
         self.inner.write_at(name, offset, data)
+    }
+
+    fn write_at_vectored(
+        &self,
+        name: &str,
+        offset: u64,
+        bufs: &[std::io::IoSlice<'_>],
+    ) -> Result<()> {
+        // One scatter write consumes one credit: the store below applies it
+        // as a single atomic operation, so the simulated power cut cannot
+        // land between its slices.
+        self.consume_write_credit()?;
+        self.inner.write_at_vectored(name, offset, bufs)
     }
 
     fn len(&self, name: &str) -> Result<u64> {

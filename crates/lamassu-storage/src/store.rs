@@ -6,9 +6,20 @@
 //! an opaque byte object it reads and writes at block granularity. This trait
 //! captures exactly that contract: named byte objects with random-access
 //! reads and writes, plus the accounting hooks the benchmark harness needs.
+//!
+//! # Zero-copy I/O
+//!
+//! The primitive read operation is [`ObjectStore::read_into`], which fills a
+//! caller-owned buffer so the shims' hot paths perform no per-call
+//! allocation; [`ObjectStore::read_at`] is a convenience built on top of it.
+//! Writes take the data as a slice ([`ObjectStore::write_at`]) or as a
+//! scatter list ([`ObjectStore::write_at_vectored`]) so a shim can hand a
+//! header and payload — or several contiguous blocks — to the store in one
+//! operation without concatenating them first.
 
 use crate::profile::IoCounters;
 use crate::Result;
+use std::io::IoSlice;
 use std::time::Duration;
 
 /// A named-object byte store, the downstream "untrusted storage system".
@@ -23,14 +34,47 @@ pub trait ObjectStore: Send + Sync {
     /// Returns true if the object exists.
     fn exists(&self, name: &str) -> bool;
 
-    /// Reads `len` bytes at `offset`. Reads past the end of the object
-    /// return an [`crate::StorageError::OutOfBounds`] error; the shims always
-    /// read whole blocks they know to exist.
-    fn read_at(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>>;
+    /// Reads up to `buf.len()` bytes at `offset` into `buf`, returning the
+    /// number of bytes read. Reads past the end of the object are clamped: a
+    /// short count (or `0` when `offset` is at or past the end) is returned,
+    /// not an error. This is the primitive read — it performs no allocation.
+    fn read_into(&self, name: &str, offset: u64, buf: &mut [u8]) -> Result<usize>;
+
+    /// Reads exactly `len` bytes at `offset` into a fresh vector. Reads past
+    /// the end of the object return an [`crate::StorageError::OutOfBounds`]
+    /// error carrying the object size; the shims always read whole blocks
+    /// they know to exist and use the error's size to clamp.
+    fn read_at(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; len];
+        let n = self.read_into(name, offset, &mut buf)?;
+        if n < len {
+            return Err(crate::StorageError::OutOfBounds {
+                name: name.to_string(),
+                offset,
+                len,
+                size: self.len(name)?,
+            });
+        }
+        Ok(buf)
+    }
 
     /// Writes `data` at `offset`, extending (and zero-filling) the object if
     /// needed.
     fn write_at(&self, name: &str, offset: u64, data: &[u8]) -> Result<()>;
+
+    /// Writes the concatenation of `bufs` at `offset` as a single store
+    /// operation, extending the object if needed. The default implementation
+    /// issues one [`ObjectStore::write_at`] per slice; stores override it to
+    /// apply the scatter list in one pass (and charge one transport
+    /// operation).
+    fn write_at_vectored(&self, name: &str, offset: u64, bufs: &[IoSlice<'_>]) -> Result<()> {
+        let mut pos = offset;
+        for buf in bufs {
+            self.write_at(name, pos, buf)?;
+            pos += buf.len() as u64;
+        }
+        Ok(())
+    }
 
     /// Current size of the object in bytes.
     fn len(&self, name: &str) -> Result<u64>;

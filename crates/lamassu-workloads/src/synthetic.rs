@@ -29,7 +29,10 @@ pub struct SyntheticSpec {
 impl SyntheticSpec {
     /// Creates a spec with the paper's defaults (4 KiB blocks).
     pub fn new(size_bytes: u64, redundancy: f64, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&redundancy), "redundancy must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&redundancy),
+            "redundancy must be in [0, 1)"
+        );
         SyntheticSpec {
             size_bytes,
             block_size: 4096,

@@ -79,7 +79,10 @@ mod tests {
 
     #[test]
     fn dedup_fractions_match_table_1() {
-        let fedora = VM_IMAGES.iter().find(|v| v.name.contains("Fedora")).unwrap();
+        let fedora = VM_IMAGES
+            .iter()
+            .find(|v| v.name.contains("Fedora"))
+            .unwrap();
         assert!((fedora.dedup_fraction - 0.3673).abs() < 1e-9);
         for img in &VM_IMAGES {
             assert!(img.dedup_fraction > 0.0 && img.dedup_fraction < 0.5);

@@ -18,7 +18,9 @@ use std::sync::Arc;
 fn main() {
     let media = Arc::new(DedupStore::new(4096, StorageProfile::ram_disk()));
     let keymgr = KeyManager::new();
-    let keys = keymgr.fetch_zone_keys(keymgr.create_zone(1).unwrap()).unwrap();
+    let keys = keymgr
+        .fetch_zone_keys(keymgr.create_zone(1).unwrap())
+        .unwrap();
 
     // Phase 0: write a known-good version of the database file.
     let v1: Vec<u8> = (0..64 * 1024u32).map(|i| (i % 251) as u8).collect();
@@ -60,9 +62,15 @@ fn main() {
     }
 
     // The interrupted overwrite never became visible; version 1 is intact.
+    // (Read through the zero-copy primitive into a caller-owned buffer.)
     let fd = fs.open("/db/records.dat", OpenFlags::default()).unwrap();
-    let back = fs.read(fd, 0, v1.len()).unwrap();
-    assert_eq!(back, v1, "recovery must roll back to the previous consistent state");
+    let mut back = vec![0u8; v1.len()];
+    let n = fs.read_into(fd, 0, &mut back).unwrap();
+    assert_eq!(n, v1.len());
+    assert_eq!(
+        back, v1,
+        "recovery must roll back to the previous consistent state"
+    );
 
     let verify = fs.verify("/db/records.dat").unwrap();
     assert!(verify.is_clean());

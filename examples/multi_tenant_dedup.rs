@@ -20,8 +20,12 @@ fn main() {
 
     // Zone 1: the engineering department (two clients sharing keys).
     // Zone 2: the finance department (its own keys).
-    let eng = keymgr.fetch_zone_keys(keymgr.create_zone(1).unwrap()).unwrap();
-    let fin = keymgr.fetch_zone_keys(keymgr.create_zone(2).unwrap()).unwrap();
+    let eng = keymgr
+        .fetch_zone_keys(keymgr.create_zone(1).unwrap())
+        .unwrap();
+    let fin = keymgr
+        .fetch_zone_keys(keymgr.create_zone(2).unwrap())
+        .unwrap();
 
     let eng_host_a = LamassuFs::new(store.clone(), eng, LamassuConfig::default());
     let eng_host_b = LamassuFs::new(store.clone(), eng, LamassuConfig::default());
@@ -60,11 +64,22 @@ fn main() {
         Ok(_) => panic!("isolation zones must not be readable across tenants"),
     }
 
-    // Within a zone, the peer host reads the other's file transparently.
+    // Within a zone, the peer host reads the other's file transparently —
+    // streamed through one reused 1 MiB buffer via the zero-copy primitive.
     let fd = eng_host_b
         .open("/eng/host-a/base.img", OpenFlags::default())
         .unwrap();
-    let back = eng_host_b.read(fd, 0, base_image.len()).unwrap();
+    let mut back = Vec::with_capacity(base_image.len());
+    let mut chunk = vec![0u8; 1024 * 1024];
+    let mut offset = 0u64;
+    loop {
+        let n = eng_host_b.read_into(fd, offset, &mut chunk).unwrap();
+        if n == 0 {
+            break;
+        }
+        back.extend_from_slice(&chunk[..n]);
+        offset += n as u64;
+    }
     assert_eq!(back, base_image);
     println!("engineering host B read host A's file through the shared zone keys");
 }

@@ -54,9 +54,13 @@ fn main() {
 
     // Generation-0 credentials no longer open the archive; generation 1 does.
     let stale = LamassuFs::new(store.clone(), keys_gen0, LamassuConfig::default());
-    assert!(stale.open("/archive/part-0.bin", OpenFlags::default()).is_err());
+    assert!(stale
+        .open("/archive/part-0.bin", OpenFlags::default())
+        .is_err());
     let fresh = LamassuFs::new(store, keys_gen1, LamassuConfig::default());
-    let fd = fresh.open("/archive/part-0.bin", OpenFlags::default()).unwrap();
+    let fd = fresh
+        .open("/archive/part-0.bin", OpenFlags::default())
+        .unwrap();
     assert_eq!(fresh.read(fd, 0, payload.len()).unwrap(), payload);
     println!("old credentials rejected, new credentials read the archive — re-keying complete");
 }

@@ -28,21 +28,40 @@ fn main() {
     // 3. Mount the Lamassu shim over the backend.
     let fs = LamassuFs::new(store.clone(), keys, LamassuConfig::default());
 
-    // 4. Use it like a file system.
+    // 4. Use it like a file system. `write_vectored` is the primitive write:
+    //    it takes a scatter list, so a header and body can go out in one call.
     let fd = fs.create("/reports/q3.txt").expect("create");
-    let message = b"quarterly numbers: all of them are excellent".repeat(500);
-    fs.write(fd, 0, &message).expect("write");
+    let header = b"Q3 REPORT\n".to_vec();
+    let body = b"quarterly numbers: all of them are excellent".repeat(500);
+    fs.write_vectored(
+        fd,
+        0,
+        &[std::io::IoSlice::new(&header), std::io::IoSlice::new(&body)],
+    )
+    .expect("write");
     fs.fsync(fd).expect("fsync");
+    let message: Vec<u8> = header.iter().chain(body.iter()).copied().collect();
     println!("wrote {} bytes through LamassuFS", message.len());
 
-    let back = fs.read(fd, 0, message.len()).expect("read");
+    // `read_into` is the primitive read: it fills a caller-owned buffer, so
+    // a loop reusing one buffer allocates nothing per call.
+    let mut back = vec![0u8; message.len()];
+    let n = fs.read_into(fd, 0, &mut back).expect("read");
+    assert_eq!(n, message.len());
     assert_eq!(back, message);
     println!("read them back and verified the contents");
 
     // 5. What does the storage system see? Ciphertext only.
-    let raw = store.read_at("/reports/q3.txt", 4096, 64).expect("raw read");
-    println!("first ciphertext bytes on the backend: {:02x?}...", &raw[..16]);
-    assert!(!raw.windows(16).any(|w| message.windows(16).next() == Some(w)));
+    let raw = store
+        .read_at("/reports/q3.txt", 4096, 64)
+        .expect("raw read");
+    println!(
+        "first ciphertext bytes on the backend: {:02x?}...",
+        &raw[..16]
+    );
+    assert!(!raw
+        .windows(16)
+        .any(|w| message.windows(16).next() == Some(w)));
 
     // 6. A second client in the same isolation zone stores the same data;
     //    the backend deduplicates the identical ciphertext blocks.
@@ -73,7 +92,9 @@ fn main() {
         keymgr.fetch_zone_keys(zone).expect("zone exists"),
         LamassuConfig::default(),
     );
-    let fd = fs.open("/reports/q3.txt", OpenFlags::default()).expect("open");
+    let fd = fs
+        .open("/reports/q3.txt", OpenFlags::default())
+        .expect("open");
     assert_eq!(fs.read(fd, 0, message.len()).expect("read"), message);
     println!("re-mounted and re-read the file successfully");
 }

@@ -1,9 +1,10 @@
 //! Concurrency tests: several client threads drive one mount at once, as the
 //! paper's multi-host / multi-application deployment implies.
 
-use lamassu::core::{FileSystem, LamassuConfig, LamassuFs, OpenFlags};
+use lamassu::core::{EncFs, EncFsConfig, FileSystem, LamassuConfig, LamassuFs, OpenFlags, PlainFs};
 use lamassu::keymgr::ZoneKeys;
 use lamassu::storage::{DedupStore, StorageProfile};
+use std::io::IoSlice;
 use std::sync::Arc;
 use std::thread;
 
@@ -19,7 +20,11 @@ fn keys() -> ZoneKeys {
 #[test]
 fn parallel_writers_to_distinct_files() {
     let store = Arc::new(DedupStore::new(4096, StorageProfile::instant()));
-    let fs = Arc::new(LamassuFs::new(store.clone(), keys(), LamassuConfig::default()));
+    let fs = Arc::new(LamassuFs::new(
+        store.clone(),
+        keys(),
+        LamassuConfig::default(),
+    ));
 
     let threads: Vec<_> = (0..8)
         .map(|t| {
@@ -97,7 +102,8 @@ fn mixed_readers_and_writers_do_not_corrupt_each_other() {
             let path = format!("/churn-{t}.bin");
             let fd = fs.create(&path).unwrap();
             for round in 0..20u64 {
-                fs.write(fd, (round % 5) * 4096, &[round as u8; 4096]).unwrap();
+                fs.write(fd, (round % 5) * 4096, &[round as u8; 4096])
+                    .unwrap();
             }
             fs.fsync(fd).unwrap();
         }));
@@ -116,4 +122,185 @@ fn mixed_readers_and_writers_do_not_corrupt_each_other() {
         t.join().expect("worker thread");
     }
     assert!(fs.verify("/stable.bin").unwrap().is_clean());
+}
+
+const BS: usize = 4096;
+/// Blocks each stress thread owns in the shared file.
+const REGION_BLOCKS: usize = 4;
+const STRESS_THREADS: u8 = 8;
+const STRESS_ROUNDS: u64 = 12;
+
+fn stress_pattern(thread: u8, round: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| thread ^ (round as u8).wrapping_mul(31) ^ (i % 251) as u8)
+        .collect()
+}
+
+/// Hammers one mount with `read_into`/`write_vectored` from many threads:
+/// all threads share one file (each owning a disjoint block region, all
+/// descriptors resolving to the same per-file state) while also working a
+/// private file each through unaligned scatter writes. Every thread checks
+/// its reads against a local model after every operation.
+fn stress_handle_paths(fs: Arc<dyn FileSystem>) {
+    let region_bytes = REGION_BLOCKS * BS;
+    let shared_fd = fs.create("/shared-stress.bin").unwrap();
+    fs.write(
+        shared_fd,
+        0,
+        &vec![0u8; region_bytes * STRESS_THREADS as usize],
+    )
+    .unwrap();
+    fs.fsync(shared_fd).unwrap();
+
+    let threads: Vec<_> = (0..STRESS_THREADS)
+        .map(|t| {
+            let fs = fs.clone();
+            thread::spawn(move || {
+                // Every thread opens its own descriptor to the shared file;
+                // the shims must resolve all of them to one shared state.
+                let my_shared_fd = fs.open("/shared-stress.bin", OpenFlags::default()).unwrap();
+                let region_off = t as u64 * region_bytes as u64;
+                let mut region_model = vec![0u8; region_bytes];
+                let mut region_buf = vec![0u8; region_bytes];
+
+                let own_path = format!("/own-stress-{t}.bin");
+                let own_fd = fs.create(&own_path).unwrap();
+                let mut own_model: Vec<u8> = Vec::new();
+                let mut own_buf = vec![0u8; 3 * BS];
+
+                for round in 0..STRESS_ROUNDS {
+                    // Aligned single-block scatter write into the owned
+                    // region of the shared file (two slices, one block).
+                    let block = (round as usize) % REGION_BLOCKS;
+                    let pattern = stress_pattern(t, round, BS);
+                    let (head, tail) = pattern.split_at(BS / 3);
+                    let n = fs
+                        .write_vectored(
+                            my_shared_fd,
+                            region_off + (block * BS) as u64,
+                            &[IoSlice::new(head), IoSlice::new(tail)],
+                        )
+                        .unwrap();
+                    assert_eq!(n, BS);
+                    region_model[block * BS..(block + 1) * BS].copy_from_slice(&pattern);
+
+                    let read = fs
+                        .read_into(my_shared_fd, region_off, &mut region_buf)
+                        .unwrap();
+                    assert_eq!(read, region_bytes, "thread {t} round {round}");
+                    assert_eq!(region_buf, region_model, "thread {t} round {round}");
+
+                    // Unaligned cross-block scatter write into the private
+                    // file, extending it as it goes.
+                    let off = round * (BS as u64 + 777);
+                    let data = stress_pattern(t, round, BS + 1555);
+                    let (a, b) = data.split_at(997);
+                    fs.write_vectored(own_fd, off, &[IoSlice::new(a), IoSlice::new(b)])
+                        .unwrap();
+                    let end = off as usize + data.len();
+                    if end > own_model.len() {
+                        own_model.resize(end, 0);
+                    }
+                    own_model[off as usize..end].copy_from_slice(&data);
+
+                    let n = fs.read_into(own_fd, off, &mut own_buf).unwrap();
+                    let expect = (own_model.len() - off as usize).min(own_buf.len());
+                    assert_eq!(n, expect, "thread {t} round {round}");
+                    assert_eq!(
+                        &own_buf[..n],
+                        &own_model[off as usize..off as usize + n],
+                        "thread {t} round {round}"
+                    );
+                }
+
+                fs.fsync(own_fd).unwrap();
+                fs.close(own_fd).unwrap();
+                fs.close(my_shared_fd).unwrap();
+                (t, region_model)
+            })
+        })
+        .collect();
+
+    // After the storm, every region holds exactly its thread's final state.
+    let mut check = vec![0u8; region_bytes];
+    for t in threads {
+        let (id, model) = t.join().expect("stress thread");
+        let off = id as u64 * region_bytes as u64;
+        let n = fs.read_into(shared_fd, off, &mut check).unwrap();
+        assert_eq!(n, region_bytes);
+        assert_eq!(check, model, "thread {id} region after join");
+    }
+    fs.close(shared_fd).unwrap();
+}
+
+/// Regression test for the open/close lifecycle race: when a last `close`
+/// races an `open` on the same path, both descriptors must still end up on
+/// *one* shared per-file state — never two divergent states whose buffered
+/// writes overwrite each other.
+#[test]
+fn open_close_churn_keeps_one_state_per_path() {
+    let store = Arc::new(DedupStore::new(4096, StorageProfile::instant()));
+    let fs = Arc::new(LamassuFs::new(store, keys(), LamassuConfig::default()));
+    let fd = fs.create("/churn.bin").unwrap();
+    fs.write(fd, 0, &vec![0u8; 8 * 4096]).unwrap();
+    fs.close(fd).unwrap();
+
+    let threads: Vec<_> = (0..8u8)
+        .map(|t| {
+            let fs = fs.clone();
+            thread::spawn(move || {
+                // Each thread owns one block; every iteration is a full
+                // open → write → read-back → close cycle, so opens and last
+                // closes constantly interleave across threads.
+                let offset = t as u64 * 4096;
+                for round in 0..40u64 {
+                    let fd = fs.open("/churn.bin", OpenFlags::default()).unwrap();
+                    let pattern = vec![t ^ round as u8; 4096];
+                    fs.write(fd, offset, &pattern).unwrap();
+                    let back = fs.read(fd, offset, 4096).unwrap();
+                    assert_eq!(back, pattern, "thread {t} round {round}");
+                    fs.close(fd).unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("churn thread");
+    }
+
+    // Every close flushed through one coherent state: the file verifies
+    // clean and each block holds some thread's final pattern.
+    assert!(fs.verify("/churn.bin").unwrap().is_clean());
+    let fd = fs.open("/churn.bin", OpenFlags::default()).unwrap();
+    for t in 0..8u8 {
+        let block = fs.read(fd, t as u64 * 4096, 4096).unwrap();
+        assert_eq!(block, vec![t ^ 39u8; 4096], "block {t}");
+    }
+}
+
+#[test]
+fn stress_plainfs_handle_paths() {
+    let store = Arc::new(DedupStore::new(4096, StorageProfile::instant()));
+    stress_handle_paths(Arc::new(PlainFs::new(store)));
+}
+
+#[test]
+fn stress_encfs_handle_paths() {
+    let store = Arc::new(DedupStore::new(4096, StorageProfile::instant()));
+    stress_handle_paths(Arc::new(EncFs::new(
+        store,
+        [0x77; 32],
+        EncFsConfig::default(),
+    )));
+}
+
+#[test]
+fn stress_lamassufs_handle_paths() {
+    let store = Arc::new(DedupStore::new(4096, StorageProfile::instant()));
+    let fs = Arc::new(LamassuFs::new(store, keys(), LamassuConfig::default()));
+    stress_handle_paths(fs.clone());
+    // LamassuFS additionally verifies every file clean after the storm.
+    for path in fs.list().unwrap() {
+        assert!(fs.verify(&path).unwrap().is_clean(), "{path}");
+    }
 }

@@ -28,7 +28,11 @@ fn pattern(version: u8, block: usize) -> Vec<u8> {
 /// Builds a base file of `blocks` blocks (version 1) on fresh media.
 fn build_base(blocks: usize) -> Arc<DedupStore> {
     let media = Arc::new(DedupStore::new(4096, StorageProfile::instant()));
-    let fs = LamassuFs::new(media.clone(), keys(), LamassuConfig::with_reserved_slots(2).unwrap());
+    let fs = LamassuFs::new(
+        media.clone(),
+        keys(),
+        LamassuConfig::with_reserved_slots(2).unwrap(),
+    );
     let fd = fs.create("/file").unwrap();
     for b in 0..blocks {
         fs.write(fd, (b * 4096) as u64, &pattern(1, b)).unwrap();
@@ -77,7 +81,10 @@ fn every_crash_point_recovers_to_a_consistent_state() {
     for crash_after in 0..total_writes {
         let media = build_base(blocks);
         let finished = overwrite_with_crash(media.clone(), blocks, crash_after);
-        assert!(!finished || crash_after >= total_writes, "crash point {crash_after} did not fire");
+        assert!(
+            !finished || crash_after >= total_writes,
+            "crash point {crash_after} did not fire"
+        );
 
         // Reboot: recover on the surviving media and check consistency.
         let fs = LamassuFs::new(
@@ -85,9 +92,8 @@ fn every_crash_point_recovers_to_a_consistent_state() {
             keys(),
             LamassuConfig::with_reserved_slots(2).unwrap(),
         );
-        fs.recover("/file").unwrap_or_else(|e| {
-            panic!("recovery failed at crash point {crash_after}: {e}")
-        });
+        fs.recover("/file")
+            .unwrap_or_else(|e| panic!("recovery failed at crash point {crash_after}: {e}"));
         let report = fs.verify("/file").unwrap();
         assert!(
             report.is_clean(),
@@ -125,6 +131,9 @@ fn recovery_is_idempotent() {
     let first = fs.recover("/file").unwrap();
     let second = fs.recover("/file").unwrap();
     assert!(first.segments_scanned >= second.segments_scanned);
-    assert_eq!(second.segments_repaired, 0, "second pass finds nothing to do");
+    assert_eq!(
+        second.segments_repaired, 0,
+        "second pass finds nothing to do"
+    );
     assert!(fs.verify("/file").unwrap().is_clean());
 }

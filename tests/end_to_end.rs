@@ -28,8 +28,16 @@ fn full_pipeline_synthetic_dataset_through_all_shims() {
         let store = dedup_store();
         let fs: Box<dyn FileSystem> = match kind {
             "plain" => Box::new(PlainFs::new(store.clone())),
-            "enc" => Box::new(EncFs::new(store.clone(), keys.outer, EncFsConfig::default())),
-            _ => Box::new(LamassuFs::new(store.clone(), keys, LamassuConfig::default())),
+            "enc" => Box::new(EncFs::new(
+                store.clone(),
+                keys.outer,
+                EncFsConfig::default(),
+            )),
+            _ => Box::new(LamassuFs::new(
+                store.clone(),
+                keys,
+                LamassuConfig::default(),
+            )),
         };
         let fd = fs.create("/data.bin").unwrap();
         fs.write(fd, 0, &data).unwrap();
@@ -43,7 +51,10 @@ fn full_pipeline_synthetic_dataset_through_all_shims() {
     let lamassu = results[2].1;
     assert!(plain > 35.0, "plain dedup {plain}");
     assert!(enc < 1.0, "enc dedup {enc}");
-    assert!((plain - lamassu).abs() < 3.0, "plain {plain} vs lamassu {lamassu}");
+    assert!(
+        (plain - lamassu).abs() < 3.0,
+        "plain {plain} vs lamassu {lamassu}"
+    );
 }
 
 #[test]
@@ -83,7 +94,9 @@ fn fio_tester_drives_every_workload_on_lamassu() {
     let tester = FioTester::new(FioConfig::small(2 * 1024 * 1024));
     tester.populate(&fs, "/fio.dat").unwrap();
     for workload in Workload::ALL {
-        let result = tester.run(&fs, store.as_ref(), "/fio.dat", workload).unwrap();
+        let result = tester
+            .run(&fs, store.as_ref(), "/fio.dat", workload)
+            .unwrap();
         assert_eq!(result.bytes, 2 * 1024 * 1024, "{:?}", workload);
         assert!(result.bandwidth_mib_s > 0.0);
     }
@@ -108,9 +121,17 @@ fn rekey_flow_through_key_manager_generations() {
 
     // Old generation can still be fetched from the key manager (for audit)
     // but no longer decrypts; the new generation does.
-    let stale = LamassuFs::new(store.clone(), km.fetch_generation(zone, 0).unwrap(), LamassuConfig::default());
+    let stale = LamassuFs::new(
+        store.clone(),
+        km.fetch_generation(zone, 0).unwrap(),
+        LamassuConfig::default(),
+    );
     assert!(stale.open("/doc.txt", OpenFlags::default()).is_err());
-    let fresh = LamassuFs::new(store, km.fetch_zone_keys(zone).unwrap(), LamassuConfig::default());
+    let fresh = LamassuFs::new(
+        store,
+        km.fetch_zone_keys(zone).unwrap(),
+        LamassuConfig::default(),
+    );
     let fd = fresh.open("/doc.txt", OpenFlags::default()).unwrap();
     assert_eq!(fresh.read(fd, 0, 100).unwrap(), b"generation zero contents");
 }
@@ -146,7 +167,8 @@ fn many_small_files_and_listing() {
     for i in 0..50 {
         let path = format!("/small/file-{i:03}");
         let fd = fs.create(&path).unwrap();
-        fs.write(fd, 0, format!("contents of file {i}").as_bytes()).unwrap();
+        fs.write(fd, 0, format!("contents of file {i}").as_bytes())
+            .unwrap();
         fs.close(fd).unwrap();
     }
     let mut listed = fs.list().unwrap();

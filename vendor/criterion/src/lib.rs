@@ -1,0 +1,169 @@
+//! Vendored stand-in for the `criterion` crate.
+//!
+//! Implements the benchmark-definition API this workspace uses
+//! ([`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Throughput`], `criterion_group!`/`criterion_main!`) over a simple
+//! wall-clock harness: each benchmark is warmed up, then sampled in batches
+//! until a time budget is spent, and the per-iteration mean plus derived
+//! throughput are printed. No statistics machinery, no plots — enough to
+//! compare shims and catch hot-path regressions.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported for API compatibility.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Units processed per iteration, used to derive throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level harness handle passed to every benchmark function.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: Duration::from_millis(300),
+            measure: Duration::from_millis(1500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            group: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    group: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares how much work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark and prints its result line.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up: run single iterations until the warm-up budget is spent.
+        let warmup_start = Instant::now();
+        while warmup_start.elapsed() < self.criterion.warmup {
+            bencher.iters = 1;
+            f(&mut bencher);
+        }
+
+        // Measurement: grow the batch size until one batch is long enough to
+        // time reliably, then keep sampling until the budget is spent.
+        let mut batch: u64 = 1;
+        let mut total_iters: u64 = 0;
+        let mut total_time = Duration::ZERO;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.criterion.measure {
+            bencher.iters = batch;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            total_iters += batch;
+            total_time += bencher.elapsed;
+            if bencher.elapsed < Duration::from_millis(10) {
+                batch = batch.saturating_mul(2);
+            }
+        }
+
+        let ns_per_iter = if total_iters == 0 {
+            f64::NAN
+        } else {
+            total_time.as_nanos() as f64 / total_iters as f64
+        };
+        let throughput = match self.throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                let mib_s = bytes as f64 / (ns_per_iter * 1e-9) / (1024.0 * 1024.0);
+                format!("  throughput: {mib_s:>10.1} MiB/s")
+            }
+            Some(Throughput::Elements(n)) => {
+                let elem_s = n as f64 / (ns_per_iter * 1e-9);
+                format!("  throughput: {elem_s:>10.0} elem/s")
+            }
+            None => String::new(),
+        };
+        println!(
+            "  {:<40} time: {:>12.1} ns/iter{throughput}",
+            format!("{}/{name}", self.group),
+            ns_per_iter
+        );
+        self
+    }
+
+    /// Ends the group (printing is already done per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Per-benchmark timing handle: runs the closure `iters` times per sample.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, excluding the harness's own bookkeeping.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Declares a group-runner function from a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from a list of group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. `--bench`); this
+            // stand-in has no CLI and ignores them.
+            $($group();)+
+        }
+    };
+}

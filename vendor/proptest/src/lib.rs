@@ -1,0 +1,213 @@
+//! Vendored stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace's property tests
+//! use: the [`proptest!`] macro, `prop_assert*` / [`prop_assume!`],
+//! [`prop_oneof!`], [`strategy::Strategy`] with `prop_map`, integer-range and
+//! `any::<T>()` strategies, [`collection::vec`], [`sample::Index`] and
+//! [`ProptestConfig`]. Cases are generated from a deterministic per-test seed
+//! (override with the `PROPTEST_SEED` environment variable); there is **no
+//! shrinking** — a failure reports the seed and case number instead.
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+
+/// Items meant to be glob-imported by test modules.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig, TestCaseError,
+    };
+}
+
+/// Runner configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases each property must pass.
+    pub cases: u32,
+    /// Upper bound on cases rejected by [`prop_assume!`] before the runner
+    /// gives up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the property is falsified.
+    Fail(String),
+    /// The case was rejected by [`prop_assume!`]; try another.
+    Reject(String),
+}
+
+/// The deterministic RNG driving case generation.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Builds the RNG for one property test. The seed is derived from the test's
+/// full path (stable across runs) unless `PROPTEST_SEED` overrides it.
+pub fn rng_for_test(test_path: &str) -> (u64, TestRng) {
+    use rand::SeedableRng;
+    let seed = match std::env::var("PROPTEST_SEED") {
+        Ok(v) => v.parse().unwrap_or_else(|_| fnv1a(test_path.as_bytes())),
+        Err(_) => fnv1a(test_path.as_bytes()),
+    };
+    (seed, TestRng::seed_from_u64(seed))
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Defines property tests: each function's arguments are drawn from the given
+/// strategies for `config.cases` iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @config($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @config($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@config($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let (seed, mut rng) =
+                $crate::rng_for_test(concat!(module_path!(), "::", stringify!($name)));
+            let mut passed: u32 = 0;
+            let mut rejected: u32 = 0;
+            while passed < config.cases {
+                let args = ($($crate::strategy::Strategy::new_value(&($strat), &mut rng),)+);
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (move || {
+                    let ($($arg,)+) = args;
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => passed += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        if rejected > config.max_global_rejects {
+                            panic!(
+                                "proptest {}: too many cases rejected by prop_assume! \
+                                 ({rejected} rejects, seed {seed})",
+                                stringify!($name)
+                            );
+                        }
+                    }
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => panic!(
+                        "proptest {} falsified on case {passed} (seed {seed}): {msg}",
+                        stringify!($name)
+                    ),
+                }
+            }
+        }
+    )*};
+}
+
+/// `assert!` for property bodies: failures falsify the case instead of
+/// panicking directly, so the runner can report the seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => $crate::prop_assert!(
+                *left == *right,
+                "assertion failed: `{:?}` == `{:?}`", left, right
+            ),
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left, right) => $crate::prop_assert!(
+                *left == *right,
+                "assertion failed: `{:?}` == `{:?}`: {}", left, right, format!($($fmt)+)
+            ),
+        }
+    };
+}
+
+/// `assert_ne!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => $crate::prop_assert!(
+                *left != *right,
+                "assertion failed: `{:?}` != `{:?}`", left, right
+            ),
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left, right) => $crate::prop_assert!(
+                *left != *right,
+                "assertion failed: `{:?}` != `{:?}`: {}", left, right, format!($($fmt)+)
+            ),
+        }
+    };
+}
+
+/// Discards the current case (without failing) when its inputs do not satisfy
+/// a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Weighted choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}

@@ -1,0 +1,41 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+use crate::strategy::Arbitrary;
+use crate::TestRng;
+use rand::RngCore;
+
+/// An index into a collection whose length is only known inside the test
+/// body. Draw one with `any::<prop::sample::Index>()`, then project it onto a
+/// concrete length with [`Index::index`].
+#[derive(Debug, Clone, Copy)]
+pub struct Index(u64);
+
+impl Index {
+    /// Projects this abstract index onto a collection of `len` elements.
+    /// Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn index_stays_in_bounds() {
+        let mut rng = TestRng::seed_from_u64(4);
+        for len in [1usize, 2, 17, 4096] {
+            let idx = Index::arbitrary(&mut rng);
+            assert!(idx.index(len) < len);
+        }
+    }
+}
