@@ -1,0 +1,6 @@
+//! Regenerates the cache experiment: cached vs uncached re-read, cold read
+//! and read-modify-write over the NFS transport profile.
+
+fn main() {
+    lamassu_bench::experiments::cache::run(lamassu_bench::fio_file_size());
+}

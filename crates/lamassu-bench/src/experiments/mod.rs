@@ -11,10 +11,12 @@
 //! | [`ablation`] | §4.2 note — block-aligned vs unaligned EncFS over NFS |
 //! | [`ablation_ce_granularity`] | §5.2 — per-block vs per-file convergent encryption |
 //! | [`ablation_key_server`] | §1 — local KDF vs DupLESS-style server-aided keys |
+//! | [`cache`] | beyond the paper — cached vs uncached I/O over the NFS profile |
 
 pub mod ablation;
 pub mod ablation_ce_granularity;
 pub mod ablation_key_server;
+pub mod cache;
 pub mod fig10;
 pub mod fig11;
 pub mod fig6;

@@ -1,10 +1,11 @@
 //! Shared mount construction for the experiments.
 
+use lamassu_cache::{CacheConfig, CachedStore};
 use lamassu_core::{
     EncFs, EncFsConfig, FileSystem, IntegrityMode, LamassuConfig, LamassuFs, PlainFs,
 };
 use lamassu_keymgr::{KeyManager, ZoneKeys};
-use lamassu_storage::{DedupStore, StorageProfile};
+use lamassu_storage::{DedupStore, ObjectStore, StorageProfile};
 use std::sync::Arc;
 
 /// The file-system variants compared throughout §4 of the paper.
@@ -60,40 +61,88 @@ pub fn bench_zone_keys() -> ZoneKeys {
     km.fetch_zone_keys(zone).expect("zone just created")
 }
 
-/// Builds a fresh mount of the requested kind over its own backing store.
-pub fn mount(kind: FsKind, profile: StorageProfile, reserved_slots: usize) -> Mount {
-    let store = Arc::new(DedupStore::new(4096, profile));
+/// Builds a shim of the requested kind over an arbitrary (possibly cached)
+/// object store.
+fn shim_over(
+    kind: FsKind,
+    store: Arc<dyn ObjectStore>,
+    reserved_slots: usize,
+) -> (Box<dyn FileSystem>, std::sync::Arc<lamassu_core::Profiler>) {
     let keys = bench_zone_keys();
     let lamassu_config = |integrity| LamassuConfig {
         geometry: lamassu_format::Geometry::new(4096, reserved_slots)
             .expect("valid benchmark geometry"),
         integrity,
     };
-    let (fs, profiler): (Box<dyn FileSystem>, _) = match kind {
+    match kind {
         FsKind::Plain => {
-            let fs = PlainFs::new(store.clone());
+            let fs = PlainFs::new(store);
             let p = fs.profiler();
             (Box::new(fs), p)
         }
         FsKind::Enc => {
-            let fs = EncFs::new(store.clone(), keys.outer, EncFsConfig::default());
+            let fs = EncFs::new(store, keys.outer, EncFsConfig::default());
             let p = fs.profiler();
             (Box::new(fs), p)
         }
         FsKind::Lamassu => {
-            let fs = LamassuFs::new(store.clone(), keys, lamassu_config(IntegrityMode::Full));
+            let fs = LamassuFs::new(store, keys, lamassu_config(IntegrityMode::Full));
             let p = fs.profiler();
             (Box::new(fs), p)
         }
         FsKind::LamassuMetaOnly => {
-            let fs = LamassuFs::new(store.clone(), keys, lamassu_config(IntegrityMode::MetaOnly));
+            let fs = LamassuFs::new(store, keys, lamassu_config(IntegrityMode::MetaOnly));
             let p = fs.profiler();
             (Box::new(fs), p)
         }
-    };
+    }
+}
+
+/// Builds a fresh mount of the requested kind over its own backing store.
+pub fn mount(kind: FsKind, profile: StorageProfile, reserved_slots: usize) -> Mount {
+    let store = Arc::new(DedupStore::new(4096, profile));
+    let (fs, profiler) = shim_over(kind, store.clone(), reserved_slots);
     Mount {
         fs,
         store,
+        kind,
+        profiler,
+    }
+}
+
+/// A mount with a [`CachedStore`] slotted between the shim and the backend.
+pub struct CachedMount {
+    /// The mounted file system (shim over cache over backend).
+    pub fs: Box<dyn FileSystem>,
+    /// The cache tier. Pass this as the `store` argument of
+    /// [`lamassu_workloads::FioTester::run`] so accounting (backend time
+    /// plus cache counters) comes from one place.
+    pub cache: Arc<CachedStore<DedupStore>>,
+    /// The deduplicating backend underneath the cache.
+    pub backend: Arc<DedupStore>,
+    /// Which shim variant this is.
+    pub kind: FsKind,
+    /// The shim's latency profiler (also attached to the cache, so cache
+    /// management time lands in the `Cache` category of Figure 9).
+    pub profiler: std::sync::Arc<lamassu_core::Profiler>,
+}
+
+/// Builds a fresh cached mount: shim over [`CachedStore`] over a
+/// [`DedupStore`] with the given transport profile.
+pub fn mount_cached(
+    kind: FsKind,
+    profile: StorageProfile,
+    reserved_slots: usize,
+    cache_config: CacheConfig,
+) -> CachedMount {
+    let backend = Arc::new(DedupStore::new(4096, profile));
+    let cache = Arc::new(CachedStore::new(backend.clone(), cache_config));
+    let (fs, profiler) = shim_over(kind, cache.clone(), reserved_slots);
+    cache.set_profiler(profiler.clone());
+    CachedMount {
+        fs,
+        cache,
+        backend,
         kind,
         profiler,
     }
@@ -112,6 +161,27 @@ mod tests {
             let fd = m.fs.create("/t").unwrap();
             m.fs.write(fd, 0, b"ok").unwrap();
             assert_eq!(m.fs.read(fd, 0, 2).unwrap(), b"ok");
+        }
+    }
+
+    #[test]
+    fn all_cached_mounts_round_trip_and_count_cache_traffic() {
+        for kind in FsKind::ALL {
+            for config in [CacheConfig::write_through(64), CacheConfig::write_back(64)] {
+                let m = mount_cached(kind, StorageProfile::instant(), 8, config);
+                let fd = m.fs.create("/t").unwrap();
+                m.fs.write(fd, 0, &[7u8; 8192]).unwrap();
+                m.fs.fsync(fd).unwrap();
+                assert_eq!(m.fs.read(fd, 0, 8192).unwrap(), vec![7u8; 8192]);
+                assert_eq!(m.fs.read(fd, 0, 8192).unwrap(), vec![7u8; 8192]);
+                let counters = m.cache.io_counters();
+                assert!(
+                    counters.cache_hits > 0,
+                    "{:?} over {:?} never hit",
+                    kind,
+                    config.mode
+                );
+            }
         }
     }
 }

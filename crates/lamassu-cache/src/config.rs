@@ -1,0 +1,115 @@
+//! Cache configuration: mode, geometry and prefetch depth.
+
+/// When writes reach the wrapped store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheMode {
+    /// Writes go to the backend first and update overlapping cached blocks
+    /// on success. The backend is never stale.
+    #[default]
+    WriteThrough,
+    /// Writes land in dirty cache blocks and reach the backend on flush,
+    /// eviction, or a metadata operation (`truncate`/`rename`) that must see
+    /// the data below. Coalesces adjacent dirty blocks on flush.
+    WriteBack,
+}
+
+impl CacheMode {
+    /// Label used in benchmark reports and the CLI.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CacheMode::WriteThrough => "write-through",
+            CacheMode::WriteBack => "write-back",
+        }
+    }
+}
+
+/// Geometry and policy of a [`crate::CachedStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Cache line size in bytes. Should match the backend's natural block
+    /// size (4 KiB for the paper's configurations).
+    pub block_size: usize,
+    /// Total capacity in blocks across all shards.
+    pub capacity_blocks: usize,
+    /// Number of independently locked shards. Clamped to `capacity_blocks`.
+    pub shards: usize,
+    /// Write policy.
+    pub mode: CacheMode,
+    /// How many following blocks a sequential miss fetches in the same
+    /// backend read. `0` disables read-ahead.
+    pub read_ahead_blocks: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            block_size: 4096,
+            capacity_blocks: 1024,
+            shards: 8,
+            mode: CacheMode::WriteThrough,
+            read_ahead_blocks: 8,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A write-through configuration with the given capacity.
+    pub fn write_through(capacity_blocks: usize) -> Self {
+        CacheConfig {
+            capacity_blocks,
+            mode: CacheMode::WriteThrough,
+            ..CacheConfig::default()
+        }
+    }
+
+    /// A write-back configuration with the given capacity.
+    pub fn write_back(capacity_blocks: usize) -> Self {
+        CacheConfig {
+            capacity_blocks,
+            mode: CacheMode::WriteBack,
+            ..CacheConfig::default()
+        }
+    }
+
+    /// Effective shard count: at least one, at most one per capacity block.
+    pub(crate) fn effective_shards(&self) -> usize {
+        self.shards.clamp(1, self.capacity_blocks.max(1))
+    }
+
+    /// Blocks per shard (capacity divided evenly, rounded up, at least one).
+    pub(crate) fn blocks_per_shard(&self) -> usize {
+        let shards = self.effective_shards();
+        self.capacity_blocks.max(1).div_ceil(shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = CacheConfig::default();
+        assert_eq!(c.block_size, 4096);
+        assert_eq!(c.mode, CacheMode::WriteThrough);
+        assert!(c.effective_shards() >= 1);
+        assert!(c.blocks_per_shard() * c.effective_shards() >= c.capacity_blocks);
+    }
+
+    #[test]
+    fn tiny_capacity_clamps_shards() {
+        let c = CacheConfig {
+            capacity_blocks: 2,
+            shards: 16,
+            ..CacheConfig::default()
+        };
+        assert_eq!(c.effective_shards(), 2);
+        assert_eq!(c.blocks_per_shard(), 1);
+    }
+
+    #[test]
+    fn mode_labels() {
+        assert_eq!(CacheMode::WriteThrough.label(), "write-through");
+        assert_eq!(CacheMode::WriteBack.label(), "write-back");
+    }
+}

@@ -1,0 +1,104 @@
+//! Hit/miss/eviction/write-back accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Snapshot of a cache's cumulative counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Block *reads* served from the cache.
+    pub hits: u64,
+    /// Block reads that had to go to the backend (including fetches performed
+    /// to complete a partial write in write-back mode).
+    pub misses: u64,
+    /// Write-back writes that landed in an already-cached block (counted
+    /// separately from read `hits` so hit rates describe read caching only).
+    pub write_hits: u64,
+    /// Blocks evicted to make room (clean and dirty alike).
+    pub evictions: u64,
+    /// Dirty blocks written back to the backend (eviction or flush).
+    pub dirty_writebacks: u64,
+    /// Blocks brought in by sequential read-ahead.
+    pub prefetched: u64,
+    /// Blocks dropped by invalidation (`truncate`/`remove`/`rename`).
+    pub invalidated: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction over all block lookups, in `[0, 1]`; `0` when idle.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Internal lock-free counters behind [`CacheStats`].
+#[derive(Default)]
+pub(crate) struct AtomicStats {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub write_hits: AtomicU64,
+    pub evictions: AtomicU64,
+    pub dirty_writebacks: AtomicU64,
+    pub prefetched: AtomicU64,
+    pub invalidated: AtomicU64,
+}
+
+impl AtomicStats {
+    pub fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            write_hits: self.write_hits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            dirty_writebacks: self.dirty_writebacks.load(Ordering::Relaxed),
+            prefetched: self.prefetched.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.write_hits.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.dirty_writebacks.store(0, Ordering::Relaxed);
+        self.prefetched.store(0, Ordering::Relaxed);
+        self.invalidated.store(0, Ordering::Relaxed);
+    }
+
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_idle_and_active() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..CacheStats::default()
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_and_reset_round_trip() {
+        let a = AtomicStats::default();
+        AtomicStats::bump(&a.hits);
+        AtomicStats::bump(&a.prefetched);
+        let s = a.snapshot();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.prefetched, 1);
+        a.reset();
+        assert_eq!(a.snapshot(), CacheStats::default());
+    }
+}

@@ -15,9 +15,10 @@
 //! lamassu rekey   --keys keys.json --zone 7 --volume /mnt/filer/vol
 //! ```
 
+use lamassu_cache::{CacheConfig, CacheMode, CachedStore};
 use lamassu_core::{FileSystem, LamassuConfig, LamassuFs, OpenFlags};
 use lamassu_keymgr::KeyManager;
-use lamassu_storage::{DirStore, StorageProfile};
+use lamassu_storage::{DirStore, ObjectStore, StorageProfile};
 use std::collections::HashMap;
 use std::fs;
 use std::process::ExitCode;
@@ -46,6 +47,11 @@ OPTIONS:
     --zone <id>                isolation zone id (default: 1)
     --block-size <bytes>       Lamassu block size (default: 4096)
     --reserved-slots <R>       reserved transient key slots (default: 8)
+    --cache <mode[:blocks]>    block cache between the shim and the volume:
+                               off | write-through | write-back, optionally
+                               with a capacity in blocks (default: off; 1024
+                               blocks when a mode is given). Write-back
+                               coalesces writes and flushes before exit.
 ";
 
 struct Options {
@@ -54,7 +60,41 @@ struct Options {
     zone: u32,
     block_size: usize,
     reserved_slots: usize,
+    cache: Option<(CacheMode, usize)>,
     positional: Vec<String>,
+}
+
+/// Parses `--cache` values: `off`, `write-through[:blocks]`,
+/// `write-back[:blocks]`.
+fn parse_cache_spec(value: &str) -> Result<Option<(CacheMode, usize)>, String> {
+    let (mode_str, blocks_str) = match value.split_once(':') {
+        Some((m, b)) => (m, Some(b)),
+        None => (value, None),
+    };
+    let mode = match mode_str {
+        "off" => {
+            if blocks_str.is_some() {
+                return Err("cache mode 'off' takes no capacity".to_string());
+            }
+            return Ok(None);
+        }
+        "write-through" => CacheMode::WriteThrough,
+        "write-back" => CacheMode::WriteBack,
+        other => {
+            return Err(format!(
+                "bad cache mode '{other}' (expected off, write-through or write-back)"
+            ))
+        }
+    };
+    let blocks = match blocks_str {
+        Some(b) => b
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("bad cache capacity: {b}"))?,
+        None => 1024,
+    };
+    Ok(Some((mode, blocks)))
 }
 
 type FlagSetter = fn(&mut Options, String) -> Result<(), String>;
@@ -66,6 +106,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         zone: 1,
         block_size: 4096,
         reserved_slots: 8,
+        cache: None,
         positional: Vec::new(),
     };
     let mut flags: HashMap<&str, FlagSetter> = HashMap::new();
@@ -87,6 +128,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     });
     flags.insert("--reserved-slots", |o, v| {
         o.reserved_slots = v.parse().map_err(|_| format!("bad reserved slots: {v}"))?;
+        Ok(())
+    });
+    flags.insert("--cache", |o, v| {
+        o.cache = parse_cache_spec(&v)?;
         Ok(())
     });
 
@@ -115,7 +160,37 @@ fn load_key_manager(path: &str) -> Result<KeyManager, String> {
     KeyManager::import_snapshot(&body).map_err(|e| format!("bad key snapshot {path}: {e}"))
 }
 
-fn mount(opts: &Options) -> Result<LamassuFs, String> {
+/// A mounted volume plus the cache tier, if one was requested.
+///
+/// `LamassuFs::fsync` already flushes the objects a command wrote, but a
+/// write-back cache may still hold dirty blocks from metadata rewrites;
+/// [`Mounted::finish`] drains them before the process exits.
+struct Mounted {
+    fs: LamassuFs,
+    cache: Option<Arc<CachedStore>>,
+}
+
+impl Mounted {
+    /// Flushes any dirty cached blocks back to the volume.
+    fn finish(&self) -> Result<(), String> {
+        if let Some(cache) = &self.cache {
+            cache
+                .flush_all()
+                .map_err(|e| format!("flushing cache: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+impl std::ops::Deref for Mounted {
+    type Target = LamassuFs;
+
+    fn deref(&self) -> &LamassuFs {
+        &self.fs
+    }
+}
+
+fn mount(opts: &Options) -> Result<Mounted, String> {
     let volume = opts
         .volume
         .as_ref()
@@ -124,20 +199,36 @@ fn mount(opts: &Options) -> Result<LamassuFs, String> {
     let keys = km
         .fetch_zone_keys(opts.zone)
         .map_err(|e| format!("zone {}: {e}", opts.zone))?;
-    let store = Arc::new(
+    let dir: Arc<dyn ObjectStore> = Arc::new(
         DirStore::open(volume, StorageProfile::instant())
             .map_err(|e| format!("cannot open volume {volume}: {e}"))?,
     );
+    let mut cache = None;
+    let store: Arc<dyn ObjectStore> = match opts.cache {
+        None => dir,
+        Some((mode, capacity_blocks)) => {
+            let config = CacheConfig {
+                block_size: opts.block_size,
+                capacity_blocks,
+                mode,
+                ..CacheConfig::default()
+            };
+            let cached = Arc::new(CachedStore::new(dir, config));
+            cache = Some(cached.clone());
+            cached
+        }
+    };
     let geometry = lamassu_format::Geometry::new(opts.block_size, opts.reserved_slots)
         .map_err(|e| format!("invalid geometry: {e}"))?;
-    Ok(LamassuFs::new(
+    let fs = LamassuFs::new(
         store,
         keys,
         LamassuConfig {
             geometry,
             integrity: lamassu_core::IntegrityMode::Full,
         },
-    ))
+    );
+    Ok(Mounted { fs, cache })
 }
 
 fn cmd_keygen(opts: &Options) -> Result<(), String> {
@@ -173,6 +264,7 @@ fn cmd_put(opts: &Options) -> Result<(), String> {
     }
     fs_mount.fsync(fd).map_err(err)?;
     fs_mount.close(fd).map_err(err)?;
+    fs_mount.finish()?;
     let attr = fs_mount.stat(&dest).map_err(err)?;
     println!(
         "stored {src} as {dest}: {} logical bytes, {} physical bytes ({:.2}% overhead)",
@@ -240,6 +332,7 @@ fn cmd_rm(opts: &Options) -> Result<(), String> {
     let [name] = one_arg(opts, "rm <name>")?;
     let fs_mount = mount(opts)?;
     fs_mount.remove(&name).map_err(err)?;
+    fs_mount.finish()?;
     println!("removed {name}");
     Ok(())
 }
@@ -290,6 +383,7 @@ fn cmd_fsck(opts: &Options) -> Result<(), String> {
             corrupt += 1;
         }
     }
+    fs_mount.finish()?;
     if corrupt > 0 {
         Err(format!("{corrupt} files failed verification"))
     } else {
@@ -305,6 +399,7 @@ fn cmd_rekey(opts: &Options) -> Result<(), String> {
         .rotate_outer_key(opts.zone)
         .map_err(|e| format!("zone {}: {e}", opts.zone))?;
     let rewritten = fs_mount.rekey_outer_all(new_keys).map_err(err)?;
+    fs_mount.finish()?;
     fs::write(&opts.keys, km.export_snapshot())
         .map_err(|e| format!("cannot write {}: {e}", opts.keys))?;
     println!(

@@ -23,9 +23,13 @@ pub enum Category {
     GetCeKey,
     /// Backing-store I/O (real call time plus modelled transport time).
     Io,
+    /// Block-cache management (lookup, copy, eviction bookkeeping) when a
+    /// `lamassu-cache::CachedStore` with an attached profiler sits below the
+    /// shim. Zero on uncached mounts.
+    Cache,
 }
 
-const NUM_CATEGORIES: usize = 4;
+const NUM_CATEGORIES: usize = 5;
 
 /// Accumulated per-category time, plus derived *Misc*.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -38,6 +42,11 @@ pub struct LatencyBreakdown {
     pub get_ce_key: Duration,
     /// Time spent in backend I/O.
     pub io: Duration,
+    /// Time spent in block-cache management (zero on uncached mounts). Note
+    /// that the shim's `io` category also covers the wall time of store
+    /// calls, so cache time is additionally visible there; `misc` is the
+    /// residual and stays conservative.
+    pub cache: Duration,
     /// Everything else (buffer management, handle lookup, bookkeeping).
     pub misc: Duration,
 }
@@ -45,7 +54,7 @@ pub struct LatencyBreakdown {
 impl LatencyBreakdown {
     /// Sum of all categories.
     pub fn total(&self) -> Duration {
-        self.encrypt + self.decrypt + self.get_ce_key + self.io + self.misc
+        self.encrypt + self.decrypt + self.get_ce_key + self.io + self.cache + self.misc
     }
 
     /// Fraction of the total attributed to `GetCEKey`, the quantity the paper
@@ -99,6 +108,7 @@ impl Profiler {
             decrypt: cats[Category::Decrypt as usize],
             get_ce_key: cats[Category::GetCeKey as usize],
             io: cats[Category::Io as usize],
+            cache: cats[Category::Cache as usize],
             misc: total_runtime.saturating_sub(explicit),
         }
     }

@@ -17,6 +17,10 @@ use serde::Serialize;
 use std::time::Duration;
 
 /// Cumulative I/O operation counters maintained by a store.
+///
+/// The `cache_*` fields are zero for the plain stores; a
+/// `lamassu-cache::CachedStore` wrapping a store fills them in so one
+/// counter snapshot describes both tiers (backend ops *and* cache traffic).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct IoCounters {
     /// Number of read operations.
@@ -27,6 +31,27 @@ pub struct IoCounters {
     pub bytes_read: u64,
     /// Bytes written.
     pub bytes_written: u64,
+    /// Block reads served from a cache above this store (no backend cost).
+    pub cache_hits: u64,
+    /// Block reads the cache had to forward to this store.
+    pub cache_misses: u64,
+    /// Blocks the cache evicted to make room.
+    pub cache_evictions: u64,
+    /// Dirty blocks the cache wrote back (eviction or flush).
+    pub cache_writebacks: u64,
+}
+
+impl IoCounters {
+    /// Cache hit fraction in `[0, 1]`; `0` when no cache sits above the
+    /// store (or it was never exercised).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
 }
 
 /// A transport/latency model for the backing store.

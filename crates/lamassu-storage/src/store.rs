@@ -48,11 +48,21 @@ pub trait ObjectStore: Send + Sync {
         let mut buf = vec![0u8; len];
         let n = self.read_into(name, offset, &mut buf)?;
         if n < len {
+            // A short read pins the object size at `offset + n` (read_into
+            // clamps at end-of-object), so the error carries the exact size
+            // without a second charged backend call. Only a read starting at
+            // or past the end (`n == 0`) learns nothing from the clamp and
+            // must ask the store.
+            let size = if n > 0 {
+                offset + n as u64
+            } else {
+                self.len(name)?
+            };
             return Err(crate::StorageError::OutOfBounds {
                 name: name.to_string(),
                 offset,
                 len,
-                size: self.len(name)?,
+                size,
             });
         }
         Ok(buf)

@@ -115,6 +115,13 @@ pub struct FioResult {
     /// Throughput in MiB/s over `total_time` — the y-axis of Figures 7, 8
     /// and 10.
     pub bandwidth_mib_s: f64,
+    /// Backend op/byte counters for the measured phase, including the
+    /// `cache_*` fields when a `CachedStore` sits in the stack (all zero
+    /// otherwise).
+    pub counters: lamassu_storage::IoCounters,
+    /// Cache hit fraction of the measured phase in `[0, 1]` (`0` when the
+    /// mount is uncached).
+    pub cache_hit_rate: f64,
 }
 
 /// Drives the five workloads against a mounted file system.
@@ -223,6 +230,7 @@ impl FioTester {
         fs.fsync(fd)?;
         let compute_elapsed = start.elapsed();
         let io_time = store.io_time();
+        let counters = store.io_counters();
         fs.close(fd)?;
 
         // The virtual transport time is not part of the measured wall time
@@ -239,6 +247,8 @@ impl FioTester {
             io_time,
             total_time,
             bandwidth_mib_s: bytes as f64 / (1024.0 * 1024.0) / total_time.as_secs_f64().max(1e-9),
+            counters,
+            cache_hit_rate: counters.cache_hit_rate(),
         })
     }
 }

@@ -18,6 +18,9 @@
 //! * [`format`] — the on-disk segment / metadata-block layout and geometry.
 //! * [`storage`] — object-store abstraction, deduplicating backend simulator,
 //!   storage profiles (NFS vs RAM disk) and fault injection.
+//! * [`cache`] — [`cache::CachedStore`], a sharded CLOCK block cache that
+//!   slots between the shims and any object store (write-through or
+//!   write-back, with sequential read-ahead).
 //! * [`keymgr`] — KMIP-like key manager with isolation zones.
 //! * [`core`] — the [`core::FileSystem`] trait and the three shims:
 //!   [`core::PlainFs`], [`core::EncFs`] and [`core::LamassuFs`].
@@ -49,6 +52,7 @@
 //! # let _ = IntegrityMode::Full; let _ = OpenFlags::default();
 //! ```
 
+pub use lamassu_cache as cache;
 pub use lamassu_core as core;
 pub use lamassu_crypto as crypto;
 pub use lamassu_format as format;

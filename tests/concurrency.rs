@@ -1,9 +1,12 @@
 //! Concurrency tests: several client threads drive one mount at once, as the
 //! paper's multi-host / multi-application deployment implies.
 
-use lamassu::core::{EncFs, EncFsConfig, FileSystem, LamassuConfig, LamassuFs, OpenFlags, PlainFs};
+use lamassu::cache::{CacheConfig, CacheMode, CachedStore};
+use lamassu::core::{
+    CeFileFs, EncFs, EncFsConfig, FileSystem, LamassuConfig, LamassuFs, OpenFlags, PlainFs,
+};
 use lamassu::keymgr::ZoneKeys;
-use lamassu::storage::{DedupStore, StorageProfile};
+use lamassu::storage::{DedupStore, ObjectStore, StorageProfile};
 use std::io::IoSlice;
 use std::sync::Arc;
 use std::thread;
@@ -303,4 +306,70 @@ fn stress_lamassufs_handle_paths() {
     for path in fs.list().unwrap() {
         assert!(fs.verify(&path).unwrap().is_clean(), "{path}");
     }
+}
+
+/// Builds the shim selected by `which` over an arbitrary store.
+fn shim(which: usize, store: Arc<dyn ObjectStore>) -> Arc<dyn FileSystem> {
+    match which {
+        0 => Arc::new(PlainFs::new(store)),
+        1 => Arc::new(EncFs::new(store, [0x77; 32], EncFsConfig::default())),
+        2 => Arc::new(CeFileFs::new(store, keys(), 4096)),
+        _ => Arc::new(LamassuFs::new(store, keys(), LamassuConfig::default())),
+    }
+}
+
+/// Runs the multi-threaded handle-path stress for every shim mounted over a
+/// small (eviction-churning) cache in the given mode, then proves that a
+/// fresh *uncached* mount over the backend sees the same bytes after
+/// `flush_all` — i.e. the cache stayed coherent under contention and dropped
+/// nothing at write-back.
+fn stress_all_shims_over_cache(mode: CacheMode) {
+    for which in 0..4usize {
+        let backend = Arc::new(DedupStore::new(4096, StorageProfile::instant()));
+        let cache = Arc::new(CachedStore::new(
+            backend.clone() as Arc<dyn ObjectStore>,
+            CacheConfig {
+                // Far smaller than the working set: the storm constantly
+                // evicts (and, in write-back mode, writes back) blocks.
+                capacity_blocks: 24,
+                shards: 4,
+                mode,
+                read_ahead_blocks: 4,
+                block_size: 4096,
+            },
+        ));
+        let fs = shim(which, cache.clone());
+        stress_handle_paths(fs.clone());
+        cache.flush_all().unwrap();
+
+        let fresh = shim(which, backend as Arc<dyn ObjectStore>);
+        let mut cached_view = fs.list().unwrap();
+        let mut fresh_view = fresh.list().unwrap();
+        cached_view.sort();
+        fresh_view.sort();
+        assert_eq!(cached_view, fresh_view, "shim {which}");
+        for path in &cached_view {
+            let fd_cached = fs.open(path, OpenFlags::default()).unwrap();
+            let fd_fresh = fresh.open(path, OpenFlags::default()).unwrap();
+            let len = fs.len(fd_cached).unwrap();
+            assert_eq!(len, fresh.len(fd_fresh).unwrap(), "shim {which} {path}");
+            assert_eq!(
+                fs.read(fd_cached, 0, len as usize).unwrap(),
+                fresh.read(fd_fresh, 0, len as usize).unwrap(),
+                "shim {which} {path}"
+            );
+            fs.close(fd_cached).unwrap();
+            fresh.close(fd_fresh).unwrap();
+        }
+    }
+}
+
+#[test]
+fn stress_all_shims_over_write_through_cache() {
+    stress_all_shims_over_cache(CacheMode::WriteThrough);
+}
+
+#[test]
+fn stress_all_shims_over_write_back_cache() {
+    stress_all_shims_over_cache(CacheMode::WriteBack);
 }

@@ -3,9 +3,10 @@
 //! file — every block reads back as either its old or its new contents, never
 //! garbage, and the post-recovery integrity verification is clean.
 
+use lamassu::cache::{CacheConfig, CacheMode, CachedStore};
 use lamassu::core::{FileSystem, LamassuConfig, LamassuFs, OpenFlags};
 use lamassu::keymgr::ZoneKeys;
-use lamassu::storage::{DedupStore, FaultyStore, ObjectStore, StorageProfile};
+use lamassu::storage::{DedupStore, FaultyStore, ObjectStore, StorageError, StorageProfile};
 use std::sync::Arc;
 
 fn keys() -> ZoneKeys {
@@ -116,6 +117,161 @@ fn every_crash_point_recovers_to_a_consistent_state() {
             }
         }
     }
+}
+
+/// FaultyStore under a write-back cache: builds `media <- faulty <- cache`.
+fn write_back_cache_over_faulty(
+    capacity_blocks: usize,
+) -> (Arc<DedupStore>, Arc<FaultyStore>, CachedStore) {
+    let media = Arc::new(DedupStore::new(4096, StorageProfile::instant()));
+    let faulty = Arc::new(FaultyStore::new(media.clone()));
+    let cache = CachedStore::new(
+        faulty.clone() as Arc<dyn ObjectStore>,
+        CacheConfig {
+            capacity_blocks,
+            shards: 1,
+            read_ahead_blocks: 0,
+            ..CacheConfig::write_back(capacity_blocks)
+        },
+    );
+    (media, faulty, cache)
+}
+
+#[test]
+fn write_fault_during_eviction_surfaces_and_keeps_dirty_blocks() {
+    let (media, faulty, cache) = write_back_cache_over_faulty(2);
+    cache.create("f").unwrap();
+    cache.write_at("f", 0, &[1u8; 4096]).unwrap();
+    cache.write_at("f", 4096, &[2u8; 4096]).unwrap();
+    assert_eq!(cache.dirty_blocks(), 2);
+    faulty.crash_after_writes(0);
+
+    // The third block needs a slot; evicting a dirty victim hits the dead
+    // store. The error must surface from the triggering write.
+    assert!(matches!(
+        cache.write_at("f", 8192, &[3u8; 4096]),
+        Err(StorageError::Crashed)
+    ));
+    // Nothing was silently dropped: both dirty blocks are still cached and
+    // readable even though the backend is unreachable, and the media never
+    // saw a partial write.
+    assert_eq!(cache.dirty_blocks(), 2);
+    assert_eq!(cache.read_at("f", 0, 4096).unwrap(), vec![1u8; 4096]);
+    assert_eq!(cache.read_at("f", 4096, 4096).unwrap(), vec![2u8; 4096]);
+    assert_eq!(media.len("f").unwrap(), 0);
+
+    // "Repair" the transport: the retained dirty blocks flush cleanly.
+    faulty.disarm();
+    cache.flush("f").unwrap();
+    assert_eq!(cache.dirty_blocks(), 0);
+    assert_eq!(media.read_at("f", 0, 4096).unwrap(), vec![1u8; 4096]);
+    assert_eq!(media.read_at("f", 4096, 4096).unwrap(), vec![2u8; 4096]);
+}
+
+#[test]
+fn write_fault_during_flush_surfaces_and_keeps_unflushed_runs() {
+    let (media, faulty, cache) = write_back_cache_over_faulty(16);
+    cache.create("f").unwrap();
+    // Two non-adjacent dirty runs: the flush needs two backend writes.
+    cache.write_at("f", 0, &[1u8; 4096]).unwrap();
+    cache.write_at("f", 5 * 4096, &[5u8; 4096]).unwrap();
+    assert_eq!(cache.dirty_blocks(), 2);
+
+    // The first run's write succeeds, the second hits the power cut.
+    faulty.crash_after_writes(1);
+    assert!(matches!(cache.flush("f"), Err(StorageError::Crashed)));
+    assert_eq!(cache.dirty_blocks(), 1, "unflushed run must stay dirty");
+    // The pending data is still served from the cache.
+    assert_eq!(cache.read_at("f", 5 * 4096, 4096).unwrap(), vec![5u8; 4096]);
+
+    faulty.disarm();
+    cache.flush("f").unwrap();
+    assert_eq!(cache.dirty_blocks(), 0);
+    assert_eq!(media.read_at("f", 0, 4096).unwrap(), vec![1u8; 4096]);
+    assert_eq!(media.read_at("f", 5 * 4096, 4096).unwrap(), vec![5u8; 4096]);
+}
+
+#[test]
+fn flush_fault_never_acknowledges_lost_data() {
+    // A flush that errors must leave the cache still claiming the data, so
+    // a later retry (or exit-time flush_all) can persist it — the cache may
+    // not tell the caller "flushed" and then forget the bytes.
+    let (media, faulty, cache) = write_back_cache_over_faulty(8);
+    cache.create("f").unwrap();
+    cache.write_at("f", 0, b"precious").unwrap();
+    faulty.crash_after_writes(0);
+    assert!(cache.flush("f").is_err());
+    assert!(cache.flush_all().is_err());
+    assert_eq!(media.len("f").unwrap(), 0);
+    faulty.disarm();
+    cache.flush_all().unwrap();
+    assert_eq!(media.read_at("f", 0, 8).unwrap(), b"precious");
+}
+
+#[test]
+fn sampled_crash_matrix_with_write_through_cache_under_the_shim() {
+    // The full matrix above runs uncached; this samples crash points with a
+    // write-through cache slotted between LamassuFS and the faulty store.
+    // Write-through forwards every write 1:1 and in order, so the paper's
+    // recovery guarantees must hold unchanged.
+    let blocks = 24;
+    let media = build_base(blocks);
+    let before = media.io_counters().write_ops;
+    assert!(overwrite_with_crash_cached(media.clone(), blocks, u64::MAX));
+    let total_writes = media.io_counters().write_ops - before;
+
+    for crash_after in (0..total_writes).step_by(5) {
+        let media = build_base(blocks);
+        overwrite_with_crash_cached(media.clone(), blocks, crash_after);
+
+        // Reboot: recover on the surviving media (no cache) and check.
+        let fs = LamassuFs::new(
+            media,
+            keys(),
+            LamassuConfig::with_reserved_slots(2).unwrap(),
+        );
+        fs.recover("/file")
+            .unwrap_or_else(|e| panic!("recovery failed at crash point {crash_after}: {e}"));
+        assert!(fs.verify("/file").unwrap().is_clean());
+        let fd = fs.open("/file", OpenFlags::default()).unwrap();
+        for b in 0..blocks {
+            let got = fs.read(fd, (b * 4096) as u64, 4096).unwrap();
+            assert!(
+                got == pattern(1, b) || got == pattern(2, b),
+                "block {b} is neither old nor new after cached crash at write {crash_after}"
+            );
+        }
+    }
+}
+
+/// Like [`overwrite_with_crash`], but with a write-through cache between the
+/// shim and the faulty store.
+fn overwrite_with_crash_cached(media: Arc<DedupStore>, blocks: usize, crash_after: u64) -> bool {
+    let faulty = Arc::new(FaultyStore::new(media));
+    faulty.crash_after_writes(crash_after);
+    let cache = Arc::new(CachedStore::new(
+        faulty as Arc<dyn ObjectStore>,
+        CacheConfig {
+            capacity_blocks: 8,
+            mode: CacheMode::WriteThrough,
+            ..CacheConfig::default()
+        },
+    ));
+    let fs = LamassuFs::new(
+        cache,
+        keys(),
+        LamassuConfig::with_reserved_slots(2).unwrap(),
+    );
+    let run = || -> lamassu::core::Result<()> {
+        let fd = fs.open("/file", OpenFlags::default())?;
+        for b in (0..blocks).step_by(2) {
+            fs.write(fd, (b * 4096) as u64, &pattern(2, b))?;
+        }
+        fs.fsync(fd)?;
+        fs.close(fd)?;
+        Ok(())
+    };
+    run().is_ok()
 }
 
 #[test]

@@ -1,0 +1,229 @@
+//! Property test: a `CachedStore<DirStore>` driven by random op sequences is
+//! byte-identical to a bare `DirStore` — in both cache modes, with a tiny
+//! capacity so eviction (and dirty write-back) fires constantly.
+//!
+//! Every operation is applied to the cached stack and to an uncached
+//! reference store; results (data, lengths, and error payloads) must match
+//! exactly. At the end `flush_all` drains the cache and the two *backing*
+//! directories are compared byte for byte, proving write-back lost nothing.
+
+use lamassu::cache::{CacheConfig, CacheMode, CachedStore};
+use lamassu::storage::{DirStore, ObjectStore, StorageProfile};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Objects the ops draw from (a tiny namespace maximizes interaction).
+const NAMES: [&str; 3] = ["alpha", "beta", "gamma"];
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create(usize),
+    Write {
+        o: usize,
+        offset: u16,
+        len: u8,
+        fill: u8,
+    },
+    ReadInto {
+        o: usize,
+        offset: u16,
+        len: u8,
+    },
+    ReadAt {
+        o: usize,
+        offset: u16,
+        len: u8,
+    },
+    Len(usize),
+    Truncate {
+        o: usize,
+        size: u16,
+    },
+    Rename {
+        from: usize,
+        to: usize,
+    },
+    Remove(usize),
+    Flush(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let name = 0usize..NAMES.len();
+    prop_oneof![
+        2 => name.clone().prop_map(Op::Create),
+        6 => (0usize..3, 0u16..1500, 1u8..=255).prop_map(|(o, offset, len)| Op::Write {
+            o,
+            offset,
+            len,
+            fill: (offset ^ (len as u16) << 8) as u8,
+        }),
+        4 => (0usize..3, 0u16..1600, 0u8..=255)
+            .prop_map(|(o, offset, len)| Op::ReadInto { o, offset, len }),
+        2 => (0usize..3, 0u16..1600, 0u8..=255)
+            .prop_map(|(o, offset, len)| Op::ReadAt { o, offset, len }),
+        2 => name.clone().prop_map(Op::Len),
+        2 => (0usize..3, 0u16..1500).prop_map(|(o, size)| Op::Truncate { o, size }),
+        1 => (0usize..3, 0usize..3).prop_map(|(from, to)| Op::Rename { from, to }),
+        1 => name.clone().prop_map(Op::Remove),
+        2 => name.prop_map(Op::Flush),
+    ]
+}
+
+/// Fresh, unique backing directories for one test case.
+fn fresh_dirs() -> (std::path::PathBuf, std::path::PathBuf) {
+    static CASE: AtomicU64 = AtomicU64::new(0);
+    let case = CASE.fetch_add(1, Ordering::Relaxed);
+    let base =
+        std::env::temp_dir().join(format!("lamassu-prop-cache-{}-{case}", std::process::id()));
+    (base.join("cached"), base.join("reference"))
+}
+
+fn apply_and_compare(
+    ops: &[Op],
+    mode: CacheMode,
+    capacity_blocks: usize,
+) -> Result<(), TestCaseError> {
+    let (cached_dir, reference_dir) = fresh_dirs();
+    let backing = Arc::new(DirStore::open(&cached_dir, StorageProfile::instant()).unwrap());
+    let cache = CachedStore::new(
+        backing.clone(),
+        CacheConfig {
+            // 64-byte blocks make every multi-hundred-byte op span several
+            // blocks, and 2-6 capacity blocks force constant eviction.
+            block_size: 64,
+            capacity_blocks,
+            shards: 2,
+            mode,
+            read_ahead_blocks: 2,
+        },
+    );
+    let reference = DirStore::open(&reference_dir, StorageProfile::instant()).unwrap();
+
+    for (step, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Create(o) => {
+                prop_assert_eq!(
+                    cache.create(NAMES[o]),
+                    reference.create(NAMES[o]),
+                    "step {}",
+                    step
+                );
+            }
+            Op::Write {
+                o,
+                offset,
+                len,
+                fill,
+            } => {
+                let data: Vec<u8> = (0..len)
+                    .map(|i| fill.wrapping_add(i).wrapping_mul(31))
+                    .collect();
+                prop_assert_eq!(
+                    cache.write_at(NAMES[o], offset as u64, &data),
+                    reference.write_at(NAMES[o], offset as u64, &data),
+                    "step {}",
+                    step
+                );
+            }
+            Op::ReadInto { o, offset, len } => {
+                let mut got = vec![0u8; len as usize];
+                let mut want = vec![0u8; len as usize];
+                let r1 = cache.read_into(NAMES[o], offset as u64, &mut got);
+                let r2 = reference.read_into(NAMES[o], offset as u64, &mut want);
+                prop_assert_eq!(r1, r2, "step {}", step);
+                prop_assert_eq!(&got, &want, "step {}", step);
+            }
+            Op::ReadAt { o, offset, len } => {
+                prop_assert_eq!(
+                    cache.read_at(NAMES[o], offset as u64, len as usize),
+                    reference.read_at(NAMES[o], offset as u64, len as usize),
+                    "step {}",
+                    step
+                );
+            }
+            Op::Len(o) => {
+                prop_assert_eq!(
+                    cache.len(NAMES[o]),
+                    reference.len(NAMES[o]),
+                    "step {}",
+                    step
+                );
+            }
+            Op::Truncate { o, size } => {
+                prop_assert_eq!(
+                    cache.truncate(NAMES[o], size as u64),
+                    reference.truncate(NAMES[o], size as u64),
+                    "step {}",
+                    step
+                );
+            }
+            Op::Rename { from, to } => {
+                prop_assert_eq!(
+                    cache.rename(NAMES[from], NAMES[to]),
+                    reference.rename(NAMES[from], NAMES[to]),
+                    "step {}",
+                    step
+                );
+            }
+            Op::Remove(o) => {
+                prop_assert_eq!(
+                    cache.remove(NAMES[o]),
+                    reference.remove(NAMES[o]),
+                    "step {}",
+                    step
+                );
+            }
+            Op::Flush(o) => {
+                prop_assert_eq!(
+                    cache.flush(NAMES[o]),
+                    reference.flush(NAMES[o]),
+                    "step {}",
+                    step
+                );
+            }
+        }
+        prop_assert_eq!(cache.exists(NAMES[0]), reference.exists(NAMES[0]));
+    }
+
+    // Drain the cache; afterwards the two *backing* stores must be
+    // byte-identical (write-back dropped nothing, invalidation was correct).
+    cache.flush_all().unwrap();
+    let mut cached_names = backing.list();
+    let mut reference_names = reference.list();
+    cached_names.sort();
+    reference_names.sort();
+    prop_assert_eq!(&cached_names, &reference_names);
+    for name in &cached_names {
+        let len = backing.len(name).unwrap();
+        prop_assert_eq!(len, reference.len(name).unwrap(), "length of {}", name);
+        let mut got = vec![0u8; len as usize];
+        let mut want = vec![0u8; len as usize];
+        backing.read_into(name, 0, &mut got).unwrap();
+        reference.read_into(name, 0, &mut want).unwrap();
+        prop_assert_eq!(&got, &want, "content of {}", name);
+    }
+
+    let _ = std::fs::remove_dir_all(cached_dir.parent().unwrap());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn write_through_cache_over_dirstore_is_transparent(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+        capacity in 2usize..6,
+    ) {
+        apply_and_compare(&ops, CacheMode::WriteThrough, capacity)?;
+    }
+
+    #[test]
+    fn write_back_cache_over_dirstore_is_transparent(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+        capacity in 2usize..6,
+    ) {
+        apply_and_compare(&ops, CacheMode::WriteBack, capacity)?;
+    }
+}
