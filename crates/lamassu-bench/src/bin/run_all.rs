@@ -17,5 +17,6 @@ fn main() {
     experiments::ablation_ce_granularity::run(eff.min(16 * 1024 * 1024), 4, 0.02);
     experiments::ablation_key_server::run(2048);
     experiments::cache::run(fio.min(16 * 1024 * 1024));
+    experiments::span_io::run(fio.min(16 * 1024 * 1024));
     println!("\nAll experiments complete; JSON reports are under ./results/");
 }

@@ -1,0 +1,6 @@
+//! Regenerates the span I/O experiment: backend round trips of the span
+//! pipeline vs the per-block fallback over the NFS transport profile.
+
+fn main() {
+    lamassu_bench::experiments::span_io::run(lamassu_bench::fio_file_size().min(16 * 1024 * 1024));
+}

@@ -47,6 +47,7 @@ pub fn run(file_size: u64) -> Vec<AblationRow> {
             EncFsConfig {
                 block_size: 4096,
                 aligned,
+                ..EncFsConfig::default()
             },
         );
         tester.populate(&fs, "/fio.dat").expect("populate");

@@ -1,7 +1,7 @@
 //! §5.2 ablation: per-block (Lamassu) vs per-file (Tahoe-LAFS-style)
 //! convergent encryption.
 //!
-//! The paper argues that whole-file convergent encryption "limit[s] the
+//! The paper argues that whole-file convergent encryption "limit\[s\] the
 //! storage efficiency compared with Lamassu's per-block approach". This
 //! experiment quantifies that claim on a backup-style workload: a base file
 //! plus several later versions, each differing from the previous one in a

@@ -36,6 +36,8 @@ pub struct Fig9Row {
     /// Block-cache management share (zero on these uncached mounts; the
     /// cache experiment reports cached breakdowns).
     pub cache_us: f64,
+    /// Span-planning share (the `Plan` category of the span pipeline).
+    pub plan_us: f64,
     /// Remainder.
     pub misc_us: f64,
     /// GetCEKey share of the total, in percent.
@@ -71,6 +73,7 @@ pub fn run(file_size: u64) -> Vec<Fig9Row> {
                 get_ce_key_us: per_op(breakdown.get_ce_key),
                 io_us: per_op(breakdown.io),
                 cache_us: per_op(breakdown.cache),
+                plan_us: per_op(breakdown.plan),
                 misc_us: per_op(breakdown.misc),
                 get_ce_key_pct: breakdown.get_ce_key_fraction() * 100.0,
             });
@@ -87,6 +90,7 @@ pub fn run(file_size: u64) -> Vec<Fig9Row> {
             "GetCEKey",
             "I/O",
             "Cache",
+            "Plan",
             "Misc",
             "GetCEKey %",
         ],
@@ -100,6 +104,7 @@ pub fn run(file_size: u64) -> Vec<Fig9Row> {
             format!("{:.1}", r.get_ce_key_us),
             format!("{:.1}", r.io_us),
             format!("{:.1}", r.cache_us),
+            format!("{:.1}", r.plan_us),
             format!("{:.1}", r.misc_us),
             format!("{:.0}%", r.get_ce_key_pct),
         ]);

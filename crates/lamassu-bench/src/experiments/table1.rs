@@ -5,7 +5,7 @@
 //! DESIGN.md §3), copied through PlainFS and LamassuFS onto separate
 //! deduplicating volumes. The table reports the percentage of blocks
 //! deduplicated through each shim and LamassuFS's space overhead. EncFS is
-//! omitted just as in the paper ("EncFS results have [been] omitted because
+//! omitted just as in the paper ("EncFS results have \[been\] omitted because
 //! they were all zero") — a column in the JSON report confirms the zero.
 
 use crate::experiments::write_file;

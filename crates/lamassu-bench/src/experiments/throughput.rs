@@ -11,9 +11,16 @@
 //! * on a RAM disk the CPU cost of hashing/encryption dominates, PlainFS
 //!   pulls far ahead, and LamassuFS(meta-only) recovers most of the
 //!   full-integrity read penalty.
+//!
+//! These figures reproduce the *paper's prototype*, whose data path is
+//! per-block, so the mounts here pin [`SpanConfig::per_block`]. (With the
+//! default span pipeline the Figure 7 write ordering inverts — LamassuFS's
+//! coalesced commits issue ~3 round trips per R blocks and overtake EncFS —
+//! which is exactly the improvement the `span_io` experiment measures.)
 
 use crate::report::{write_json, Table};
-use crate::setup::{mount, FsKind};
+use crate::setup::{mount_with_span, FsKind};
+use lamassu_core::SpanConfig;
 use lamassu_storage::StorageProfile;
 use lamassu_workloads::{FioConfig, FioTester, Workload};
 use serde::Serialize;
@@ -46,7 +53,7 @@ pub fn run(figure: &str, profile: StorageProfile, file_size: u64) -> Vec<Through
     let mut cells = Vec::new();
 
     for kind in FsKind::ALL {
-        let m = mount(kind, profile, 8);
+        let m = mount_with_span(kind, profile, 8, SpanConfig::per_block());
         tester
             .populate(m.fs.as_ref(), "/fio.dat")
             .expect("populate benchmark file");

@@ -2,7 +2,7 @@
 
 use lamassu_cache::{CacheConfig, CachedStore};
 use lamassu_core::{
-    EncFs, EncFsConfig, FileSystem, IntegrityMode, LamassuConfig, LamassuFs, PlainFs,
+    EncFs, EncFsConfig, FileSystem, IntegrityMode, LamassuConfig, LamassuFs, PlainFs, SpanConfig,
 };
 use lamassu_keymgr::{KeyManager, ZoneKeys};
 use lamassu_storage::{DedupStore, ObjectStore, StorageProfile};
@@ -67,12 +67,14 @@ fn shim_over(
     kind: FsKind,
     store: Arc<dyn ObjectStore>,
     reserved_slots: usize,
+    span: SpanConfig,
 ) -> (Box<dyn FileSystem>, std::sync::Arc<lamassu_core::Profiler>) {
     let keys = bench_zone_keys();
     let lamassu_config = |integrity| LamassuConfig {
         geometry: lamassu_format::Geometry::new(4096, reserved_slots)
             .expect("valid benchmark geometry"),
         integrity,
+        span,
     };
     match kind {
         FsKind::Plain => {
@@ -81,7 +83,14 @@ fn shim_over(
             (Box::new(fs), p)
         }
         FsKind::Enc => {
-            let fs = EncFs::new(store, keys.outer, EncFsConfig::default());
+            let fs = EncFs::new(
+                store,
+                keys.outer,
+                EncFsConfig {
+                    span,
+                    ..EncFsConfig::default()
+                },
+            );
             let p = fs.profiler();
             (Box::new(fs), p)
         }
@@ -100,8 +109,20 @@ fn shim_over(
 
 /// Builds a fresh mount of the requested kind over its own backing store.
 pub fn mount(kind: FsKind, profile: StorageProfile, reserved_slots: usize) -> Mount {
+    mount_with_span(kind, profile, reserved_slots, SpanConfig::default())
+}
+
+/// Builds a fresh mount with an explicit span-pipeline configuration (the
+/// `span_io` experiment compares [`SpanConfig::batched`] against
+/// [`SpanConfig::per_block`] mounts).
+pub fn mount_with_span(
+    kind: FsKind,
+    profile: StorageProfile,
+    reserved_slots: usize,
+    span: SpanConfig,
+) -> Mount {
     let store = Arc::new(DedupStore::new(4096, profile));
-    let (fs, profiler) = shim_over(kind, store.clone(), reserved_slots);
+    let (fs, profiler) = shim_over(kind, store.clone(), reserved_slots, span);
     Mount {
         fs,
         store,
@@ -137,7 +158,7 @@ pub fn mount_cached(
 ) -> CachedMount {
     let backend = Arc::new(DedupStore::new(4096, profile));
     let cache = Arc::new(CachedStore::new(backend.clone(), cache_config));
-    let (fs, profiler) = shim_over(kind, cache.clone(), reserved_slots);
+    let (fs, profiler) = shim_over(kind, cache.clone(), reserved_slots, SpanConfig::default());
     cache.set_profiler(profiler.clone());
     CachedMount {
         fs,

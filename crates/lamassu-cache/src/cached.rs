@@ -23,7 +23,7 @@ use parking_lot::{Mutex, MutexGuard, RwLock};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::io::IoSlice;
+use std::io::{IoSlice, IoSliceMut};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -161,6 +161,26 @@ fn copy_bufs_range(bufs: &[IoSlice<'_>], mut src_off: usize, dst: &mut [u8]) {
         }
     }
     debug_assert_eq!(written, dst.len(), "scatter list shorter than span");
+}
+
+/// Copies `src` into the logical concatenation of `bufs` starting at byte
+/// `dst_off` (the mutable dual of [`copy_bufs_range`]).
+fn copy_to_bufs(bufs: &mut [IoSliceMut<'_>], mut dst_off: usize, src: &[u8]) {
+    let mut read = 0;
+    for b in bufs.iter_mut() {
+        if dst_off >= b.len() {
+            dst_off -= b.len();
+            continue;
+        }
+        let take = (b.len() - dst_off).min(src.len() - read);
+        b[dst_off..dst_off + take].copy_from_slice(&src[read..read + take]);
+        read += take;
+        dst_off = 0;
+        if read == src.len() {
+            break;
+        }
+    }
+    debug_assert_eq!(read, src.len(), "scatter list shorter than span");
 }
 
 impl<S: ObjectStore + ?Sized> CachedStore<S> {
@@ -386,42 +406,69 @@ impl<S: ObjectStore + ?Sized> CachedStore<S> {
         }
     }
 
-    /// Serves `dst` from the bytes `span` of block `block`, fetching the
-    /// block from the backend on a miss. `len` is the object's logical
-    /// length.
-    fn read_block(
+    /// Serves the block range of one read span: cached blocks are copied out
+    /// under their shard locks; every maximal run of consecutive *missing*
+    /// blocks is then fetched from the backend in a single read and installed
+    /// (subject to the per-block tick veto). `len` is the object's logical
+    /// length, `offset`/`n` the clamped byte range, `bufs` the caller's
+    /// scatter list.
+    fn read_span(
         &self,
         name: &Arc<str>,
-        block: u64,
+        offset: u64,
+        n: usize,
         len: u64,
-        span: std::ops::Range<usize>,
-        dst: &mut [u8],
+        bufs: &mut [IoSliceMut<'_>],
         backend_time: &mut Duration,
     ) -> Result<()> {
-        let si = self.block_shard_idx(name, block);
-        let tick_before = {
+        let bs = self.bs();
+        let first = offset / bs;
+        let last = (offset + n as u64 - 1) / bs;
+        // Pass 1: serve hits, record misses with their shard ticks.
+        // (block, tick, in-block range, offset into the scatter list)
+        let mut misses: Vec<(u64, u64, std::ops::Range<usize>, usize)> = Vec::new();
+        for b in first..=last {
+            let blk_off = b * bs;
+            let s = (offset.max(blk_off) - blk_off) as usize;
+            let e = ((offset + n as u64).min(blk_off + bs) - blk_off) as usize;
+            let dst_off = (blk_off + s as u64 - offset) as usize;
+            let si = self.block_shard_idx(name, b);
             let mut sh = self.block_shards[si].lock();
-            if let Some(idx) = sh.lookup(name, block) {
+            if let Some(idx) = sh.lookup(name, b) {
                 let slot = sh.slots[idx].as_mut().expect("mapped slot exists");
                 slot.referenced = true;
-                dst.copy_from_slice(&slot.data[span]);
+                copy_to_bufs(bufs, dst_off, &slot.data[s..e]);
                 AtomicStats::bump(&self.stats.hits);
-                return Ok(());
+            } else {
+                AtomicStats::bump(&self.stats.misses);
+                misses.push((b, sh.tick, s..e, dst_off));
             }
-            sh.tick
-        };
-        // Miss: fetch the whole block (clamped to the logical length; the
-        // backend may be shorter still under write-back — the difference is
-        // zeros by the extension rule).
-        AtomicStats::bump(&self.stats.misses);
-        let blk_off = block * self.bs();
-        let valid = ((len - blk_off) as usize).min(self.config.block_size);
-        let mut content = vec![0u8; valid];
-        timed(backend_time, || {
-            self.inner.read_into(name, blk_off, &mut content)
-        })?;
-        self.insert_clean_block(name, block, &content, tick_before, backend_time)?;
-        dst.copy_from_slice(&content[span]);
+        }
+        // Pass 2: fetch each contiguous miss run with one backend read.
+        let mut i = 0;
+        while i < misses.len() {
+            let mut j = i + 1;
+            while j < misses.len() && misses[j].0 == misses[j - 1].0 + 1 {
+                j += 1;
+            }
+            let run = &misses[i..j];
+            let run_off = run[0].0 * bs;
+            // Clamped to the logical length; the backend may be shorter
+            // still under write-back — the difference is zeros by the
+            // extension rule.
+            let run_valid = (len - run_off).min((j - i) as u64 * bs) as usize;
+            let mut content = vec![0u8; run_valid];
+            timed(backend_time, || {
+                self.inner.read_into(name, run_off, &mut content)
+            })?;
+            for (k, (b, tick_before, span, dst_off)) in run.iter().enumerate() {
+                let blk = &content[(k * self.config.block_size).min(run_valid)
+                    ..((k + 1) * self.config.block_size).min(run_valid)];
+                self.insert_clean_block(name, *b, blk, *tick_before, backend_time)?;
+                copy_to_bufs(bufs, *dst_off, &blk[span.clone()]);
+            }
+            i = j;
+        }
         Ok(())
     }
 
@@ -710,34 +757,28 @@ impl<S: ObjectStore + ?Sized> ObjectStore for CachedStore<S> {
     }
 
     fn read_into(&self, name: &str, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        self.read_into_vectored(name, offset, &mut [IoSliceMut::new(buf)])
+    }
+
+    fn read_into_vectored(
+        &self,
+        name: &str,
+        offset: u64,
+        bufs: &mut [IoSliceMut<'_>],
+    ) -> Result<usize> {
         let op = self.op_start();
         let mut backend_time = Duration::ZERO;
         let (len, name_key) = self.object_meta(name, &mut backend_time)?;
-        let n = len.saturating_sub(offset).min(buf.len() as u64) as usize;
+        let total: usize = bufs.iter().map(|b| b.len()).sum();
+        let n = len.saturating_sub(offset).min(total as u64) as usize;
         let prefetch = self.note_read(name, offset, n);
         if n == 0 {
             self.charge_cache(op, backend_time);
             return Ok(0);
         }
-        let bs = self.bs();
-        let first = offset / bs;
-        let last = (offset + n as u64 - 1) / bs;
-        for b in first..=last {
-            let blk_off = b * bs;
-            let s = offset.max(blk_off) - blk_off;
-            let e = (offset + n as u64).min(blk_off + bs) - blk_off;
-            let dst_off = (blk_off + s - offset) as usize;
-            let dst = &mut buf[dst_off..dst_off + (e - s) as usize];
-            self.read_block(
-                &name_key,
-                b,
-                len,
-                s as usize..e as usize,
-                dst,
-                &mut backend_time,
-            )?;
-        }
+        self.read_span(&name_key, offset, n, len, bufs, &mut backend_time)?;
         if prefetch {
+            let last = (offset + n as u64 - 1) / self.bs();
             self.prefetch_from(&name_key, last + 1, len, &mut backend_time);
         }
         self.charge_cache(op, backend_time);
@@ -1120,6 +1161,66 @@ mod tests {
         for name in ["a", "b", "c"] {
             assert_eq!(inner.read_at(name, 0, 1).unwrap(), &name.as_bytes()[..1]);
         }
+    }
+
+    #[test]
+    fn contiguous_miss_runs_fetch_in_one_backend_read() {
+        let inner = backend(StorageProfile::nfs_1gbe());
+        let config = CacheConfig {
+            capacity_blocks: 64,
+            read_ahead_blocks: 0, // isolate the span path from read-ahead
+            ..CacheConfig::default()
+        };
+        let c = CachedStore::new(inner.clone(), config);
+        c.create("f").unwrap();
+        c.write_at("f", 0, &vec![7u8; 16 * 4096]).unwrap();
+        inner.reset_io_accounting();
+        c.reset_io_accounting();
+        // A cold 8-block span: 8 misses, but one backend round trip.
+        let mut buf = vec![0u8; 8 * 4096];
+        assert_eq!(c.read_into("f", 0, &mut buf).unwrap(), 8 * 4096);
+        assert_eq!(buf, vec![7u8; 8 * 4096]);
+        let s = c.stats();
+        assert_eq!(s.misses, 8);
+        assert_eq!(inner.io_counters().read_ops, 1, "one fetch for the run");
+        // Re-reading the same span is all hits, zero backend traffic.
+        assert_eq!(c.read_into("f", 0, &mut buf).unwrap(), 8 * 4096);
+        assert_eq!(c.stats().hits, 8);
+        assert_eq!(inner.io_counters().read_ops, 1);
+    }
+
+    #[test]
+    fn vectored_read_mixes_hits_and_miss_runs() {
+        let inner = backend(StorageProfile::instant());
+        let config = CacheConfig {
+            capacity_blocks: 64,
+            read_ahead_blocks: 0,
+            ..CacheConfig::default()
+        };
+        let c = CachedStore::new(inner.clone(), config);
+        c.create("f").unwrap();
+        let data: Vec<u8> = (0..6 * 4096u32).map(|i| (i % 251) as u8).collect();
+        c.write_at("f", 0, &data).unwrap();
+        // Warm blocks 1 and 4 only.
+        let mut blk = vec![0u8; 4096];
+        c.read_into("f", 4096, &mut blk).unwrap();
+        c.read_into("f", 4 * 4096, &mut blk).unwrap();
+        inner.reset_io_accounting();
+        // Span over blocks 0..=5 through a scatter list with awkward splits:
+        // miss runs are [0], [2,3], [5] -> three backend reads, two hits.
+        let (mut a, mut b) = (vec![0u8; 5000], vec![0u8; 6 * 4096 - 5000]);
+        let n = c
+            .read_into_vectored(
+                "f",
+                0,
+                &mut [IoSliceMut::new(&mut a), IoSliceMut::new(&mut b)],
+            )
+            .unwrap();
+        assert_eq!(n, 6 * 4096);
+        let mut got = a;
+        got.extend_from_slice(&b);
+        assert_eq!(got, data);
+        assert_eq!(inner.io_counters().read_ops, 3);
     }
 
     #[test]

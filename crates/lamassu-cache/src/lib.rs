@@ -70,7 +70,8 @@
 //!
 //! # Accounting
 //!
-//! [`CachedStore::io_time`] and the op/byte counters delegate to the wrapped
+//! [`io_time`](lamassu_storage::ObjectStore::io_time) and the op/byte
+//! counters delegate to the wrapped
 //! store, so the virtual-transport methodology of the benchmark harness is
 //! unchanged: a hit simply charges nothing. Hit/miss/eviction/write-back
 //! totals are surfaced both through [`CacheStats`] and the `cache_*` fields

@@ -47,6 +47,8 @@ OPTIONS:
     --zone <id>                isolation zone id (default: 1)
     --block-size <bytes>       Lamassu block size (default: 4096)
     --reserved-slots <R>       reserved transient key slots (default: 8)
+    --workers <n>              crypto worker threads for span batches
+                               (default: 0 = auto, min(4, CPU cores))
     --cache <mode[:blocks]>    block cache between the shim and the volume:
                                off | write-through | write-back, optionally
                                with a capacity in blocks (default: off; 1024
@@ -60,6 +62,7 @@ struct Options {
     zone: u32,
     block_size: usize,
     reserved_slots: usize,
+    workers: usize,
     cache: Option<(CacheMode, usize)>,
     positional: Vec<String>,
 }
@@ -106,6 +109,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         zone: 1,
         block_size: 4096,
         reserved_slots: 8,
+        workers: 0,
         cache: None,
         positional: Vec::new(),
     };
@@ -128,6 +132,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     });
     flags.insert("--reserved-slots", |o, v| {
         o.reserved_slots = v.parse().map_err(|_| format!("bad reserved slots: {v}"))?;
+        Ok(())
+    });
+    flags.insert("--workers", |o, v| {
+        o.workers = v.parse().map_err(|_| format!("bad worker count: {v}"))?;
         Ok(())
     });
     flags.insert("--cache", |o, v| {
@@ -226,6 +234,10 @@ fn mount(opts: &Options) -> Result<Mounted, String> {
         LamassuConfig {
             geometry,
             integrity: lamassu_core::IntegrityMode::Full,
+            span: lamassu_core::SpanConfig {
+                policy: lamassu_core::SpanPolicy::Batched,
+                workers: opts.workers,
+            },
         },
     );
     Ok(Mounted { fs, cache })

@@ -27,17 +27,19 @@ use crate::fs::{FileAttr, FileSystem, OpenFlags};
 use crate::handles::{HandleTable, PathRegistry};
 use crate::iovec::{self, GatherCursor};
 use crate::profiler::{Category, Profiler};
+use crate::span::{SpanConfig, SpanPolicy};
 use crate::{Fd, FsError, Result};
 use lamassu_crypto::aes::Aes256;
-use lamassu_crypto::cbc;
 use lamassu_crypto::gcm::{Aes256Gcm, NONCE_LEN, TAG_LEN};
 use lamassu_crypto::kdf::ConvergentKdf;
+use lamassu_crypto::pool::CryptoPool;
+use lamassu_crypto::{batch, cbc};
 use lamassu_crypto::{Key256, FIXED_IV};
 use lamassu_keymgr::ZoneKeys;
 use lamassu_storage::ObjectStore;
 use parking_lot::Mutex;
 use rand::RngCore;
-use std::io::IoSlice;
+use std::io::{IoSlice, IoSliceMut};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -57,6 +59,9 @@ type SharedState = Arc<Mutex<CeFileState>>;
 pub struct CeFileFs {
     store: Arc<dyn ObjectStore>,
     block_size: usize,
+    span: SpanConfig,
+    /// The mount's shared crypto worker pool (see [`crate::span`]).
+    pool: CryptoPool,
     kdf: ConvergentKdf,
     gcm: Aes256Gcm,
     handles: HandleTable<SharedState>,
@@ -65,12 +70,25 @@ pub struct CeFileFs {
 }
 
 impl CeFileFs {
-    /// Mounts a per-file-CE file system over `store` with the zone's keys.
+    /// Mounts a per-file-CE file system over `store` with the zone's keys
+    /// and the default span configuration.
     pub fn new(store: Arc<dyn ObjectStore>, keys: ZoneKeys, block_size: usize) -> Self {
+        Self::with_config(store, keys, block_size, SpanConfig::default())
+    }
+
+    /// Mounts a per-file-CE file system with an explicit span configuration.
+    pub fn with_config(
+        store: Arc<dyn ObjectStore>,
+        keys: ZoneKeys,
+        block_size: usize,
+        span: SpanConfig,
+    ) -> Self {
         assert!(block_size >= 64 && block_size.is_multiple_of(16));
         CeFileFs {
             store,
             block_size,
+            span,
+            pool: span.pool(),
             kdf: ConvergentKdf::new(&keys.inner),
             gcm: Aes256Gcm::new(&keys.outer),
             handles: HandleTable::new(),
@@ -93,7 +111,10 @@ impl CeFileFs {
         out.map_err(FsError::from)
     }
 
-    /// Loads and decrypts the whole file from the store.
+    /// Loads and decrypts the whole file from the store. Under the batched
+    /// span policy the header and body arrive in one vectored backend read
+    /// and the body's CBC chain decrypts in parallel chunks; the per-block
+    /// fallback keeps the original two sequential reads and serial decrypt.
     fn load(&self, path: &str) -> Result<CeFileState> {
         let physical = self.io(|| self.store.len(path))?;
         if physical == 0 {
@@ -102,7 +123,35 @@ impl CeFileFs {
                 dirty: false,
             });
         }
-        let header = self.io(|| self.store.read_at(path, 0, self.block_size))?;
+        let body_len = (physical as usize).saturating_sub(self.block_size);
+        let batched = self.span.policy == SpanPolicy::Batched;
+        let (header, mut body) = if batched {
+            // Header and body are physically contiguous: one round trip.
+            let mut header = vec![0u8; self.block_size];
+            let mut body = vec![0u8; body_len];
+            let n = self.io(|| {
+                self.store.read_into_vectored(
+                    path,
+                    0,
+                    &mut [IoSliceMut::new(&mut header), IoSliceMut::new(&mut body)],
+                )
+            })?;
+            if n < self.block_size {
+                // Too short to even hold a header: not a CeFile object.
+                return Err(FsError::Metadata(
+                    lamassu_format::FormatError::MetadataAuthFailure,
+                ));
+            }
+            (header, body)
+        } else {
+            let header = self.io(|| self.store.read_at(path, 0, self.block_size))?;
+            let body = if body_len > 0 {
+                self.io(|| self.store.read_at(path, self.block_size as u64, body_len))?
+            } else {
+                Vec::new()
+            };
+            (header, body)
+        };
         // Header: nonce(12) | tag(16) | sealed[ magic(8) | size(8) | key(32) ].
         let nonce: [u8; NONCE_LEN] = header[..NONCE_LEN].try_into().expect("12 bytes");
         let tag: [u8; TAG_LEN] = header[NONCE_LEN..NONCE_LEN + TAG_LEN]
@@ -121,14 +170,13 @@ impl CeFileFs {
         let logical = u64::from_le_bytes(sealed[8..16].try_into().expect("8 bytes")) as usize;
         let file_key: Key256 = sealed[16..48].try_into().expect("32 bytes");
 
-        let body_len = (physical as usize).saturating_sub(self.block_size);
-        let mut body = if body_len > 0 {
-            self.io(|| self.store.read_at(path, self.block_size as u64, body_len))?
-        } else {
-            Vec::new()
-        };
         self.profiler.time(Category::Decrypt, || {
-            cbc::decrypt_in_place(&Aes256::new(&file_key), &FIXED_IV, &mut body)
+            let cipher = Aes256::new(&file_key);
+            if batched {
+                batch::cbc_decrypt_parallel(&self.pool, &cipher, &FIXED_IV, &mut body)
+            } else {
+                cbc::decrypt_in_place(&cipher, &FIXED_IV, &mut body)
+            }
         })?;
         body.truncate(logical);
 
@@ -178,9 +226,17 @@ impl CeFileFs {
         header[NONCE_LEN + TAG_LEN..NONCE_LEN + TAG_LEN + 48].copy_from_slice(&sealed);
 
         self.io(|| self.store.truncate(path, 0))?;
-        self.io(|| self.store.write_at(path, 0, &header))?;
-        if !body.is_empty() {
-            self.io(|| self.store.write_at(path, self.block_size as u64, &body))?;
+        if self.span.policy == SpanPolicy::Batched && !body.is_empty() {
+            // Header and body land in one vectored backend write.
+            self.io(|| {
+                self.store
+                    .write_at_vectored(path, 0, &[IoSlice::new(&header), IoSlice::new(&body)])
+            })?;
+        } else {
+            self.io(|| self.store.write_at(path, 0, &header))?;
+            if !body.is_empty() {
+                self.io(|| self.store.write_at(path, self.block_size as u64, &body))?;
+            }
         }
         state.dirty = false;
         Ok(())

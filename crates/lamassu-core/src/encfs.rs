@@ -26,14 +26,16 @@ use crate::fs::{FileAttr, FileSystem, OpenFlags};
 use crate::handles::{HandleTable, PathRegistry};
 use crate::iovec::{self, GatherCursor};
 use crate::profiler::{Category, Profiler};
+use crate::span::{SpanConfig, SpanPlanner, SpanPolicy};
 use crate::{Fd, FsError, Result};
 use lamassu_crypto::aes::Aes256;
-use lamassu_crypto::cbc;
-use lamassu_crypto::Key256;
+use lamassu_crypto::pool::CryptoPool;
+use lamassu_crypto::{batch, cbc};
+use lamassu_crypto::{Iv128, Key256};
 use lamassu_storage::ObjectStore;
 use parking_lot::Mutex;
 use rand::RngCore;
-use std::io::IoSlice;
+use std::io::{IoSlice, IoSliceMut};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -41,6 +43,9 @@ use std::time::Instant;
 const MAGIC: &[u8; 8] = b"ENCFSv1\0";
 /// Raw (unpadded) header length in bytes.
 const RAW_HEADER_LEN: usize = 80;
+/// Upper bound on the number of blocks one span chunk stages/encrypts at a
+/// time, bounding the per-file staging buffer (1 MiB at 4 KiB blocks).
+const MAX_SPAN_BLOCKS: usize = 256;
 
 /// Configuration for an [`EncFs`] mount.
 #[derive(Debug, Clone, Copy)]
@@ -50,6 +55,9 @@ pub struct EncFsConfig {
     /// If true (the paper's configuration), the per-file header is padded to
     /// a full block so data blocks stay aligned on the backing store.
     pub aligned: bool,
+    /// Span-pipeline policy and crypto worker-pool sizing (see
+    /// [`crate::span`]).
+    pub span: SpanConfig,
 }
 
 impl Default for EncFsConfig {
@@ -57,6 +65,7 @@ impl Default for EncFsConfig {
         EncFsConfig {
             block_size: 4096,
             aligned: true,
+            span: SpanConfig::default(),
         }
     }
 }
@@ -70,6 +79,10 @@ struct EncFileState {
     /// Block staging buffer reused across operations so the data path does
     /// not allocate per call.
     scratch: Vec<u8>,
+    /// Whole-span staging buffer for the batched write pipeline (grown on
+    /// demand, bounded by [`MAX_SPAN_BLOCKS`] blocks; empty on mounts that
+    /// never take the span write path).
+    span_buf: Vec<u8>,
 }
 
 type SharedState = Arc<Mutex<EncFileState>>;
@@ -79,6 +92,9 @@ pub struct EncFs {
     store: Arc<dyn ObjectStore>,
     volume_cipher: Aes256,
     config: EncFsConfig,
+    /// The mount's shared crypto worker pool (see [`crate::span`]).
+    pool: CryptoPool,
+    planner: SpanPlanner,
     handles: HandleTable<SharedState>,
     profiler: Arc<Profiler>,
     /// Open-file states shared between descriptors on the same path.
@@ -95,6 +111,8 @@ impl EncFs {
         EncFs {
             store,
             volume_cipher: Aes256::new(&volume_key),
+            pool: config.span.pool(),
+            planner: SpanPlanner::new(config.block_size),
             config,
             handles: HandleTable::new(),
             profiler: Profiler::new(),
@@ -190,6 +208,7 @@ impl EncFs {
             logical_size,
             header_dirty: false,
             scratch: vec![0u8; self.config.block_size],
+            span_buf: Vec::new(),
         }));
         Ok(state)
     }
@@ -241,6 +260,189 @@ impl EncFs {
                 .write_at(path, self.data_offset(block), block_buf)
         })
     }
+
+    /// The span read pipeline: one vectored backend read per
+    /// [`MAX_SPAN_BLOCKS`]-bounded chunk of the range (partial edge blocks
+    /// staged, full blocks scattered directly into the caller's buffer),
+    /// then one parallel batch decrypt per chunk.
+    fn read_span(
+        &self,
+        path: &str,
+        st: &mut EncFileState,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<()> {
+        let bs = self.config.block_size;
+        let plan = self
+            .profiler
+            .time(Category::Plan, || self.planner.plan(offset, buf.len()));
+        let mut scratch = std::mem::take(&mut st.scratch);
+        let mut tail_stage = vec![0u8; 0];
+        let result = (|| {
+            let mut chunk_first = plan.first_block;
+            while chunk_first <= plan.last_block {
+                let chunk_last = (chunk_first + MAX_SPAN_BLOCKS as u64 - 1).min(plan.last_block);
+                let head_staged = !plan.is_full(chunk_first);
+                let tail_staged = chunk_last != chunk_first && !plan.is_full(chunk_last);
+                if tail_staged && tail_stage.is_empty() {
+                    tail_stage = vec![0u8; bs];
+                }
+                let blocks = (chunk_last - chunk_first + 1) as usize;
+                let mid_count = blocks - head_staged as usize - tail_staged as usize;
+                let mid_range = if mid_count > 0 {
+                    let start = plan.buf_range(chunk_first + head_staged as u64).start;
+                    start..start + mid_count * bs
+                } else {
+                    0..0
+                };
+
+                // One backend round trip scatters the chunk's ciphertext.
+                let n = {
+                    let mid_slice = &mut buf[mid_range.clone()];
+                    let mut io_bufs: Vec<IoSliceMut<'_>> = Vec::with_capacity(3);
+                    if head_staged {
+                        io_bufs.push(IoSliceMut::new(&mut scratch));
+                    }
+                    if !mid_slice.is_empty() {
+                        io_bufs.push(IoSliceMut::new(mid_slice));
+                    }
+                    if tail_staged {
+                        io_bufs.push(IoSliceMut::new(&mut tail_stage));
+                    }
+                    self.io(|| {
+                        self.store.read_into_vectored(
+                            path,
+                            self.data_offset(chunk_first),
+                            &mut io_bufs,
+                        )
+                    })?
+                };
+
+                // Batch decrypt: zero the unread tail of every block (the
+                // sparse-hole convention), then decrypt the non-zero blocks
+                // under their per-block IVs in one parallel pass.
+                let mut block_bufs: Vec<&mut [u8]> = Vec::with_capacity(blocks);
+                if head_staged {
+                    block_bufs.push(&mut scratch);
+                }
+                block_bufs.extend(buf[mid_range].chunks_exact_mut(bs));
+                if tail_staged {
+                    block_bufs.push(&mut tail_stage);
+                }
+                let mut ivs: Vec<Iv128> = Vec::with_capacity(blocks);
+                let mut to_decrypt: Vec<&mut [u8]> = Vec::with_capacity(blocks);
+                for (i, block_buf) in block_bufs.into_iter().enumerate() {
+                    let filled = n.saturating_sub(i * bs).min(bs);
+                    block_buf[filled..].fill(0);
+                    // An all-zero ciphertext block is a hole and must read
+                    // back as zero plaintext (same as the per-block path).
+                    if block_buf.iter().any(|&b| b != 0) {
+                        ivs.push(Self::block_iv(
+                            &st.cipher,
+                            &st.file_iv,
+                            chunk_first + i as u64,
+                        ));
+                        to_decrypt.push(block_buf);
+                    }
+                }
+                self.profiler.time(Category::Decrypt, || {
+                    batch::decrypt_blocks_with(&self.pool, &st.cipher, &ivs, &mut to_decrypt)
+                })?;
+
+                // Copy the requested fragments of the staged edges out.
+                if head_staged {
+                    let (in_block, take) = plan.span_of(chunk_first);
+                    buf[plan.buf_range(chunk_first)]
+                        .copy_from_slice(&scratch[in_block..in_block + take]);
+                }
+                if tail_staged {
+                    let (in_block, take) = plan.span_of(chunk_last);
+                    buf[plan.buf_range(chunk_last)]
+                        .copy_from_slice(&tail_stage[in_block..in_block + take]);
+                }
+                chunk_first = chunk_last + 1;
+            }
+            Ok(())
+        })();
+        st.scratch = scratch;
+        result
+    }
+
+    /// The span write pipeline: stages each [`MAX_SPAN_BLOCKS`]-bounded chunk
+    /// of the range as plaintext (reading only the partial edge blocks back
+    /// for the read-modify-write), encrypts the whole chunk as one parallel
+    /// batch, and writes it with a single backend operation.
+    fn write_span(
+        &self,
+        path: &str,
+        st: &mut EncFileState,
+        offset: u64,
+        total: usize,
+        cursor: &mut GatherCursor<'_, '_>,
+    ) -> Result<()> {
+        let bs = self.config.block_size;
+        let plan = self
+            .profiler
+            .time(Category::Plan, || self.planner.plan(offset, total));
+        let mut span_buf = std::mem::take(&mut st.span_buf);
+        let result = (|| {
+            let mut chunk_first = plan.first_block;
+            while chunk_first <= plan.last_block {
+                let chunk_last = (chunk_first + MAX_SPAN_BLOCKS as u64 - 1).min(plan.last_block);
+                let blocks = (chunk_last - chunk_first + 1) as usize;
+                if span_buf.len() < blocks * bs {
+                    span_buf.resize(blocks * bs, 0);
+                }
+                let chunk = &mut span_buf[..blocks * bs];
+
+                // Read-modify-write of the (at most two) partial edge blocks;
+                // every full block is overwritten wholesale.
+                for b in [chunk_first, chunk_last] {
+                    if !plan.is_full(b) {
+                        let region = ((b - chunk_first) as usize) * bs;
+                        self.read_block_into(
+                            path,
+                            &st.cipher,
+                            &st.file_iv,
+                            b,
+                            &mut chunk[region..region + bs],
+                        )?;
+                    }
+                    if chunk_first == chunk_last {
+                        break;
+                    }
+                }
+                // The chunk's plaintext fragments are contiguous in the
+                // staging buffer: from the head block's in-block offset to
+                // the tail block's end.
+                let (head_in, head_take) = plan.span_of(chunk_first);
+                let chunk_take = if chunk_first == chunk_last {
+                    head_take
+                } else {
+                    let (_, tail_take) = plan.span_of(chunk_last);
+                    head_take + (blocks - 2) * bs + tail_take
+                };
+                cursor.copy_to(&mut chunk[head_in..head_in + chunk_take]);
+
+                // One parallel batch encrypt, one backend write for the span.
+                let ivs: Vec<Iv128> = (chunk_first..=chunk_last)
+                    .map(|b| Self::block_iv(&st.cipher, &st.file_iv, b))
+                    .collect();
+                let mut refs: Vec<&mut [u8]> = chunk.chunks_exact_mut(bs).collect();
+                self.profiler.time(Category::Encrypt, || {
+                    batch::encrypt_blocks_with(&self.pool, &st.cipher, &ivs, &mut refs)
+                })?;
+                self.io(|| {
+                    self.store
+                        .write_at(path, self.data_offset(chunk_first), chunk)
+                })?;
+                chunk_first = chunk_last + 1;
+            }
+            Ok(())
+        })();
+        st.span_buf = span_buf;
+        result
+    }
 }
 
 impl FileSystem for EncFs {
@@ -262,6 +464,7 @@ impl FileSystem for EncFs {
             logical_size: 0,
             header_dirty: false,
             scratch: vec![0u8; self.config.block_size],
+            span_buf: Vec::new(),
         };
         self.write_header(path, &mut state)?;
         let state = Arc::new(Mutex::new(state));
@@ -314,9 +517,13 @@ impl FileSystem for EncFs {
             return Ok(0);
         }
         let len = buf.len().min((st.logical_size - offset) as usize);
+        if self.config.span.policy == SpanPolicy::Batched {
+            self.read_span(&path, &mut st, offset, &mut buf[..len])?;
+            return Ok(len);
+        }
         let bs = self.config.block_size as u64;
-        // The scratch buffer stages partial blocks; aligned full blocks are
-        // decrypted directly in the caller's buffer.
+        // Per-block fallback: the scratch buffer stages partial blocks;
+        // aligned full blocks are decrypted directly in the caller's buffer.
         let mut scratch = std::mem::take(&mut st.scratch);
         let mut cur = offset;
         let end = offset + len as u64;
@@ -356,30 +563,40 @@ impl FileSystem for EncFs {
         let entry = self.handles.get(fd)?;
         let path = entry.path();
         let mut st = entry.state.lock();
-        let bs = self.config.block_size as u64;
-        let mut scratch = std::mem::take(&mut st.scratch);
         let mut cursor = GatherCursor::new(bufs);
-        let mut cur = offset;
         let end = offset + total as u64;
-        let result: Result<()> = (|| {
-            while cur < end {
-                let block = cur / bs;
-                let in_block = (cur % bs) as usize;
-                let take = ((bs - in_block as u64).min(end - cur)) as usize;
-                if in_block == 0 && take == bs as usize {
-                    cursor.copy_to(&mut scratch);
-                } else {
-                    // Read-modify-write of a partially covered block.
-                    self.read_block_into(&path, &st.cipher, &st.file_iv, block, &mut scratch)?;
-                    cursor.copy_to(&mut scratch[in_block..in_block + take]);
+        if self.config.span.policy == SpanPolicy::Batched {
+            self.write_span(&path, &mut st, offset, total, &mut cursor)?;
+        } else {
+            let bs = self.config.block_size as u64;
+            let mut scratch = std::mem::take(&mut st.scratch);
+            let mut cur = offset;
+            let result: Result<()> = (|| {
+                while cur < end {
+                    let block = cur / bs;
+                    let in_block = (cur % bs) as usize;
+                    let take = ((bs - in_block as u64).min(end - cur)) as usize;
+                    if in_block == 0 && take == bs as usize {
+                        cursor.copy_to(&mut scratch);
+                    } else {
+                        // Read-modify-write of a partially covered block.
+                        self.read_block_into(&path, &st.cipher, &st.file_iv, block, &mut scratch)?;
+                        cursor.copy_to(&mut scratch[in_block..in_block + take]);
+                    }
+                    self.encrypt_and_write_block(
+                        &path,
+                        &st.cipher,
+                        &st.file_iv,
+                        block,
+                        &mut scratch,
+                    )?;
+                    cur += take as u64;
                 }
-                self.encrypt_and_write_block(&path, &st.cipher, &st.file_iv, block, &mut scratch)?;
-                cur += take as u64;
-            }
-            Ok(())
-        })();
-        st.scratch = scratch;
-        result?;
+                Ok(())
+            })();
+            st.scratch = scratch;
+            result?;
+        }
         if end > st.logical_size {
             st.logical_size = end;
             st.header_dirty = true;
@@ -606,6 +823,7 @@ mod tests {
             EncFsConfig {
                 block_size: 4096,
                 aligned: false,
+                ..Default::default()
             },
         );
         let fd = fs.create("/f").unwrap();

@@ -19,11 +19,13 @@
 use crate::iovec::{self, GatherCursor};
 use crate::lamassufs::{IntegrityMode, LamassuConfig};
 use crate::profiler::{Category, Profiler};
+use crate::span::{SpanConfig, SpanPlan, SpanPlanner, SpanPolicy};
 use crate::{FsError, Result};
 use lamassu_crypto::aes::Aes256;
-use lamassu_crypto::cbc;
 use lamassu_crypto::gcm::Aes256Gcm;
 use lamassu_crypto::kdf::ConvergentKdf;
+use lamassu_crypto::pool::CryptoPool;
+use lamassu_crypto::{batch, cbc};
 use lamassu_crypto::{Key256, FIXED_IV};
 use lamassu_format::{Geometry, MetadataBlock, TransientEntry};
 use lamassu_keymgr::ZoneKeys;
@@ -31,7 +33,7 @@ use lamassu_storage::{ObjectStore, StorageError};
 use parking_lot::RwLock;
 use rand::RngCore;
 use std::collections::{BTreeMap, HashMap};
-use std::io::IoSlice;
+use std::io::{IoSlice, IoSliceMut};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -169,6 +171,10 @@ pub(crate) struct Engine {
     store: Arc<dyn ObjectStore>,
     geometry: Geometry,
     integrity: IntegrityMode,
+    span: SpanConfig,
+    /// The mount's shared crypto worker pool (see [`crate::span`]).
+    pool: CryptoPool,
+    planner: SpanPlanner,
     crypto: RwLock<CryptoCtx>,
     profiler: Arc<Profiler>,
 }
@@ -179,6 +185,9 @@ impl Engine {
             store,
             geometry: config.geometry,
             integrity: config.integrity,
+            span: config.span,
+            pool: config.span.pool(),
+            planner: SpanPlanner::new(config.geometry.block_size()),
             crypto: RwLock::new(CryptoCtx::new(keys)),
             profiler: Profiler::new(),
         }
@@ -442,8 +451,10 @@ impl Engine {
     }
 
     /// Reads into `buf` at `offset`, clamped to the logical size; returns the
-    /// number of bytes read. Whole aligned blocks are decrypted directly in
-    /// `buf`; sub-block spans stage through the file's scratch block.
+    /// number of bytes read. Under [`SpanPolicy::Batched`] the span pipeline
+    /// fetches whole runs of blocks per backend round trip and decrypts them
+    /// in parallel; [`SpanPolicy::PerBlock`] keeps the original
+    /// one-block-at-a-time path as the verification oracle.
     pub(crate) fn read_range_into(
         &self,
         file: &mut LamassuFile,
@@ -454,11 +465,27 @@ impl Engine {
             return Ok(0);
         }
         let len = buf.len().min((file.logical_size - offset) as usize);
+        match self.span.policy {
+            SpanPolicy::PerBlock => self.read_range_per_block(file, offset, &mut buf[..len])?,
+            SpanPolicy::Batched => self.read_range_batched(file, offset, &mut buf[..len])?,
+        }
+        Ok(len)
+    }
+
+    /// The per-block read pipeline: one backend read and one serial decrypt
+    /// per block. Whole aligned blocks are decrypted directly in `buf`;
+    /// sub-block spans stage through the file's scratch block.
+    fn read_range_per_block(
+        &self,
+        file: &mut LamassuFile,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<()> {
         let bs = self.geometry.block_size();
         let mut scratch = std::mem::take(&mut file.scratch);
         let mut out = 0usize;
         let result = (|| {
-            for (block, in_block, take) in self.geometry.block_spans(offset, len) {
+            for (block, in_block, take) in self.geometry.block_spans(offset, buf.len()) {
                 if in_block == 0 && take == bs {
                     self.read_block_into(file, block, &mut buf[out..out + take], false)?;
                 } else {
@@ -467,9 +494,188 @@ impl Engine {
                 }
                 out += take;
             }
-            Ok(len)
+            Ok(())
         })();
         file.scratch = scratch;
+        result
+    }
+
+    /// The span read pipeline: plans the range, groups it by segment, and
+    /// serves every maximal run of consecutive disk-backed blocks with one
+    /// vectored backend read followed by one parallel batch decrypt (plus one
+    /// parallel batch re-derivation when full integrity checking is on).
+    /// Pending (buffered) blocks and holes are served without touching the
+    /// store.
+    fn read_range_batched(
+        &self,
+        file: &mut LamassuFile,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<()> {
+        let plan = self
+            .profiler
+            .time(Category::Plan, || self.planner.plan(offset, buf.len()));
+        let n_per_seg = self.geometry.keys_per_metadata_block() as u64;
+        let mut block = plan.first_block;
+        while block <= plan.last_block {
+            let segment = block / n_per_seg;
+            let group_end = ((segment + 1) * n_per_seg - 1).min(plan.last_block);
+            let mb = self.read_meta(file, segment)?;
+            // Classify every block of the segment group: pending blocks and
+            // holes are served immediately; disk-backed blocks accumulate
+            // into maximal consecutive runs (consecutive logical blocks of
+            // one segment are physically contiguous).
+            let mut runs: Vec<(u64, Vec<Key256>)> = Vec::new();
+            for b in block..=group_end {
+                let range = plan.buf_range(b);
+                if let Some(plain) = file.pending.get(&b) {
+                    let (in_block, take) = plan.span_of(b);
+                    buf[range].copy_from_slice(&plain[in_block..in_block + take]);
+                    continue;
+                }
+                let slot = (b % n_per_seg) as usize;
+                match mb.key(slot) {
+                    None => buf[range].fill(0), // a hole
+                    Some(key) => match runs.last_mut() {
+                        Some((start, keys)) if *start + keys.len() as u64 == b => keys.push(*key),
+                        _ => runs.push((b, vec![*key])),
+                    },
+                }
+            }
+            for (run_start, keys) in runs {
+                self.read_run_batched(file, &plan, run_start, &keys, buf)?;
+            }
+            block = group_end + 1;
+        }
+        Ok(())
+    }
+
+    /// Reads and decrypts one physically contiguous run of `keys.len()`
+    /// blocks starting at `run_start`: a single vectored backend read
+    /// scatters ciphertext into the caller's buffer (full blocks) and the
+    /// staging blocks (partial edges), then the run decrypts — and, under
+    /// full integrity, re-derives — as one parallel batch.
+    fn read_run_batched(
+        &self,
+        file: &mut LamassuFile,
+        plan: &SpanPlan,
+        run_start: u64,
+        keys: &[Key256],
+        buf: &mut [u8],
+    ) -> Result<()> {
+        let bs = self.geometry.block_size();
+        let run_last = run_start + keys.len() as u64 - 1;
+        // Only the plan's edge blocks can be partially covered; they stage
+        // through a full-size block buffer each.
+        let head_staged = !plan.is_full(run_start);
+        let tail_staged = run_last != run_start && !plan.is_full(run_last);
+        let mut head_stage = if head_staged {
+            Some(std::mem::take(&mut file.scratch))
+        } else {
+            None
+        };
+        let mut tail_stage = if tail_staged {
+            Some(file.take_block(bs))
+        } else {
+            None
+        };
+
+        let result = (|| {
+            // Middle (full) blocks land directly in the caller's buffer — a
+            // single contiguous region because the run is logically
+            // consecutive.
+            let mid_first = run_start + head_staged as u64;
+            let mid_count = keys.len() - head_staged as usize - tail_staged as usize;
+            let mid_range = if mid_count > 0 {
+                let start = plan.buf_range(mid_first).start;
+                start..start + mid_count * bs
+            } else {
+                0..0
+            };
+            let phys = self.geometry.locate_block(run_start).physical_offset;
+            let n = {
+                let mid_slice = &mut buf[mid_range.clone()];
+                let mut io_bufs: Vec<IoSliceMut<'_>> = Vec::with_capacity(3);
+                if let Some(head) = head_stage.as_deref_mut() {
+                    io_bufs.push(IoSliceMut::new(head));
+                }
+                if !mid_slice.is_empty() {
+                    io_bufs.push(IoSliceMut::new(mid_slice));
+                }
+                if let Some(tail) = tail_stage.as_deref_mut() {
+                    io_bufs.push(IoSliceMut::new(tail));
+                }
+                self.io(|| {
+                    self.store
+                        .read_into_vectored(&file.name, phys, &mut io_bufs)
+                })?
+            };
+
+            // Blocks the store could not fully produce (a key present but the
+            // data never reached disk — only possible after an unrecovered
+            // crash) read as holes, exactly like the per-block path.
+            let read_blocks = (n / bs).min(keys.len());
+            for b in run_start + read_blocks as u64..=run_last {
+                buf[plan.buf_range(b)].fill(0);
+            }
+            if read_blocks == 0 {
+                return Ok(());
+            }
+
+            // One parallel batch decrypt over the fully read blocks.
+            let used_keys = &keys[..read_blocks];
+            let mid_slice = &mut buf[mid_range];
+            let mut blocks: Vec<&mut [u8]> = Vec::with_capacity(read_blocks);
+            if let Some(head) = head_stage.as_deref_mut() {
+                blocks.push(head);
+            }
+            blocks.extend(mid_slice.chunks_exact_mut(bs));
+            if let Some(tail) = tail_stage.as_deref_mut() {
+                blocks.push(tail);
+            }
+            blocks.truncate(read_blocks);
+            self.profiler.time(Category::Decrypt, || {
+                batch::decrypt_blocks(&self.pool, used_keys, &FIXED_IV, &mut blocks)
+                    .expect("data blocks are 16-byte aligned")
+            });
+
+            // The §2.5 self-check, batched: re-derive every key in parallel.
+            if matches!(self.integrity, IntegrityMode::Full) {
+                let crypto = self.crypto.read();
+                let plains: Vec<&[u8]> = blocks.iter().map(|b| &**b).collect();
+                let derived = self.profiler.time(Category::GetCeKey, || {
+                    batch::derive_keys(&self.pool, &crypto.kdf, &plains)
+                });
+                for (i, (got, expected)) in derived.iter().zip(used_keys).enumerate() {
+                    if got != expected {
+                        return Err(FsError::IntegrityViolation {
+                            path: file.name.clone(),
+                            logical_block: run_start + i as u64,
+                        });
+                    }
+                }
+            }
+
+            // Copy the requested fragments of the staged edge blocks out.
+            if head_staged && read_blocks > 0 {
+                let (in_block, take) = plan.span_of(run_start);
+                let head = head_stage.as_deref().expect("head staged");
+                buf[plan.buf_range(run_start)].copy_from_slice(&head[in_block..in_block + take]);
+            }
+            if tail_staged && read_blocks == keys.len() {
+                let (in_block, take) = plan.span_of(run_last);
+                let tail = tail_stage.as_deref().expect("tail staged");
+                buf[plan.buf_range(run_last)].copy_from_slice(&tail[in_block..in_block + take]);
+            }
+            Ok(())
+        })();
+
+        if let Some(head) = head_stage {
+            file.scratch = head;
+        }
+        if let Some(tail) = tail_stage {
+            file.recycle(tail);
+        }
         result
     }
 
@@ -558,10 +764,13 @@ impl Engine {
     /// The multiphase commit of §2.4 for up to `R` dirty blocks of one
     /// segment:
     ///
-    /// 1. park the previous keys in the transient area, install the new keys,
-    ///    mark the segment mid-update, write the metadata block;
-    /// 2. write the convergently encrypted data blocks (each staged plaintext
-    ///    buffer is encrypted in place);
+    /// 1. park the previous keys in the transient area, install the new keys
+    ///    (derived as one parallel batch under [`SpanPolicy::Batched`]), mark
+    ///    the segment mid-update, write the metadata block;
+    /// 2. write the convergently encrypted data blocks — batched mode
+    ///    encrypts the whole chunk in parallel and coalesces runs of adjacent
+    ///    blocks into single vectored store writes; per-block mode encrypts
+    ///    and writes one block at a time;
     /// 3. clear the mid-update mark and the transient area, write the
     ///    metadata block again.
     fn commit_chunk(
@@ -574,8 +783,17 @@ impl Engine {
         let mut mb = self.read_meta(file, segment)?;
 
         // Phase 1: stage old + new keys and flag the segment.
-        let mut new_keys = Vec::with_capacity(blocks.len());
-        for (block, plain) in blocks.iter() {
+        let new_keys: Vec<Key256> = match self.span.policy {
+            SpanPolicy::Batched => {
+                let crypto = self.crypto.read();
+                let plains: Vec<&[u8]> = blocks.iter().map(|(_, p)| p.as_slice()).collect();
+                self.profiler.time(Category::GetCeKey, || {
+                    batch::derive_keys(&self.pool, &crypto.kdf, &plains)
+                })
+            }
+            SpanPolicy::PerBlock => blocks.iter().map(|(_, p)| self.derive_key(p)).collect(),
+        };
+        for ((block, _), key) in blocks.iter().zip(new_keys.iter()) {
             let slot = self.geometry.locate_block(*block).slot;
             let old_key = mb.key(slot).copied().unwrap_or([0u8; 32]);
             mb.push_transient(
@@ -585,9 +803,7 @@ impl Engine {
                     old_key,
                 },
             )?;
-            let key = self.derive_key(plain);
-            mb.set_key(slot, key)?;
-            new_keys.push(key);
+            mb.set_key(slot, *key)?;
         }
         mb.flags.set_mid_update(true);
         if segment == self.final_segment(file) {
@@ -596,10 +812,39 @@ impl Engine {
         self.write_meta(file, segment, mb.clone())?;
 
         // Phase 2: encrypt in place and write the data blocks.
-        for ((block, plain), key) in blocks.iter_mut().zip(new_keys.iter()) {
-            let loc = self.geometry.locate_block(*block);
-            self.encrypt_in_place(plain, key);
-            self.io(|| self.store.write_at(&file.name, loc.physical_offset, plain))?;
+        match self.span.policy {
+            SpanPolicy::Batched => {
+                {
+                    let mut refs: Vec<&mut [u8]> =
+                        blocks.iter_mut().map(|(_, p)| p.as_mut_slice()).collect();
+                    self.profiler.time(Category::Encrypt, || {
+                        batch::encrypt_blocks(&self.pool, &new_keys, &FIXED_IV, &mut refs)
+                            .expect("data blocks are 16-byte aligned")
+                    });
+                }
+                // Coalesce runs of adjacent blocks (`blocks` arrives sorted
+                // by logical index, and consecutive logical blocks of one
+                // segment are physically contiguous) into vectored writes.
+                let mut i = 0;
+                while i < blocks.len() {
+                    let mut j = i + 1;
+                    while j < blocks.len() && blocks[j].0 == blocks[j - 1].0 + 1 {
+                        j += 1;
+                    }
+                    let offset = self.geometry.locate_block(blocks[i].0).physical_offset;
+                    let slices: Vec<IoSlice<'_>> =
+                        blocks[i..j].iter().map(|(_, p)| IoSlice::new(p)).collect();
+                    self.io(|| self.store.write_at_vectored(&file.name, offset, &slices))?;
+                    i = j;
+                }
+            }
+            SpanPolicy::PerBlock => {
+                for ((block, plain), key) in blocks.iter_mut().zip(new_keys.iter()) {
+                    let loc = self.geometry.locate_block(*block);
+                    self.encrypt_in_place(plain, key);
+                    self.io(|| self.store.write_at(&file.name, loc.physical_offset, plain))?;
+                }
+            }
         }
 
         // Phase 3: the segment is consistent again.

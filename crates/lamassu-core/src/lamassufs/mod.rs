@@ -64,6 +64,9 @@ pub struct LamassuConfig {
     pub geometry: Geometry,
     /// Read-path integrity checking mode.
     pub integrity: IntegrityMode,
+    /// Span-pipeline policy and crypto worker-pool sizing (see
+    /// [`crate::span`]).
+    pub span: crate::span::SpanConfig,
 }
 
 impl Default for LamassuConfig {
@@ -71,6 +74,7 @@ impl Default for LamassuConfig {
         LamassuConfig {
             geometry: Geometry::default(),
             integrity: IntegrityMode::Full,
+            span: crate::span::SpanConfig::default(),
         }
     }
 }
@@ -81,13 +85,19 @@ impl LamassuConfig {
     pub fn with_reserved_slots(r: usize) -> Result<Self> {
         Ok(LamassuConfig {
             geometry: Geometry::new(4096, r).map_err(FsError::from)?,
-            integrity: IntegrityMode::Full,
+            ..LamassuConfig::default()
         })
     }
 
     /// Returns a copy with the given integrity mode.
     pub fn integrity(mut self, mode: IntegrityMode) -> Self {
         self.integrity = mode;
+        self
+    }
+
+    /// Returns a copy with the given span-pipeline configuration.
+    pub fn span(mut self, span: crate::span::SpanConfig) -> Self {
+        self.span = span;
         self
     }
 }

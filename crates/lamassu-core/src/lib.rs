@@ -37,6 +37,7 @@ pub mod fs;
 pub mod lamassufs;
 pub mod plainfs;
 pub mod profiler;
+pub mod span;
 
 pub use cefilefs::CeFileFs;
 pub use encfs::{EncFs, EncFsConfig};
@@ -45,6 +46,7 @@ pub use fs::{Fd, FileAttr, FileSystem, OpenFlags};
 pub use lamassufs::{IntegrityMode, LamassuConfig, LamassuFs, RecoveryReport, VerifyReport};
 pub use plainfs::PlainFs;
 pub use profiler::{Category, LatencyBreakdown, Profiler};
+pub use span::{SpanConfig, SpanPolicy};
 
 /// Result alias for file-system operations.
 pub type Result<T> = std::result::Result<T, FsError>;

@@ -1,0 +1,278 @@
+//! Batch (span-granular) cryptography over slices of blocks.
+//!
+//! The shims' span pipeline hands whole runs of blocks to the crypto layer at
+//! once; the functions here fan that work out across a
+//! [`CryptoPool`] so convergent hashing and AES for
+//! a span run in parallel rather than serially per block:
+//!
+//! * [`derive_keys`] — Equation 1 for every block of a span;
+//! * [`encrypt_blocks`] / [`decrypt_blocks`] — Equation 2 under per-block
+//!   convergent keys and the shared [`FIXED_IV`](crate::FIXED_IV)
+//!   (LamassuFS data blocks);
+//! * [`encrypt_blocks_with`] / [`decrypt_blocks_with`] — one shared cipher
+//!   with per-block IVs (the EncFS baseline's layout);
+//! * [`cbc_decrypt_parallel`] — chunked CBC decryption of one large buffer
+//!   (CBC decryption only needs the *previous ciphertext block*, so a long
+//!   chain splits into independently decryptable chunks; used by the
+//!   whole-file CeFileFS baseline).
+//!
+//! Every function validates block alignment up front and then runs the
+//! parallel section infallibly, so no error handling crosses threads.
+
+use crate::aes::Aes256;
+use crate::cbc;
+use crate::kdf::ConvergentKdf;
+use crate::pool::CryptoPool;
+use crate::{CryptoError, Iv128, Key256, Result};
+
+/// AES block size in bytes.
+const AES_BLOCK: usize = 16;
+
+fn check_aligned(blocks: &[&mut [u8]]) -> Result<()> {
+    for block in blocks {
+        if !block.len().is_multiple_of(AES_BLOCK) {
+            return Err(CryptoError::InvalidLength {
+                len: block.len(),
+                expected_multiple_of: AES_BLOCK,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Derives the convergent key (Equation 1) for every block, in parallel.
+pub fn derive_keys(pool: &CryptoPool, kdf: &ConvergentKdf, blocks: &[&[u8]]) -> Vec<Key256> {
+    let mut keys = vec![[0u8; 32]; blocks.len()];
+    let mut work: Vec<(&[u8], &mut Key256)> = blocks.iter().copied().zip(keys.iter_mut()).collect();
+    pool.for_each(&mut work, |(block, key)| {
+        **key = kdf.derive_for_block(block)
+    });
+    keys
+}
+
+/// Convergent encryption (Equation 2) of every block in place, each under its
+/// own key and the shared fixed IV. `keys` and `blocks` must be parallel
+/// slices of equal length.
+pub fn encrypt_blocks(
+    pool: &CryptoPool,
+    keys: &[Key256],
+    iv: &Iv128,
+    blocks: &mut [&mut [u8]],
+) -> Result<()> {
+    assert_eq!(keys.len(), blocks.len(), "one key per block");
+    check_aligned(blocks)?;
+    let mut work: Vec<(&mut [u8], &Key256)> = blocks
+        .iter_mut()
+        .map(|b| &mut **b)
+        .zip(keys.iter())
+        .collect();
+    pool.for_each(&mut work, |(block, key)| {
+        let cipher = Aes256::new(key);
+        cbc::encrypt_in_place(&cipher, iv, block).expect("alignment checked above");
+    });
+    Ok(())
+}
+
+/// Decryption of every block in place, each under its own key and the shared
+/// fixed IV (inverse of [`encrypt_blocks`]).
+pub fn decrypt_blocks(
+    pool: &CryptoPool,
+    keys: &[Key256],
+    iv: &Iv128,
+    blocks: &mut [&mut [u8]],
+) -> Result<()> {
+    assert_eq!(keys.len(), blocks.len(), "one key per block");
+    check_aligned(blocks)?;
+    let mut work: Vec<(&mut [u8], &Key256)> = blocks
+        .iter_mut()
+        .map(|b| &mut **b)
+        .zip(keys.iter())
+        .collect();
+    pool.for_each(&mut work, |(block, key)| {
+        let cipher = Aes256::new(key);
+        cbc::decrypt_in_place(&cipher, iv, block).expect("alignment checked above");
+    });
+    Ok(())
+}
+
+/// CBC encryption of every block in place under one shared cipher with a
+/// per-block IV (the EncFS layout). `ivs` and `blocks` must be parallel
+/// slices of equal length.
+pub fn encrypt_blocks_with(
+    pool: &CryptoPool,
+    cipher: &Aes256,
+    ivs: &[Iv128],
+    blocks: &mut [&mut [u8]],
+) -> Result<()> {
+    assert_eq!(ivs.len(), blocks.len(), "one IV per block");
+    check_aligned(blocks)?;
+    let mut work: Vec<(&mut [u8], &Iv128)> = blocks
+        .iter_mut()
+        .map(|b| &mut **b)
+        .zip(ivs.iter())
+        .collect();
+    pool.for_each(&mut work, |(block, iv)| {
+        cbc::encrypt_in_place(cipher, iv, block).expect("alignment checked above");
+    });
+    Ok(())
+}
+
+/// CBC decryption of every block in place under one shared cipher with a
+/// per-block IV (inverse of [`encrypt_blocks_with`]).
+pub fn decrypt_blocks_with(
+    pool: &CryptoPool,
+    cipher: &Aes256,
+    ivs: &[Iv128],
+    blocks: &mut [&mut [u8]],
+) -> Result<()> {
+    assert_eq!(ivs.len(), blocks.len(), "one IV per block");
+    check_aligned(blocks)?;
+    let mut work: Vec<(&mut [u8], &Iv128)> = blocks
+        .iter_mut()
+        .map(|b| &mut **b)
+        .zip(ivs.iter())
+        .collect();
+    pool.for_each(&mut work, |(block, iv)| {
+        cbc::decrypt_in_place(cipher, iv, block).expect("alignment checked above");
+    });
+    Ok(())
+}
+
+/// Decrypts one long CBC buffer in parallel chunks.
+///
+/// CBC *encryption* is a strict chain, but decrypting AES block `i` only
+/// needs ciphertext blocks `i` and `i - 1`, so the buffer splits at any
+/// 16-byte boundary into chunks whose IV is the last ciphertext block of the
+/// preceding chunk. The chunk IVs are snapshotted before any decryption
+/// starts, then the chunks decrypt concurrently.
+pub fn cbc_decrypt_parallel(
+    pool: &CryptoPool,
+    cipher: &Aes256,
+    iv: &Iv128,
+    data: &mut [u8],
+) -> Result<()> {
+    if !data.len().is_multiple_of(AES_BLOCK) {
+        return Err(CryptoError::InvalidLength {
+            len: data.len(),
+            expected_multiple_of: AES_BLOCK,
+        });
+    }
+    if data.is_empty() {
+        return Ok(());
+    }
+    let aes_blocks = data.len() / AES_BLOCK;
+    let chunk_aes_blocks = aes_blocks.div_ceil(pool.workers()).max(1);
+    let chunk = chunk_aes_blocks * AES_BLOCK;
+    // Snapshot each chunk's IV (the previous chunk's final ciphertext block)
+    // before decryption overwrites it.
+    let mut ivs: Vec<Iv128> = Vec::with_capacity(aes_blocks.div_ceil(chunk_aes_blocks));
+    ivs.push(*iv);
+    let mut boundary = chunk;
+    while boundary < data.len() {
+        let mut prev = [0u8; AES_BLOCK];
+        prev.copy_from_slice(&data[boundary - AES_BLOCK..boundary]);
+        ivs.push(prev);
+        boundary += chunk;
+    }
+    let mut work: Vec<(&mut [u8], Iv128)> = data.chunks_mut(chunk).zip(ivs).collect();
+    pool.for_each(&mut work, |(part, part_iv)| {
+        cbc::decrypt_in_place(cipher, part_iv, part).expect("alignment checked above");
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FIXED_IV;
+
+    fn pool() -> CryptoPool {
+        CryptoPool::new(3)
+    }
+
+    fn sample_blocks(n: usize, bs: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| (0..bs).map(|j| (i * 31 + j) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn derive_keys_matches_serial_derivation() {
+        let kdf = ConvergentKdf::new(&[0x11; 32]);
+        let blocks = sample_blocks(17, 256);
+        let refs: Vec<&[u8]> = blocks.iter().map(|b| b.as_slice()).collect();
+        let keys = derive_keys(&pool(), &kdf, &refs);
+        for (block, key) in blocks.iter().zip(&keys) {
+            assert_eq!(*key, kdf.derive_for_block(block));
+        }
+    }
+
+    #[test]
+    fn encrypt_decrypt_blocks_round_trip_and_match_serial() {
+        let kdf = ConvergentKdf::new(&[0x22; 32]);
+        let plain = sample_blocks(9, 128);
+        let refs: Vec<&[u8]> = plain.iter().map(|b| b.as_slice()).collect();
+        let keys = derive_keys(&pool(), &kdf, &refs);
+
+        let mut batch = plain.clone();
+        {
+            let mut refs: Vec<&mut [u8]> = batch.iter_mut().map(|b| b.as_mut_slice()).collect();
+            encrypt_blocks(&pool(), &keys, &FIXED_IV, &mut refs).unwrap();
+        }
+        // Serial reference.
+        for (i, block) in plain.iter().enumerate() {
+            let mut serial = block.clone();
+            cbc::encrypt_in_place(&Aes256::new(&keys[i]), &FIXED_IV, &mut serial).unwrap();
+            assert_eq!(serial, batch[i], "block {i} diverged from serial CBC");
+        }
+        {
+            let mut refs: Vec<&mut [u8]> = batch.iter_mut().map(|b| b.as_mut_slice()).collect();
+            decrypt_blocks(&pool(), &keys, &FIXED_IV, &mut refs).unwrap();
+        }
+        assert_eq!(batch, plain);
+    }
+
+    #[test]
+    fn shared_cipher_per_block_ivs_round_trip() {
+        let cipher = Aes256::new(&[0x33; 32]);
+        let plain = sample_blocks(11, 64);
+        let ivs: Vec<Iv128> = (0..11u8).map(|i| [i; 16]).collect();
+        let mut batch = plain.clone();
+        {
+            let mut refs: Vec<&mut [u8]> = batch.iter_mut().map(|b| b.as_mut_slice()).collect();
+            encrypt_blocks_with(&pool(), &cipher, &ivs, &mut refs).unwrap();
+        }
+        for (i, block) in plain.iter().enumerate() {
+            let mut serial = block.clone();
+            cbc::encrypt_in_place(&cipher, &ivs[i], &mut serial).unwrap();
+            assert_eq!(serial, batch[i]);
+        }
+        {
+            let mut refs: Vec<&mut [u8]> = batch.iter_mut().map(|b| b.as_mut_slice()).collect();
+            decrypt_blocks_with(&pool(), &cipher, &ivs, &mut refs).unwrap();
+        }
+        assert_eq!(batch, plain);
+    }
+
+    #[test]
+    fn cbc_decrypt_parallel_matches_serial_for_odd_sizes() {
+        let cipher = Aes256::new(&[0x44; 32]);
+        for aes_blocks in [0usize, 1, 2, 3, 7, 64, 65, 255] {
+            let plain: Vec<u8> = (0..aes_blocks * 16).map(|i| (i % 253) as u8).collect();
+            let mut ct = plain.clone();
+            cbc::encrypt_in_place(&cipher, &FIXED_IV, &mut ct).unwrap();
+            let mut par = ct.clone();
+            cbc_decrypt_parallel(&pool(), &cipher, &FIXED_IV, &mut par).unwrap();
+            assert_eq!(par, plain, "{aes_blocks} AES blocks");
+        }
+    }
+
+    #[test]
+    fn misaligned_blocks_rejected() {
+        let mut bad = vec![0u8; 17];
+        let mut refs: Vec<&mut [u8]> = vec![bad.as_mut_slice()];
+        assert!(encrypt_blocks(&pool(), &[[0u8; 32]], &FIXED_IV, &mut refs).is_err());
+        let cipher = Aes256::new(&[0u8; 32]);
+        assert!(cbc_decrypt_parallel(&pool(), &cipher, &FIXED_IV, &mut bad).is_err());
+    }
+}

@@ -12,6 +12,11 @@
 //! * [`kdf`] — the convergent key-derivation function
 //!   `CEKey = AES256-ECB(H(block), K_in)` from Equation (1) of the paper.
 //!
+//! On top of the per-block primitives, [`batch`] provides span-granular
+//! operations (derive/encrypt/decrypt over slices of blocks) fanned out
+//! across a small scoped worker pool ([`pool`]), so the shims' span pipeline
+//! parallelizes the convergent hashing and AES of a multi-block I/O.
+//!
 //! All implementations are validated against the official FIPS / NIST test
 //! vectors in their module tests. They favour clarity and portability over
 //! raw speed; the relative cost model (SHA-256 dominating the convergent
@@ -27,11 +32,13 @@
 #![warn(missing_docs)]
 
 pub mod aes;
+pub mod batch;
 pub mod cbc;
 pub mod ctr;
 pub mod gcm;
 pub mod ghash;
 pub mod kdf;
+pub mod pool;
 pub mod sha256;
 pub mod util;
 

@@ -1,0 +1,144 @@
+//! A small scoped worker pool for batch cryptography.
+//!
+//! The paper's Figure 9 shows the convergent data path dominated by per-block
+//! SHA-256 and AES. Those costs are embarrassingly parallel across the blocks
+//! of a span — each block is hashed and encrypted independently — so the
+//! [`batch`](crate::batch) APIs fan the work of one span out across a
+//! [`CryptoPool`]. One pool is created per mounted shim and shared by every
+//! file of the mount.
+//!
+//! The pool is *scoped*: workers are spawned with [`std::thread::scope`] for
+//! the duration of one batch call, so they can borrow the caller's block
+//! buffers directly (no channels, no `'static` bounds, no copies) and the
+//! crate stays free of unsafe code. Batches below [`MIN_PARALLEL_ITEMS`]
+//! items run inline on the caller's thread, so the single-block hot path
+//! never pays a thread spawn.
+//!
+//! # Sizing
+//!
+//! [`CryptoPool::new`] takes a worker count; `0` selects the default of
+//! `min(`[`DEFAULT_MAX_WORKERS`]`, available_parallelism)`. Crypto batches
+//! are short (tens of microseconds per 4 KiB block with these table-based
+//! implementations), so a small pool captures most of the win without
+//! oversubscribing the machine — the CLI exposes the knob as `--workers`.
+
+use std::num::NonZeroUsize;
+
+/// Default upper bound on the worker count when auto-sizing (`workers == 0`).
+pub const DEFAULT_MAX_WORKERS: usize = 4;
+
+/// Batches smaller than this run inline: a thread spawn costs more than it
+/// saves on one or two blocks.
+pub const MIN_PARALLEL_ITEMS: usize = 4;
+
+/// A fixed-width scoped worker pool (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use lamassu_crypto::pool::CryptoPool;
+///
+/// let pool = CryptoPool::new(0); // auto-sized
+/// let mut items: Vec<u64> = (0..64).collect();
+/// pool.for_each(&mut items, |x| *x *= 2);
+/// assert_eq!(items[10], 20);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CryptoPool {
+    workers: usize,
+}
+
+impl Default for CryptoPool {
+    fn default() -> Self {
+        CryptoPool::new(0)
+    }
+}
+
+impl CryptoPool {
+    /// Creates a pool of `workers` threads; `0` auto-sizes to
+    /// `min(DEFAULT_MAX_WORKERS, available_parallelism)`.
+    pub fn new(workers: usize) -> Self {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+                .min(DEFAULT_MAX_WORKERS)
+        } else {
+            workers
+        };
+        CryptoPool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The resolved worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Applies `f` to every item, fanning contiguous chunks of `items` out
+    /// across the pool's workers. Runs inline for one worker or for batches
+    /// under [`MIN_PARALLEL_ITEMS`].
+    pub fn for_each<T: Send>(&self, items: &mut [T], f: impl Fn(&mut T) + Sync) {
+        let threads = self.workers.min(items.len());
+        if threads <= 1 || items.len() < MIN_PARALLEL_ITEMS {
+            for item in items {
+                f(item);
+            }
+            return;
+        }
+        let chunk = items.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for slice in items.chunks_mut(chunk) {
+                scope.spawn(|| {
+                    for item in slice {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_sizing_is_bounded() {
+        let pool = CryptoPool::new(0);
+        assert!(pool.workers() >= 1);
+        assert!(pool.workers() <= DEFAULT_MAX_WORKERS);
+    }
+
+    #[test]
+    fn explicit_worker_count_is_respected() {
+        assert_eq!(CryptoPool::new(3).workers(), 3);
+        assert_eq!(CryptoPool::new(1).workers(), 1);
+    }
+
+    #[test]
+    fn for_each_visits_every_item_exactly_once() {
+        let pool = CryptoPool::new(4);
+        let mut items: Vec<u32> = vec![0; 1000];
+        pool.for_each(&mut items, |x| *x += 1);
+        assert!(items.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn small_batches_run_inline() {
+        let pool = CryptoPool::new(8);
+        let mut items = [1u8, 2];
+        // Would deadlock nothing either way; this just checks correctness on
+        // the inline path.
+        pool.for_each(&mut items, |x| *x += 10);
+        assert_eq!(items, [11, 12]);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let pool = CryptoPool::new(2);
+        let mut items: [u8; 0] = [];
+        pool.for_each(&mut items, |_| unreachable!());
+    }
+}

@@ -36,6 +36,11 @@ pub struct FaultyStore {
     inner: Arc<dyn ObjectStore>,
     /// Remaining writes before the crash fires; `u64::MAX` means "never".
     writes_until_crash: AtomicU64,
+    /// Remaining read operations before the crash fires; `u64::MAX` means
+    /// "never". A vectored span read consumes one credit **per buffer**, so
+    /// the injected failure can land in the middle of a span (see
+    /// [`FaultyStore::crash_after_reads`]).
+    reads_until_crash: AtomicU64,
     crashed: AtomicBool,
 }
 
@@ -45,6 +50,7 @@ impl FaultyStore {
         FaultyStore {
             inner,
             writes_until_crash: AtomicU64::new(u64::MAX),
+            reads_until_crash: AtomicU64::new(u64::MAX),
             crashed: AtomicBool::new(false),
         }
     }
@@ -56,10 +62,22 @@ impl FaultyStore {
         self.crashed.store(false, Ordering::SeqCst);
     }
 
+    /// Arms the read fault: after `n` more successful read units every read
+    /// fails with [`StorageError::Crashed`]. `read_into` and `read_at` each
+    /// consume one unit; a `read_into_vectored` span consumes one unit per
+    /// scatter buffer and fails *mid-span* when the credits run out, leaving
+    /// the earlier buffers filled — the partial-span failure mode a batched
+    /// reader must tolerate without consuming the partial data.
+    pub fn crash_after_reads(&self, n: u64) {
+        self.reads_until_crash.store(n, Ordering::SeqCst);
+        self.crashed.store(false, Ordering::SeqCst);
+    }
+
     /// Disarms the fault and clears the crashed state (a "reboot" of the
     /// client would instead mount the inner store directly).
     pub fn disarm(&self) {
         self.writes_until_crash.store(u64::MAX, Ordering::SeqCst);
+        self.reads_until_crash.store(u64::MAX, Ordering::SeqCst);
         self.crashed.store(false, Ordering::SeqCst);
     }
 
@@ -71,6 +89,11 @@ impl FaultyStore {
     /// Number of successful writes still allowed before the crash.
     pub fn writes_remaining(&self) -> u64 {
         self.writes_until_crash.load(Ordering::SeqCst)
+    }
+
+    /// Number of successful read units still allowed before the crash.
+    pub fn reads_remaining(&self) -> u64 {
+        self.reads_until_crash.load(Ordering::SeqCst)
     }
 
     /// Access to the wrapped store (the "surviving media").
@@ -86,10 +109,10 @@ impl FaultyStore {
         }
     }
 
-    /// Consumes one write credit, crashing when it hits zero.
-    fn consume_write_credit(&self) -> Result<()> {
+    /// Consumes one credit from `credits`, crashing when it hits zero.
+    fn consume_credit(&self, credits: &AtomicU64) -> Result<()> {
         self.check_alive()?;
-        let mut cur = self.writes_until_crash.load(Ordering::SeqCst);
+        let mut cur = credits.load(Ordering::SeqCst);
         loop {
             if cur == u64::MAX {
                 return Ok(());
@@ -98,16 +121,19 @@ impl FaultyStore {
                 self.crashed.store(true, Ordering::SeqCst);
                 return Err(StorageError::Crashed);
             }
-            match self.writes_until_crash.compare_exchange(
-                cur,
-                cur - 1,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            ) {
+            match credits.compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst) {
                 Ok(_) => return Ok(()),
                 Err(actual) => cur = actual,
             }
         }
+    }
+
+    fn consume_write_credit(&self) -> Result<()> {
+        self.consume_credit(&self.writes_until_crash)
+    }
+
+    fn consume_read_credit(&self) -> Result<()> {
+        self.consume_credit(&self.reads_until_crash)
     }
 }
 
@@ -122,13 +148,41 @@ impl ObjectStore for FaultyStore {
     }
 
     fn read_into(&self, name: &str, offset: u64, buf: &mut [u8]) -> Result<usize> {
-        self.check_alive()?;
+        self.consume_read_credit()?;
         self.inner.read_into(name, offset, buf)
     }
 
     fn read_at(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
-        self.check_alive()?;
+        self.consume_read_credit()?;
         self.inner.read_at(name, offset, len)
+    }
+
+    fn read_into_vectored(
+        &self,
+        name: &str,
+        offset: u64,
+        bufs: &mut [std::io::IoSliceMut<'_>],
+    ) -> Result<usize> {
+        self.check_alive()?;
+        if self.reads_until_crash.load(Ordering::SeqCst) == u64::MAX {
+            // No read fault armed: pass the span through as one operation.
+            return self.inner.read_into_vectored(name, offset, bufs);
+        }
+        // A read fault is armed: de-vectorize so the fault point is precise.
+        // Each buffer consumes one credit, so the failure can land mid-span
+        // with the earlier buffers already filled (a partial-span failure).
+        let mut pos = offset;
+        let mut total = 0usize;
+        for buf in bufs.iter_mut() {
+            self.consume_read_credit()?;
+            let n = self.inner.read_into(name, pos, buf)?;
+            total += n;
+            pos += n as u64;
+            if n < buf.len() {
+                break;
+            }
+        }
+        Ok(total)
     }
 
     fn write_at(&self, name: &str, offset: u64, data: &[u8]) -> Result<()> {
@@ -266,5 +320,72 @@ mod tests {
         assert_eq!(faulty.writes_remaining(), 2);
         faulty.write_at("f", 0, b"x").unwrap();
         assert_eq!(faulty.writes_remaining(), 1);
+    }
+
+    #[test]
+    fn read_fault_fires_after_n_reads() {
+        let (_inner, faulty) = setup();
+        faulty.write_at("f", 0, &[7u8; 64]).unwrap();
+        faulty.crash_after_reads(2);
+        assert!(faulty.read_at("f", 0, 8).is_ok());
+        let mut buf = [0u8; 8];
+        assert!(faulty.read_into("f", 8, &mut buf).is_ok());
+        assert!(matches!(
+            faulty.read_at("f", 16, 8),
+            Err(StorageError::Crashed)
+        ));
+        assert!(faulty.has_crashed());
+        // After the crash every operation fails, including writes.
+        assert!(faulty.write_at("f", 0, b"x").is_err());
+        faulty.disarm();
+        assert_eq!(faulty.reads_remaining(), u64::MAX);
+        assert!(faulty.read_at("f", 0, 8).is_ok());
+    }
+
+    #[test]
+    fn vectored_read_fails_mid_span_leaving_earlier_buffers_filled() {
+        let (_inner, faulty) = setup();
+        faulty.write_at("f", 0, &[9u8; 48]).unwrap();
+        faulty.crash_after_reads(2);
+        let (mut a, mut b, mut c) = ([0u8; 16], [0u8; 16], [0u8; 16]);
+        let result = faulty.read_into_vectored(
+            "f",
+            0,
+            &mut [
+                std::io::IoSliceMut::new(&mut a),
+                std::io::IoSliceMut::new(&mut b),
+                std::io::IoSliceMut::new(&mut c),
+            ],
+        );
+        assert!(matches!(result, Err(StorageError::Crashed)));
+        // The first two buffers were filled before the injected failure; the
+        // third was never reached. A caller must discard the partial span.
+        assert_eq!(a, [9u8; 16]);
+        assert_eq!(b, [9u8; 16]);
+        assert_eq!(c, [0u8; 16]);
+    }
+
+    #[test]
+    fn unarmed_vectored_read_passes_span_through() {
+        let (inner, faulty) = setup();
+        faulty.write_at("f", 0, &[3u8; 32]).unwrap();
+        inner.reset_io_accounting();
+        let (mut a, mut b) = ([0u8; 16], [0u8; 16]);
+        let n = faulty
+            .read_into_vectored(
+                "f",
+                0,
+                &mut [
+                    std::io::IoSliceMut::new(&mut a),
+                    std::io::IoSliceMut::new(&mut b),
+                ],
+            )
+            .unwrap();
+        assert_eq!(n, 32);
+        assert_eq!(
+            inner.io_counters().read_ops,
+            1,
+            "unarmed span stays one round trip"
+        );
     }
 }

@@ -16,10 +16,21 @@
 //! scatter list ([`ObjectStore::write_at_vectored`]) so a shim can hand a
 //! header and payload — or several contiguous blocks — to the store in one
 //! operation without concatenating them first.
+//!
+//! # Span I/O
+//!
+//! The shims turn arbitrary byte ranges into runs of whole blocks, and the
+//! dominant cost over a remote transport is the per-operation round trip, not
+//! the bytes. [`ObjectStore::read_into_vectored`] is the read-side dual of
+//! [`ObjectStore::write_at_vectored`]: one contiguous range of the object is
+//! read in a *single* charged store operation and scattered across a list of
+//! caller-owned buffers (typically one per block, or staging buffers for the
+//! partial edge blocks of a span). Stores with a real transport override it
+//! so a multi-block span costs one round trip instead of one per block.
 
 use crate::profile::IoCounters;
 use crate::Result;
-use std::io::IoSlice;
+use std::io::{IoSlice, IoSliceMut};
 use std::time::Duration;
 
 /// A named-object byte store, the downstream "untrusted storage system".
@@ -66,6 +77,36 @@ pub trait ObjectStore: Send + Sync {
             });
         }
         Ok(buf)
+    }
+
+    /// Reads the contiguous range starting at `offset` into the scatter list
+    /// `bufs` (filled in order), returning the total number of bytes read.
+    /// Reads past the end of the object are clamped exactly like
+    /// [`ObjectStore::read_into`]: buffers past the end are left untouched
+    /// and a short total is returned, not an error.
+    ///
+    /// This is the span-read primitive: implementations with a modelled
+    /// transport override it so the whole scatter list is served by **one**
+    /// charged store operation. The default implementation issues one
+    /// [`ObjectStore::read_into`] per buffer (the per-block fallback path)
+    /// and therefore charges one operation per buffer.
+    fn read_into_vectored(
+        &self,
+        name: &str,
+        offset: u64,
+        bufs: &mut [IoSliceMut<'_>],
+    ) -> Result<usize> {
+        let mut pos = offset;
+        let mut total = 0usize;
+        for buf in bufs.iter_mut() {
+            let n = self.read_into(name, pos, buf)?;
+            total += n;
+            pos += n as u64;
+            if n < buf.len() {
+                break; // end of object
+            }
+        }
+        Ok(total)
     }
 
     /// Writes `data` at `offset`, extending (and zero-filling) the object if

@@ -122,6 +122,10 @@ pub struct FioResult {
     /// Cache hit fraction of the measured phase in `[0, 1]` (`0` when the
     /// mount is uncached).
     pub cache_hit_rate: f64,
+    /// Backend round trips (read + write operations) of the measured phase —
+    /// the quantity the span pipeline collapses (one vectored operation per
+    /// run of blocks instead of one per block).
+    pub round_trips: u64,
 }
 
 /// Drives the five workloads against a mounted file system.
@@ -249,6 +253,7 @@ impl FioTester {
             bandwidth_mib_s: bytes as f64 / (1024.0 * 1024.0) / total_time.as_secs_f64().max(1e-9),
             counters,
             cache_hit_rate: counters.cache_hit_rate(),
+            round_trips: counters.read_ops + counters.write_ops,
         })
     }
 }
@@ -320,6 +325,11 @@ mod tests {
             .unwrap();
         assert!(result.io_time > Duration::ZERO);
         assert!(result.total_time >= result.io_time);
+        assert_eq!(
+            result.round_trips,
+            result.counters.read_ops + result.counters.write_ops
+        );
+        assert!(result.round_trips > 0);
         // Over the modelled 1 GbE link, 1 MiB of 4 KiB sync writes cannot
         // exceed the wire rate.
         assert!(result.bandwidth_mib_s < 200.0);

@@ -15,7 +15,7 @@
 //!
 //! * [`crypto`] — SHA-256, AES-256 (ECB/CBC/CTR/GCM) and the convergent KDF,
 //!   implemented from scratch.
-//! * [`format`] — the on-disk segment / metadata-block layout and geometry.
+//! * [`mod@format`] — the on-disk segment / metadata-block layout and geometry.
 //! * [`storage`] — object-store abstraction, deduplicating backend simulator,
 //!   storage profiles (NFS vs RAM disk) and fault injection.
 //! * [`cache`] — [`cache::CachedStore`], a sharded CLOCK block cache that

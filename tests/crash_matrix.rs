@@ -101,6 +101,7 @@ fn every_crash_point_recovers_to_a_consistent_state() {
             "integrity failure after crash at write {crash_after}: {report:?}"
         );
         let fd = fs.open("/file", OpenFlags::default()).unwrap();
+        let mut assembled = Vec::with_capacity(blocks * 4096);
         for b in 0..blocks {
             let got = fs.read(fd, (b * 4096) as u64, 4096).unwrap();
             if got.is_empty() {
@@ -115,8 +116,85 @@ fn every_crash_point_recovers_to_a_consistent_state() {
             if b % 2 == 1 {
                 assert_eq!(got, old, "untouched block {b} must keep version 1");
             }
+            assembled.extend_from_slice(&got);
         }
+        // The recovered file must read identically through the batched span
+        // path (whole file, one multi-run read) — recovery consistency is
+        // not allowed to depend on the read pipeline.
+        let whole = fs.read(fd, 0, blocks * 4096).unwrap();
+        assert_eq!(
+            whole, assembled,
+            "span read diverged from per-block reads after crash at write {crash_after}"
+        );
     }
+}
+
+#[test]
+fn read_fault_mid_span_surfaces_and_reread_succeeds() {
+    // Inject a read fault into the middle of a vectored span read: the
+    // batched pipeline must surface the error without serving any of the
+    // partially fetched span, and a fresh mount over the surviving media
+    // must read everything back clean through the span path.
+    let blocks = 24usize;
+    let media = build_base(blocks);
+    let faulty = Arc::new(FaultyStore::new(media.clone()));
+    let fs = LamassuFs::new(
+        faulty.clone(),
+        keys(),
+        LamassuConfig::with_reserved_slots(2).unwrap(),
+    );
+    let fd = fs.open("/file", OpenFlags::default()).unwrap();
+    // An unaligned whole-file read: the span splits into a staged head edge
+    // plus a direct middle, so the armed vectored read de-vectorizes into
+    // several credit-consuming units and dies mid-span.
+    faulty.crash_after_reads(1);
+    let mut buf = vec![0u8; blocks * 4096];
+    let err = fs.read_into(fd, 100, &mut buf);
+    assert!(err.is_err(), "mid-span read fault must surface");
+    assert!(faulty.has_crashed());
+
+    // "Reboot": a fresh client over the surviving media sees version 1
+    // everywhere, via one whole-file span read.
+    let fs2 = LamassuFs::new(
+        media,
+        keys(),
+        LamassuConfig::with_reserved_slots(2).unwrap(),
+    );
+    assert!(fs2.verify("/file").unwrap().is_clean());
+    let fd2 = fs2.open("/file", OpenFlags::default()).unwrap();
+    let whole = fs2.read(fd2, 0, blocks * 4096).unwrap();
+    for b in 0..blocks {
+        assert_eq!(
+            &whole[b * 4096..(b + 1) * 4096],
+            &pattern(1, b)[..],
+            "block {b} corrupted by the aborted span read"
+        );
+    }
+}
+
+#[test]
+fn partial_span_read_failure_is_never_served_from_partial_data() {
+    // Arm the fault so the vectored read fills some buffers then dies; the
+    // shim must not return a short or mixed result — the whole operation
+    // fails, and after disarming the same read returns correct data.
+    let blocks = 24usize;
+    let media = build_base(blocks);
+    let faulty = Arc::new(FaultyStore::new(media));
+    let fs = LamassuFs::new(
+        faulty.clone(),
+        keys(),
+        LamassuConfig::with_reserved_slots(2).unwrap(),
+    );
+    let fd = fs.open("/file", OpenFlags::default()).unwrap();
+    let expected: Vec<u8> = (0..blocks).flat_map(|b| pattern(1, b)).collect();
+
+    faulty.crash_after_reads(1);
+    assert!(fs.read(fd, 100, 8 * 4096).is_err());
+    faulty.disarm();
+    let back = fs.read(fd, 100, 8 * 4096).unwrap();
+    assert_eq!(back, &expected[100..100 + 8 * 4096], "retry after disarm");
+    // And the whole file still reads back intact.
+    assert_eq!(fs.read(fd, 0, blocks * 4096).unwrap(), expected);
 }
 
 /// FaultyStore under a write-back cache: builds `media <- faulty <- cache`.
