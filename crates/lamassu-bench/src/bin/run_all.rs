@@ -18,5 +18,6 @@ fn main() {
     experiments::ablation_key_server::run(2048);
     experiments::cache::run(fio.min(16 * 1024 * 1024));
     experiments::span_io::run(fio.min(16 * 1024 * 1024));
+    experiments::scaling::run(fio.min(8 * 1024 * 1024));
     println!("\nAll experiments complete; JSON reports are under ./results/");
 }

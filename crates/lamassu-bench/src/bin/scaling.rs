@@ -1,0 +1,6 @@
+//! Regenerates the scaling experiment: multi-job 4 KiB random-read
+//! throughput for 1/2/4/8 jobs on all four shims over the NFS profile.
+
+fn main() {
+    lamassu_bench::experiments::scaling::run(lamassu_bench::fio_file_size().min(8 * 1024 * 1024));
+}

@@ -13,6 +13,7 @@
 //! | [`ablation_key_server`] | §1 — local KDF vs DupLESS-style server-aided keys |
 //! | [`cache`] | beyond the paper — cached vs uncached I/O over the NFS profile |
 //! | [`span_io`] | beyond the paper — span vs per-block pipeline round trips |
+//! | [`scaling`] | beyond the paper — multi-job throughput vs job count |
 
 pub mod ablation;
 pub mod ablation_ce_granularity;
@@ -22,6 +23,7 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig6;
 pub mod fig9;
+pub mod scaling;
 pub mod span_io;
 pub mod table1;
 pub mod throughput;

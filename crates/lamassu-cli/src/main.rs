@@ -19,6 +19,7 @@ use lamassu_cache::{CacheConfig, CacheMode, CachedStore};
 use lamassu_core::{FileSystem, LamassuConfig, LamassuFs, OpenFlags};
 use lamassu_keymgr::KeyManager;
 use lamassu_storage::{DirStore, ObjectStore, StorageProfile};
+use lamassu_workloads::{FioConfig, FioTester, JobLayout, Workload};
 use std::collections::HashMap;
 use std::fs;
 use std::process::ExitCode;
@@ -40,6 +41,9 @@ COMMANDS:
     verify <name>              run a full integrity check on one file
     fsck                       recover mid-update segments and verify every file
     rekey                      rotate the outer key and re-seal all metadata blocks
+    bench [workload]           drive an fio-style workload against the volume
+                               (seq-read | seq-write | rand-read | rand-write |
+                               rand-rw; default rand-read) with --jobs threads
 
 OPTIONS:
     --volume <dir>             backing-store directory (required except keygen)
@@ -49,6 +53,11 @@ OPTIONS:
     --reserved-slots <R>       reserved transient key slots (default: 8)
     --workers <n>              crypto worker threads for span batches
                                (default: 0 = auto, min(4, CPU cores))
+    --jobs <n>                 concurrent bench jobs, each with its own
+                               descriptor (default: 1)
+    --bench-layout <l>         bench file layout: shared (all jobs on one
+                               file, the default) or private (one file each)
+    --bench-mb <MiB>           bench target file size per job file (default: 8)
     --cache <mode[:blocks]>    block cache between the shim and the volume:
                                off | write-through | write-back, optionally
                                with a capacity in blocks (default: off; 1024
@@ -63,6 +72,9 @@ struct Options {
     block_size: usize,
     reserved_slots: usize,
     workers: usize,
+    jobs: usize,
+    bench_layout: JobLayout,
+    bench_mb: u64,
     cache: Option<(CacheMode, usize)>,
     positional: Vec<String>,
 }
@@ -110,6 +122,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         block_size: 4096,
         reserved_slots: 8,
         workers: 0,
+        jobs: 1,
+        bench_layout: JobLayout::SharedFile,
+        bench_mb: 8,
         cache: None,
         positional: Vec::new(),
     };
@@ -136,6 +151,30 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     });
     flags.insert("--workers", |o, v| {
         o.workers = v.parse().map_err(|_| format!("bad worker count: {v}"))?;
+        Ok(())
+    });
+    flags.insert("--jobs", |o, v| {
+        o.jobs = v
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("bad job count: {v}"))?;
+        Ok(())
+    });
+    flags.insert("--bench-layout", |o, v| {
+        o.bench_layout = match v.as_str() {
+            "shared" => JobLayout::SharedFile,
+            "private" => JobLayout::PrivateFiles,
+            other => return Err(format!("bad bench layout '{other}' (shared or private)")),
+        };
+        Ok(())
+    });
+    flags.insert("--bench-mb", |o, v| {
+        o.bench_mb = v
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("bad bench size: {v}"))?;
         Ok(())
     });
     flags.insert("--cache", |o, v| {
@@ -176,6 +215,9 @@ fn load_key_manager(path: &str) -> Result<KeyManager, String> {
 struct Mounted {
     fs: LamassuFs,
     cache: Option<Arc<CachedStore>>,
+    /// The store tier the shim sits on (the cache when one is configured,
+    /// the volume's `DirStore` otherwise) — where `bench` reads accounting.
+    store: Arc<dyn ObjectStore>,
 }
 
 impl Mounted {
@@ -229,7 +271,7 @@ fn mount(opts: &Options) -> Result<Mounted, String> {
     let geometry = lamassu_format::Geometry::new(opts.block_size, opts.reserved_slots)
         .map_err(|e| format!("invalid geometry: {e}"))?;
     let fs = LamassuFs::new(
-        store,
+        store.clone(),
         keys,
         LamassuConfig {
             geometry,
@@ -240,7 +282,7 @@ fn mount(opts: &Options) -> Result<Mounted, String> {
             },
         },
     );
-    Ok(Mounted { fs, cache })
+    Ok(Mounted { fs, cache, store })
 }
 
 fn cmd_keygen(opts: &Options) -> Result<(), String> {
@@ -404,6 +446,93 @@ fn cmd_fsck(opts: &Options) -> Result<(), String> {
     }
 }
 
+fn parse_workload(name: &str) -> Result<Workload, String> {
+    Workload::ALL
+        .into_iter()
+        .find(|w| w.label() == name)
+        .ok_or_else(|| {
+            let known: Vec<&str> = Workload::ALL.iter().map(|w| w.label()).collect();
+            format!("unknown workload '{name}' ({})", known.join(", "))
+        })
+}
+
+fn cmd_bench(opts: &Options) -> Result<(), String> {
+    let workload = match opts.positional.as_slice() {
+        [] => Workload::RandRead,
+        [w] => parse_workload(w)?,
+        _ => return Err("usage: lamassu bench [workload]".to_string()),
+    };
+    let fs_mount = mount(opts)?;
+    // The bench overwrites and then deletes its scratch targets; refuse to
+    // run if the volume already holds real files under those names.
+    if let Some(clash) = fs_mount
+        .list()
+        .map_err(err)?
+        .iter()
+        .find(|p| is_bench_scratch(p))
+    {
+        return Err(format!(
+            "volume already contains {clash}; bench would overwrite and delete it — \
+             remove or rename that file first"
+        ));
+    }
+    let tester = FioTester::new(FioConfig {
+        file_size: opts.bench_mb * 1024 * 1024,
+        ..FioConfig::default()
+    });
+    println!(
+        "bench: {} x {} job(s), {} layout, {} MiB target, volume {}",
+        workload.label(),
+        opts.jobs,
+        opts.bench_layout.label(),
+        opts.bench_mb,
+        opts.volume.as_deref().unwrap_or("?"),
+    );
+    let outcome = tester
+        .run_jobs(
+            &fs_mount.fs,
+            fs_mount.store.as_ref(),
+            "/bench.fio",
+            workload,
+            opts.jobs,
+            opts.bench_layout,
+        )
+        .map_err(err);
+    // Clean the scratch files off the volume and flush the cache whether
+    // the run succeeded or not.
+    let cleanup = (|| {
+        for path in fs_mount.list().map_err(err)? {
+            if is_bench_scratch(&path) {
+                fs_mount.remove(&path).map_err(err)?;
+            }
+        }
+        fs_mount.finish()
+    })();
+    let result = outcome?;
+    for (j, job) in result.per_job.iter().enumerate() {
+        println!(
+            "  job {j}: {:>8.1} MiB/s  (wall {:.1} ms)",
+            job.bandwidth_mib_s,
+            job.compute_time.as_secs_f64() * 1e3
+        );
+    }
+    let agg = &result.aggregate;
+    println!(
+        "aggregate: {:.1} MiB/s over {} ops ({} backend round trips, wall {:.1} ms + modelled I/O {:.1} ms)",
+        agg.bandwidth_mib_s,
+        agg.ops,
+        agg.round_trips,
+        agg.compute_time.as_secs_f64() * 1e3,
+        agg.io_time.as_secs_f64() * 1e3,
+    );
+    cleanup
+}
+
+/// True for the scratch paths `bench` creates (and is allowed to delete).
+fn is_bench_scratch(path: &str) -> bool {
+    path == "/bench.fio" || path.starts_with("/bench.fio.job")
+}
+
 fn cmd_rekey(opts: &Options) -> Result<(), String> {
     let km = load_key_manager(&opts.keys)?;
     let fs_mount = mount(opts)?;
@@ -462,6 +591,7 @@ fn main() -> ExitCode {
         "verify" => cmd_verify(&opts),
         "fsck" => cmd_fsck(&opts),
         "rekey" => cmd_rekey(&opts),
+        "bench" => cmd_bench(&opts),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

@@ -37,7 +37,7 @@ use lamassu_crypto::{batch, cbc};
 use lamassu_crypto::{Key256, FIXED_IV};
 use lamassu_keymgr::ZoneKeys;
 use lamassu_storage::ObjectStore;
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use rand::RngCore;
 use std::io::{IoSlice, IoSliceMut};
 use std::sync::Arc;
@@ -53,7 +53,7 @@ struct CeFileState {
     dirty: bool,
 }
 
-type SharedState = Arc<Mutex<CeFileState>>;
+type SharedState = Arc<RwLock<CeFileState>>;
 
 /// Whole-file convergent encryption (Tahoe-LAFS-style) baseline.
 pub struct CeFileFs {
@@ -250,7 +250,7 @@ impl CeFileFs {
                 path: path.to_string(),
             });
         }
-        Ok(Arc::new(Mutex::new(self.load(path)?)))
+        Ok(Arc::new(RwLock::new(self.load(path)?)))
     }
 }
 
@@ -267,7 +267,7 @@ impl FileSystem for CeFileFs {
             dirty: false,
         };
         self.store_file(path, &mut state)?;
-        let state = Arc::new(Mutex::new(state));
+        let state = Arc::new(RwLock::new(state));
         self.files.insert_open(path, state.clone());
         Ok(self.handles.open(path, state))
     }
@@ -275,7 +275,7 @@ impl FileSystem for CeFileFs {
     fn open(&self, path: &str, flags: OpenFlags) -> Result<Fd> {
         let state = self.files.open_with(path, || self.load_state(path))?;
         if flags.truncate {
-            let mut st = state.lock();
+            let mut st = state.write();
             st.data.clear();
             if let Err(e) = self.store_file(path, &mut st) {
                 drop(st);
@@ -290,7 +290,7 @@ impl FileSystem for CeFileFs {
         let entry = self.handles.close(fd)?;
         let path = entry.path();
         let flushed = {
-            let mut st = entry.state.lock();
+            let mut st = entry.state.write();
             if st.dirty {
                 self.store_file(&path, &mut st)
             } else {
@@ -303,7 +303,9 @@ impl FileSystem for CeFileFs {
 
     fn read_into(&self, fd: Fd, offset: u64, buf: &mut [u8]) -> Result<usize> {
         let entry = self.handles.get(fd)?;
-        let st = entry.state.lock();
+        // Reads are pure in-memory copies under the shared guard, so any
+        // number of readers proceed in parallel.
+        let st = entry.state.read();
         if offset as usize >= st.data.len() {
             return Ok(0);
         }
@@ -315,7 +317,7 @@ impl FileSystem for CeFileFs {
     fn write_vectored(&self, fd: Fd, offset: u64, bufs: &[IoSlice<'_>]) -> Result<usize> {
         let total = iovec::total_len(bufs);
         let entry = self.handles.get(fd)?;
-        let mut st = entry.state.lock();
+        let mut st = entry.state.write();
         let end = offset as usize + total;
         if end > st.data.len() {
             st.data.resize(end, 0);
@@ -327,7 +329,7 @@ impl FileSystem for CeFileFs {
 
     fn truncate(&self, fd: Fd, size: u64) -> Result<()> {
         let entry = self.handles.get(fd)?;
-        let mut st = entry.state.lock();
+        let mut st = entry.state.write();
         st.data.resize(size as usize, 0);
         st.dirty = true;
         Ok(())
@@ -337,7 +339,7 @@ impl FileSystem for CeFileFs {
         let entry = self.handles.get(fd)?;
         let path = entry.path();
         {
-            let mut st = entry.state.lock();
+            let mut st = entry.state.write();
             if st.dirty {
                 self.store_file(&path, &mut st)?;
             }
@@ -347,13 +349,13 @@ impl FileSystem for CeFileFs {
 
     fn len(&self, fd: Fd) -> Result<u64> {
         let entry = self.handles.get(fd)?;
-        let len = entry.state.lock().data.len() as u64;
+        let len = entry.state.read().data.len() as u64;
         Ok(len)
     }
 
     fn stat(&self, path: &str) -> Result<FileAttr> {
         let state = self.files.lookup_with(path, || self.load_state(path))?;
-        let logical = state.lock().data.len() as u64;
+        let logical = state.read().data.len() as u64;
         let physical = self.io(|| self.store.len(path))?;
         Ok(FileAttr {
             logical_size: logical,

@@ -18,9 +18,12 @@
 //!   block — the configuration the paper measured as "at least 10x slower"
 //!   over NFS, reproduced by the `ablation_unaligned` bench.
 //!
-//! The descriptor table hands every operation the file's state directly; the
-//! data path stages blocks in a per-file scratch buffer, so steady-state
-//! reads and writes allocate nothing.
+//! The descriptor table hands every operation the file's state directly. The
+//! write path stages blocks in per-file scratch buffers under the exclusive
+//! guard, so steady-state writes allocate nothing; the read path takes only
+//! the **shared** guard of the per-file `RwLock` (staging any partial edge
+//! blocks in small per-call buffers), so concurrent readers of one file
+//! proceed in parallel and are excluded only by writers.
 
 use crate::fs::{FileAttr, FileSystem, OpenFlags};
 use crate::handles::{HandleTable, PathRegistry};
@@ -33,7 +36,7 @@ use lamassu_crypto::pool::CryptoPool;
 use lamassu_crypto::{batch, cbc};
 use lamassu_crypto::{Iv128, Key256};
 use lamassu_storage::ObjectStore;
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use rand::RngCore;
 use std::io::{IoSlice, IoSliceMut};
 use std::sync::Arc;
@@ -76,8 +79,9 @@ struct EncFileState {
     cipher: Aes256,
     logical_size: u64,
     header_dirty: bool,
-    /// Block staging buffer reused across operations so the data path does
-    /// not allocate per call.
+    /// Block staging buffer reused across *write* operations (used under the
+    /// exclusive guard) so the steady-state write path does not allocate per
+    /// call. Readers stage through per-call buffers instead.
     scratch: Vec<u8>,
     /// Whole-span staging buffer for the batched write pipeline (grown on
     /// demand, bounded by [`MAX_SPAN_BLOCKS`] blocks; empty on mounts that
@@ -85,7 +89,7 @@ struct EncFileState {
     span_buf: Vec<u8>,
 }
 
-type SharedState = Arc<Mutex<EncFileState>>;
+type SharedState = Arc<RwLock<EncFileState>>;
 
 /// The conventional (non-convergent) encrypted shim.
 pub struct EncFs {
@@ -201,7 +205,7 @@ impl EncFs {
             cbc::decrypt_in_place(&self.volume_cipher, &header_iv, &mut wrapped)
         })?;
         let file_key: Key256 = wrapped.try_into().expect("32 bytes");
-        let state = Arc::new(Mutex::new(EncFileState {
+        let state = Arc::new(RwLock::new(EncFileState {
             file_key,
             file_iv,
             cipher: Aes256::new(&file_key),
@@ -265,25 +269,26 @@ impl EncFs {
     /// [`MAX_SPAN_BLOCKS`]-bounded chunk of the range (partial edge blocks
     /// staged, full blocks scattered directly into the caller's buffer),
     /// then one parallel batch decrypt per chunk.
-    fn read_span(
-        &self,
-        path: &str,
-        st: &mut EncFileState,
-        offset: u64,
-        buf: &mut [u8],
-    ) -> Result<()> {
+    ///
+    /// Takes only a shared borrow of the file state (served under the shim's
+    /// read guard); the at-most-two edge staging blocks are per-call
+    /// allocations so concurrent readers never share scratch memory.
+    fn read_span(&self, path: &str, st: &EncFileState, offset: u64, buf: &mut [u8]) -> Result<()> {
         let bs = self.config.block_size;
         let plan = self
             .profiler
             .time(Category::Plan, || self.planner.plan(offset, buf.len()));
-        let mut scratch = std::mem::take(&mut st.scratch);
+        let mut scratch = vec![0u8; 0];
         let mut tail_stage = vec![0u8; 0];
-        let result = (|| {
+        {
             let mut chunk_first = plan.first_block;
             while chunk_first <= plan.last_block {
                 let chunk_last = (chunk_first + MAX_SPAN_BLOCKS as u64 - 1).min(plan.last_block);
                 let head_staged = !plan.is_full(chunk_first);
                 let tail_staged = chunk_last != chunk_first && !plan.is_full(chunk_last);
+                if head_staged && scratch.is_empty() {
+                    scratch = vec![0u8; bs];
+                }
                 if tail_staged && tail_stage.is_empty() {
                     tail_stage = vec![0u8; bs];
                 }
@@ -362,10 +367,8 @@ impl EncFs {
                 }
                 chunk_first = chunk_last + 1;
             }
-            Ok(())
-        })();
-        st.scratch = scratch;
-        result
+        }
+        Ok(())
     }
 
     /// The span write pipeline: stages each [`MAX_SPAN_BLOCKS`]-bounded chunk
@@ -467,7 +470,7 @@ impl FileSystem for EncFs {
             span_buf: Vec::new(),
         };
         self.write_header(path, &mut state)?;
-        let state = Arc::new(Mutex::new(state));
+        let state = Arc::new(RwLock::new(state));
         self.files.insert_open(path, state.clone());
         Ok(self.handles.open(path, state))
     }
@@ -480,7 +483,7 @@ impl FileSystem for EncFs {
         }
         let state = self.files.open_with(path, || self.load_state(path))?;
         if flags.truncate {
-            let mut st = state.lock();
+            let mut st = state.write();
             st.logical_size = 0;
             let truncated = self
                 .io(|| self.store.truncate(path, self.header_len()))
@@ -498,7 +501,7 @@ impl FileSystem for EncFs {
         let entry = self.handles.close(fd)?;
         let path = entry.path();
         let flushed = {
-            let mut st = entry.state.lock();
+            let mut st = entry.state.write();
             if st.header_dirty {
                 self.write_header(&path, &mut st)
             } else {
@@ -512,47 +515,45 @@ impl FileSystem for EncFs {
     fn read_into(&self, fd: Fd, offset: u64, buf: &mut [u8]) -> Result<usize> {
         let entry = self.handles.get(fd)?;
         let path = entry.path();
-        let mut st = entry.state.lock();
+        // Reads run under the shared guard: concurrent readers of one file
+        // proceed in parallel, excluded only by writers.
+        let st = entry.state.read();
         if offset >= st.logical_size {
             return Ok(0);
         }
         let len = buf.len().min((st.logical_size - offset) as usize);
         if self.config.span.policy == SpanPolicy::Batched {
-            self.read_span(&path, &mut st, offset, &mut buf[..len])?;
+            self.read_span(&path, &st, offset, &mut buf[..len])?;
             return Ok(len);
         }
         let bs = self.config.block_size as u64;
-        // Per-block fallback: the scratch buffer stages partial blocks;
+        // Per-block fallback: a per-call staging block serves partial spans;
         // aligned full blocks are decrypted directly in the caller's buffer.
-        let mut scratch = std::mem::take(&mut st.scratch);
+        let mut scratch: Option<Vec<u8>> = None;
         let mut cur = offset;
         let end = offset + len as u64;
         let mut out_pos = 0usize;
-        let result = (|| {
-            while cur < end {
-                let block = cur / bs;
-                let in_block = (cur % bs) as usize;
-                let take = ((bs - in_block as u64).min(end - cur)) as usize;
-                if in_block == 0 && take == bs as usize {
-                    self.read_block_into(
-                        &path,
-                        &st.cipher,
-                        &st.file_iv,
-                        block,
-                        &mut buf[out_pos..out_pos + take],
-                    )?;
-                } else {
-                    self.read_block_into(&path, &st.cipher, &st.file_iv, block, &mut scratch)?;
-                    buf[out_pos..out_pos + take]
-                        .copy_from_slice(&scratch[in_block..in_block + take]);
-                }
-                cur += take as u64;
-                out_pos += take;
+        while cur < end {
+            let block = cur / bs;
+            let in_block = (cur % bs) as usize;
+            let take = ((bs - in_block as u64).min(end - cur)) as usize;
+            if in_block == 0 && take == bs as usize {
+                self.read_block_into(
+                    &path,
+                    &st.cipher,
+                    &st.file_iv,
+                    block,
+                    &mut buf[out_pos..out_pos + take],
+                )?;
+            } else {
+                let scratch = scratch.get_or_insert_with(|| vec![0u8; bs as usize]);
+                self.read_block_into(&path, &st.cipher, &st.file_iv, block, scratch)?;
+                buf[out_pos..out_pos + take].copy_from_slice(&scratch[in_block..in_block + take]);
             }
-            Ok(len)
-        })();
-        st.scratch = scratch;
-        result
+            cur += take as u64;
+            out_pos += take;
+        }
+        Ok(len)
     }
 
     fn write_vectored(&self, fd: Fd, offset: u64, bufs: &[IoSlice<'_>]) -> Result<usize> {
@@ -562,7 +563,7 @@ impl FileSystem for EncFs {
         }
         let entry = self.handles.get(fd)?;
         let path = entry.path();
-        let mut st = entry.state.lock();
+        let mut st = entry.state.write();
         let mut cursor = GatherCursor::new(bufs);
         let end = offset + total as u64;
         if self.config.span.policy == SpanPolicy::Batched {
@@ -607,7 +608,7 @@ impl FileSystem for EncFs {
     fn truncate(&self, fd: Fd, size: u64) -> Result<()> {
         let entry = self.handles.get(fd)?;
         let path = entry.path();
-        let mut st = entry.state.lock();
+        let mut st = entry.state.write();
         let bs = self.config.block_size as u64;
         // When shrinking to a mid-block size, zero the tail of the surviving
         // final block so stale bytes cannot reappear if the file grows again.
@@ -632,7 +633,7 @@ impl FileSystem for EncFs {
         let entry = self.handles.get(fd)?;
         let path = entry.path();
         {
-            let mut st = entry.state.lock();
+            let mut st = entry.state.write();
             if st.header_dirty {
                 self.write_header(&path, &mut st)?;
             }
@@ -642,7 +643,7 @@ impl FileSystem for EncFs {
 
     fn len(&self, fd: Fd) -> Result<u64> {
         let entry = self.handles.get(fd)?;
-        let size = entry.state.lock().logical_size;
+        let size = entry.state.read().logical_size;
         Ok(size)
     }
 
@@ -653,7 +654,7 @@ impl FileSystem for EncFs {
             });
         }
         let state = self.files.lookup_with(path, || self.load_state(path))?;
-        let logical = state.lock().logical_size;
+        let logical = state.read().logical_size;
         let physical = self.io(|| self.store.len(path))?;
         Ok(FileAttr {
             logical_size: logical,

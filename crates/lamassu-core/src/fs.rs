@@ -53,8 +53,32 @@ pub struct FileAttr {
 
 /// A mounted shim file system.
 ///
-/// All methods are `&self`: implementations are internally synchronized so a
-/// multi-threaded workload generator can drive one mount concurrently.
+/// # Thread-safety contract
+///
+/// All methods are `&self` and every implementation in this workspace is
+/// internally synchronized, so a multi-threaded workload generator can
+/// drive one mount — and even one file — from many threads at once.
+/// The shims guarantee, per open file:
+///
+/// * **Reads run under shared locks.** [`FileSystem::read_into`] (and the
+///   [`FileSystem::read`] convenience), [`FileSystem::len`] and
+///   [`FileSystem::stat`] take only a *read* guard of the per-file state:
+///   any number of threads read one file concurrently, including the full
+///   span pipeline (plan → vectored backend read → parallel batch decrypt →
+///   integrity check).
+/// * **Mutations are exclusive per file.** [`FileSystem::write_vectored`],
+///   [`FileSystem::truncate`] and [`FileSystem::fsync`] take the *write*
+///   guard, so a reader never observes a half-applied write, a mid-commit
+///   metadata state, or a torn buffered block. Writers on *different* files
+///   never contend with each other.
+/// * **Descriptor and path bookkeeping is lock-ordered.** Descriptor
+///   resolution is one sharded-map lookup; path-level lifecycle (`open`,
+///   `close`, `rename`, `remove`) serializes on the per-mount path registry
+///   so an `open` racing a last `close` still lands on one shared state.
+///
+/// A read that races a write on the same file returns either the old or the
+/// new contents for each block, never a mixture within one block; the
+/// ordering between the two operations is otherwise unspecified.
 pub trait FileSystem: Send + Sync {
     /// Creates a new empty file and opens it.
     fn create(&self, path: &str) -> Result<Fd>;

@@ -11,10 +11,22 @@
 //!
 //! * Reads land directly in the caller's buffer when they cover whole
 //!   aligned blocks (ciphertext is read into the destination and decrypted
-//!   in place); sub-block spans stage through the file's one scratch block.
+//!   in place); sub-block edges stage through small per-call buffers.
 //! * Writes stage dirty plaintext blocks in a small pool recycled across
 //!   commits, so steady-state writing performs no per-call allocation.
 //! * Commit encrypts each staged block in place before writing it out.
+//!
+//! # Concurrency
+//!
+//! The whole read path takes only a **shared** borrow of [`LamassuFile`], so
+//! the shim can serve it under an `RwLock` read guard and any number of
+//! readers proceed in parallel on one open file. The pieces a read must
+//! still mutate live behind their own short-critical-section locks: the
+//! decrypted-metadata cache is a [`Mutex`]`<HashMap>` (locked only to probe
+//! or insert, never across store I/O or crypto). Writers — buffering,
+//! commit, truncate, recovery — take `&mut LamassuFile` and therefore run
+//! under the shim's exclusive write guard, which is what keeps the
+//! multiphase commit invisible to concurrent readers.
 
 use crate::iovec::{self, GatherCursor};
 use crate::lamassufs::{IntegrityMode, LamassuConfig};
@@ -30,7 +42,7 @@ use lamassu_crypto::{Key256, FIXED_IV};
 use lamassu_format::{Geometry, MetadataBlock, TransientEntry};
 use lamassu_keymgr::ZoneKeys;
 use lamassu_storage::{ObjectStore, StorageError};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use rand::RngCore;
 use std::collections::{BTreeMap, HashMap};
 use std::io::{IoSlice, IoSliceMut};
@@ -99,6 +111,12 @@ impl CryptoCtx {
 
 /// Per-file state: logical size, write buffer, metadata cache and the
 /// recycled block buffers of the zero-copy data path.
+///
+/// Readers hold the shim's shared guard and use only `&self`; the
+/// metadata cache has its own interior lock so concurrent readers can warm
+/// it. Everything else mutable (the write buffer, the recycled staging
+/// pool, the size fields) is reached through `&mut self` under the shim's
+/// exclusive write guard.
 pub(crate) struct LamassuFile {
     name: String,
     logical_size: u64,
@@ -107,13 +125,9 @@ pub(crate) struct LamassuFile {
     /// index. Flushed as a batch once it holds `R` blocks (§2.4).
     pending: BTreeMap<u64, Vec<u8>>,
     /// Decrypted metadata blocks, keyed by segment index. Write-through.
-    meta_cache: HashMap<u64, MetadataBlock>,
-    /// One staging block for sub-block read/write spans.
-    scratch: Vec<u8>,
-    /// Separate staging block for sealed metadata reads. Kept distinct from
-    /// `scratch` because metadata reads happen *inside* data-path operations
-    /// that have already borrowed `scratch`.
-    meta_scratch: Vec<u8>,
+    /// Behind its own lock (held only to probe/insert, never across I/O or
+    /// crypto) so the read path can populate it under a shared file guard.
+    meta_cache: Mutex<HashMap<u64, MetadataBlock>>,
     /// Recycled block buffers for `pending`, so steady-state writes reuse
     /// the buffers freed by the previous commit.
     spare: Vec<Vec<u8>>,
@@ -129,9 +143,7 @@ impl LamassuFile {
             logical_size: 0,
             size_dirty: false,
             pending: BTreeMap::new(),
-            meta_cache: HashMap::new(),
-            scratch: vec![0u8; geometry.block_size()],
-            meta_scratch: vec![0u8; geometry.block_size()],
+            meta_cache: Mutex::new(HashMap::new()),
             spare: Vec::new(),
             spare_cap: geometry.reserved_slots() + 2,
         }
@@ -268,9 +280,9 @@ impl Engine {
             }
             other => other,
         })?;
-        let mut file = LamassuFile::new(name, &self.geometry);
+        let file = LamassuFile::new(name, &self.geometry);
         let mb = MetadataBlock::new(&self.geometry);
-        self.write_meta(&mut file, 0, mb)?;
+        self.write_meta(&file, 0, mb)?;
         Ok(file)
     }
 
@@ -279,7 +291,7 @@ impl Engine {
     pub(crate) fn load(&self, name: &str) -> Result<LamassuFile> {
         let mut file = LamassuFile::new(name, &self.geometry);
         let last = self.last_physical_segment(name)?;
-        let mb = self.read_meta(&mut file, last)?;
+        let mb = self.read_meta(&file, last)?;
         file.logical_size = mb.logical_size;
         Ok(file)
     }
@@ -297,52 +309,42 @@ impl Engine {
 
     /// Reads (and caches) the metadata block for `segment`, returning an
     /// empty block for segments that do not exist on disk yet.
-    fn read_meta(&self, file: &mut LamassuFile, segment: u64) -> Result<MetadataBlock> {
-        if let Some(mb) = file.meta_cache.get(&segment) {
+    ///
+    /// Shared-borrow safe: the cache probe and insert each hold the cache
+    /// lock briefly, so concurrent readers of one file can warm the cache in
+    /// parallel (two simultaneous misses both fetch and insert the same
+    /// decrypted block — idempotent).
+    fn read_meta(&self, file: &LamassuFile, segment: u64) -> Result<MetadataBlock> {
+        if let Some(mb) = file.meta_cache.lock().get(&segment) {
             return Ok(mb.clone());
         }
         let offset = self.geometry.metadata_block_offset(segment);
         let bs = self.geometry.block_size();
-        // Read the sealed block through the metadata staging buffer; a
-        // segment that does not exist on disk yet comes back short and means
-        // "empty".
-        let mut staged = std::mem::take(&mut file.meta_scratch);
-        debug_assert_eq!(staged.len(), bs);
-        let read = self.io(|| self.store.read_into(&file.name, offset, &mut staged));
-        let mb = match read {
-            Err(e) => {
-                file.meta_scratch = staged;
-                return Err(e);
-            }
-            Ok(n) if n < bs => MetadataBlock::new(&self.geometry),
-            Ok(_) if staged.iter().all(|&b| b == 0) => {
-                // A hole left by a sparse write: no metadata was ever stored.
-                MetadataBlock::new(&self.geometry)
-            }
-            Ok(_) => {
-                let crypto = self.crypto.read();
-                let unsealed = self.profiler.time(Category::Decrypt, || {
-                    MetadataBlock::unseal(&self.geometry, &crypto.gcm, &Self::aad(segment), &staged)
-                });
-                match unsealed {
-                    Ok(mb) => mb,
-                    Err(e) => {
-                        file.meta_scratch = staged;
-                        return Err(e.into());
-                    }
-                }
-            }
+        // A segment that does not exist on disk yet comes back short and
+        // means "empty".
+        let mut staged = vec![0u8; bs];
+        let n = self.io(|| self.store.read_into(&file.name, offset, &mut staged))?;
+        let mb = if n < bs {
+            MetadataBlock::new(&self.geometry)
+        } else if staged.iter().all(|&b| b == 0) {
+            // A hole left by a sparse write: no metadata was ever stored.
+            MetadataBlock::new(&self.geometry)
+        } else {
+            let crypto = self.crypto.read();
+            self.profiler.time(Category::Decrypt, || {
+                MetadataBlock::unseal(&self.geometry, &crypto.gcm, &Self::aad(segment), &staged)
+            })?
         };
-        file.meta_scratch = staged;
-        if file.meta_cache.len() >= META_CACHE_CAP {
-            file.meta_cache.clear();
+        let mut cache = file.meta_cache.lock();
+        if cache.len() >= META_CACHE_CAP {
+            cache.clear();
         }
-        file.meta_cache.insert(segment, mb.clone());
+        cache.insert(segment, mb.clone());
         Ok(mb)
     }
 
     /// Seals and writes the metadata block for `segment`, updating the cache.
-    fn write_meta(&self, file: &mut LamassuFile, segment: u64, mb: MetadataBlock) -> Result<()> {
+    fn write_meta(&self, file: &LamassuFile, segment: u64, mb: MetadataBlock) -> Result<()> {
         let mut nonce = [0u8; 12];
         rand::thread_rng().fill_bytes(&mut nonce);
         let sealed = {
@@ -353,10 +355,11 @@ impl Engine {
         };
         let offset = self.geometry.metadata_block_offset(segment);
         self.io(|| self.store.write_at(&file.name, offset, &sealed))?;
-        if file.meta_cache.len() >= META_CACHE_CAP {
-            file.meta_cache.clear();
+        let mut cache = file.meta_cache.lock();
+        if cache.len() >= META_CACHE_CAP {
+            cache.clear();
         }
-        file.meta_cache.insert(segment, mb);
+        cache.insert(segment, mb);
         Ok(())
     }
 
@@ -413,7 +416,7 @@ impl Engine {
     /// never been written (a hole).
     fn read_block_into(
         &self,
-        file: &mut LamassuFile,
+        file: &LamassuFile,
         logical_block: u64,
         dest: &mut [u8],
         force_integrity: bool,
@@ -455,9 +458,12 @@ impl Engine {
     /// fetches whole runs of blocks per backend round trip and decrypts them
     /// in parallel; [`SpanPolicy::PerBlock`] keeps the original
     /// one-block-at-a-time path as the verification oracle.
+    ///
+    /// Takes only a shared borrow: the shim serves this under its read
+    /// guard, so any number of readers run concurrently on one file.
     pub(crate) fn read_range_into(
         &self,
-        file: &mut LamassuFile,
+        file: &LamassuFile,
         offset: u64,
         buf: &mut [u8],
     ) -> Result<usize> {
@@ -474,30 +480,24 @@ impl Engine {
 
     /// The per-block read pipeline: one backend read and one serial decrypt
     /// per block. Whole aligned blocks are decrypted directly in `buf`;
-    /// sub-block spans stage through the file's scratch block.
-    fn read_range_per_block(
-        &self,
-        file: &mut LamassuFile,
-        offset: u64,
-        buf: &mut [u8],
-    ) -> Result<()> {
+    /// sub-block spans stage through one lazily allocated staging block
+    /// (per-call, so concurrent readers never share scratch memory; aligned
+    /// whole-block reads allocate nothing).
+    fn read_range_per_block(&self, file: &LamassuFile, offset: u64, buf: &mut [u8]) -> Result<()> {
         let bs = self.geometry.block_size();
-        let mut scratch = std::mem::take(&mut file.scratch);
+        let mut scratch: Option<Vec<u8>> = None;
         let mut out = 0usize;
-        let result = (|| {
-            for (block, in_block, take) in self.geometry.block_spans(offset, buf.len()) {
-                if in_block == 0 && take == bs {
-                    self.read_block_into(file, block, &mut buf[out..out + take], false)?;
-                } else {
-                    self.read_block_into(file, block, &mut scratch, false)?;
-                    buf[out..out + take].copy_from_slice(&scratch[in_block..in_block + take]);
-                }
-                out += take;
+        for (block, in_block, take) in self.geometry.block_spans(offset, buf.len()) {
+            if in_block == 0 && take == bs {
+                self.read_block_into(file, block, &mut buf[out..out + take], false)?;
+            } else {
+                let scratch = scratch.get_or_insert_with(|| vec![0u8; bs]);
+                self.read_block_into(file, block, scratch, false)?;
+                buf[out..out + take].copy_from_slice(&scratch[in_block..in_block + take]);
             }
-            Ok(())
-        })();
-        file.scratch = scratch;
-        result
+            out += take;
+        }
+        Ok(())
     }
 
     /// The span read pipeline: plans the range, groups it by segment, and
@@ -506,12 +506,7 @@ impl Engine {
     /// parallel batch re-derivation when full integrity checking is on).
     /// Pending (buffered) blocks and holes are served without touching the
     /// store.
-    fn read_range_batched(
-        &self,
-        file: &mut LamassuFile,
-        offset: u64,
-        buf: &mut [u8],
-    ) -> Result<()> {
+    fn read_range_batched(&self, file: &LamassuFile, offset: u64, buf: &mut [u8]) -> Result<()> {
         let plan = self
             .profiler
             .time(Category::Plan, || self.planner.plan(offset, buf.len()));
@@ -555,9 +550,12 @@ impl Engine {
     /// scatters ciphertext into the caller's buffer (full blocks) and the
     /// staging blocks (partial edges), then the run decrypts — and, under
     /// full integrity, re-derives — as one parallel batch.
+    ///
+    /// The (at most two) edge staging blocks are per-call allocations so the
+    /// whole run can execute under a shared file borrow.
     fn read_run_batched(
         &self,
-        file: &mut LamassuFile,
+        file: &LamassuFile,
         plan: &SpanPlan,
         run_start: u64,
         keys: &[Key256],
@@ -570,17 +568,17 @@ impl Engine {
         let head_staged = !plan.is_full(run_start);
         let tail_staged = run_last != run_start && !plan.is_full(run_last);
         let mut head_stage = if head_staged {
-            Some(std::mem::take(&mut file.scratch))
+            Some(vec![0u8; bs])
         } else {
             None
         };
         let mut tail_stage = if tail_staged {
-            Some(file.take_block(bs))
+            Some(vec![0u8; bs])
         } else {
             None
         };
 
-        let result = (|| {
+        {
             // Middle (full) blocks land directly in the caller's buffer — a
             // single contiguous region because the run is logically
             // consecutive.
@@ -667,16 +665,8 @@ impl Engine {
                 let tail = tail_stage.as_deref().expect("tail staged");
                 buf[plan.buf_range(run_last)].copy_from_slice(&tail[in_block..in_block + take]);
             }
-            Ok(())
-        })();
-
-        if let Some(head) = head_stage {
-            file.scratch = head;
         }
-        if let Some(tail) = tail_stage {
-            file.recycle(tail);
-        }
-        result
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -919,7 +909,7 @@ impl Engine {
             // Shrink the physical object and drop stale cache entries.
             let physical = self.geometry.encrypted_size(new_size);
             self.io(|| self.store.truncate(&file.name, physical))?;
-            file.meta_cache.retain(|seg, _| *seg < new_segments);
+            file.meta_cache.lock().retain(|seg, _| *seg < new_segments);
         }
 
         let final_segment = self.final_segment(file);
@@ -937,7 +927,7 @@ impl Engine {
     /// Scans every segment for the mid-update flag and repairs interrupted
     /// commits using the transient keys (paper §2.4).
     pub(crate) fn recover(&self, file: &mut LamassuFile) -> Result<RecoveryReport> {
-        file.meta_cache.clear();
+        file.meta_cache.lock().clear();
         file.pending.clear();
         let mut report = RecoveryReport::default();
         let last_segment = self.last_physical_segment(&file.name)?;
@@ -1022,7 +1012,7 @@ impl Engine {
     /// collecting failures rather than stopping at the first one.
     pub(crate) fn verify(&self, file: &mut LamassuFile) -> Result<VerifyReport> {
         self.flush(file)?;
-        file.meta_cache.clear();
+        file.meta_cache.lock().clear();
         let mut report = VerifyReport::default();
         let data_blocks = self.geometry.data_blocks_for_len(file.logical_size);
         let segments = self.geometry.segments_for_len(file.logical_size);

@@ -25,6 +25,16 @@
 //! Descriptors returned by `open`/`create` carry an `Arc` of the per-file
 //! engine state, so the `read_into`/`write_vectored` hot path runs without
 //! path re-resolution or per-call allocation (see [`crate::fs`]).
+//!
+//! # Concurrency
+//!
+//! The per-file state sits behind an `RwLock`: the whole read path (span
+//! plan → vectored backend read → parallel batch decrypt → integrity check)
+//! runs under a **shared** read guard, so any number of threads read one
+//! file in parallel; writes, truncate, fsync/commit, recovery, verification
+//! and re-keying take the exclusive write guard. See the [`FileSystem`]
+//! trait docs for the full thread-safety contract and the README for the
+//! lock hierarchy.
 
 mod engine;
 #[cfg(test)]
@@ -38,7 +48,7 @@ use engine::{Engine, LamassuFile};
 use lamassu_format::Geometry;
 use lamassu_keymgr::ZoneKeys;
 use lamassu_storage::ObjectStore;
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use std::io::IoSlice;
 use std::sync::Arc;
 
@@ -102,7 +112,7 @@ impl LamassuConfig {
     }
 }
 
-type SharedFile = Arc<Mutex<LamassuFile>>;
+type SharedFile = Arc<RwLock<LamassuFile>>;
 
 /// The Lamassu shim file system.
 pub struct LamassuFs {
@@ -145,7 +155,7 @@ impl LamassuFs {
                 path: path.to_string(),
             });
         }
-        Ok(Arc::new(Mutex::new(self.engine.load(path)?)))
+        Ok(Arc::new(RwLock::new(self.engine.load(path)?)))
     }
 
     /// Shared state for path-level operations (no descriptor pin).
@@ -157,7 +167,7 @@ impl LamassuFs {
     /// using the transient keys parked in their metadata blocks (§2.4).
     pub fn recover(&self, path: &str) -> Result<RecoveryReport> {
         let state = self.file_state(path)?;
-        let mut file = state.lock();
+        let mut file = state.write();
         self.engine.recover(&mut file)
     }
 
@@ -175,7 +185,7 @@ impl LamassuFs {
     /// returning a report rather than failing on the first bad block.
     pub fn verify(&self, path: &str) -> Result<VerifyReport> {
         let state = self.file_state(path)?;
-        let mut file = state.lock();
+        let mut file = state.write();
         self.engine.verify(&mut file)
     }
 
@@ -187,7 +197,7 @@ impl LamassuFs {
     /// both steps.
     pub fn rekey_outer(&self, path: &str, new_keys: &ZoneKeys) -> Result<u64> {
         let state = self.file_state(path)?;
-        let mut file = state.lock();
+        let mut file = state.write();
         self.engine.rekey_outer(&mut file, new_keys)
     }
 
@@ -205,7 +215,7 @@ impl LamassuFs {
 
 impl FileSystem for LamassuFs {
     fn create(&self, path: &str) -> Result<Fd> {
-        let file = Arc::new(Mutex::new(self.engine.create(path)?));
+        let file = Arc::new(RwLock::new(self.engine.create(path)?));
         self.files.insert_open(path, file.clone());
         Ok(self.handles.open(path, file))
     }
@@ -213,7 +223,7 @@ impl FileSystem for LamassuFs {
     fn open(&self, path: &str, flags: OpenFlags) -> Result<Fd> {
         let state = self.files.open_with(path, || self.load_state(path))?;
         if flags.truncate {
-            let mut file = state.lock();
+            let mut file = state.write();
             if let Err(e) = self.engine.truncate(&mut file, 0) {
                 drop(file);
                 self.files.release(path);
@@ -227,7 +237,7 @@ impl FileSystem for LamassuFs {
         let entry = self.handles.close(fd)?;
         let path = entry.path();
         let flushed = {
-            let mut file = entry.state.lock();
+            let mut file = entry.state.write();
             self.engine.flush(&mut file)
         };
         self.files.release(&path);
@@ -236,38 +246,40 @@ impl FileSystem for LamassuFs {
 
     fn read_into(&self, fd: Fd, offset: u64, buf: &mut [u8]) -> Result<usize> {
         let entry = self.handles.get(fd)?;
-        let mut file = entry.state.lock();
-        self.engine.read_range_into(&mut file, offset, buf)
+        // The whole read pipeline runs under the shared guard: concurrent
+        // readers of one file proceed in parallel, excluded only by writers.
+        let file = entry.state.read();
+        self.engine.read_range_into(&file, offset, buf)
     }
 
     fn write_vectored(&self, fd: Fd, offset: u64, bufs: &[IoSlice<'_>]) -> Result<usize> {
         let entry = self.handles.get(fd)?;
-        let mut file = entry.state.lock();
+        let mut file = entry.state.write();
         self.engine.write_vectored_range(&mut file, offset, bufs)
     }
 
     fn truncate(&self, fd: Fd, size: u64) -> Result<()> {
         let entry = self.handles.get(fd)?;
-        let mut file = entry.state.lock();
+        let mut file = entry.state.write();
         self.engine.truncate(&mut file, size)
     }
 
     fn fsync(&self, fd: Fd) -> Result<()> {
         let entry = self.handles.get(fd)?;
-        let mut file = entry.state.lock();
+        let mut file = entry.state.write();
         self.engine.flush(&mut file)?;
         self.engine.sync_object(file.name())
     }
 
     fn len(&self, fd: Fd) -> Result<u64> {
         let entry = self.handles.get(fd)?;
-        let len = entry.state.lock().logical_size();
+        let len = entry.state.read().logical_size();
         Ok(len)
     }
 
     fn stat(&self, path: &str) -> Result<FileAttr> {
         let state = self.file_state(path)?;
-        let logical = state.lock().logical_size();
+        let logical = state.read().logical_size();
         let physical = self.engine.physical_size(path)?;
         Ok(FileAttr {
             logical_size: logical,
@@ -285,7 +297,7 @@ impl FileSystem for LamassuFs {
     fn rename(&self, from: &str, to: &str) -> Result<()> {
         // Flush buffered writes under the old name first so nothing is lost.
         if let Some(state) = self.files.peek(from) {
-            let mut file = state.lock();
+            let mut file = state.write();
             self.engine.flush(&mut file)?;
         }
         self.engine.rename(from, to)?;
@@ -293,7 +305,7 @@ impl FileSystem for LamassuFs {
         // concurrent open can observe (or resurrect) the old path's entry
         // mid-rename.
         if let Some(state) = self.files.rename(from, to) {
-            state.lock().set_name(to);
+            state.write().set_name(to);
         }
         self.handles.retarget(from, to);
         Ok(())

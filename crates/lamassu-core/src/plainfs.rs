@@ -10,6 +10,12 @@
 //! Being the thinnest shim, PlainFS is where the fd-centric API pays off most
 //! visibly: `read_into`/`write_vectored` forward straight from the descriptor
 //! entry to the store with no allocation and no path materialization.
+//!
+//! PlainFS keeps **no per-file state at all**, so it is trivially the most
+//! concurrent shim: reads and writes alike go straight to the (internally
+//! sharded) store with nothing but the descriptor table's read lock taken —
+//! the upper bound the encrypted shims' shared-read locking is measured
+//! against in the `scaling` experiment.
 
 use crate::fs::{FileAttr, FileSystem, OpenFlags};
 use crate::handles::HandleTable;

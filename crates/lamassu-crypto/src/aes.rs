@@ -10,9 +10,15 @@
 //! This module provides the raw block cipher ([`Aes256`]); the modes live in
 //! [`crate::cbc`], [`crate::ctr`] and [`crate::gcm`].
 //!
-//! The implementation is a straightforward byte-oriented one (S-box lookups
-//! plus `xtime` multiplication in MixColumns). It is validated against the
-//! FIPS-197 Appendix C.3 and NIST SP 800-38A vectors.
+//! The implementation is the classic 32-bit **T-table** formulation: the
+//! SubBytes/ShiftRows/MixColumns round collapses into four 256-entry u32
+//! table lookups per column, with the tables built at compile time from the
+//! FIPS-197 S-boxes, and decryption running the equivalent inverse cipher
+//! over InvMixColumns-transformed round keys. This is an order of magnitude
+//! faster than a byte-oriented round (no per-byte GF(2^8) multiplication on
+//! the data path), which matters because AES sits on the shim's per-block
+//! hot path. It is validated against the FIPS-197 Appendix C.3 and NIST
+//! SP 800-38A vectors.
 
 use crate::Key256;
 
@@ -68,28 +74,76 @@ const NK: usize = 8;
 
 /// Multiplication by `x` (i.e. 2) in GF(2^8) with the AES polynomial.
 #[inline]
-fn xtime(b: u8) -> u8 {
+const fn xtime(b: u8) -> u8 {
     let hi = b & 0x80;
-    let mut r = b << 1;
+    let r = b << 1;
     if hi != 0 {
-        r ^= 0x1b;
+        r ^ 0x1b
+    } else {
+        r
     }
-    r
 }
 
 /// Multiplication of two elements of GF(2^8).
 #[inline]
-fn gmul(mut a: u8, mut b: u8) -> u8 {
+const fn gmul(mut a: u8, mut b: u8) -> u8 {
     let mut p = 0u8;
-    for _ in 0..8 {
+    let mut i = 0;
+    while i < 8 {
         if b & 1 != 0 {
             p ^= a;
         }
         a = xtime(a);
         b >>= 1;
+        i += 1;
     }
     p
 }
+
+/// Builds the four encryption T-tables at compile time: `TE[0][x]` packs one
+/// column of SubBytes + MixColumns for input byte `x`, and `TE[k]` is
+/// `TE[0]` rotated right by `8k` bits (the ShiftRows byte positions).
+const fn build_te() -> [[u32; 256]; 4] {
+    let mut te = [[0u32; 256]; 4];
+    let mut i = 0;
+    while i < 256 {
+        let s = SBOX[i];
+        let w = ((gmul(s, 2) as u32) << 24)
+            | ((s as u32) << 16)
+            | ((s as u32) << 8)
+            | (gmul(s, 3) as u32);
+        te[0][i] = w;
+        te[1][i] = w.rotate_right(8);
+        te[2][i] = w.rotate_right(16);
+        te[3][i] = w.rotate_right(24);
+        i += 1;
+    }
+    te
+}
+
+/// Builds the four decryption T-tables (InvSubBytes + InvMixColumns).
+const fn build_td() -> [[u32; 256]; 4] {
+    let mut td = [[0u32; 256]; 4];
+    let mut i = 0;
+    while i < 256 {
+        let s = INV_SBOX[i];
+        let w = ((gmul(s, 0x0e) as u32) << 24)
+            | ((gmul(s, 0x09) as u32) << 16)
+            | ((gmul(s, 0x0d) as u32) << 8)
+            | (gmul(s, 0x0b) as u32);
+        td[0][i] = w;
+        td[1][i] = w.rotate_right(8);
+        td[2][i] = w.rotate_right(16);
+        td[3][i] = w.rotate_right(24);
+        i += 1;
+    }
+    td
+}
+
+/// Encryption round tables (SubBytes ∘ ShiftRows ∘ MixColumns).
+static TE: [[u32; 256]; 4] = build_te();
+/// Decryption round tables (InvSubBytes ∘ InvShiftRows ∘ InvMixColumns).
+static TD: [[u32; 256]; 4] = build_td();
 
 /// An expanded AES-256 key ready for block encryption and decryption.
 ///
@@ -106,12 +160,16 @@ fn gmul(mut a: u8, mut b: u8) -> u8 {
 /// ```
 #[derive(Clone)]
 pub struct Aes256 {
-    /// Round keys: (ROUNDS + 1) × 16 bytes.
-    round_keys: [[u8; 16]; ROUNDS + 1],
+    /// Encryption round keys: (ROUNDS + 1) × 4 big-endian words.
+    enc_keys: [u32; 4 * (ROUNDS + 1)],
+    /// Equivalent-inverse-cipher round keys: the encryption schedule
+    /// reversed, with InvMixColumns applied to the interior rounds so the
+    /// decrypt rounds can use the [`TD`] tables directly.
+    dec_keys: [u32; 4 * (ROUNDS + 1)],
 }
 
 impl Aes256 {
-    /// Expands `key` into the round-key schedule.
+    /// Expands `key` into the round-key schedules.
     pub fn new(key: &Key256) -> Self {
         // The key schedule operates on 4-byte words: 60 words for AES-256.
         let mut w = [[0u8; 4]; 4 * (ROUNDS + 1)];
@@ -142,127 +200,140 @@ impl Aes256 {
             }
         }
 
-        let mut round_keys = [[0u8; 16]; ROUNDS + 1];
-        for (r, rk) in round_keys.iter_mut().enumerate() {
+        let mut enc_keys = [0u32; 4 * (ROUNDS + 1)];
+        for (i, word) in w.iter().enumerate() {
+            enc_keys[i] = u32::from_be_bytes(*word);
+        }
+
+        // Equivalent inverse cipher: reverse the rounds and push the
+        // interior round keys through InvMixColumns (TD ∘ SBOX of each byte
+        // computes exactly that on a word).
+        let mut dec_keys = [0u32; 4 * (ROUNDS + 1)];
+        for r in 0..=ROUNDS {
             for c in 0..4 {
-                rk[c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
+                let word = enc_keys[4 * (ROUNDS - r) + c];
+                dec_keys[4 * r + c] = if r == 0 || r == ROUNDS {
+                    word
+                } else {
+                    TD[0][SBOX[(word >> 24) as usize] as usize]
+                        ^ TD[1][SBOX[((word >> 16) & 0xff) as usize] as usize]
+                        ^ TD[2][SBOX[((word >> 8) & 0xff) as usize] as usize]
+                        ^ TD[3][SBOX[(word & 0xff) as usize] as usize]
+                };
             }
         }
-        Aes256 { round_keys }
+        Aes256 { enc_keys, dec_keys }
     }
 
     /// Encrypts a single 16-byte block.
     pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
-        let mut state = *block;
-        add_round_key(&mut state, &self.round_keys[0]);
-        for round in 1..ROUNDS {
-            sub_bytes(&mut state);
-            shift_rows(&mut state);
-            mix_columns(&mut state);
-            add_round_key(&mut state, &self.round_keys[round]);
+        let rk = &self.enc_keys;
+        let mut s0 = get_u32(block, 0) ^ rk[0];
+        let mut s1 = get_u32(block, 4) ^ rk[1];
+        let mut s2 = get_u32(block, 8) ^ rk[2];
+        let mut s3 = get_u32(block, 12) ^ rk[3];
+        for r in 1..ROUNDS {
+            let t0 = TE[0][(s0 >> 24) as usize]
+                ^ TE[1][((s1 >> 16) & 0xff) as usize]
+                ^ TE[2][((s2 >> 8) & 0xff) as usize]
+                ^ TE[3][(s3 & 0xff) as usize]
+                ^ rk[4 * r];
+            let t1 = TE[0][(s1 >> 24) as usize]
+                ^ TE[1][((s2 >> 16) & 0xff) as usize]
+                ^ TE[2][((s3 >> 8) & 0xff) as usize]
+                ^ TE[3][(s0 & 0xff) as usize]
+                ^ rk[4 * r + 1];
+            let t2 = TE[0][(s2 >> 24) as usize]
+                ^ TE[1][((s3 >> 16) & 0xff) as usize]
+                ^ TE[2][((s0 >> 8) & 0xff) as usize]
+                ^ TE[3][(s1 & 0xff) as usize]
+                ^ rk[4 * r + 2];
+            let t3 = TE[0][(s3 >> 24) as usize]
+                ^ TE[1][((s0 >> 16) & 0xff) as usize]
+                ^ TE[2][((s1 >> 8) & 0xff) as usize]
+                ^ TE[3][(s2 & 0xff) as usize]
+                ^ rk[4 * r + 3];
+            (s0, s1, s2, s3) = (t0, t1, t2, t3);
         }
-        sub_bytes(&mut state);
-        shift_rows(&mut state);
-        add_round_key(&mut state, &self.round_keys[ROUNDS]);
-        state
+        // Final round: SubBytes + ShiftRows only.
+        let o0 = sub_word(s0, s1, s2, s3) ^ rk[4 * ROUNDS];
+        let o1 = sub_word(s1, s2, s3, s0) ^ rk[4 * ROUNDS + 1];
+        let o2 = sub_word(s2, s3, s0, s1) ^ rk[4 * ROUNDS + 2];
+        let o3 = sub_word(s3, s0, s1, s2) ^ rk[4 * ROUNDS + 3];
+        put_block(o0, o1, o2, o3)
     }
 
     /// Decrypts a single 16-byte block.
     pub fn decrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
-        let mut state = *block;
-        add_round_key(&mut state, &self.round_keys[ROUNDS]);
-        for round in (1..ROUNDS).rev() {
-            inv_shift_rows(&mut state);
-            inv_sub_bytes(&mut state);
-            add_round_key(&mut state, &self.round_keys[round]);
-            inv_mix_columns(&mut state);
+        let rk = &self.dec_keys;
+        let mut s0 = get_u32(block, 0) ^ rk[0];
+        let mut s1 = get_u32(block, 4) ^ rk[1];
+        let mut s2 = get_u32(block, 8) ^ rk[2];
+        let mut s3 = get_u32(block, 12) ^ rk[3];
+        for r in 1..ROUNDS {
+            let t0 = TD[0][(s0 >> 24) as usize]
+                ^ TD[1][((s3 >> 16) & 0xff) as usize]
+                ^ TD[2][((s2 >> 8) & 0xff) as usize]
+                ^ TD[3][(s1 & 0xff) as usize]
+                ^ rk[4 * r];
+            let t1 = TD[0][(s1 >> 24) as usize]
+                ^ TD[1][((s0 >> 16) & 0xff) as usize]
+                ^ TD[2][((s3 >> 8) & 0xff) as usize]
+                ^ TD[3][(s2 & 0xff) as usize]
+                ^ rk[4 * r + 1];
+            let t2 = TD[0][(s2 >> 24) as usize]
+                ^ TD[1][((s1 >> 16) & 0xff) as usize]
+                ^ TD[2][((s0 >> 8) & 0xff) as usize]
+                ^ TD[3][(s3 & 0xff) as usize]
+                ^ rk[4 * r + 2];
+            let t3 = TD[0][(s3 >> 24) as usize]
+                ^ TD[1][((s2 >> 16) & 0xff) as usize]
+                ^ TD[2][((s1 >> 8) & 0xff) as usize]
+                ^ TD[3][(s0 & 0xff) as usize]
+                ^ rk[4 * r + 3];
+            (s0, s1, s2, s3) = (t0, t1, t2, t3);
         }
-        inv_shift_rows(&mut state);
-        inv_sub_bytes(&mut state);
-        add_round_key(&mut state, &self.round_keys[0]);
-        state
-    }
-}
-
-// The state is stored column-major: state[4*c + r] is row r, column c, which
-// matches the byte order of the input block (FIPS 197 §3.4).
-
-#[inline]
-fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
-    for i in 0..16 {
-        state[i] ^= rk[i];
+        // Final round: InvSubBytes + InvShiftRows only.
+        let o0 = inv_sub_word(s0, s3, s2, s1) ^ rk[4 * ROUNDS];
+        let o1 = inv_sub_word(s1, s0, s3, s2) ^ rk[4 * ROUNDS + 1];
+        let o2 = inv_sub_word(s2, s1, s0, s3) ^ rk[4 * ROUNDS + 2];
+        let o3 = inv_sub_word(s3, s2, s1, s0) ^ rk[4 * ROUNDS + 3];
+        put_block(o0, o1, o2, o3)
     }
 }
 
 #[inline]
-fn sub_bytes(state: &mut [u8; 16]) {
-    for b in state.iter_mut() {
-        *b = SBOX[*b as usize];
-    }
+fn get_u32(block: &[u8; 16], at: usize) -> u32 {
+    u32::from_be_bytes([block[at], block[at + 1], block[at + 2], block[at + 3]])
 }
 
 #[inline]
-fn inv_sub_bytes(state: &mut [u8; 16]) {
-    for b in state.iter_mut() {
-        *b = INV_SBOX[*b as usize];
-    }
+fn put_block(o0: u32, o1: u32, o2: u32, o3: u32) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    out[0..4].copy_from_slice(&o0.to_be_bytes());
+    out[4..8].copy_from_slice(&o1.to_be_bytes());
+    out[8..12].copy_from_slice(&o2.to_be_bytes());
+    out[12..16].copy_from_slice(&o3.to_be_bytes());
+    out
 }
 
+/// One word of the final encryption round: S-box substitution of the
+/// ShiftRows-selected bytes `(a>>24, b>>16, c>>8, d)`.
 #[inline]
-fn shift_rows(state: &mut [u8; 16]) {
-    let s = *state;
-    // Row r is cyclically shifted left by r positions.
-    for r in 1..4 {
-        for c in 0..4 {
-            state[4 * c + r] = s[4 * ((c + r) % 4) + r];
-        }
-    }
+fn sub_word(a: u32, b: u32, c: u32, d: u32) -> u32 {
+    ((SBOX[(a >> 24) as usize] as u32) << 24)
+        | ((SBOX[((b >> 16) & 0xff) as usize] as u32) << 16)
+        | ((SBOX[((c >> 8) & 0xff) as usize] as u32) << 8)
+        | (SBOX[(d & 0xff) as usize] as u32)
 }
 
+/// One word of the final decryption round (inverse S-box).
 #[inline]
-fn inv_shift_rows(state: &mut [u8; 16]) {
-    let s = *state;
-    for r in 1..4 {
-        for c in 0..4 {
-            state[4 * ((c + r) % 4) + r] = s[4 * c + r];
-        }
-    }
-}
-
-#[inline]
-fn mix_columns(state: &mut [u8; 16]) {
-    for c in 0..4 {
-        let col = [
-            state[4 * c],
-            state[4 * c + 1],
-            state[4 * c + 2],
-            state[4 * c + 3],
-        ];
-        state[4 * c] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
-        state[4 * c + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
-        state[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
-        state[4 * c + 3] = (xtime(col[0]) ^ col[0]) ^ col[1] ^ col[2] ^ xtime(col[3]);
-    }
-}
-
-#[inline]
-fn inv_mix_columns(state: &mut [u8; 16]) {
-    for c in 0..4 {
-        let col = [
-            state[4 * c],
-            state[4 * c + 1],
-            state[4 * c + 2],
-            state[4 * c + 3],
-        ];
-        state[4 * c] =
-            gmul(col[0], 0x0e) ^ gmul(col[1], 0x0b) ^ gmul(col[2], 0x0d) ^ gmul(col[3], 0x09);
-        state[4 * c + 1] =
-            gmul(col[0], 0x09) ^ gmul(col[1], 0x0e) ^ gmul(col[2], 0x0b) ^ gmul(col[3], 0x0d);
-        state[4 * c + 2] =
-            gmul(col[0], 0x0d) ^ gmul(col[1], 0x09) ^ gmul(col[2], 0x0e) ^ gmul(col[3], 0x0b);
-        state[4 * c + 3] =
-            gmul(col[0], 0x0b) ^ gmul(col[1], 0x0d) ^ gmul(col[2], 0x09) ^ gmul(col[3], 0x0e);
-    }
+fn inv_sub_word(a: u32, b: u32, c: u32, d: u32) -> u32 {
+    ((INV_SBOX[(a >> 24) as usize] as u32) << 24)
+        | ((INV_SBOX[((b >> 16) & 0xff) as usize] as u32) << 16)
+        | ((INV_SBOX[((c >> 8) & 0xff) as usize] as u32) << 8)
+        | (INV_SBOX[(d & 0xff) as usize] as u32)
 }
 
 /// Encrypts `data` in-place in ECB mode.

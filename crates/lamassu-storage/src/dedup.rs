@@ -18,7 +18,11 @@ use lamassu_crypto::sha256::sha256;
 use parking_lot::RwLock;
 use serde::Serialize;
 use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 use std::time::Duration;
+
+/// Number of independent object-map shards (a power of two).
+const MAP_SHARDS: usize = 16;
 
 /// Space accounting before and after deduplication, in the style of running
 /// `df` on the controller (paper §4.1).
@@ -69,7 +73,9 @@ pub struct DedupStore {
     block_size: usize,
     profile: StorageProfile,
     clock: SimClock,
-    objects: RwLock<HashMap<String, Vec<u8>>>,
+    /// The object map, sharded by name hash so concurrent clients working on
+    /// different objects never contend on one map lock.
+    shards: Vec<RwLock<HashMap<String, Vec<u8>>>>,
 }
 
 impl DedupStore {
@@ -79,10 +85,24 @@ impl DedupStore {
         assert!(block_size > 0, "block size must be non-zero");
         DedupStore {
             block_size,
+            clock: SimClock::for_profile(&profile),
             profile,
-            clock: SimClock::new(),
-            objects: RwLock::new(HashMap::new()),
+            shards: (0..MAP_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
         }
+    }
+
+    /// Index of the shard holding `name`.
+    fn shard_index(name: &str) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        name.hash(&mut hasher);
+        hasher.finish() as usize % MAP_SHARDS
+    }
+
+    /// The shard holding `name`.
+    fn shard(&self, name: &str) -> &RwLock<HashMap<String, Vec<u8>>> {
+        &self.shards[Self::shard_index(name)]
     }
 
     /// The fixed deduplication block size of the backend.
@@ -98,21 +118,24 @@ impl DedupStore {
     /// Runs a post-process deduplication pass over every stored object and
     /// reports block-level sharing.
     pub fn run_dedup(&self) -> DedupReport {
-        let objects = self.objects.read();
         let mut unique: HashSet<[u8; 32]> = HashSet::new();
         let mut total = 0u64;
-        for data in objects.values() {
-            for chunk in data.chunks(self.block_size) {
-                // The filer stores partial trailing chunks padded to a block.
-                let fp = if chunk.len() == self.block_size {
-                    sha256(chunk)
-                } else {
-                    let mut padded = vec![0u8; self.block_size];
-                    padded[..chunk.len()].copy_from_slice(chunk);
-                    sha256(&padded)
-                };
-                unique.insert(fp);
-                total += 1;
+        for shard in &self.shards {
+            let objects = shard.read();
+            for data in objects.values() {
+                for chunk in data.chunks(self.block_size) {
+                    // The filer stores partial trailing chunks padded to a
+                    // block.
+                    let fp = if chunk.len() == self.block_size {
+                        sha256(chunk)
+                    } else {
+                        let mut padded = vec![0u8; self.block_size];
+                        padded[..chunk.len()].copy_from_slice(chunk);
+                        sha256(&padded)
+                    };
+                    unique.insert(fp);
+                    total += 1;
+                }
             }
         }
         DedupReport {
@@ -143,12 +166,15 @@ impl DedupStore {
 
     /// Total logical bytes stored (sum of object lengths, no rounding).
     pub fn logical_bytes(&self) -> u64 {
-        self.objects.read().values().map(|v| v.len() as u64).sum()
+        self.shards
+            .iter()
+            .map(|s| s.read().values().map(|v| v.len() as u64).sum::<u64>())
+            .sum()
     }
 
     /// Number of stored objects.
     pub fn object_count(&self) -> usize {
-        self.objects.read().len()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// Charges the transport for every backend block a write span touches; a
@@ -184,7 +210,7 @@ impl DedupStore {
 impl ObjectStore for DedupStore {
     fn create(&self, name: &str) -> Result<()> {
         self.clock.charge_op(&self.profile);
-        let mut objects = self.objects.write();
+        let mut objects = self.shard(name).write();
         if objects.contains_key(name) {
             return Err(StorageError::AlreadyExists {
                 name: name.to_string(),
@@ -195,11 +221,11 @@ impl ObjectStore for DedupStore {
     }
 
     fn exists(&self, name: &str) -> bool {
-        self.objects.read().contains_key(name)
+        self.shard(name).read().contains_key(name)
     }
 
     fn read_into(&self, name: &str, offset: u64, buf: &mut [u8]) -> Result<usize> {
-        let objects = self.objects.read();
+        let objects = self.shard(name).read();
         let data = objects.get(name).ok_or_else(|| StorageError::NotFound {
             name: name.to_string(),
         })?;
@@ -220,7 +246,7 @@ impl ObjectStore for DedupStore {
         bufs: &mut [std::io::IoSliceMut<'_>],
     ) -> Result<usize> {
         let total: usize = bufs.iter().map(|b| b.len()).sum();
-        let objects = self.objects.read();
+        let objects = self.shard(name).read();
         let data = objects.get(name).ok_or_else(|| StorageError::NotFound {
             name: name.to_string(),
         })?;
@@ -256,7 +282,7 @@ impl ObjectStore for DedupStore {
         // single contiguous write, applied under one lock acquisition.
         let total: usize = bufs.iter().map(|b| b.len()).sum();
         self.charge_write_span(offset, total);
-        let mut objects = self.objects.write();
+        let mut objects = self.shard(name).write();
         let data = objects
             .get_mut(name)
             .ok_or_else(|| StorageError::NotFound {
@@ -276,7 +302,7 @@ impl ObjectStore for DedupStore {
 
     fn len(&self, name: &str) -> Result<u64> {
         self.clock.charge_op(&self.profile);
-        let objects = self.objects.read();
+        let objects = self.shard(name).read();
         objects
             .get(name)
             .map(|d| d.len() as u64)
@@ -287,7 +313,7 @@ impl ObjectStore for DedupStore {
 
     fn truncate(&self, name: &str, len: u64) -> Result<()> {
         self.clock.charge_op(&self.profile);
-        let mut objects = self.objects.write();
+        let mut objects = self.shard(name).write();
         let data = objects
             .get_mut(name)
             .ok_or_else(|| StorageError::NotFound {
@@ -299,7 +325,7 @@ impl ObjectStore for DedupStore {
 
     fn remove(&self, name: &str) -> Result<()> {
         self.clock.charge_op(&self.profile);
-        let mut objects = self.objects.write();
+        let mut objects = self.shard(name).write();
         objects
             .remove(name)
             .map(|_| ())
@@ -310,16 +336,41 @@ impl ObjectStore for DedupStore {
 
     fn rename(&self, from: &str, to: &str) -> Result<()> {
         self.clock.charge_op(&self.profile);
-        let mut objects = self.objects.write();
-        let data = objects.remove(from).ok_or_else(|| StorageError::NotFound {
-            name: from.to_string(),
-        })?;
-        objects.insert(to.to_string(), data);
+        let from_idx = Self::shard_index(from);
+        let to_idx = Self::shard_index(to);
+        if from_idx == to_idx {
+            let mut objects = self.shards[from_idx].write();
+            let data = objects.remove(from).ok_or_else(|| StorageError::NotFound {
+                name: from.to_string(),
+            })?;
+            objects.insert(to.to_string(), data);
+            return Ok(());
+        }
+        // Cross-shard rename: lock both shards in index order (a global lock
+        // hierarchy) so two concurrent renames cannot deadlock, and the move
+        // stays atomic — no observer can see the object in neither shard.
+        let (lo, hi) = (from_idx.min(to_idx), from_idx.max(to_idx));
+        let mut lo_guard = self.shards[lo].write();
+        let mut hi_guard = self.shards[hi].write();
+        let (from_map, to_map) = if from_idx == lo {
+            (&mut *lo_guard, &mut *hi_guard)
+        } else {
+            (&mut *hi_guard, &mut *lo_guard)
+        };
+        let data = from_map
+            .remove(from)
+            .ok_or_else(|| StorageError::NotFound {
+                name: from.to_string(),
+            })?;
+        to_map.insert(to.to_string(), data);
         Ok(())
     }
 
     fn list(&self) -> Vec<String> {
-        self.objects.read().keys().cloned().collect()
+        self.shards
+            .iter()
+            .flat_map(|s| s.read().keys().cloned().collect::<Vec<_>>())
+            .collect()
     }
 
     fn flush(&self, _name: &str) -> Result<()> {

@@ -29,16 +29,19 @@ pub struct DirStore {
 impl DirStore {
     /// Opens (creating if needed) a store rooted at `root`.
     ///
-    /// Returns a storage error if the directory cannot be created.
+    /// A root that cannot be created (wrong permissions, a file in the way,
+    /// a read-only or full file system) fails with
+    /// [`StorageError::Backend`] — a backend I/O failure, *not* "not found".
     pub fn open(root: impl AsRef<Path>, profile: StorageProfile) -> Result<Self> {
         let root = root.as_ref().to_path_buf();
-        fs::create_dir_all(&root).map_err(|e| StorageError::NotFound {
-            name: format!("{}: {e}", root.display()),
+        fs::create_dir_all(&root).map_err(|e| StorageError::Backend {
+            name: root.display().to_string(),
+            detail: format!("cannot create backing directory: {e}"),
         })?;
         Ok(DirStore {
+            clock: SimClock::for_profile(&profile),
             root,
             profile,
-            clock: SimClock::new(),
         })
     }
 
@@ -76,8 +79,9 @@ impl DirStore {
                 name: name.to_string(),
             }
         } else {
-            StorageError::NotFound {
-                name: format!("{name}: {e}"),
+            StorageError::Backend {
+                name: name.to_string(),
+                detail: e.to_string(),
             }
         }
     }
@@ -361,6 +365,24 @@ mod tests {
         assert_eq!(s.io_counters().read_ops, 1, "one round trip for the span");
         assert_eq!(s.io_counters().bytes_read, 9);
         fs::remove_dir_all(s.root()).unwrap();
+    }
+
+    #[test]
+    fn unusable_root_reports_backend_error_not_not_found() {
+        // A plain file sitting where the root directory should go makes
+        // `create_dir_all` fail — that is a backend problem, not "not found".
+        let blocker = std::env::temp_dir().join(format!(
+            "lamassu-dirstore-blocker-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        fs::write(&blocker, b"in the way").unwrap();
+        match DirStore::open(blocker.join("vol"), StorageProfile::instant()) {
+            Err(StorageError::Backend { .. }) => {}
+            Err(other) => panic!("expected Backend error, got {other:?}"),
+            Ok(_) => panic!("expected Backend error, got a store"),
+        }
+        fs::remove_file(&blocker).unwrap();
     }
 
     #[test]

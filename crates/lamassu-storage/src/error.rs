@@ -27,6 +27,16 @@ pub enum StorageError {
     /// The store has been "powered off" by fault injection; every operation
     /// fails until a new client mounts the surviving media.
     Crashed,
+    /// A backend I/O failure that is *not* a missing object: permission
+    /// problems, a full disk, a transport error. Distinct from
+    /// [`StorageError::NotFound`] so callers (and users) never mistake a
+    /// mis-permissioned volume for an absent one.
+    Backend {
+        /// Name of the object (or root directory) the operation touched.
+        name: String,
+        /// Human-readable description of the underlying failure.
+        detail: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -44,6 +54,9 @@ impl fmt::Display for StorageError {
                 "read out of bounds on {name}: offset {offset} + len {len} > size {size}"
             ),
             StorageError::Crashed => write!(f, "storage backend crashed (fault injection)"),
+            StorageError::Backend { name, detail } => {
+                write!(f, "backend I/O error on {name}: {detail}")
+            }
         }
     }
 }

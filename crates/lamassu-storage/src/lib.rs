@@ -15,7 +15,10 @@
 //!   of triggering dedup on the controller and reading `df`).
 //! * [`profile`] — [`StorageProfile`] and the virtual I/O clock that charge
 //!   per-operation latency and link bandwidth, so the "remote filer" and
-//!   "RAM disk" configurations of Figures 7 and 8 can both be modelled.
+//!   "RAM disk" configurations of Figures 7 and 8 can both be modelled. The
+//!   clock is concurrency-aware: the profile's parallelism width says how
+//!   many in-flight requests the backend overlaps, and concurrent client
+//!   threads charge independent channels (see [`profile::SimClock`]).
 //! * [`faulty`] — [`FaultyStore`], a wrapper that injects a crash (power cut)
 //!   after a chosen number of block writes, used to exercise the
 //!   multiphase-commit recovery of §2.4.

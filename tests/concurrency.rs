@@ -373,3 +373,117 @@ fn stress_all_shims_over_write_through_cache() {
 fn stress_all_shims_over_write_back_cache() {
     stress_all_shims_over_cache(CacheMode::WriteBack);
 }
+
+/// Readers each iterate this many verification passes while the writer runs.
+const SHARED_READ_ROUNDS: usize = 40;
+/// Concurrent reader threads per shim in the shared-lock stress.
+const SHARED_READERS: usize = 6;
+
+/// The shared-lock stress: many reader threads plus one writer thread on
+/// **one** file per shim, over an eviction-churning cache. The file is split
+/// into a stable half (written once, then only read) and a churn half (the
+/// writer rewrites it continuously). Readers run the full read pipeline
+/// under the shims' shared read guards and must see the stable half
+/// byte-identical on every pass — a reader overlapping a writer can never
+/// observe a torn block, a mid-commit metadata state, or a stale cache
+/// entry. Afterwards a fresh *uncached* mount over the backend must agree
+/// with the cached mount byte for byte.
+fn stress_shared_file_readers_with_writer(mode: CacheMode) {
+    let region_bytes = 8 * BS;
+    for which in 0..4usize {
+        let backend = Arc::new(DedupStore::new(4096, StorageProfile::instant()));
+        let cache = Arc::new(CachedStore::new(
+            backend.clone() as Arc<dyn ObjectStore>,
+            CacheConfig {
+                // Far smaller than the two regions together: reads and
+                // writes constantly evict (and write back) blocks.
+                capacity_blocks: 6,
+                shards: 2,
+                mode,
+                read_ahead_blocks: 4,
+                block_size: 4096,
+            },
+        ));
+        let fs = shim(which, cache.clone());
+
+        let stable: Vec<u8> = (0..region_bytes).map(|i| (i % 239) as u8).collect();
+        let fd = fs.create("/rw-shared.bin").unwrap();
+        fs.write(fd, 0, &stable).unwrap();
+        fs.write(fd, region_bytes as u64, &vec![0u8; region_bytes])
+            .unwrap();
+        fs.fsync(fd).unwrap();
+        fs.close(fd).unwrap();
+
+        let mut threads = Vec::new();
+        {
+            // The writer churns the upper region (including unaligned spans
+            // crossing block boundaries) and fsyncs periodically.
+            let fs = fs.clone();
+            threads.push(thread::spawn(move || {
+                let fd = fs.open("/rw-shared.bin", OpenFlags::default()).unwrap();
+                for round in 0..(SHARED_READ_ROUNDS * 2) as u64 {
+                    let off = region_bytes as u64 + (round % 6) * BS as u64 + (round % 777);
+                    let data = stress_pattern(0xee, round, BS + 501);
+                    let take = data.len().min(2 * region_bytes - off as usize);
+                    fs.write(fd, off, &data[..take]).unwrap();
+                    if round % 8 == 7 {
+                        fs.fsync(fd).unwrap();
+                    }
+                }
+                fs.fsync(fd).unwrap();
+                fs.close(fd).unwrap();
+            }));
+        }
+        for t in 0..SHARED_READERS {
+            let fs = fs.clone();
+            let stable = stable.clone();
+            threads.push(thread::spawn(move || {
+                let fd = fs.open("/rw-shared.bin", OpenFlags::default()).unwrap();
+                let mut buf = vec![0u8; region_bytes];
+                let mut churn_buf = vec![0u8; region_bytes];
+                for round in 0..SHARED_READ_ROUNDS {
+                    // The stable half must read back identical on every
+                    // pass, no matter what the writer is doing next door.
+                    let n = fs.read_into(fd, 0, &mut buf).unwrap();
+                    assert_eq!(n, region_bytes, "shim {which} reader {t} round {round}");
+                    assert_eq!(buf, stable, "shim {which} reader {t} round {round}");
+                    // Reading the churned half races the writer on purpose:
+                    // content is unspecified but the read must succeed and
+                    // return the full region.
+                    let n = fs
+                        .read_into(fd, region_bytes as u64, &mut churn_buf)
+                        .unwrap();
+                    assert!(n >= region_bytes, "shim {which} reader {t} round {round}");
+                }
+                fs.close(fd).unwrap();
+            }));
+        }
+        for t in threads {
+            t.join().expect("reader/writer thread");
+        }
+
+        // Coherence end to end: a fresh uncached mount over the backend sees
+        // exactly the bytes the cached mount sees.
+        cache.flush_all().unwrap();
+        let fresh = shim(which, backend as Arc<dyn ObjectStore>);
+        let fd_cached = fs.open("/rw-shared.bin", OpenFlags::default()).unwrap();
+        let fd_fresh = fresh.open("/rw-shared.bin", OpenFlags::default()).unwrap();
+        let len = fs.len(fd_cached).unwrap();
+        assert_eq!(len, fresh.len(fd_fresh).unwrap(), "shim {which}");
+        assert_eq!(
+            fs.read(fd_cached, 0, len as usize).unwrap(),
+            fresh.read(fd_fresh, 0, len as usize).unwrap(),
+            "shim {which}"
+        );
+    }
+}
+
+#[test]
+fn shared_file_readers_with_writer_over_write_through_cache() {
+    stress_shared_file_readers_with_writer(CacheMode::WriteThrough);
+}
+
+#[test]
+fn shared_file_readers_with_writer_over_write_back_cache() {
+    stress_shared_file_readers_with_writer(CacheMode::WriteBack);
+}
