@@ -1,0 +1,46 @@
+//! Hot-path microbenchmarks with a live allocation counter.
+//!
+//! This binary installs a counting `#[global_allocator]` (forwarding to the
+//! system allocator) and registers it with the experiment, so the printed
+//! table includes real **allocs/op** next to ns/block — the number the
+//! zero-allocation data path drives to 0 (see `tests/zero_alloc.rs` for the
+//! enforced variant).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Forwards to [`System`], counting every allocation.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers entirely to the system allocator; the counter has no
+// safety impact.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn read_allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+fn main() {
+    lamassu_bench::experiments::hot_path::set_alloc_counter(read_allocs);
+    let mb = lamassu_bench::env_u64("LAMASSU_HOT_MB", 8) as usize;
+    lamassu_bench::experiments::hot_path::run(mb);
+}

@@ -42,6 +42,10 @@ pub struct Fig9Row {
     pub misc_us: f64,
     /// GetCEKey share of the total, in percent.
     pub get_ce_key_pct: f64,
+    /// Block-buffer pool hit rate of the mount so far, in percent (the
+    /// zero-allocation data path runs this to ~100 once warm; see
+    /// `lamassu-core::pool`).
+    pub pool_hit_pct: f64,
 }
 
 /// Runs the Figure 9 experiment with a `file_size`-byte file on a RAM disk.
@@ -76,6 +80,7 @@ pub fn run(file_size: u64) -> Vec<Fig9Row> {
                 plan_us: per_op(breakdown.plan),
                 misc_us: per_op(breakdown.misc),
                 get_ce_key_pct: breakdown.get_ce_key_fraction() * 100.0,
+                pool_hit_pct: profiler.pool_stats().hit_rate() * 100.0,
             });
         }
     }
@@ -93,6 +98,7 @@ pub fn run(file_size: u64) -> Vec<Fig9Row> {
             "Plan",
             "Misc",
             "GetCEKey %",
+            "Pool hit %",
         ],
     );
     for r in &rows {
@@ -107,6 +113,7 @@ pub fn run(file_size: u64) -> Vec<Fig9Row> {
             format!("{:.1}", r.plan_us),
             format!("{:.1}", r.misc_us),
             format!("{:.0}%", r.get_ce_key_pct),
+            format!("{:.0}%", r.pool_hit_pct),
         ]);
     }
     table.print();

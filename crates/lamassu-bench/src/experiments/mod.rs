@@ -14,6 +14,7 @@
 //! | [`cache`] | beyond the paper — cached vs uncached I/O over the NFS profile |
 //! | [`span_io`] | beyond the paper — span vs per-block pipeline round trips |
 //! | [`scaling`] | beyond the paper — multi-job throughput vs job count |
+//! | [`hot_path`] | beyond the paper — allocs/op and ns/block on the steady-state data path |
 
 pub mod ablation;
 pub mod ablation_ce_granularity;
@@ -23,6 +24,7 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig6;
 pub mod fig9;
+pub mod hot_path;
 pub mod scaling;
 pub mod span_io;
 pub mod table1;

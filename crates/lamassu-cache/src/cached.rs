@@ -17,9 +17,11 @@
 
 use crate::config::{CacheConfig, CacheMode};
 use crate::stats::{AtomicStats, CacheStats};
+use lamassu_core::pool::{BlockBuf, BlockPool, PoolStats};
 use lamassu_core::{Category, Profiler};
 use lamassu_storage::{IoCounters, ObjectStore, Result};
 use parking_lot::{Mutex, MutexGuard, RwLock};
+use std::cell::RefCell;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -27,13 +29,31 @@ use std::io::{IoSlice, IoSliceMut};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+thread_local! {
+    /// Reusable backend-fetch staging (miss runs, read-ahead spans, RMW
+    /// fetches). Grown once per thread, so steady-state fills allocate
+    /// nothing.
+    static FILL_SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with the thread's fill buffer (cleared), falling back to a
+/// fresh vector if it is already borrowed (a cache stacked over another
+/// cache must not double-borrow the scratch).
+fn with_fill_scratch<T>(f: impl FnOnce(&mut Vec<u8>) -> T) -> T {
+    lamassu_core::pool::with_tls(&FILL_SCRATCH, |b| {
+        b.clear();
+        f(b)
+    })
+}
+
 /// One cached block of one object.
 struct Slot {
     name: Arc<str>,
     block: u64,
-    /// Exactly `block_size` bytes; bytes past the object's logical end are
-    /// kept zero at all times.
-    data: Box<[u8]>,
+    /// Exactly `block_size` bytes, on loan from the cache's [`BlockPool`]
+    /// (eviction recycles the storage into the next fill); bytes past the
+    /// object's logical end are kept zero at all times.
+    data: BlockBuf,
     /// Bytes from the block start that a write-back must persist.
     valid: usize,
     /// CLOCK reference bit.
@@ -131,6 +151,9 @@ pub struct CachedStore<S: ObjectStore + ?Sized = dyn ObjectStore> {
     meta_shards: Vec<Mutex<HashMap<Arc<str>, ObjMeta>>>,
     stats: AtomicStats,
     profiler: RwLock<Option<Arc<Profiler>>>,
+    /// Recycled slot storage: eviction hands a line's buffer straight back
+    /// to the next fill instead of the allocator (see `lamassu-core::pool`).
+    pool: BlockPool,
     inner: Arc<S>,
 }
 
@@ -189,6 +212,9 @@ impl<S: ObjectStore + ?Sized> CachedStore<S> {
         assert!(config.block_size > 0, "cache block size must be non-zero");
         let shards = config.effective_shards();
         let per_shard = config.blocks_per_shard();
+        // Idle capacity only needs to absorb eviction/invalidation churn —
+        // live lines hold their buffers themselves.
+        let pool = BlockPool::new(config.block_size, (per_shard * shards / 4).max(16));
         CachedStore {
             config,
             block_shards: (0..shards)
@@ -197,6 +223,7 @@ impl<S: ObjectStore + ?Sized> CachedStore<S> {
             meta_shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
             stats: AtomicStats::default(),
             profiler: RwLock::new(None),
+            pool,
             inner,
         }
     }
@@ -216,10 +243,20 @@ impl<S: ObjectStore + ?Sized> CachedStore<S> {
         self.stats.snapshot()
     }
 
+    /// Counters of the slot-storage [`BlockPool`] (also merged into
+    /// [`IoCounters::pool_hits`]/[`IoCounters::pool_misses`] by
+    /// [`ObjectStore::io_counters`]).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
     /// Attaches a Figure 9 [`Profiler`]: time spent in cache management on
     /// the read/write path (lookups, copies, eviction bookkeeping — backend
-    /// call time excluded) is charged to [`Category::Cache`].
+    /// call time excluded) is charged to [`Category::Cache`], and the
+    /// cache's block pool is attached for
+    /// [`Profiler::pool_stats`] reporting.
     pub fn set_profiler(&self, profiler: Arc<Profiler>) {
+        profiler.attach_pool(&self.pool);
         *self.profiler.write() = Some(profiler);
     }
 
@@ -370,7 +407,9 @@ impl<S: ObjectStore + ?Sized> CachedStore<S> {
         sh.slots[idx] = Some(Slot {
             name: name.clone(),
             block,
-            data: vec![0u8; self.config.block_size].into_boxed_slice(),
+            // Zeroed: a line's bytes past `valid` must read as zeros (the
+            // sparse-extension rule), and recycled pool storage is stale.
+            data: self.pool.take_zeroed(),
             valid: 0,
             referenced: true,
             dirty: false,
@@ -444,7 +483,8 @@ impl<S: ObjectStore + ?Sized> CachedStore<S> {
                 misses.push((b, sh.tick, s..e, dst_off));
             }
         }
-        // Pass 2: fetch each contiguous miss run with one backend read.
+        // Pass 2: fetch each contiguous miss run with one backend read into
+        // the thread's reusable fill buffer.
         let mut i = 0;
         while i < misses.len() {
             let mut j = i + 1;
@@ -457,16 +497,22 @@ impl<S: ObjectStore + ?Sized> CachedStore<S> {
             // still under write-back — the difference is zeros by the
             // extension rule.
             let run_valid = (len - run_off).min((j - i) as u64 * bs) as usize;
-            let mut content = vec![0u8; run_valid];
-            timed(backend_time, || {
-                self.inner.read_into(name, run_off, &mut content)
+            with_fill_scratch(|content| -> Result<()> {
+                // The scratch arrives cleared, so the resize zero-fills —
+                // bytes the (possibly shorter) backend cannot produce must
+                // read as zeros by the extension rule.
+                content.resize(run_valid, 0);
+                timed(backend_time, || {
+                    self.inner.read_into(name, run_off, content)
+                })?;
+                for (k, (b, tick_before, span, dst_off)) in run.iter().enumerate() {
+                    let blk = &content[(k * self.config.block_size).min(run_valid)
+                        ..((k + 1) * self.config.block_size).min(run_valid)];
+                    self.insert_clean_block(name, *b, blk, *tick_before, backend_time)?;
+                    copy_to_bufs(bufs, *dst_off, &blk[span.clone()]);
+                }
+                Ok(())
             })?;
-            for (k, (b, tick_before, span, dst_off)) in run.iter().enumerate() {
-                let blk = &content[(k * self.config.block_size).min(run_valid)
-                    ..((k + 1) * self.config.block_size).min(run_valid)];
-                self.insert_clean_block(name, *b, blk, *tick_before, backend_time)?;
-                copy_to_bufs(bufs, *dst_off, &blk[span.clone()]);
-            }
             i = j;
         }
         Ok(())
@@ -525,32 +571,30 @@ impl<S: ObjectStore + ?Sized> CachedStore<S> {
         let count = ticks.len() as u64;
         let span_off = start * self.bs();
         let span_len = (count * self.bs()).min(len - span_off) as usize;
-        let mut span = vec![0u8; span_len];
-        if timed(backend_time, || {
-            self.inner.read_into(name, span_off, &mut span)
+        with_fill_scratch(|span| {
+            span.resize(span_len, 0);
+            if timed(backend_time, || self.inner.read_into(name, span_off, span)).is_err() {
+                return;
+            }
+            for (i, &tick_before) in ticks.iter().enumerate() {
+                let off = i * self.config.block_size;
+                if off >= span_len {
+                    break;
+                }
+                let end = span_len.min(off + self.config.block_size);
+                match self.insert_clean_block(
+                    name,
+                    start + i as u64,
+                    &span[off..end],
+                    tick_before,
+                    backend_time,
+                ) {
+                    Ok(true) => AtomicStats::bump(&self.stats.prefetched),
+                    Ok(false) => {}
+                    Err(_) => break,
+                }
+            }
         })
-        .is_err()
-        {
-            return;
-        }
-        for (i, &tick_before) in ticks.iter().enumerate() {
-            let off = i * self.config.block_size;
-            if off >= span_len {
-                break;
-            }
-            let end = span_len.min(off + self.config.block_size);
-            match self.insert_clean_block(
-                name,
-                start + i as u64,
-                &span[off..end],
-                tick_before,
-                backend_time,
-            ) {
-                Ok(true) => AtomicStats::bump(&self.stats.prefetched),
-                Ok(false) => {}
-                Err(_) => break,
-            }
-        }
     }
 
     /// One block of a write-back write: lands in the cache dirty, fetching
@@ -574,25 +618,24 @@ impl<S: ObjectStore + ?Sized> CachedStore<S> {
                 AtomicStats::bump(&self.stats.write_hits);
                 idx
             }
-            None => {
+            None => with_fill_scratch(|content| -> Result<usize> {
                 let blk_off = block * self.bs();
                 let full_cover = s == 0 && e == self.config.block_size;
-                let mut content = Vec::new();
                 if !full_cover && blk_off < len_before {
                     // Read-modify-write: the rest of the block exists below.
                     let valid = ((len_before - blk_off) as usize).min(self.config.block_size);
-                    content = vec![0u8; valid];
+                    content.resize(valid, 0);
                     AtomicStats::bump(&self.stats.misses);
                     timed(backend_time, || {
-                        self.inner.read_into(name, blk_off, &mut content)
+                        self.inner.read_into(name, blk_off, content)
                     })?;
                 }
                 let idx = self.ensure_slot(&mut sh, name, block, backend_time)?;
                 let slot = sh.slots[idx].as_mut().expect("slot just ensured");
-                slot.data[..content.len()].copy_from_slice(&content);
+                slot.data[..content.len()].copy_from_slice(content);
                 slot.valid = content.len();
-                idx
-            }
+                Ok(idx)
+            })?,
         };
         let slot = sh.slots[idx].as_mut().expect("mapped slot exists");
         copy_bufs_range(bufs, src_off, &mut slot.data[s..e]);
@@ -926,6 +969,9 @@ impl<S: ObjectStore + ?Sized> ObjectStore for CachedStore<S> {
         counters.cache_misses = stats.misses;
         counters.cache_evictions = stats.evictions;
         counters.cache_writebacks = stats.dirty_writebacks;
+        let pool = self.pool.stats();
+        counters.pool_hits += pool.hits;
+        counters.pool_misses += pool.misses;
         counters
     }
 

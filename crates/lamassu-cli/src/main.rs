@@ -279,6 +279,7 @@ fn mount(opts: &Options) -> Result<Mounted, String> {
             span: lamassu_core::SpanConfig {
                 policy: lamassu_core::SpanPolicy::Batched,
                 workers: opts.workers,
+                ..lamassu_core::SpanConfig::default()
             },
         },
     );

@@ -26,6 +26,7 @@
 use crate::fs::{FileAttr, FileSystem, OpenFlags};
 use crate::handles::{HandleTable, PathRegistry};
 use crate::iovec::{self, GatherCursor};
+use crate::pool::BlockPool;
 use crate::profiler::{Category, Profiler};
 use crate::span::{SpanConfig, SpanPolicy};
 use crate::{Fd, FsError, Result};
@@ -55,6 +56,10 @@ struct CeFileState {
 
 type SharedState = Arc<RwLock<CeFileState>>;
 
+/// Idle header blocks the auto-sized CeFileFS pool keeps (one per
+/// concurrently loading/storing file is plenty).
+const CE_POOL_BLOCKS: usize = 8;
+
 /// Whole-file convergent encryption (Tahoe-LAFS-style) baseline.
 pub struct CeFileFs {
     store: Arc<dyn ObjectStore>,
@@ -62,6 +67,9 @@ pub struct CeFileFs {
     span: SpanConfig,
     /// The mount's shared crypto worker pool (see [`crate::span`]).
     pool: CryptoPool,
+    /// Recycled header-block staging (see [`crate::pool`]); the variable
+    /// sized file bodies stay ordinary vectors.
+    blocks: BlockPool,
     kdf: ConvergentKdf,
     gcm: Aes256Gcm,
     handles: HandleTable<SharedState>,
@@ -84,17 +92,26 @@ impl CeFileFs {
         span: SpanConfig,
     ) -> Self {
         assert!(block_size >= 64 && block_size.is_multiple_of(16));
+        let blocks = BlockPool::new(block_size, span.pool_capacity(CE_POOL_BLOCKS));
+        let profiler = Profiler::new();
+        profiler.attach_pool(&blocks);
         CeFileFs {
             store,
             block_size,
             span,
             pool: span.pool(),
+            blocks,
             kdf: ConvergentKdf::new(&keys.inner),
             gcm: Aes256Gcm::new(&keys.outer),
             handles: HandleTable::new(),
-            profiler: Profiler::new(),
+            profiler,
             files: PathRegistry::new(),
         }
+    }
+
+    /// Counters of the mount's recycled header-block pool.
+    pub fn pool_stats(&self) -> crate::pool::PoolStats {
+        self.blocks.stats()
     }
 
     /// The latency profiler for this mount.
@@ -125,9 +142,10 @@ impl CeFileFs {
         }
         let body_len = (physical as usize).saturating_sub(self.block_size);
         let batched = self.span.policy == SpanPolicy::Batched;
-        let (header, mut body) = if batched {
-            // Header and body are physically contiguous: one round trip.
-            let mut header = vec![0u8; self.block_size];
+        let mut header = self.blocks.take();
+        let mut body = if batched {
+            // Header and body are physically contiguous: one round trip,
+            // header staged through a pooled block.
             let mut body = vec![0u8; body_len];
             let n = self.io(|| {
                 self.store.read_into_vectored(
@@ -142,15 +160,19 @@ impl CeFileFs {
                     lamassu_format::FormatError::MetadataAuthFailure,
                 ));
             }
-            (header, body)
+            body
         } else {
-            let header = self.io(|| self.store.read_at(path, 0, self.block_size))?;
-            let body = if body_len > 0 {
+            let n = self.io(|| self.store.read_into(path, 0, &mut header))?;
+            if n < self.block_size {
+                return Err(FsError::Metadata(
+                    lamassu_format::FormatError::MetadataAuthFailure,
+                ));
+            }
+            if body_len > 0 {
                 self.io(|| self.store.read_at(path, self.block_size as u64, body_len))?
             } else {
                 Vec::new()
-            };
-            (header, body)
+            }
         };
         // Header: nonce(12) | tag(16) | sealed[ magic(8) | size(8) | key(32) ].
         let nonce: [u8; NONCE_LEN] = header[..NONCE_LEN].try_into().expect("12 bytes");
@@ -220,7 +242,9 @@ impl CeFileFs {
             self.gcm
                 .encrypt_in_place(&nonce, b"cefile-header", &mut sealed)
         });
-        let mut header = vec![0u8; self.block_size];
+        // Pooled header staging: zeroed because the padding past the sealed
+        // region is part of the on-disk format.
+        let mut header = self.blocks.take_zeroed();
         header[..NONCE_LEN].copy_from_slice(&nonce);
         header[NONCE_LEN..NONCE_LEN + TAG_LEN].copy_from_slice(&tag);
         header[NONCE_LEN + TAG_LEN..NONCE_LEN + TAG_LEN + 48].copy_from_slice(&sealed);

@@ -28,6 +28,7 @@
 use crate::fs::{FileAttr, FileSystem, OpenFlags};
 use crate::handles::{HandleTable, PathRegistry};
 use crate::iovec::{self, GatherCursor};
+use crate::pool::{BlockBuf, BlockPool};
 use crate::profiler::{Category, Profiler};
 use crate::span::{SpanConfig, SpanPlanner, SpanPolicy};
 use crate::{Fd, FsError, Result};
@@ -38,9 +39,23 @@ use lamassu_crypto::{Iv128, Key256};
 use lamassu_storage::ObjectStore;
 use parking_lot::RwLock;
 use rand::RngCore;
-use std::io::{IoSlice, IoSliceMut};
+use std::cell::RefCell;
+use std::io::IoSlice;
 use std::sync::Arc;
 use std::time::Instant;
+
+thread_local! {
+    /// Per-block IV scratch plus the indices of sparse-hole blocks within
+    /// the current span chunk. Thread-local so the read path can stay on a
+    /// shared borrow, reused so warm reads and writes allocate nothing.
+    static IV_SCRATCH: RefCell<(Vec<Iv128>, Vec<usize>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Runs `f` with the thread's IV scratch (fresh fallback if re-entered).
+fn with_iv_scratch<T>(f: impl FnOnce(&mut Vec<Iv128>, &mut Vec<usize>) -> T) -> T {
+    crate::pool::with_tls(&IV_SCRATCH, |(ivs, holes)| f(ivs, holes))
+}
 
 /// Magic bytes identifying an EncFS header.
 const MAGIC: &[u8; 8] = b"ENCFSv1\0";
@@ -91,6 +106,11 @@ struct EncFileState {
 
 type SharedState = Arc<RwLock<EncFileState>>;
 
+/// Idle blocks the auto-sized EncFS pool keeps: edge staging for a handful
+/// of concurrent readers (the bulk staging lives in per-file reused
+/// buffers).
+const ENC_POOL_BLOCKS: usize = 16;
+
 /// The conventional (non-convergent) encrypted shim.
 pub struct EncFs {
     store: Arc<dyn ObjectStore>,
@@ -98,6 +118,8 @@ pub struct EncFs {
     config: EncFsConfig,
     /// The mount's shared crypto worker pool (see [`crate::span`]).
     pool: CryptoPool,
+    /// Recycled edge-staging blocks (see [`crate::pool`]).
+    blocks: BlockPool,
     planner: SpanPlanner,
     handles: HandleTable<SharedState>,
     profiler: Arc<Profiler>,
@@ -112,14 +134,21 @@ impl EncFs {
             config.block_size >= RAW_HEADER_LEN && config.block_size.is_multiple_of(16),
             "EncFS block size must be a multiple of 16 and at least {RAW_HEADER_LEN}"
         );
+        let blocks = BlockPool::new(
+            config.block_size,
+            config.span.pool_capacity(ENC_POOL_BLOCKS),
+        );
+        let profiler = Profiler::new();
+        profiler.attach_pool(&blocks);
         EncFs {
             store,
             volume_cipher: Aes256::new(&volume_key),
             pool: config.span.pool(),
+            blocks,
             planner: SpanPlanner::new(config.block_size),
             config,
             handles: HandleTable::new(),
-            profiler: Profiler::new(),
+            profiler,
             files: PathRegistry::new(),
         }
     }
@@ -127,6 +156,11 @@ impl EncFs {
     /// The latency profiler for this mount.
     pub fn profiler(&self) -> Arc<Profiler> {
         self.profiler.clone()
+    }
+
+    /// Counters of the mount's recycled block-buffer pool.
+    pub fn pool_stats(&self) -> crate::pool::PoolStats {
+        self.blocks.stats()
     }
 
     /// The configured block size.
@@ -265,108 +299,149 @@ impl EncFs {
         })
     }
 
-    /// The span read pipeline: one vectored backend read per
-    /// [`MAX_SPAN_BLOCKS`]-bounded chunk of the range (partial edge blocks
-    /// staged, full blocks scattered directly into the caller's buffer),
-    /// then one parallel batch decrypt per chunk.
+    /// The span read pipeline: one backend round trip per
+    /// [`MAX_SPAN_BLOCKS`]-bounded chunk of the range, then one contiguous
+    /// batch decrypt per chunk.
     ///
-    /// Takes only a shared borrow of the file state (served under the shim's
-    /// read guard); the at-most-two edge staging blocks are per-call
-    /// allocations so concurrent readers never share scratch memory.
+    /// The steady-state aligned shape needs no staging at all — ciphertext
+    /// lands straight in the caller's buffer and decrypts there, with the
+    /// per-block IVs built in thread-local scratch (zero allocation).
+    /// Partial edge blocks stage through pooled blocks and decrypt
+    /// individually around the contiguous middle. Takes only a shared borrow
+    /// of the file state (served under the shim's read guard).
     fn read_span(&self, path: &str, st: &EncFileState, offset: u64, buf: &mut [u8]) -> Result<()> {
         let bs = self.config.block_size;
         let plan = self
             .profiler
             .time(Category::Plan, || self.planner.plan(offset, buf.len()));
-        let mut scratch = vec![0u8; 0];
-        let mut tail_stage = vec![0u8; 0];
-        {
-            let mut chunk_first = plan.first_block;
-            while chunk_first <= plan.last_block {
-                let chunk_last = (chunk_first + MAX_SPAN_BLOCKS as u64 - 1).min(plan.last_block);
-                let head_staged = !plan.is_full(chunk_first);
-                let tail_staged = chunk_last != chunk_first && !plan.is_full(chunk_last);
-                if head_staged && scratch.is_empty() {
-                    scratch = vec![0u8; bs];
-                }
-                if tail_staged && tail_stage.is_empty() {
-                    tail_stage = vec![0u8; bs];
-                }
-                let blocks = (chunk_last - chunk_first + 1) as usize;
-                let mid_count = blocks - head_staged as usize - tail_staged as usize;
-                let mid_range = if mid_count > 0 {
-                    let start = plan.buf_range(chunk_first + head_staged as u64).start;
-                    start..start + mid_count * bs
-                } else {
-                    0..0
-                };
+        let mut head_stage: Option<BlockBuf> = None;
+        let mut tail_stage: Option<BlockBuf> = None;
+        let mut chunk_first = plan.first_block;
+        while chunk_first <= plan.last_block {
+            let chunk_last = (chunk_first + MAX_SPAN_BLOCKS as u64 - 1).min(plan.last_block);
+            let head_staged = !plan.is_full(chunk_first);
+            let tail_staged = chunk_last != chunk_first && !plan.is_full(chunk_last);
+            let blocks = (chunk_last - chunk_first + 1) as usize;
+            let mid_count = blocks - head_staged as usize - tail_staged as usize;
+            let mid_range = if mid_count > 0 {
+                let start = plan.buf_range(chunk_first + head_staged as u64).start;
+                start..start + mid_count * bs
+            } else {
+                0..0
+            };
 
-                // One backend round trip scatters the chunk's ciphertext.
-                let n = {
-                    let mid_slice = &mut buf[mid_range.clone()];
-                    let mut io_bufs: Vec<IoSliceMut<'_>> = Vec::with_capacity(3);
+            // One backend round trip for the chunk: straight into the
+            // caller's buffer when aligned, scattered over the pooled edge
+            // stages otherwise.
+            let n = if !head_staged && !tail_staged {
+                let mid_slice = &mut buf[mid_range.clone()];
+                self.io(|| {
+                    self.store
+                        .read_into(path, self.data_offset(chunk_first), mid_slice)
+                })?
+            } else {
+                if head_staged && head_stage.is_none() {
+                    head_stage = Some(self.blocks.take());
+                }
+                if tail_staged && tail_stage.is_none() {
+                    tail_stage = Some(self.blocks.take());
+                }
+                let mid_slice = &mut buf[mid_range.clone()];
+                iovec::with_scatter3(
                     if head_staged {
-                        io_bufs.push(IoSliceMut::new(&mut scratch));
-                    }
-                    if !mid_slice.is_empty() {
-                        io_bufs.push(IoSliceMut::new(mid_slice));
-                    }
+                        head_stage.as_deref_mut()
+                    } else {
+                        None
+                    },
+                    mid_slice,
                     if tail_staged {
-                        io_bufs.push(IoSliceMut::new(&mut tail_stage));
-                    }
-                    self.io(|| {
-                        self.store.read_into_vectored(
-                            path,
-                            self.data_offset(chunk_first),
-                            &mut io_bufs,
-                        )
-                    })?
-                };
+                        tail_stage.as_deref_mut()
+                    } else {
+                        None
+                    },
+                    |io_bufs| {
+                        self.io(|| {
+                            self.store.read_into_vectored(
+                                path,
+                                self.data_offset(chunk_first),
+                                io_bufs,
+                            )
+                        })
+                    },
+                )?
+            };
 
-                // Batch decrypt: zero the unread tail of every block (the
-                // sparse-hole convention), then decrypt the non-zero blocks
-                // under their per-block IVs in one parallel pass.
-                let mut block_bufs: Vec<&mut [u8]> = Vec::with_capacity(blocks);
+            // Zero the unread tail of every block (the sparse-hole
+            // convention: zero ciphertext reads back as zero plaintext),
+            // then decrypt — edges individually, the middle as one
+            // contiguous batch with per-block IVs from thread-local
+            // scratch. Hole blocks inside the middle are decrypted along
+            // with the batch and re-zeroed after, which keeps the span
+            // contiguous (holes are rare; correctness is byte-identical to
+            // the skip-the-hole per-block path).
+            with_iv_scratch(|ivs, holes| -> Result<()> {
+                ivs.clear();
+                holes.clear();
                 if head_staged {
-                    block_bufs.push(&mut scratch);
-                }
-                block_bufs.extend(buf[mid_range].chunks_exact_mut(bs));
-                if tail_staged {
-                    block_bufs.push(&mut tail_stage);
-                }
-                let mut ivs: Vec<Iv128> = Vec::with_capacity(blocks);
-                let mut to_decrypt: Vec<&mut [u8]> = Vec::with_capacity(blocks);
-                for (i, block_buf) in block_bufs.into_iter().enumerate() {
-                    let filled = n.saturating_sub(i * bs).min(bs);
-                    block_buf[filled..].fill(0);
-                    // An all-zero ciphertext block is a hole and must read
-                    // back as zero plaintext (same as the per-block path).
-                    if block_buf.iter().any(|&b| b != 0) {
-                        ivs.push(Self::block_iv(
-                            &st.cipher,
-                            &st.file_iv,
-                            chunk_first + i as u64,
-                        ));
-                        to_decrypt.push(block_buf);
+                    let head = head_stage.as_deref_mut().expect("taken");
+                    let filled = n.min(bs);
+                    head[filled..].fill(0);
+                    if head.iter().any(|&b| b != 0) {
+                        let iv = Self::block_iv(&st.cipher, &st.file_iv, chunk_first);
+                        self.profiler.time(Category::Decrypt, || {
+                            cbc::decrypt_in_place(&st.cipher, &iv, head)
+                        })?;
                     }
                 }
-                self.profiler.time(Category::Decrypt, || {
-                    batch::decrypt_blocks_with(&self.pool, &st.cipher, &ivs, &mut to_decrypt)
-                })?;
-
-                // Copy the requested fragments of the staged edges out.
-                if head_staged {
-                    let (in_block, take) = plan.span_of(chunk_first);
-                    buf[plan.buf_range(chunk_first)]
-                        .copy_from_slice(&scratch[in_block..in_block + take]);
+                for i in 0..mid_count {
+                    let chunk_idx = head_staged as usize + i;
+                    let blk = &mut buf[mid_range.start + i * bs..mid_range.start + (i + 1) * bs];
+                    let filled = n.saturating_sub(chunk_idx * bs).min(bs);
+                    blk[filled..].fill(0);
+                    if blk.iter().all(|&b| b == 0) {
+                        holes.push(i);
+                    }
+                    ivs.push(Self::block_iv(
+                        &st.cipher,
+                        &st.file_iv,
+                        chunk_first + chunk_idx as u64,
+                    ));
+                }
+                if mid_count > 0 {
+                    let mid_slice = &mut buf[mid_range.clone()];
+                    self.profiler.time(Category::Decrypt, || {
+                        batch::decrypt_span_with(&self.pool, &st.cipher, ivs, mid_slice, bs)
+                    })?;
+                    for &i in holes.iter() {
+                        buf[mid_range.start + i * bs..mid_range.start + (i + 1) * bs].fill(0);
+                    }
                 }
                 if tail_staged {
-                    let (in_block, take) = plan.span_of(chunk_last);
-                    buf[plan.buf_range(chunk_last)]
-                        .copy_from_slice(&tail_stage[in_block..in_block + take]);
+                    let tail = tail_stage.as_deref_mut().expect("taken");
+                    let filled = n.saturating_sub((blocks - 1) * bs).min(bs);
+                    tail[filled..].fill(0);
+                    if tail.iter().any(|&b| b != 0) {
+                        let iv = Self::block_iv(&st.cipher, &st.file_iv, chunk_last);
+                        self.profiler.time(Category::Decrypt, || {
+                            cbc::decrypt_in_place(&st.cipher, &iv, tail)
+                        })?;
+                    }
                 }
-                chunk_first = chunk_last + 1;
+                Ok(())
+            })?;
+
+            // Copy the requested fragments of the staged edges out.
+            if head_staged {
+                let (in_block, take) = plan.span_of(chunk_first);
+                let head = head_stage.as_deref().expect("taken");
+                buf[plan.buf_range(chunk_first)].copy_from_slice(&head[in_block..in_block + take]);
             }
+            if tail_staged {
+                let (in_block, take) = plan.span_of(chunk_last);
+                let tail = tail_stage.as_deref().expect("taken");
+                buf[plan.buf_range(chunk_last)].copy_from_slice(&tail[in_block..in_block + take]);
+            }
+            chunk_first = chunk_last + 1;
         }
         Ok(())
     }
@@ -427,13 +502,19 @@ impl EncFs {
                 };
                 cursor.copy_to(&mut chunk[head_in..head_in + chunk_take]);
 
-                // One parallel batch encrypt, one backend write for the span.
-                let ivs: Vec<Iv128> = (chunk_first..=chunk_last)
-                    .map(|b| Self::block_iv(&st.cipher, &st.file_iv, b))
-                    .collect();
-                let mut refs: Vec<&mut [u8]> = chunk.chunks_exact_mut(bs).collect();
-                self.profiler.time(Category::Encrypt, || {
-                    batch::encrypt_blocks_with(&self.pool, &st.cipher, &ivs, &mut refs)
+                // One parallel batch encrypt over the contiguous staging
+                // buffer (IVs from thread-local scratch — no allocation),
+                // one backend write for the span.
+                with_iv_scratch(|ivs, _| -> Result<()> {
+                    ivs.clear();
+                    ivs.extend(
+                        (chunk_first..=chunk_last)
+                            .map(|b| Self::block_iv(&st.cipher, &st.file_iv, b)),
+                    );
+                    self.profiler.time(Category::Encrypt, || {
+                        batch::encrypt_span_with(&self.pool, &st.cipher, ivs, chunk, bs)
+                    })?;
+                    Ok(())
                 })?;
                 self.io(|| {
                     self.store
@@ -527,9 +608,9 @@ impl FileSystem for EncFs {
             return Ok(len);
         }
         let bs = self.config.block_size as u64;
-        // Per-block fallback: a per-call staging block serves partial spans;
+        // Per-block fallback: a pooled staging block serves partial spans;
         // aligned full blocks are decrypted directly in the caller's buffer.
-        let mut scratch: Option<Vec<u8>> = None;
+        let mut scratch: Option<BlockBuf> = None;
         let mut cur = offset;
         let end = offset + len as u64;
         let mut out_pos = 0usize;
@@ -546,7 +627,7 @@ impl FileSystem for EncFs {
                     &mut buf[out_pos..out_pos + take],
                 )?;
             } else {
-                let scratch = scratch.get_or_insert_with(|| vec![0u8; bs as usize]);
+                let scratch = scratch.get_or_insert_with(|| self.blocks.take());
                 self.read_block_into(&path, &st.cipher, &st.file_iv, block, scratch)?;
                 buf[out_pos..out_pos + take].copy_from_slice(&scratch[in_block..in_block + take]);
             }

@@ -1,10 +1,37 @@
-//! Gather-list helpers shared by the shims' `write_vectored` paths.
+//! Gather/scatter-list helpers shared by the shims' vectored paths.
 
-use std::io::IoSlice;
+use std::io::{IoSlice, IoSliceMut};
 
 /// Total number of bytes in a scatter list.
 pub(crate) fn total_len(bufs: &[IoSlice<'_>]) -> usize {
     bufs.iter().map(|b| b.len()).sum()
+}
+
+/// Runs `read` with a scatter list of up to three regions — optional head
+/// staging, the contiguous middle, optional tail staging — built **on the
+/// stack** (empty regions are skipped). This is how the span read paths
+/// issue their one vectored backend call without allocating the
+/// `IoSliceMut` list: the edge-staged shape is part of the steady state for
+/// misaligned workloads.
+pub(crate) fn with_scatter3<T>(
+    head: Option<&mut [u8]>,
+    mid: &mut [u8],
+    tail: Option<&mut [u8]>,
+    read: impl FnOnce(&mut [IoSliceMut<'_>]) -> T,
+) -> T {
+    let mid = (!mid.is_empty()).then_some(mid);
+    match (head, mid, tail) {
+        (Some(h), Some(m), Some(t)) => {
+            read(&mut [IoSliceMut::new(h), IoSliceMut::new(m), IoSliceMut::new(t)])
+        }
+        (Some(h), Some(m), None) => read(&mut [IoSliceMut::new(h), IoSliceMut::new(m)]),
+        (Some(h), None, Some(t)) => read(&mut [IoSliceMut::new(h), IoSliceMut::new(t)]),
+        (None, Some(m), Some(t)) => read(&mut [IoSliceMut::new(m), IoSliceMut::new(t)]),
+        (Some(h), None, None) => read(&mut [IoSliceMut::new(h)]),
+        (None, Some(m), None) => read(&mut [IoSliceMut::new(m)]),
+        (None, None, Some(t)) => read(&mut [IoSliceMut::new(t)]),
+        (None, None, None) => read(&mut []),
+    }
 }
 
 /// A forward-only cursor over a scatter list, used to peel block-sized

@@ -1,20 +1,36 @@
 //! The Lamassu data path: segment I/O, multiphase commit, recovery.
 //!
 //! [`Engine`] holds everything shared by all files of one mount (backing
-//! store, geometry, crypto contexts, profiler); [`LamassuFile`] holds the
-//! per-object state (logical size, the in-memory write buffer that batches up
-//! to `R` dirty blocks, a decrypted-metadata cache, and the reusable block
-//! buffers that keep the data path allocation-free). All the mechanics
+//! store, geometry, crypto contexts, the block-buffer pool, profiler);
+//! [`LamassuFile`] holds the per-object state (logical size, the in-memory
+//! write buffer that batches up to `R` dirty blocks, a decrypted-metadata
+//! cache, and the reusable commit staging buffer). All the mechanics
 //! described in §2.2–§2.5 of the paper live here.
 //!
-//! # Hot-path buffer discipline
+//! # Zero-allocation steady state
 //!
-//! * Reads land directly in the caller's buffer when they cover whole
-//!   aligned blocks (ciphertext is read into the destination and decrypted
-//!   in place); sub-block edges stage through small per-call buffers.
-//! * Writes stage dirty plaintext blocks in a small pool recycled across
-//!   commits, so steady-state writing performs no per-call allocation.
-//! * Commit encrypts each staged block in place before writing it out.
+//! Once a mount is warm, an aligned read or write performs **no heap
+//! allocation** (`tests/zero_alloc.rs` pins this with a counting global
+//! allocator). The pieces that make that true:
+//!
+//! * every block-sized scratch buffer — read-edge staging, metadata
+//!   staging, dirty-write staging — comes from the mount's
+//!   [`BlockPool`] and returns to it on drop;
+//! * the per-file dirty-block buffer is a sorted `Vec` whose capacity
+//!   persists across commits, and commits stage through one reusable
+//!   contiguous `commit_buf` so batch crypto runs on a span, not a
+//!   ref-vector;
+//! * metadata blocks are updated **in place** in the per-file cache and
+//!   sealed directly into a pooled block ([`MetadataBlock::seal_into`]) —
+//!   no clone, no fresh ciphertext vector;
+//! * the variable-length bookkeeping a span read needs (run boundaries,
+//!   per-run keys, re-derived keys) lives in thread-local scratch vectors
+//!   that amortize to zero after first use.
+//!
+//! The remaining allocations are deliberate: cold metadata-cache misses,
+//! recovery/verify sweeps, and the `O(workers)` fan-out of a parallel crypto
+//! batch (absent when the span runs inline — see
+//! [`CryptoPool::runs_inline`]).
 //!
 //! # Concurrency
 //!
@@ -22,14 +38,15 @@
 //! the shim can serve it under an `RwLock` read guard and any number of
 //! readers proceed in parallel on one open file. The pieces a read must
 //! still mutate live behind their own short-critical-section locks: the
-//! decrypted-metadata cache is a [`Mutex`]`<HashMap>` (locked only to probe
-//! or insert, never across store I/O or crypto). Writers — buffering,
-//! commit, truncate, recovery — take `&mut LamassuFile` and therefore run
-//! under the shim's exclusive write guard, which is what keeps the
-//! multiphase commit invisible to concurrent readers.
+//! decrypted-metadata cache is a [`Mutex`]`<HashMap>` (locked only to probe,
+//! insert, or copy keys out — never across store I/O or crypto). Writers —
+//! buffering, commit, truncate, recovery — take `&mut LamassuFile` and
+//! therefore run under the shim's exclusive write guard, which is what keeps
+//! the multiphase commit invisible to concurrent readers.
 
 use crate::iovec::{self, GatherCursor};
 use crate::lamassufs::{IntegrityMode, LamassuConfig};
+use crate::pool::{with_tls, BlockBuf, BlockPool};
 use crate::profiler::{Category, Profiler};
 use crate::span::{SpanConfig, SpanPlan, SpanPlanner, SpanPolicy};
 use crate::{FsError, Result};
@@ -44,13 +61,40 @@ use lamassu_keymgr::ZoneKeys;
 use lamassu_storage::{ObjectStore, StorageError};
 use parking_lot::{Mutex, RwLock};
 use rand::RngCore;
-use std::collections::{BTreeMap, HashMap};
-use std::io::{IoSlice, IoSliceMut};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::io::IoSlice;
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Maximum number of decrypted metadata blocks cached per open file.
 const META_CACHE_CAP: usize = 8192;
+
+/// Extra block-pool capacity beyond the largest single-write working set:
+/// read-edge staging (two per in-flight reader), metadata staging, and the
+/// truncate/verify scratch block.
+const POOL_SLACK_BLOCKS: usize = 16;
+
+/// Idle blocks the auto-sized pool keeps for the write path: large
+/// application writes stage up to one span of dirty blocks before the batch
+/// commit drains them back.
+const POOL_WRITE_BLOCKS: usize = 256;
+
+/// One maximal run of consecutive disk-backed blocks within a span read:
+/// `(first block, index of its first key in the scratch key vec, length)`.
+type RunSpan = (u64, usize, usize);
+
+thread_local! {
+    /// Span-read planning scratch: run boundaries, the flat per-run key
+    /// copies, and the hole block indices of the current segment group.
+    /// Thread-local so the read path can use it under a *shared* file
+    /// borrow, reused so the steady state allocates nothing.
+    static RUN_SCRATCH: RefCell<(Vec<RunSpan>, Vec<Key256>, Vec<u64>)> =
+        const { RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
+    /// Derived/recomputed key scratch (integrity re-derivation, commit key
+    /// derivation).
+    static KEY_SCRATCH: RefCell<Vec<Key256>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Outcome of a crash-recovery scan over one file (paper §2.4).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -110,42 +154,46 @@ impl CryptoCtx {
 }
 
 /// Per-file state: logical size, write buffer, metadata cache and the
-/// recycled block buffers of the zero-copy data path.
+/// reusable commit staging of the zero-allocation data path.
 ///
 /// Readers hold the shim's shared guard and use only `&self`; the
 /// metadata cache has its own interior lock so concurrent readers can warm
-/// it. Everything else mutable (the write buffer, the recycled staging
-/// pool, the size fields) is reached through `&mut self` under the shim's
-/// exclusive write guard.
+/// it. Everything else mutable (the write buffer, the commit staging, the
+/// size fields) is reached through `&mut self` under the shim's exclusive
+/// write guard.
 pub(crate) struct LamassuFile {
     name: String,
     logical_size: u64,
     size_dirty: bool,
-    /// Dirty plaintext blocks not yet committed, keyed by logical block
-    /// index. Flushed as a batch once it holds `R` blocks (§2.4).
-    pending: BTreeMap<u64, Vec<u8>>,
-    /// Decrypted metadata blocks, keyed by segment index. Write-through.
-    /// Behind its own lock (held only to probe/insert, never across I/O or
-    /// crypto) so the read path can populate it under a shared file guard.
+    /// Dirty plaintext blocks not yet committed, sorted by logical block
+    /// index. Flushed as a batch once it holds `R` blocks (§2.4). The
+    /// buffers come from the mount's [`BlockPool`] and return to it when
+    /// the flush drains them; the `Vec`'s own capacity persists across
+    /// flushes, so steady-state writing allocates nothing.
+    pending: Vec<(u64, BlockBuf)>,
+    /// Decrypted metadata blocks, keyed by segment index. Kept in sync with
+    /// disk by the in-place update path. Behind its own lock (held only to
+    /// probe, insert or copy out — never across I/O) so the read path can
+    /// populate it under a shared file guard.
     meta_cache: Mutex<HashMap<u64, MetadataBlock>>,
-    /// Recycled block buffers for `pending`, so steady-state writes reuse
-    /// the buffers freed by the previous commit.
-    spare: Vec<Vec<u8>>,
-    /// Upper bound on `spare` (writes batch at most `R` blocks, so `R`
-    /// buffers plus a little slack cycle forever).
-    spare_cap: usize,
+    /// Contiguous staging for one commit chunk (≤ `R` blocks): plaintext is
+    /// gathered here, encrypted in place as one span, and written out run by
+    /// run. Grown once, reused forever.
+    commit_buf: Vec<u8>,
+    /// Block indices of the chunk staged in `commit_buf` (reused).
+    chunk_ids: Vec<u64>,
 }
 
 impl LamassuFile {
-    fn new(name: &str, geometry: &Geometry) -> Self {
+    fn new(name: &str) -> Self {
         LamassuFile {
             name: name.to_string(),
             logical_size: 0,
             size_dirty: false,
-            pending: BTreeMap::new(),
+            pending: Vec::new(),
             meta_cache: Mutex::new(HashMap::new()),
-            spare: Vec::new(),
-            spare_cap: geometry.reserved_slots() + 2,
+            commit_buf: Vec::new(),
+            chunk_ids: Vec::new(),
         }
     }
 
@@ -164,17 +212,12 @@ impl LamassuFile {
         self.name = name.to_string();
     }
 
-    /// Hands out a block buffer from the recycle pool (callers must fully
-    /// initialize it — recycled buffers hold stale bytes).
-    fn take_block(&mut self, block_size: usize) -> Vec<u8> {
-        self.spare.pop().unwrap_or_else(|| vec![0u8; block_size])
-    }
-
-    /// Returns a block buffer to the recycle pool.
-    fn recycle(&mut self, buf: Vec<u8>) {
-        if self.spare.len() < self.spare_cap {
-            self.spare.push(buf);
-        }
+    /// The buffered plaintext for `block`, if it is staged for commit.
+    fn pending_block(&self, block: u64) -> Option<&BlockBuf> {
+        self.pending
+            .binary_search_by_key(&block, |(b, _)| *b)
+            .ok()
+            .map(|i| &self.pending[i].1)
     }
 }
 
@@ -186,6 +229,8 @@ pub(crate) struct Engine {
     span: SpanConfig,
     /// The mount's shared crypto worker pool (see [`crate::span`]).
     pool: CryptoPool,
+    /// The mount's recycled block-buffer pool (see [`crate::pool`]).
+    blocks: BlockPool,
     planner: SpanPlanner,
     crypto: RwLock<CryptoCtx>,
     profiler: Arc<Profiler>,
@@ -193,15 +238,23 @@ pub(crate) struct Engine {
 
 impl Engine {
     pub(crate) fn new(store: Arc<dyn ObjectStore>, keys: ZoneKeys, config: LamassuConfig) -> Self {
+        let auto_cap = POOL_WRITE_BLOCKS + config.geometry.reserved_slots() + POOL_SLACK_BLOCKS;
+        let blocks = BlockPool::new(
+            config.geometry.block_size(),
+            config.span.pool_capacity(auto_cap),
+        );
+        let profiler = Profiler::new();
+        profiler.attach_pool(&blocks);
         Engine {
             store,
             geometry: config.geometry,
             integrity: config.integrity,
             span: config.span,
             pool: config.span.pool(),
+            blocks,
             planner: SpanPlanner::new(config.geometry.block_size()),
             crypto: RwLock::new(CryptoCtx::new(keys)),
-            profiler: Profiler::new(),
+            profiler,
         }
     }
 
@@ -215,6 +268,11 @@ impl Engine {
 
     pub(crate) fn integrity_mode(&self) -> IntegrityMode {
         self.integrity
+    }
+
+    /// The mount's block-buffer pool (stats surface through the shim).
+    pub(crate) fn block_pool(&self) -> &BlockPool {
+        &self.blocks
     }
 
     pub(crate) fn object_exists(&self, name: &str) -> bool {
@@ -261,9 +319,11 @@ impl Engine {
 
     /// Additional authenticated data binding a metadata block to its segment
     /// position so sealed blocks cannot be transplanted between segments.
-    fn aad(segment: u64) -> Vec<u8> {
-        let mut aad = b"lamassu-v1-seg-".to_vec();
-        aad.extend_from_slice(&segment.to_le_bytes());
+    /// A fixed-size stack value — the hot write path builds one per seal.
+    fn aad(segment: u64) -> [u8; 23] {
+        let mut aad = [0u8; 23];
+        aad[..15].copy_from_slice(b"lamassu-v1-seg-");
+        aad[15..].copy_from_slice(&segment.to_le_bytes());
         aad
     }
 
@@ -280,7 +340,7 @@ impl Engine {
             }
             other => other,
         })?;
-        let file = LamassuFile::new(name, &self.geometry);
+        let file = LamassuFile::new(name);
         let mb = MetadataBlock::new(&self.geometry);
         self.write_meta(&file, 0, mb)?;
         Ok(file)
@@ -289,10 +349,10 @@ impl Engine {
     /// Loads an existing object, reading its authoritative logical size from
     /// the final segment's metadata block (paper §2.3).
     pub(crate) fn load(&self, name: &str) -> Result<LamassuFile> {
-        let mut file = LamassuFile::new(name, &self.geometry);
+        let mut file = LamassuFile::new(name);
         let last = self.last_physical_segment(name)?;
-        let mb = self.read_meta(&file, last)?;
-        file.logical_size = mb.logical_size;
+        let size = self.with_meta(&file, last, |mb| mb.logical_size)?;
+        file.logical_size = size;
         Ok(file)
     }
 
@@ -307,54 +367,132 @@ impl Engine {
     // Metadata I/O
     // ------------------------------------------------------------------
 
-    /// Reads (and caches) the metadata block for `segment`, returning an
-    /// empty block for segments that do not exist on disk yet.
-    ///
-    /// Shared-borrow safe: the cache probe and insert each hold the cache
-    /// lock briefly, so concurrent readers of one file can warm the cache in
-    /// parallel (two simultaneous misses both fetch and insert the same
-    /// decrypted block — idempotent).
-    fn read_meta(&self, file: &LamassuFile, segment: u64) -> Result<MetadataBlock> {
-        if let Some(mb) = file.meta_cache.lock().get(&segment) {
-            return Ok(mb.clone());
-        }
+    /// Fetches and decrypts the metadata block for `segment` from the store
+    /// (no cache interaction). A segment that does not exist on disk yet —
+    /// or reads back as an all-zero sparse hole — means "empty".
+    fn load_meta(&self, file: &LamassuFile, segment: u64) -> Result<MetadataBlock> {
         let offset = self.geometry.metadata_block_offset(segment);
         let bs = self.geometry.block_size();
-        // A segment that does not exist on disk yet comes back short and
-        // means "empty".
-        let mut staged = vec![0u8; bs];
+        let mut staged = self.blocks.take();
         let n = self.io(|| self.store.read_into(&file.name, offset, &mut staged))?;
-        let mb = if n < bs {
-            MetadataBlock::new(&self.geometry)
-        } else if staged.iter().all(|&b| b == 0) {
+        if n < bs {
+            return Ok(MetadataBlock::new(&self.geometry));
+        }
+        if staged.iter().all(|&b| b == 0) {
             // A hole left by a sparse write: no metadata was ever stored.
-            MetadataBlock::new(&self.geometry)
-        } else {
-            let crypto = self.crypto.read();
-            self.profiler.time(Category::Decrypt, || {
-                MetadataBlock::unseal(&self.geometry, &crypto.gcm, &Self::aad(segment), &staged)
-            })?
-        };
+            return Ok(MetadataBlock::new(&self.geometry));
+        }
+        let crypto = self.crypto.read();
+        let mb = self.profiler.time(Category::Decrypt, || {
+            MetadataBlock::unseal(&self.geometry, &crypto.gcm, &Self::aad(segment), &staged)
+        })?;
+        Ok(mb)
+    }
+
+    /// Runs `f` against the (cached) metadata block for `segment`.
+    ///
+    /// This is the read path's accessor: a cache hit calls `f` under the
+    /// cache lock with **no clone and no allocation**; a miss loads and
+    /// inserts first. Shared-borrow safe — concurrent readers of one file
+    /// serialize only for the duration of `f` (which must not perform I/O or
+    /// call back into the metadata layer).
+    fn with_meta<T>(
+        &self,
+        file: &LamassuFile,
+        segment: u64,
+        f: impl FnOnce(&MetadataBlock) -> T,
+    ) -> Result<T> {
+        {
+            let cache = file.meta_cache.lock();
+            if let Some(mb) = cache.get(&segment) {
+                return Ok(f(mb));
+            }
+        }
+        let mb = self.load_meta(file, segment)?;
         let mut cache = file.meta_cache.lock();
         if cache.len() >= META_CACHE_CAP {
             cache.clear();
         }
-        cache.insert(segment, mb.clone());
-        Ok(mb)
+        // A concurrent reader may have inserted meanwhile — both fetched the
+        // same decrypted bytes, so either value serves.
+        Ok(f(cache.entry(segment).or_insert(mb)))
     }
 
-    /// Seals and writes the metadata block for `segment`, updating the cache.
-    fn write_meta(&self, file: &LamassuFile, segment: u64, mb: MetadataBlock) -> Result<()> {
+    /// Reads (and caches) the metadata block for `segment` as an owned
+    /// value. Cold-path form of [`Engine::with_meta`] for recovery and
+    /// verification sweeps that hold onto the block.
+    fn read_meta(&self, file: &LamassuFile, segment: u64) -> Result<MetadataBlock> {
+        self.with_meta(file, segment, |mb| mb.clone())
+    }
+
+    /// Seals `sealed_out` from `mb` and writes it at `segment`'s offset.
+    fn seal_and_write(
+        &self,
+        file: &LamassuFile,
+        segment: u64,
+        mb: &MetadataBlock,
+        sealed_out: &mut [u8],
+    ) -> Result<()> {
         let mut nonce = [0u8; 12];
         rand::thread_rng().fill_bytes(&mut nonce);
-        let sealed = {
+        {
             let crypto = self.crypto.read();
             self.profiler.time(Category::Encrypt, || {
-                mb.seal(&self.geometry, &crypto.gcm, &nonce, &Self::aad(segment))
-            })
-        };
+                mb.seal_into(
+                    &self.geometry,
+                    &crypto.gcm,
+                    &nonce,
+                    &Self::aad(segment),
+                    sealed_out,
+                )
+            });
+        }
         let offset = self.geometry.metadata_block_offset(segment);
-        self.io(|| self.store.write_at(&file.name, offset, &sealed))?;
+        self.io(|| self.store.write_at(&file.name, offset, sealed_out))
+    }
+
+    /// Seals and writes the metadata block for `segment`, updating the cache
+    /// after the write lands (cold paths: create, truncate sweeps, recovery).
+    fn write_meta(&self, file: &LamassuFile, segment: u64, mb: MetadataBlock) -> Result<()> {
+        let mut sealed = self.blocks.take();
+        self.seal_and_write(file, segment, &mb, &mut sealed)?;
+        let mut cache = file.meta_cache.lock();
+        if cache.len() >= META_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(segment, mb);
+        Ok(())
+    }
+
+    /// Mutates the cached metadata block for `segment` **in place** and
+    /// persists it — the hot commit path's form of [`Engine::write_meta`]:
+    /// no clone of the key table, sealing into a pooled block.
+    ///
+    /// Only called under the shim's exclusive file guard (commit, truncate,
+    /// size persistence), so no reader observes the cache between the
+    /// mutation and the write. If the mutation or the write fails, the
+    /// cache entry is dropped so a later read refetches the on-disk truth
+    /// instead of trusting a half-applied update.
+    fn update_meta(
+        &self,
+        file: &LamassuFile,
+        segment: u64,
+        mutate: impl FnOnce(&mut MetadataBlock) -> Result<()>,
+    ) -> Result<()> {
+        // Take the block *out* of the cache (a move, not a clone) so the
+        // mutation, sealing and write all run without the cache lock —
+        // keeping the "never held across I/O or crypto" invariant literally
+        // true. The entry's brief absence is unobservable: update_meta only
+        // runs under the shim's exclusive file guard.
+        let mut mb = match file.meta_cache.lock().remove(&segment) {
+            Some(mb) => mb,
+            None => self.load_meta(file, segment)?,
+        };
+        let mut sealed = self.blocks.take();
+        mutate(&mut mb)?;
+        self.seal_and_write(file, segment, &mb, &mut sealed)?;
+        // Re-insert only after the write landed; on any error above the
+        // entry stays absent and a later read refetches the on-disk truth.
         let mut cache = file.meta_cache.lock();
         if cache.len() >= META_CACHE_CAP {
             cache.clear();
@@ -422,14 +560,13 @@ impl Engine {
         force_integrity: bool,
     ) -> Result<bool> {
         debug_assert_eq!(dest.len(), self.geometry.block_size());
-        if let Some(plain) = file.pending.get(&logical_block) {
+        if let Some(plain) = file.pending_block(logical_block) {
             dest.copy_from_slice(plain);
             return Ok(true);
         }
         let loc = self.geometry.locate_block(logical_block);
-        let mb = self.read_meta(file, loc.segment)?;
-        let key = match mb.key(loc.slot) {
-            Some(k) => *k,
+        let key = match self.with_meta(file, loc.segment, |mb| mb.key(loc.slot).copied())? {
+            Some(k) => k,
             None => {
                 dest.fill(0);
                 return Ok(false);
@@ -480,18 +617,17 @@ impl Engine {
 
     /// The per-block read pipeline: one backend read and one serial decrypt
     /// per block. Whole aligned blocks are decrypted directly in `buf`;
-    /// sub-block spans stage through one lazily allocated staging block
-    /// (per-call, so concurrent readers never share scratch memory; aligned
-    /// whole-block reads allocate nothing).
+    /// sub-block spans stage through one lazily borrowed pooled block
+    /// (per-call, so concurrent readers never share scratch memory).
     fn read_range_per_block(&self, file: &LamassuFile, offset: u64, buf: &mut [u8]) -> Result<()> {
         let bs = self.geometry.block_size();
-        let mut scratch: Option<Vec<u8>> = None;
+        let mut scratch: Option<BlockBuf> = None;
         let mut out = 0usize;
         for (block, in_block, take) in self.geometry.block_spans(offset, buf.len()) {
             if in_block == 0 && take == bs {
                 self.read_block_into(file, block, &mut buf[out..out + take], false)?;
             } else {
-                let scratch = scratch.get_or_insert_with(|| vec![0u8; bs]);
+                let scratch = scratch.get_or_insert_with(|| self.blocks.take());
                 self.read_block_into(file, block, scratch, false)?;
                 buf[out..out + take].copy_from_slice(&scratch[in_block..in_block + take]);
             }
@@ -505,54 +641,82 @@ impl Engine {
     /// vectored backend read followed by one parallel batch decrypt (plus one
     /// parallel batch re-derivation when full integrity checking is on).
     /// Pending (buffered) blocks and holes are served without touching the
-    /// store.
+    /// store. Run boundaries and key copies live in thread-local scratch, so
+    /// a warm aligned read allocates nothing.
     fn read_range_batched(&self, file: &LamassuFile, offset: u64, buf: &mut [u8]) -> Result<()> {
         let plan = self
             .profiler
             .time(Category::Plan, || self.planner.plan(offset, buf.len()));
         let n_per_seg = self.geometry.keys_per_metadata_block() as u64;
-        let mut block = plan.first_block;
-        while block <= plan.last_block {
-            let segment = block / n_per_seg;
-            let group_end = ((segment + 1) * n_per_seg - 1).min(plan.last_block);
-            let mb = self.read_meta(file, segment)?;
-            // Classify every block of the segment group: pending blocks and
-            // holes are served immediately; disk-backed blocks accumulate
-            // into maximal consecutive runs (consecutive logical blocks of
-            // one segment are physically contiguous).
-            let mut runs: Vec<(u64, Vec<Key256>)> = Vec::new();
-            for b in block..=group_end {
-                let range = plan.buf_range(b);
-                if let Some(plain) = file.pending.get(&b) {
-                    let (in_block, take) = plan.span_of(b);
-                    buf[range].copy_from_slice(&plain[in_block..in_block + take]);
-                    continue;
+        with_tls(&RUN_SCRATCH, |(runs, keys, holes)| {
+            let mut block = plan.first_block;
+            while block <= plan.last_block {
+                let segment = block / n_per_seg;
+                let group_end = ((segment + 1) * n_per_seg - 1).min(plan.last_block);
+                runs.clear();
+                keys.clear();
+                holes.clear();
+                // Classify every block of the segment group under one cache
+                // probe. The closure only copies keys out and records run /
+                // hole boundaries — all byte shuffling happens after the
+                // lock drops, so concurrent readers serialize on key copies
+                // only. Disk-backed blocks accumulate into maximal
+                // consecutive runs (consecutive logical blocks of one
+                // segment are physically contiguous).
+                self.with_meta(file, segment, |mb| {
+                    for b in block..=group_end {
+                        if file.pending_block(b).is_some() {
+                            // Served from the write buffer below (outside
+                            // the lock — `pending` is stable under the
+                            // shared file guard).
+                            continue;
+                        }
+                        let slot = (b % n_per_seg) as usize;
+                        match mb.key(slot) {
+                            None => holes.push(b),
+                            Some(key) => {
+                                match runs.last_mut() {
+                                    Some((start, _, len)) if *start + *len as u64 == b => *len += 1,
+                                    _ => runs.push((b, keys.len(), 1)),
+                                }
+                                keys.push(*key);
+                            }
+                        }
+                    }
+                })?;
+                for b in block..=group_end {
+                    if let Some(plain) = file.pending_block(b) {
+                        let (in_block, take) = plan.span_of(b);
+                        buf[plan.buf_range(b)].copy_from_slice(&plain[in_block..in_block + take]);
+                    }
                 }
-                let slot = (b % n_per_seg) as usize;
-                match mb.key(slot) {
-                    None => buf[range].fill(0), // a hole
-                    Some(key) => match runs.last_mut() {
-                        Some((start, keys)) if *start + keys.len() as u64 == b => keys.push(*key),
-                        _ => runs.push((b, vec![*key])),
-                    },
+                for &b in holes.iter() {
+                    buf[plan.buf_range(b)].fill(0);
                 }
+                for &(run_start, key_idx, len) in runs.iter() {
+                    self.read_run_batched(
+                        file,
+                        &plan,
+                        run_start,
+                        &keys[key_idx..key_idx + len],
+                        buf,
+                    )?;
+                }
+                block = group_end + 1;
             }
-            for (run_start, keys) in runs {
-                self.read_run_batched(file, &plan, run_start, &keys, buf)?;
-            }
-            block = group_end + 1;
-        }
-        Ok(())
+            Ok(())
+        })
     }
 
     /// Reads and decrypts one physically contiguous run of `keys.len()`
-    /// blocks starting at `run_start`: a single vectored backend read
-    /// scatters ciphertext into the caller's buffer (full blocks) and the
-    /// staging blocks (partial edges), then the run decrypts — and, under
-    /// full integrity, re-derives — as one parallel batch.
+    /// blocks starting at `run_start`.
     ///
-    /// The (at most two) edge staging blocks are per-call allocations so the
-    /// whole run can execute under a shared file borrow.
+    /// A fully aligned run — the steady-state shape — needs no staging at
+    /// all: one backend read lands the ciphertext in the caller's buffer and
+    /// one contiguous batch decrypt (plus, under full integrity, one
+    /// contiguous batch re-derivation into thread-local scratch) finishes
+    /// it, with zero allocation. Partial edge blocks stage through pooled
+    /// blocks and are handled individually around the contiguous middle.
     fn read_run_batched(
         &self,
         file: &LamassuFile,
@@ -564,107 +728,138 @@ impl Engine {
         let bs = self.geometry.block_size();
         let run_last = run_start + keys.len() as u64 - 1;
         // Only the plan's edge blocks can be partially covered; they stage
-        // through a full-size block buffer each.
+        // through a pooled block each.
         let head_staged = !plan.is_full(run_start);
         let tail_staged = run_last != run_start && !plan.is_full(run_last);
         let mut head_stage = if head_staged {
-            Some(vec![0u8; bs])
+            Some(self.blocks.take())
         } else {
             None
         };
         let mut tail_stage = if tail_staged {
-            Some(vec![0u8; bs])
+            Some(self.blocks.take())
         } else {
             None
         };
 
-        {
-            // Middle (full) blocks land directly in the caller's buffer — a
-            // single contiguous region because the run is logically
-            // consecutive.
-            let mid_first = run_start + head_staged as u64;
-            let mid_count = keys.len() - head_staged as usize - tail_staged as usize;
-            let mid_range = if mid_count > 0 {
-                let start = plan.buf_range(mid_first).start;
-                start..start + mid_count * bs
-            } else {
-                0..0
-            };
-            let phys = self.geometry.locate_block(run_start).physical_offset;
-            let n = {
-                let mid_slice = &mut buf[mid_range.clone()];
-                let mut io_bufs: Vec<IoSliceMut<'_>> = Vec::with_capacity(3);
-                if let Some(head) = head_stage.as_deref_mut() {
-                    io_bufs.push(IoSliceMut::new(head));
-                }
-                if !mid_slice.is_empty() {
-                    io_bufs.push(IoSliceMut::new(mid_slice));
-                }
-                if let Some(tail) = tail_stage.as_deref_mut() {
-                    io_bufs.push(IoSliceMut::new(tail));
-                }
-                self.io(|| {
-                    self.store
-                        .read_into_vectored(&file.name, phys, &mut io_bufs)
-                })?
-            };
+        // The contiguous middle region of the caller's buffer.
+        let mid_first = run_start + head_staged as u64;
+        let mid_count = keys.len() - head_staged as usize - tail_staged as usize;
+        let mid_range = if mid_count > 0 {
+            let start = plan.buf_range(mid_first).start;
+            start..start + mid_count * bs
+        } else {
+            0..0
+        };
+        let phys = self.geometry.locate_block(run_start).physical_offset;
 
-            // Blocks the store could not fully produce (a key present but the
-            // data never reached disk — only possible after an unrecovered
-            // crash) read as holes, exactly like the per-block path.
-            let read_blocks = (n / bs).min(keys.len());
-            for b in run_start + read_blocks as u64..=run_last {
-                buf[plan.buf_range(b)].fill(0);
-            }
-            if read_blocks == 0 {
-                return Ok(());
-            }
+        // One charged backend round trip for the whole run. The aligned case
+        // reads straight into the caller's buffer; edges scatter through the
+        // staging blocks.
+        let n = if !head_staged && !tail_staged {
+            let mid_slice = &mut buf[mid_range.clone()];
+            self.io(|| self.store.read_into(&file.name, phys, mid_slice))?
+        } else {
+            let mid_slice = &mut buf[mid_range.clone()];
+            iovec::with_scatter3(
+                head_stage.as_deref_mut(),
+                mid_slice,
+                tail_stage.as_deref_mut(),
+                |io_bufs| self.io(|| self.store.read_into_vectored(&file.name, phys, io_bufs)),
+            )?
+        };
 
-            // One parallel batch decrypt over the fully read blocks.
-            let used_keys = &keys[..read_blocks];
-            let mid_slice = &mut buf[mid_range];
-            let mut blocks: Vec<&mut [u8]> = Vec::with_capacity(read_blocks);
-            if let Some(head) = head_stage.as_deref_mut() {
-                blocks.push(head);
+        // Blocks the store could not fully produce (a key present but the
+        // data never reached disk — only possible after an unrecovered
+        // crash) read as holes, exactly like the per-block path. Staged
+        // blocks that were not fully read never leak their (stale) bytes:
+        // the copy-out below is gated on the same `read_blocks` count.
+        let read_blocks = (n / bs).min(keys.len());
+        for b in run_start + read_blocks as u64..=run_last {
+            buf[plan.buf_range(b)].fill(0);
+        }
+        if read_blocks == 0 {
+            return Ok(());
+        }
+        let head_read = head_staged; // read_blocks >= 1 covers the head
+        let mid_read = read_blocks
+            .saturating_sub(head_staged as usize)
+            .min(mid_count);
+        let tail_read = tail_staged && read_blocks == keys.len();
+
+        // Decrypt: edges individually, the middle as one contiguous batch.
+        if let Some(head) = head_stage.as_deref_mut() {
+            if head_read {
+                self.decrypt_in_place(head, &keys[0]);
             }
-            blocks.extend(mid_slice.chunks_exact_mut(bs));
-            if let Some(tail) = tail_stage.as_deref_mut() {
-                blocks.push(tail);
-            }
-            blocks.truncate(read_blocks);
+        }
+        if mid_read > 0 {
+            let mid_keys = &keys[head_staged as usize..head_staged as usize + mid_read];
+            let mid_slice = &mut buf[mid_range.start..mid_range.start + mid_read * bs];
             self.profiler.time(Category::Decrypt, || {
-                batch::decrypt_blocks(&self.pool, used_keys, &FIXED_IV, &mut blocks)
+                batch::decrypt_span(&self.pool, mid_keys, &FIXED_IV, mid_slice, bs)
                     .expect("data blocks are 16-byte aligned")
             });
+        }
+        if let Some(tail) = tail_stage.as_deref_mut() {
+            if tail_read {
+                self.decrypt_in_place(tail, &keys[keys.len() - 1]);
+            }
+        }
 
-            // The §2.5 self-check, batched: re-derive every key in parallel.
-            if matches!(self.integrity, IntegrityMode::Full) {
-                let crypto = self.crypto.read();
-                let plains: Vec<&[u8]> = blocks.iter().map(|b| &**b).collect();
-                let derived = self.profiler.time(Category::GetCeKey, || {
-                    batch::derive_keys(&self.pool, &crypto.kdf, &plains)
-                });
-                for (i, (got, expected)) in derived.iter().zip(used_keys).enumerate() {
-                    if got != expected {
-                        return Err(FsError::IntegrityViolation {
-                            path: file.name.clone(),
-                            logical_block: run_start + i as u64,
-                        });
-                    }
+        // The §2.5 self-check, batched: re-derive every read block's key in
+        // parallel into thread-local scratch and compare.
+        if matches!(self.integrity, IntegrityMode::Full) {
+            if let Some(head) = head_stage.as_deref() {
+                if head_read && !self.key_matches_plaintext(head, &keys[0]) {
+                    return Err(FsError::IntegrityViolation {
+                        path: file.name.clone(),
+                        logical_block: run_start,
+                    });
                 }
             }
+            if mid_read > 0 {
+                let mid_keys = &keys[head_staged as usize..head_staged as usize + mid_read];
+                let mid_slice = &buf[mid_range.start..mid_range.start + mid_read * bs];
+                let crypto = self.crypto.read();
+                with_tls(&KEY_SCRATCH, |derived| {
+                    derived.clear();
+                    derived.resize(mid_read, [0u8; 32]);
+                    self.profiler.time(Category::GetCeKey, || {
+                        batch::derive_span_into(&self.pool, &crypto.kdf, mid_slice, bs, derived)
+                            .expect("span length matches key count")
+                    });
+                    for (i, (got, expected)) in derived.iter().zip(mid_keys).enumerate() {
+                        if got != expected {
+                            return Err(FsError::IntegrityViolation {
+                                path: file.name.clone(),
+                                logical_block: mid_first + i as u64,
+                            });
+                        }
+                    }
+                    Ok(())
+                })?;
+            }
+            if let Some(tail) = tail_stage.as_deref() {
+                if tail_read && !self.key_matches_plaintext(tail, &keys[keys.len() - 1]) {
+                    return Err(FsError::IntegrityViolation {
+                        path: file.name.clone(),
+                        logical_block: run_last,
+                    });
+                }
+            }
+        }
 
-            // Copy the requested fragments of the staged edge blocks out.
-            if head_staged && read_blocks > 0 {
-                let (in_block, take) = plan.span_of(run_start);
-                let head = head_stage.as_deref().expect("head staged");
-                buf[plan.buf_range(run_start)].copy_from_slice(&head[in_block..in_block + take]);
-            }
-            if tail_staged && read_blocks == keys.len() {
-                let (in_block, take) = plan.span_of(run_last);
-                let tail = tail_stage.as_deref().expect("tail staged");
-                buf[plan.buf_range(run_last)].copy_from_slice(&tail[in_block..in_block + take]);
-            }
+        // Copy the requested fragments of the staged edge blocks out.
+        if head_read {
+            let (in_block, take) = plan.span_of(run_start);
+            let head = head_stage.as_deref().expect("head staged");
+            buf[plan.buf_range(run_start)].copy_from_slice(&head[in_block..in_block + take]);
+        }
+        if tail_read {
+            let (in_block, take) = plan.span_of(run_last);
+            let tail = tail_stage.as_deref().expect("tail staged");
+            buf[plan.buf_range(run_last)].copy_from_slice(&tail[in_block..in_block + take]);
         }
         Ok(())
     }
@@ -675,7 +870,9 @@ impl Engine {
 
     /// Buffers the gather list `bufs` at `offset`, committing batches of `R`
     /// blocks as they accumulate (paper §2.4). Returns the number of bytes
-    /// written.
+    /// written. Staging blocks come from the mount pool; the sorted pending
+    /// vector reuses its capacity, so steady aligned rewriting allocates
+    /// nothing.
     pub(crate) fn write_vectored_range(
         &self,
         file: &mut LamassuFile,
@@ -689,21 +886,24 @@ impl Engine {
         let bs = self.geometry.block_size();
         let mut cursor = GatherCursor::new(bufs);
         for (block, in_block, take) in self.geometry.block_spans(offset, total) {
-            if let Some(existing) = file.pending.get_mut(&block) {
-                // The block is already staged: overlay in place.
-                cursor.copy_to(&mut existing[in_block..in_block + take]);
-                continue;
+            match file.pending.binary_search_by_key(&block, |(b, _)| *b) {
+                Ok(i) => {
+                    // The block is already staged: overlay in place.
+                    cursor.copy_to(&mut file.pending[i].1[in_block..in_block + take]);
+                }
+                Err(i) => {
+                    let mut plain = self.blocks.take();
+                    if in_block == 0 && take == bs {
+                        cursor.copy_to(&mut plain);
+                    } else {
+                        // Read-modify-write of a partially covered block
+                        // (fills with zeros when the block is a hole).
+                        self.read_block_into(file, block, &mut plain, false)?;
+                        cursor.copy_to(&mut plain[in_block..in_block + take]);
+                    }
+                    file.pending.insert(i, (block, plain));
+                }
             }
-            let mut plain = file.take_block(bs);
-            if in_block == 0 && take == bs {
-                cursor.copy_to(&mut plain);
-            } else {
-                // Read-modify-write of a partially covered block (fills with
-                // zeros when the block is a hole).
-                self.read_block_into(file, block, &mut plain, false)?;
-                cursor.copy_to(&mut plain[in_block..in_block + take]);
-            }
-            file.pending.insert(block, plain);
         }
         let end = offset + total as u64;
         if end > file.logical_size {
@@ -717,33 +917,56 @@ impl Engine {
     }
 
     /// Commits every buffered block and persists the logical size.
+    ///
+    /// Pending blocks are drained in order (already sorted by logical index,
+    /// which is also segment order), staged contiguously into the reusable
+    /// `commit_buf`, and handed to [`Engine::commit_chunk`] at most `R` at a
+    /// time per segment. The pooled staging buffers return to the pool the
+    /// moment their plaintext is copied out.
     pub(crate) fn flush(&self, file: &mut LamassuFile) -> Result<()> {
-        // Group the pending blocks by segment, preserving block order.
-        let pending = std::mem::take(&mut file.pending);
-        let mut by_segment: BTreeMap<u64, Vec<(u64, Vec<u8>)>> = BTreeMap::new();
-        for (block, plain) in pending {
-            let segment = self.geometry.locate_block(block).segment;
-            by_segment.entry(segment).or_default().push((block, plain));
-        }
+        let bs = self.geometry.block_size();
         let r = self.geometry.reserved_slots();
-        for (segment, mut blocks) in by_segment {
-            for chunk in blocks.chunks_mut(r) {
-                self.commit_chunk(file, segment, chunk)?;
+        let mut commit_buf = std::mem::take(&mut file.commit_buf);
+        let mut ids = std::mem::take(&mut file.chunk_ids);
+        let result = (|| {
+            while !file.pending.is_empty() {
+                let segment = self.geometry.locate_block(file.pending[0].0).segment;
+                ids.clear();
+                let mut k = 0;
+                while k < file.pending.len() && k < r {
+                    let block = file.pending[k].0;
+                    if self.geometry.locate_block(block).segment != segment {
+                        break;
+                    }
+                    ids.push(block);
+                    k += 1;
+                }
+                if commit_buf.len() < k * bs {
+                    commit_buf.resize(k * bs, 0);
+                }
+                for (i, (_, plain)) in file.pending[..k].iter().enumerate() {
+                    commit_buf[i * bs..(i + 1) * bs].copy_from_slice(plain);
+                }
+                // The staged buffers return to the pool here; a commit error
+                // below drops the affected blocks exactly like the previous
+                // take-then-fail behaviour (recovery re-resolves them).
+                file.pending.drain(..k);
+                self.commit_chunk(file, segment, &ids, &mut commit_buf[..k * bs])?;
             }
-            // The commit encrypted the staged buffers in place; recycle them
-            // for the next batch of writes.
-            for (_, buf) in blocks {
-                file.recycle(buf);
+            if file.size_dirty {
+                let final_segment = self.final_segment(file);
+                let size = file.logical_size;
+                self.update_meta(file, final_segment, |mb| {
+                    mb.logical_size = size;
+                    Ok(())
+                })?;
+                file.size_dirty = false;
             }
-        }
-        if file.size_dirty {
-            let final_segment = self.final_segment(file);
-            let mut mb = self.read_meta(file, final_segment)?;
-            mb.logical_size = file.logical_size;
-            self.write_meta(file, final_segment, mb)?;
-            file.size_dirty = false;
-        }
-        Ok(())
+            Ok(())
+        })();
+        file.commit_buf = commit_buf;
+        file.chunk_ids = ids;
+        result
     }
 
     /// Index of the segment holding the authoritative logical size.
@@ -752,97 +975,120 @@ impl Engine {
     }
 
     /// The multiphase commit of §2.4 for up to `R` dirty blocks of one
-    /// segment:
+    /// segment, staged contiguously (in block order) in `data`:
     ///
     /// 1. park the previous keys in the transient area, install the new keys
-    ///    (derived as one parallel batch under [`SpanPolicy::Batched`]), mark
-    ///    the segment mid-update, write the metadata block;
-    /// 2. write the convergently encrypted data blocks — batched mode
-    ///    encrypts the whole chunk in parallel and coalesces runs of adjacent
-    ///    blocks into single vectored store writes; per-block mode encrypts
-    ///    and writes one block at a time;
+    ///    (derived as one contiguous batch under [`SpanPolicy::Batched`]),
+    ///    mark the segment mid-update, write the metadata block — updated
+    ///    in place in the per-file cache and sealed into a pooled block;
+    /// 2. encrypt the staged span in place (one parallel batch) and write
+    ///    every run of adjacent blocks with a single backend write;
     /// 3. clear the mid-update mark and the transient area, write the
     ///    metadata block again.
     fn commit_chunk(
         &self,
         file: &mut LamassuFile,
         segment: u64,
-        blocks: &mut [(u64, Vec<u8>)],
+        blocks: &[u64],
+        data: &mut [u8],
     ) -> Result<()> {
+        let bs = self.geometry.block_size();
         debug_assert!(blocks.len() <= self.geometry.reserved_slots());
-        let mut mb = self.read_meta(file, segment)?;
+        debug_assert_eq!(data.len(), blocks.len() * bs);
+        let is_final = segment == self.final_segment(file);
+        let logical_size = file.logical_size;
 
-        // Phase 1: stage old + new keys and flag the segment.
-        let new_keys: Vec<Key256> = match self.span.policy {
-            SpanPolicy::Batched => {
-                let crypto = self.crypto.read();
-                let plains: Vec<&[u8]> = blocks.iter().map(|(_, p)| p.as_slice()).collect();
-                self.profiler.time(Category::GetCeKey, || {
-                    batch::derive_keys(&self.pool, &crypto.kdf, &plains)
-                })
-            }
-            SpanPolicy::PerBlock => blocks.iter().map(|(_, p)| self.derive_key(p)).collect(),
-        };
-        for ((block, _), key) in blocks.iter().zip(new_keys.iter()) {
-            let slot = self.geometry.locate_block(*block).slot;
-            let old_key = mb.key(slot).copied().unwrap_or([0u8; 32]);
-            mb.push_transient(
-                &self.geometry,
-                TransientEntry {
-                    slot: slot as u16,
-                    old_key,
-                },
-            )?;
-            mb.set_key(slot, *key)?;
-        }
-        mb.flags.set_mid_update(true);
-        if segment == self.final_segment(file) {
-            mb.logical_size = file.logical_size;
-        }
-        self.write_meta(file, segment, mb.clone())?;
-
-        // Phase 2: encrypt in place and write the data blocks.
-        match self.span.policy {
-            SpanPolicy::Batched => {
-                {
-                    let mut refs: Vec<&mut [u8]> =
-                        blocks.iter_mut().map(|(_, p)| p.as_mut_slice()).collect();
-                    self.profiler.time(Category::Encrypt, || {
-                        batch::encrypt_blocks(&self.pool, &new_keys, &FIXED_IV, &mut refs)
-                            .expect("data blocks are 16-byte aligned")
+        with_tls(&KEY_SCRATCH, |new_keys| {
+            // Derive the convergent keys for the whole chunk (Equation 1).
+            new_keys.clear();
+            new_keys.resize(blocks.len(), [0u8; 32]);
+            match self.span.policy {
+                SpanPolicy::Batched => {
+                    let crypto = self.crypto.read();
+                    self.profiler.time(Category::GetCeKey, || {
+                        batch::derive_span_into(&self.pool, &crypto.kdf, data, bs, new_keys)
+                            .expect("chunk is whole blocks")
                     });
                 }
-                // Coalesce runs of adjacent blocks (`blocks` arrives sorted
-                // by logical index, and consecutive logical blocks of one
-                // segment are physically contiguous) into vectored writes.
-                let mut i = 0;
-                while i < blocks.len() {
-                    let mut j = i + 1;
-                    while j < blocks.len() && blocks[j].0 == blocks[j - 1].0 + 1 {
-                        j += 1;
+                SpanPolicy::PerBlock => {
+                    for (key, plain) in new_keys.iter_mut().zip(data.chunks_exact(bs)) {
+                        *key = self.derive_key(plain);
                     }
-                    let offset = self.geometry.locate_block(blocks[i].0).physical_offset;
-                    let slices: Vec<IoSlice<'_>> =
-                        blocks[i..j].iter().map(|(_, p)| IoSlice::new(p)).collect();
-                    self.io(|| self.store.write_at_vectored(&file.name, offset, &slices))?;
-                    i = j;
                 }
             }
-            SpanPolicy::PerBlock => {
-                for ((block, plain), key) in blocks.iter_mut().zip(new_keys.iter()) {
-                    let loc = self.geometry.locate_block(*block);
-                    self.encrypt_in_place(plain, key);
-                    self.io(|| self.store.write_at(&file.name, loc.physical_offset, plain))?;
+
+            // Phase 1: stage old + new keys and flag the segment.
+            self.update_meta(file, segment, |mb| {
+                for (block, key) in blocks.iter().zip(new_keys.iter()) {
+                    let slot = self.geometry.locate_block(*block).slot;
+                    let old_key = mb.key(slot).copied().unwrap_or([0u8; 32]);
+                    mb.push_transient(
+                        &self.geometry,
+                        TransientEntry {
+                            slot: slot as u16,
+                            old_key,
+                        },
+                    )?;
+                    mb.set_key(slot, *key)?;
+                }
+                mb.flags.set_mid_update(true);
+                if is_final {
+                    mb.logical_size = logical_size;
+                }
+                Ok(())
+            })?;
+
+            // Phase 2: encrypt the staged span in place and write the data
+            // blocks, one backend write per run of adjacent blocks (`blocks`
+            // is sorted, and consecutive logical blocks of one segment are
+            // physically contiguous — so each run is one contiguous slice of
+            // the staging buffer).
+            match self.span.policy {
+                SpanPolicy::Batched => {
+                    self.profiler.time(Category::Encrypt, || {
+                        batch::encrypt_span(&self.pool, new_keys, &FIXED_IV, data, bs)
+                            .expect("chunk is whole blocks")
+                    });
+                }
+                SpanPolicy::PerBlock => {
+                    for (key, plain) in new_keys.iter().zip(data.chunks_exact_mut(bs)) {
+                        self.encrypt_in_place(plain, key);
+                    }
                 }
             }
-        }
+            let mut i = 0;
+            while i < blocks.len() {
+                let mut j = i + 1;
+                while j < blocks.len() && blocks[j] == blocks[j - 1] + 1 {
+                    j += 1;
+                }
+                let offset = self.geometry.locate_block(blocks[i]).physical_offset;
+                match self.span.policy {
+                    SpanPolicy::Batched => {
+                        let run = &data[i * bs..j * bs];
+                        self.io(|| self.store.write_at(&file.name, offset, run))?;
+                    }
+                    SpanPolicy::PerBlock => {
+                        // The oracle pipeline writes one block per backend
+                        // operation, as the original prototype did.
+                        for (k, block) in data[i * bs..j * bs].chunks_exact(bs).enumerate() {
+                            let off = self.geometry.locate_block(blocks[i + k]).physical_offset;
+                            self.io(|| self.store.write_at(&file.name, off, block))?;
+                        }
+                    }
+                }
+                i = j;
+            }
 
-        // Phase 3: the segment is consistent again.
-        mb.clear_transient();
-        mb.flags.set_mid_update(false);
-        self.write_meta(file, segment, mb)?;
+            // Phase 3: the segment is consistent again.
+            self.update_meta(file, segment, |mb| {
+                mb.clear_transient();
+                mb.flags.set_mid_update(false);
+                Ok(())
+            })
+        })?;
 
-        if segment == self.final_segment(file) {
+        if is_final {
             file.size_dirty = false;
         }
         Ok(())
@@ -865,46 +1111,38 @@ impl Engine {
             // resurrected by a later extension.
             if !new_size.is_multiple_of(bs) {
                 let last_block = new_size / bs;
-                let mut plain = file.take_block(bs as usize);
-                let existed = self.read_block_into(file, last_block, &mut plain, false);
-                match existed {
-                    Ok(true) => {
-                        plain[(new_size % bs) as usize..].fill(0);
-                        let segment = self.geometry.locate_block(last_block).segment;
-                        let mut batch = [(last_block, plain)];
-                        self.commit_chunk(file, segment, &mut batch)?;
-                        let [(_, buf)] = batch;
-                        file.recycle(buf);
-                    }
-                    Ok(false) => file.recycle(plain),
-                    Err(e) => {
-                        file.recycle(plain);
-                        return Err(e);
-                    }
+                let mut plain = self.blocks.take();
+                if self.read_block_into(file, last_block, &mut plain, false)? {
+                    plain[(new_size % bs) as usize..].fill(0);
+                    let segment = self.geometry.locate_block(last_block).segment;
+                    self.commit_chunk(file, segment, &[last_block], &mut plain)?;
                 }
             }
             // Drop keys for blocks past the new end.
             let first_dropped = self.geometry.data_blocks_for_len(new_size);
             let last_old = self.geometry.data_blocks_for_len(old_size);
-            let mut segment_updates: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
-            for block in first_dropped..last_old {
-                let loc = self.geometry.locate_block(block);
-                segment_updates
-                    .entry(loc.segment)
-                    .or_default()
-                    .push(loc.slot);
-            }
             let new_segments = self.geometry.segments_for_len(new_size);
-            for (segment, slots) in segment_updates {
-                if segment >= new_segments {
-                    // The whole segment disappears with the physical truncate.
-                    continue;
+            let mut block = first_dropped;
+            while block < last_old {
+                let loc = self.geometry.locate_block(block);
+                if loc.segment >= new_segments {
+                    // The rest of the blocks live in segments that disappear
+                    // with the physical truncate.
+                    break;
                 }
-                let mut mb = self.read_meta(file, segment)?;
-                for slot in slots {
-                    mb.clear_key(slot)?;
-                }
-                self.write_meta(file, segment, mb)?;
+                // Clear every dropped slot of this segment with one metadata
+                // update.
+                let seg_end_block =
+                    (loc.segment + 1) * self.geometry.keys_per_metadata_block() as u64;
+                let clear_to = seg_end_block.min(last_old);
+                self.update_meta(file, loc.segment, |mb| {
+                    for b in block..clear_to {
+                        let slot = (b % self.geometry.keys_per_metadata_block() as u64) as usize;
+                        mb.clear_key(slot)?;
+                    }
+                    Ok(())
+                })?;
+                block = clear_to;
             }
             // Shrink the physical object and drop stale cache entries.
             let physical = self.geometry.encrypted_size(new_size);
@@ -913,9 +1151,10 @@ impl Engine {
         }
 
         let final_segment = self.final_segment(file);
-        let mut mb = self.read_meta(file, final_segment)?;
-        mb.logical_size = new_size;
-        self.write_meta(file, final_segment, mb)?;
+        self.update_meta(file, final_segment, |mb| {
+            mb.logical_size = new_size;
+            Ok(())
+        })?;
         file.size_dirty = false;
         Ok(())
     }
@@ -1003,8 +1242,7 @@ impl Engine {
 
         // Reload the authoritative size after repairs.
         let last = self.last_physical_segment(&file.name)?;
-        let mb = self.read_meta(file, last)?;
-        file.logical_size = mb.logical_size;
+        file.logical_size = self.with_meta(file, last, |mb| mb.logical_size)?;
         Ok(report)
     }
 
@@ -1018,10 +1256,10 @@ impl Engine {
         let segments = self.geometry.segments_for_len(file.logical_size);
 
         for segment in 0..segments {
-            match self.read_meta(file, segment) {
-                Ok(mb) => {
+            match self.with_meta(file, segment, |mb| mb.flags.is_mid_update()) {
+                Ok(mid_update) => {
                     report.metadata_blocks_checked += 1;
-                    if mb.flags.is_mid_update() {
+                    if mid_update {
                         report.mid_update_segments += 1;
                     }
                 }
@@ -1033,25 +1271,20 @@ impl Engine {
             }
         }
 
-        let mut buf = file.take_block(self.geometry.block_size());
-        let result = (|| {
-            for block in 0..data_blocks {
-                match self.read_block_into(file, block, &mut buf, true) {
-                    Ok(_) => report.data_blocks_checked += 1,
-                    Err(FsError::IntegrityViolation { logical_block, .. }) => {
-                        report.data_blocks_checked += 1;
-                        report.corrupt_data_blocks.push(logical_block);
-                    }
-                    Err(FsError::Metadata(_)) => {
-                        // Already counted above per segment; skip its blocks.
-                    }
-                    Err(e) => return Err(e),
+        let mut buf = self.blocks.take();
+        for block in 0..data_blocks {
+            match self.read_block_into(file, block, &mut buf, true) {
+                Ok(_) => report.data_blocks_checked += 1,
+                Err(FsError::IntegrityViolation { logical_block, .. }) => {
+                    report.data_blocks_checked += 1;
+                    report.corrupt_data_blocks.push(logical_block);
                 }
+                Err(FsError::Metadata(_)) => {
+                    // Already counted above per segment; skip its blocks.
+                }
+                Err(e) => return Err(e),
             }
-            Ok(())
-        })();
-        file.recycle(buf);
-        result?;
+        }
         Ok(report)
     }
 
@@ -1070,12 +1303,19 @@ impl Engine {
         let new_gcm = Aes256Gcm::new(&new_keys.outer);
         let last_segment = self.last_physical_segment(&file.name)?;
         let mut rewritten = 0;
+        let mut sealed = self.blocks.take();
         for segment in 0..=last_segment {
             let mb = self.read_meta(file, segment)?;
             let mut nonce = [0u8; 12];
             rand::thread_rng().fill_bytes(&mut nonce);
-            let sealed = self.profiler.time(Category::Encrypt, || {
-                mb.seal(&self.geometry, &new_gcm, &nonce, &Self::aad(segment))
+            self.profiler.time(Category::Encrypt, || {
+                mb.seal_into(
+                    &self.geometry,
+                    &new_gcm,
+                    &nonce,
+                    &Self::aad(segment),
+                    &mut sealed,
+                )
             });
             let offset = self.geometry.metadata_block_offset(segment);
             self.io(|| self.store.write_at(&file.name, offset, &sealed))?;

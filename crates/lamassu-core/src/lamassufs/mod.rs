@@ -148,6 +148,13 @@ impl LamassuFs {
         self.engine.integrity_mode()
     }
 
+    /// Counters of the mount's recycled block-buffer pool (see
+    /// [`crate::pool`]): hit rate ≈ 1 and a bounded `pooled` count are what
+    /// the zero-allocation steady state looks like.
+    pub fn pool_stats(&self) -> crate::pool::PoolStats {
+        self.engine.block_pool().stats()
+    }
+
     /// Loads the per-file state for a path that must already exist.
     fn load_state(&self, path: &str) -> Result<SharedFile> {
         if !self.engine.object_exists(path) {

@@ -36,6 +36,7 @@ pub mod encfs;
 pub mod fs;
 pub mod lamassufs;
 pub mod plainfs;
+pub mod pool;
 pub mod profiler;
 pub mod span;
 
@@ -45,6 +46,7 @@ pub use error::FsError;
 pub use fs::{Fd, FileAttr, FileSystem, OpenFlags};
 pub use lamassufs::{IntegrityMode, LamassuConfig, LamassuFs, RecoveryReport, VerifyReport};
 pub use plainfs::PlainFs;
+pub use pool::{BlockBuf, BlockPool, PoolStats};
 pub use profiler::{Category, LatencyBreakdown, Profiler};
 pub use span::{SpanConfig, SpanPolicy};
 

@@ -16,6 +16,7 @@
 //! parallel batch, so the breakdown keeps describing end-to-end latency (not
 //! aggregate CPU time) exactly as Figure 9 does.
 
+use crate::pool::{BlockPool, PoolStats};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -85,9 +86,16 @@ impl LatencyBreakdown {
 }
 
 /// Thread-safe accumulator for per-category latencies.
+///
+/// Beyond the Figure 9 durations, a profiler can carry references to the
+/// mount's [`BlockPool`]s (see [`Profiler::attach_pool`]) so one handle
+/// surfaces both the latency breakdown *and* the buffer-pool hit/miss
+/// counters of the zero-allocation data path.
 #[derive(Default)]
 pub struct Profiler {
     categories: Mutex<[Duration; NUM_CATEGORIES]>,
+    /// Block pools attached by the owning mount, for stats surfacing only.
+    pools: Mutex<Vec<BlockPool>>,
 }
 
 impl Profiler {
@@ -128,9 +136,31 @@ impl Profiler {
         }
     }
 
-    /// Resets all categories to zero.
+    /// Resets all categories to zero (attached pools keep their counters —
+    /// they describe the mount's lifetime, not a measurement window).
     pub fn reset(&self) {
         *self.categories.lock() = [Duration::ZERO; NUM_CATEGORIES];
+    }
+
+    /// Attaches a [`BlockPool`] whose hit/miss counters
+    /// [`Profiler::pool_stats`] should report. Shims attach their pools at
+    /// mount time so the Figure 9 reports can show the buffer-pool hit rate
+    /// next to the latency breakdown. Attaching the same pool again is a
+    /// no-op, so re-registering a profiler never double-counts.
+    pub fn attach_pool(&self, pool: &BlockPool) {
+        let mut pools = self.pools.lock();
+        if !pools.iter().any(|p| p.same_pool(pool)) {
+            pools.push(pool.clone());
+        }
+    }
+
+    /// Merged counters of every attached pool (all zeros when none are
+    /// attached).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pools
+            .lock()
+            .iter()
+            .fold(PoolStats::default(), |acc, p| acc.merge(&p.stats()))
     }
 }
 

@@ -44,6 +44,13 @@ pub struct SpanConfig {
     pub policy: SpanPolicy,
     /// Crypto worker-pool size; `0` auto-sizes (see the module docs).
     pub workers: usize,
+    /// Capacity of the mount's [`BlockPool`](crate::pool::BlockPool) in
+    /// blocks: `None` auto-sizes to the mount's needs, `Some(0)` disables
+    /// buffer recycling entirely (every staging buffer is allocated fresh —
+    /// the baseline the `hot_path` bench measures the pool against), any
+    /// other value bounds the idle buffers kept (rounded up per shard; see
+    /// [`BlockPool::new`](crate::pool::BlockPool::new)).
+    pub pool_blocks: Option<usize>,
 }
 
 impl SpanConfig {
@@ -56,13 +63,25 @@ impl SpanConfig {
     pub fn per_block() -> Self {
         SpanConfig {
             policy: SpanPolicy::PerBlock,
-            workers: 0,
+            ..SpanConfig::default()
         }
+    }
+
+    /// Returns a copy with an explicit block-pool capacity (see
+    /// [`SpanConfig::pool_blocks`]).
+    pub fn with_pool_blocks(mut self, blocks: usize) -> Self {
+        self.pool_blocks = Some(blocks);
+        self
     }
 
     /// Builds the mount's shared crypto pool.
     pub(crate) fn pool(&self) -> CryptoPool {
         CryptoPool::new(self.workers)
+    }
+
+    /// Resolves the block-pool capacity, defaulting to `auto` blocks.
+    pub(crate) fn pool_capacity(&self, auto: usize) -> usize {
+        self.pool_blocks.unwrap_or(auto)
     }
 }
 

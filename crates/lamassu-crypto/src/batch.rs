@@ -5,7 +5,8 @@
 //! [`CryptoPool`] so convergent hashing and AES for
 //! a span run in parallel rather than serially per block:
 //!
-//! * [`derive_keys`] — Equation 1 for every block of a span;
+//! * [`derive_keys`] / [`derive_keys_into`] — Equation 1 for every block of
+//!   a span;
 //! * [`encrypt_blocks`] / [`decrypt_blocks`] — Equation 2 under per-block
 //!   convergent keys and the shared [`FIXED_IV`](crate::FIXED_IV)
 //!   (LamassuFS data blocks);
@@ -15,6 +16,22 @@
 //!   (CBC decryption only needs the *previous ciphertext block*, so a long
 //!   chain splits into independently decryptable chunks; used by the
 //!   whole-file CeFileFS baseline).
+//!
+//! # The contiguous-span fast path
+//!
+//! The `*_span*` variants ([`derive_span_into`], [`encrypt_span`],
+//! [`decrypt_span`], [`encrypt_span_with`], [`decrypt_span_with`]) operate
+//! on one **contiguous** buffer of whole blocks instead of a slice of block
+//! references. That shape is what the zero-allocation data path produces
+//! (aligned reads land in one caller-buffer region; commits stage through
+//! one reusable span buffer), and it frees the batch layer of work-vector
+//! building: the **inline path performs no allocation at all** (lazy chunk
+//! iterators), and the parallel path splits both the data and the key/IV
+//! slices by arithmetic, paying only the `O(workers)` thread-scope fan-out
+//! (which is why the zero-allocation guarantee is stated for the inline
+//! regime — see [`CryptoPool::runs_inline`]). The reference-slice APIs
+//! remain for heterogeneous batches and share the same property via
+//! [`CryptoPool::zip_for_each`].
 //!
 //! Every function validates block alignment up front and then runs the
 //! parallel section infallibly, so no error handling crosses threads.
@@ -40,14 +57,81 @@ fn check_aligned(blocks: &[&mut [u8]]) -> Result<()> {
     Ok(())
 }
 
+/// Validates that a contiguous span covers exactly `blocks` whole blocks of
+/// `block_size` bytes, each AES-aligned.
+fn check_span(data_len: usize, blocks: usize, block_size: usize) -> Result<()> {
+    if !block_size.is_multiple_of(AES_BLOCK) || block_size == 0 {
+        return Err(CryptoError::InvalidLength {
+            len: block_size,
+            expected_multiple_of: AES_BLOCK,
+        });
+    }
+    if data_len != blocks * block_size {
+        return Err(CryptoError::InvalidLength {
+            len: data_len,
+            expected_multiple_of: block_size,
+        });
+    }
+    Ok(())
+}
+
+/// Derives the convergent key (Equation 1) for every block into
+/// caller-provided storage, in parallel. Allocation-free.
+///
+/// Panics if `blocks` and `out` differ in length.
+pub fn derive_keys_into(
+    pool: &CryptoPool,
+    kdf: &ConvergentKdf,
+    blocks: &[&[u8]],
+    out: &mut [Key256],
+) {
+    pool.zip_for_each(out, blocks, |key, block| *key = kdf.derive_for_block(block));
+}
+
 /// Derives the convergent key (Equation 1) for every block, in parallel.
 pub fn derive_keys(pool: &CryptoPool, kdf: &ConvergentKdf, blocks: &[&[u8]]) -> Vec<Key256> {
     let mut keys = vec![[0u8; 32]; blocks.len()];
-    let mut work: Vec<(&[u8], &mut Key256)> = blocks.iter().copied().zip(keys.iter_mut()).collect();
-    pool.for_each(&mut work, |(block, key)| {
-        **key = kdf.derive_for_block(block)
-    });
+    derive_keys_into(pool, kdf, blocks, &mut keys);
     keys
+}
+
+/// Derives the convergent key for every `block_size`-byte block of one
+/// contiguous span into caller-provided storage, in parallel.
+/// Allocation-free on the inline path; the parallel path pays only the
+/// `O(workers)` thread-scope fan-out (no work vectors).
+///
+/// Returns [`CryptoError::InvalidLength`] unless
+/// `data.len() == out.len() * block_size`.
+pub fn derive_span_into(
+    pool: &CryptoPool,
+    kdf: &ConvergentKdf,
+    data: &[u8],
+    block_size: usize,
+    out: &mut [Key256],
+) -> Result<()> {
+    if block_size == 0 || data.len() != out.len() * block_size {
+        return Err(CryptoError::InvalidLength {
+            len: data.len(),
+            expected_multiple_of: block_size.max(1),
+        });
+    }
+    match pool.chunking(out.len()) {
+        None => {
+            for (key, block) in out.iter_mut().zip(data.chunks_exact(block_size)) {
+                *key = kdf.derive_for_block(block);
+            }
+        }
+        Some(chunk) => std::thread::scope(|scope| {
+            for (keys, span) in out.chunks_mut(chunk).zip(data.chunks(chunk * block_size)) {
+                scope.spawn(move || {
+                    for (key, block) in keys.iter_mut().zip(span.chunks_exact(block_size)) {
+                        *key = kdf.derive_for_block(block);
+                    }
+                });
+            }
+        }),
+    }
+    Ok(())
 }
 
 /// Convergent encryption (Equation 2) of every block in place, each under its
@@ -61,12 +145,7 @@ pub fn encrypt_blocks(
 ) -> Result<()> {
     assert_eq!(keys.len(), blocks.len(), "one key per block");
     check_aligned(blocks)?;
-    let mut work: Vec<(&mut [u8], &Key256)> = blocks
-        .iter_mut()
-        .map(|b| &mut **b)
-        .zip(keys.iter())
-        .collect();
-    pool.for_each(&mut work, |(block, key)| {
+    pool.zip_for_each(blocks, keys, |block, key| {
         let cipher = Aes256::new(key);
         cbc::encrypt_in_place(&cipher, iv, block).expect("alignment checked above");
     });
@@ -83,14 +162,107 @@ pub fn decrypt_blocks(
 ) -> Result<()> {
     assert_eq!(keys.len(), blocks.len(), "one key per block");
     check_aligned(blocks)?;
-    let mut work: Vec<(&mut [u8], &Key256)> = blocks
-        .iter_mut()
-        .map(|b| &mut **b)
-        .zip(keys.iter())
-        .collect();
-    pool.for_each(&mut work, |(block, key)| {
+    pool.zip_for_each(blocks, keys, |block, key| {
         let cipher = Aes256::new(key);
         cbc::decrypt_in_place(&cipher, iv, block).expect("alignment checked above");
+    });
+    Ok(())
+}
+
+/// Runs `f` over every `(block, context)` pair of one contiguous span —
+/// inline or fanned out across the pool — without allocating.
+fn span_for_each<B: Sync>(
+    pool: &CryptoPool,
+    data: &mut [u8],
+    block_size: usize,
+    ctx: &[B],
+    f: impl Fn(&mut [u8], &B) + Sync,
+) {
+    match pool.chunking(ctx.len()) {
+        None => {
+            for (block, c) in data.chunks_exact_mut(block_size).zip(ctx) {
+                f(block, c);
+            }
+        }
+        Some(chunk) => {
+            let f = &f;
+            std::thread::scope(|scope| {
+                for (span, cs) in data.chunks_mut(chunk * block_size).zip(ctx.chunks(chunk)) {
+                    scope.spawn(move || {
+                        for (block, c) in span.chunks_exact_mut(block_size).zip(cs) {
+                            f(block, c);
+                        }
+                    });
+                }
+            })
+        }
+    }
+}
+
+/// Convergent encryption (Equation 2) of one contiguous span of whole
+/// blocks in place, each block under its own key and the shared fixed IV.
+/// Allocation-free (the contiguous dual of [`encrypt_blocks`]).
+pub fn encrypt_span(
+    pool: &CryptoPool,
+    keys: &[Key256],
+    iv: &Iv128,
+    data: &mut [u8],
+    block_size: usize,
+) -> Result<()> {
+    check_span(data.len(), keys.len(), block_size)?;
+    span_for_each(pool, data, block_size, keys, |block, key| {
+        let cipher = Aes256::new(key);
+        cbc::encrypt_in_place(&cipher, iv, block).expect("span alignment checked");
+    });
+    Ok(())
+}
+
+/// Decryption of one contiguous span of whole blocks in place (inverse of
+/// [`encrypt_span`]). Allocation-free.
+pub fn decrypt_span(
+    pool: &CryptoPool,
+    keys: &[Key256],
+    iv: &Iv128,
+    data: &mut [u8],
+    block_size: usize,
+) -> Result<()> {
+    check_span(data.len(), keys.len(), block_size)?;
+    span_for_each(pool, data, block_size, keys, |block, key| {
+        let cipher = Aes256::new(key);
+        cbc::decrypt_in_place(&cipher, iv, block).expect("span alignment checked");
+    });
+    Ok(())
+}
+
+/// CBC encryption of one contiguous span of whole blocks in place under one
+/// shared cipher with per-block IVs (the EncFS layout). Allocation-free.
+pub fn encrypt_span_with(
+    pool: &CryptoPool,
+    cipher: &Aes256,
+    ivs: &[Iv128],
+    data: &mut [u8],
+    block_size: usize,
+) -> Result<()> {
+    check_span(data.len(), ivs.len(), block_size)?;
+    span_for_each(pool, data, block_size, ivs, |block, iv| {
+        cbc::encrypt_in_place(cipher, iv, block).expect("span alignment checked");
+    });
+    Ok(())
+}
+
+/// CBC decryption of one contiguous span of whole blocks in place under one
+/// shared cipher with per-block IVs (inverse of [`encrypt_span_with`]).
+/// Allocation-free.
+pub fn decrypt_span_with(
+    pool: &CryptoPool,
+    cipher: &Aes256,
+    ivs: &[Iv128],
+    data: &mut [u8],
+    block_size: usize,
+) -> Result<()> {
+    check_span(data.len(), ivs.len(), block_size)?;
+    span_for_each(pool, data, block_size, ivs, |block, iv| {
+        cbc::decrypt_in_place(cipher, iv, block).expect("span alignment checked");
     });
     Ok(())
 }
@@ -106,12 +278,7 @@ pub fn encrypt_blocks_with(
 ) -> Result<()> {
     assert_eq!(ivs.len(), blocks.len(), "one IV per block");
     check_aligned(blocks)?;
-    let mut work: Vec<(&mut [u8], &Iv128)> = blocks
-        .iter_mut()
-        .map(|b| &mut **b)
-        .zip(ivs.iter())
-        .collect();
-    pool.for_each(&mut work, |(block, iv)| {
+    pool.zip_for_each(blocks, ivs, |block, iv| {
         cbc::encrypt_in_place(cipher, iv, block).expect("alignment checked above");
     });
     Ok(())
@@ -127,12 +294,7 @@ pub fn decrypt_blocks_with(
 ) -> Result<()> {
     assert_eq!(ivs.len(), blocks.len(), "one IV per block");
     check_aligned(blocks)?;
-    let mut work: Vec<(&mut [u8], &Iv128)> = blocks
-        .iter_mut()
-        .map(|b| &mut **b)
-        .zip(ivs.iter())
-        .collect();
-    pool.for_each(&mut work, |(block, iv)| {
+    pool.zip_for_each(blocks, ivs, |block, iv| {
         cbc::decrypt_in_place(cipher, iv, block).expect("alignment checked above");
     });
     Ok(())
@@ -265,6 +427,59 @@ mod tests {
             cbc_decrypt_parallel(&pool(), &cipher, &FIXED_IV, &mut par).unwrap();
             assert_eq!(par, plain, "{aes_blocks} AES blocks");
         }
+    }
+
+    #[test]
+    fn span_apis_match_reference_slice_apis() {
+        let kdf = ConvergentKdf::new(&[0x55; 32]);
+        let cipher = Aes256::new(&[0x66; 32]);
+        for blocks in [1usize, 2, 3, 4, 7, 16] {
+            let bs = 128;
+            let span: Vec<u8> = (0..blocks * bs).map(|i| (i % 251) as u8).collect();
+
+            // derive_span_into == derive_keys on the same blocks.
+            let refs: Vec<&[u8]> = span.chunks(bs).collect();
+            let expected_keys = derive_keys(&pool(), &kdf, &refs);
+            let mut keys = vec![[0u8; 32]; blocks];
+            derive_span_into(&pool(), &kdf, &span, bs, &mut keys).unwrap();
+            assert_eq!(keys, expected_keys, "{blocks} blocks");
+
+            // encrypt_span/decrypt_span == encrypt_blocks/decrypt_blocks.
+            let mut a = span.clone();
+            encrypt_span(&pool(), &keys, &FIXED_IV, &mut a, bs).unwrap();
+            let mut b = span.clone();
+            {
+                let mut refs: Vec<&mut [u8]> = b.chunks_mut(bs).collect();
+                encrypt_blocks(&pool(), &keys, &FIXED_IV, &mut refs).unwrap();
+            }
+            assert_eq!(a, b);
+            decrypt_span(&pool(), &keys, &FIXED_IV, &mut a, bs).unwrap();
+            assert_eq!(a, span);
+
+            // The shared-cipher per-IV variants agree too.
+            let ivs: Vec<Iv128> = (0..blocks as u8).map(|i| [i ^ 0x3c; 16]).collect();
+            let mut c = span.clone();
+            encrypt_span_with(&pool(), &cipher, &ivs, &mut c, bs).unwrap();
+            let mut d = span.clone();
+            {
+                let mut refs: Vec<&mut [u8]> = d.chunks_mut(bs).collect();
+                encrypt_blocks_with(&pool(), &cipher, &ivs, &mut refs).unwrap();
+            }
+            assert_eq!(c, d);
+            decrypt_span_with(&pool(), &cipher, &ivs, &mut c, bs).unwrap();
+            assert_eq!(c, span);
+        }
+    }
+
+    #[test]
+    fn span_length_mismatches_rejected() {
+        let kdf = ConvergentKdf::new(&[1; 32]);
+        let mut keys = [[0u8; 32]; 2];
+        assert!(derive_span_into(&pool(), &kdf, &[0u8; 100], 64, &mut keys).is_err());
+        let mut data = vec![0u8; 100];
+        assert!(encrypt_span(&pool(), &[[0u8; 32]; 2], &FIXED_IV, &mut data, 64).is_err());
+        let mut aligned = vec![0u8; 128];
+        assert!(decrypt_span(&pool(), &[[0u8; 32]; 2], &FIXED_IV, &mut aligned, 63).is_err());
     }
 
     #[test]

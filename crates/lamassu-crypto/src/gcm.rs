@@ -12,7 +12,7 @@
 
 use crate::aes::Aes256;
 use crate::ctr::{ctr32_xor_in_place, inc32};
-use crate::ghash::Ghash;
+use crate::ghash::{Ghash, GhashKey};
 use crate::util::constant_time_eq;
 use crate::{CryptoError, Key256, Result};
 
@@ -38,15 +38,16 @@ pub const TAG_LEN: usize = 16;
 #[derive(Clone)]
 pub struct Aes256Gcm {
     aes: Aes256,
-    /// The GHASH subkey H = AES_K(0^128).
-    h: [u8; 16],
+    /// Precomputed GHASH nibble table for the subkey H = AES_K(0^128),
+    /// built once per key (Shoup's 4-bit method — see [`crate::ghash`]).
+    h: GhashKey,
 }
 
 impl Aes256Gcm {
     /// Creates a GCM instance from a 256-bit key.
     pub fn new(key: &Key256) -> Self {
         let aes = Aes256::new(key);
-        let h = aes.encrypt_block(&[0u8; 16]);
+        let h = GhashKey::new(&aes.encrypt_block(&[0u8; 16]));
         Aes256Gcm { aes, h }
     }
 
@@ -101,7 +102,7 @@ impl Aes256Gcm {
 
     /// Computes the GCM tag over (`aad`, ciphertext) with pre-counter `j0`.
     fn compute_tag(&self, j0: &[u8; 16], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
-        let mut ghash = Ghash::new(&self.h);
+        let mut ghash = Ghash::with_key(&self.h);
         ghash.update_padded(aad);
         ghash.update_padded(ciphertext);
         let s = ghash.finalize(aad.len(), ciphertext.len());

@@ -11,7 +11,7 @@
 //! isolation zone is preserved.
 
 use crate::aes::{ecb_decrypt_in_place, ecb_encrypt_in_place, Aes256};
-use crate::sha256::{sha256, Digest};
+use crate::sha256::{digest_block, Digest};
 use crate::Key256;
 
 /// Derives convergent encryption keys from block hashes under an inner key.
@@ -50,9 +50,11 @@ impl ConvergentKdf {
         key
     }
 
-    /// Convenience: hashes `block` with SHA-256 and derives its key.
+    /// Convenience: hashes `block` with SHA-256 and derives its key. Routed
+    /// through [`digest_block`], the one-shot fast path for the whole-block
+    /// (4 KiB) messages this is called with on every data-path operation.
     pub fn derive_for_block(&self, block: &[u8]) -> Key256 {
-        self.derive(&sha256(block))
+        self.derive(&digest_block(block))
     }
 
     /// Recovers the block hash from a convergent key (the KDF is invertible
@@ -69,6 +71,7 @@ impl ConvergentKdf {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sha256::sha256;
 
     #[test]
     fn deterministic_for_same_block_and_key() {

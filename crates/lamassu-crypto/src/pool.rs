@@ -76,27 +76,81 @@ impl CryptoPool {
         self.workers
     }
 
+    /// How a batch of `items` items would be fanned out: `None` means it
+    /// runs inline on the caller's thread (one worker, or a batch under
+    /// [`MIN_PARALLEL_ITEMS`]), `Some(chunk)` means workers each take
+    /// `chunk` consecutive items.
+    pub fn chunking(&self, items: usize) -> Option<usize> {
+        let threads = self.workers.min(items);
+        if threads <= 1 || items < MIN_PARALLEL_ITEMS {
+            None
+        } else {
+            Some(items.div_ceil(threads))
+        }
+    }
+
+    /// True if a batch of `items` items runs inline on the caller's thread —
+    /// the path that performs no allocation and no thread spawn (the
+    /// zero-allocation guarantee of the steady-state data path is proven
+    /// under this regime; see the crate-level docs of `lamassu-core::pool`).
+    pub fn runs_inline(&self, items: usize) -> bool {
+        self.chunking(items).is_none()
+    }
+
     /// Applies `f` to every item, fanning contiguous chunks of `items` out
     /// across the pool's workers. Runs inline for one worker or for batches
     /// under [`MIN_PARALLEL_ITEMS`].
     pub fn for_each<T: Send>(&self, items: &mut [T], f: impl Fn(&mut T) + Sync) {
-        let threads = self.workers.min(items.len());
-        if threads <= 1 || items.len() < MIN_PARALLEL_ITEMS {
-            for item in items {
-                f(item);
+        match self.chunking(items.len()) {
+            None => {
+                for item in items {
+                    f(item);
+                }
             }
-            return;
+            Some(chunk) => std::thread::scope(|scope| {
+                for slice in items.chunks_mut(chunk) {
+                    scope.spawn(|| {
+                        for item in slice {
+                            f(item);
+                        }
+                    });
+                }
+            }),
         }
-        let chunk = items.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            for slice in items.chunks_mut(chunk) {
-                scope.spawn(|| {
-                    for item in slice {
-                        f(item);
-                    }
-                });
+    }
+
+    /// Applies `f` to every `(item, context)` pair, fanning contiguous
+    /// chunks of both slices out in lockstep. The chunk iterators are lazy,
+    /// so the inline path performs **zero allocations** — this is the
+    /// primitive underneath every batch crypto API.
+    ///
+    /// Panics if the slices differ in length.
+    pub fn zip_for_each<A: Send, B: Sync>(
+        &self,
+        items: &mut [A],
+        ctx: &[B],
+        f: impl Fn(&mut A, &B) + Sync,
+    ) {
+        assert_eq!(items.len(), ctx.len(), "zip_for_each slices must pair up");
+        match self.chunking(items.len()) {
+            None => {
+                for (a, b) in items.iter_mut().zip(ctx) {
+                    f(a, b);
+                }
             }
-        });
+            Some(chunk) => {
+                let f = &f;
+                std::thread::scope(|scope| {
+                    for (ac, bc) in items.chunks_mut(chunk).zip(ctx.chunks(chunk)) {
+                        scope.spawn(move || {
+                            for (a, b) in ac.iter_mut().zip(bc) {
+                                f(a, b);
+                            }
+                        });
+                    }
+                })
+            }
+        }
     }
 }
 

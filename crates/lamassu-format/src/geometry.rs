@@ -202,21 +202,39 @@ impl Geometry {
 
     /// Splits the logical byte range `[offset, offset + len)` into
     /// `(logical_block, offset_in_block, len_in_block)` spans, one per data
-    /// block touched. Used by the read/write paths to turn arbitrary I/O into
-    /// full-block operations.
-    pub fn block_spans(&self, offset: u64, len: usize) -> Vec<(u64, usize, usize)> {
-        let bs = self.block_size as u64;
-        let mut spans = Vec::new();
-        let mut cur = offset;
-        let end = offset + len as u64;
-        while cur < end {
-            let block = cur / bs;
-            let in_block = (cur % bs) as usize;
-            let take = ((bs - in_block as u64).min(end - cur)) as usize;
-            spans.push((block, in_block, take));
-            cur += take as u64;
+    /// block touched, as an allocation-free iterator. Used by the read/write
+    /// paths to turn arbitrary I/O into full-block operations without
+    /// putting the allocator on the hot path.
+    pub fn block_spans(&self, offset: u64, len: usize) -> BlockSpans {
+        BlockSpans {
+            block_size: self.block_size as u64,
+            cur: offset,
+            end: offset + len as u64,
         }
-        spans
+    }
+}
+
+/// Iterator over the `(logical_block, offset_in_block, len_in_block)` spans
+/// of one byte range (see [`Geometry::block_spans`]).
+#[derive(Debug, Clone)]
+pub struct BlockSpans {
+    block_size: u64,
+    cur: u64,
+    end: u64,
+}
+
+impl Iterator for BlockSpans {
+    type Item = (u64, usize, usize);
+
+    fn next(&mut self) -> Option<(u64, usize, usize)> {
+        if self.cur >= self.end {
+            return None;
+        }
+        let block = self.cur / self.block_size;
+        let in_block = (self.cur % self.block_size) as usize;
+        let take = ((self.block_size - in_block as u64).min(self.end - self.cur)) as usize;
+        self.cur += take as u64;
+        Some((block, in_block, take))
     }
 }
 
@@ -328,7 +346,7 @@ mod tests {
     #[test]
     fn block_spans_cover_range_exactly() {
         let g = Geometry::default();
-        let spans = g.block_spans(4000, 5000);
+        let spans: Vec<_> = g.block_spans(4000, 5000).collect();
         // Starts mid-block 0, covers block 1 fully, ends early in block 2.
         assert_eq!(spans, vec![(0, 4000, 96), (1, 0, 4096), (2, 0, 808)]);
         let total: usize = spans.iter().map(|s| s.2).sum();
@@ -338,7 +356,7 @@ mod tests {
     #[test]
     fn block_spans_empty_range() {
         let g = Geometry::default();
-        assert!(g.block_spans(123, 0).is_empty());
+        assert_eq!(g.block_spans(123, 0).count(), 0);
     }
 
     #[test]

@@ -179,10 +179,11 @@ impl MetadataBlock {
         self.transient.clear();
     }
 
-    /// Serializes the secure region (everything after the nonce and tag).
-    fn serialize_secure_region(&self, geometry: &Geometry) -> Vec<u8> {
-        let len = geometry.block_size() - SECURE_OFFSET;
-        let mut out = vec![0u8; len];
+    /// Serializes the secure region (everything after the nonce and tag)
+    /// into `out`, which must be exactly `block_size - 32` bytes.
+    fn serialize_secure_region_into(&self, geometry: &Geometry, out: &mut [u8]) {
+        debug_assert_eq!(out.len(), geometry.block_size() - SECURE_OFFSET);
+        out.fill(0);
         out[0..8].copy_from_slice(&self.logical_size.to_le_bytes());
         out[8..12].copy_from_slice(&self.flags.bits().to_le_bytes());
         out[12..14].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
@@ -202,7 +203,6 @@ impl MetadataBlock {
             out[off..off + 2].copy_from_slice(&entry.slot.to_le_bytes());
             out[off + 2..off + 2 + KEY_SLOT_SIZE].copy_from_slice(&entry.old_key);
         }
-        out
     }
 
     /// Parses the secure region back into a metadata block.
@@ -273,14 +273,30 @@ impl MetadataBlock {
         nonce: &[u8; NONCE_LEN],
         aad: &[u8],
     ) -> Vec<u8> {
-        let mut region = self.serialize_secure_region(geometry);
-        let tag = gcm.encrypt_in_place(nonce, aad, &mut region);
-
         let mut out = vec![0u8; geometry.block_size()];
-        out[..NONCE_LEN].copy_from_slice(nonce);
-        out[TAG_OFFSET..TAG_OFFSET + TAG_LEN].copy_from_slice(&tag);
-        out[SECURE_OFFSET..].copy_from_slice(&region);
+        self.seal_into(geometry, gcm, nonce, aad, &mut out);
         out
+    }
+
+    /// Seals the metadata block into caller-provided storage of exactly
+    /// `block_size` bytes — the allocation-free form of
+    /// [`MetadataBlock::seal`] used by the zero-allocation commit path
+    /// (serialization, encryption and tag placement all happen in `out`).
+    pub fn seal_into(
+        &self,
+        geometry: &Geometry,
+        gcm: &Aes256Gcm,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        out: &mut [u8],
+    ) {
+        assert_eq!(out.len(), geometry.block_size(), "one whole block");
+        let (header, region) = out.split_at_mut(SECURE_OFFSET);
+        self.serialize_secure_region_into(geometry, region);
+        let tag = gcm.encrypt_in_place(nonce, aad, region);
+        header.fill(0);
+        header[..NONCE_LEN].copy_from_slice(nonce);
+        header[TAG_OFFSET..TAG_OFFSET + TAG_LEN].copy_from_slice(&tag);
     }
 
     /// Unseals an on-disk metadata block: verifies the GCM tag (and `aad`)

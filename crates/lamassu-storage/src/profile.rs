@@ -57,6 +57,11 @@ pub struct IoCounters {
     pub cache_evictions: u64,
     /// Dirty blocks the cache wrote back (eviction or flush).
     pub cache_writebacks: u64,
+    /// Block-buffer pool takes served from the free list by a pooled layer
+    /// above this store (zero-allocation path; see `lamassu-core::pool`).
+    pub pool_hits: u64,
+    /// Block-buffer pool takes that had to allocate a fresh buffer.
+    pub pool_misses: u64,
 }
 
 impl IoCounters {

@@ -342,7 +342,7 @@ proptest! {
     #[test]
     fn block_spans_partition_any_range(offset in 0u64..1_000_000, len in 0usize..100_000) {
         let g = Geometry::default();
-        let spans = g.block_spans(offset, len);
+        let spans: Vec<_> = g.block_spans(offset, len).collect();
         let total: usize = spans.iter().map(|s| s.2).sum();
         prop_assert_eq!(total, len);
         // Spans are contiguous and in order.

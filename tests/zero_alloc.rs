@@ -1,0 +1,243 @@
+//! The zero-allocation guarantee, enforced with a counting global allocator.
+//!
+//! The tentpole claim of the pooled data path (`lamassu-core::pool`): once a
+//! LamassuFS mount is warm, the steady-state loops perform **zero heap
+//! allocations per operation** —
+//!
+//! * a warm re-read loop (every block already cached in the backend and all
+//!   metadata decrypted), aligned or misaligned, with full integrity
+//!   checking on;
+//! * a warm re-read loop through a `CachedStore` serving pure hits;
+//! * a steady aligned rewrite loop (dirty blocks staged in pooled buffers,
+//!   committed through the reusable span staging, metadata updated in place
+//!   and sealed into pooled blocks).
+//!
+//! The tests install a `#[global_allocator]` that counts every `alloc` and
+//! `realloc`, warm each loop (first-touch costs: pool fills, thread-local
+//! scratch, metadata cache, transport-channel pinning), then assert the
+//! counter does not move across many further operations. Everything runs on
+//! the in-memory `DedupStore` with the instant transport profile so the only
+//! code under test is our own data path.
+//!
+//! The loops run single-threaded with `workers: 1` (the inline crypto
+//! regime): with a wider worker pool the per-span thread fan-out allocates
+//! by design — that trade is documented in `lamassu-core::span` and the
+//! README's memory-model section.
+
+use lamassu::core::{FileSystem, IntegrityMode, LamassuConfig, LamassuFs, SpanConfig, SpanPolicy};
+use lamassu::keymgr::KeyManager;
+use lamassu::storage::{DedupStore, StorageProfile};
+use lamassu_cache::{CacheConfig, CachedStore};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Forwards to [`System`], counting every allocation and reallocation.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers entirely to the system allocator; the counter has no
+// safety impact.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// The allocation counter is process-global, so the measured windows of the
+/// three tests must not overlap — another test's warm-up allocating inside
+/// this test's window would be a false failure. Each test holds this lock
+/// for its whole body.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn serialize() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `op` and returns how many allocations it performed.
+fn allocs_during(mut op: impl FnMut()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    op();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+const BS: usize = 4096;
+
+/// A LamassuFS mount over an instant in-memory store, single crypto worker
+/// (the inline, allocation-free batch regime), full integrity.
+fn mount() -> LamassuFs {
+    let store = Arc::new(DedupStore::new(BS, StorageProfile::instant()));
+    let km = KeyManager::new();
+    let zone = km.create_zone(1).expect("fresh key manager");
+    let keys = km.fetch_zone_keys(zone).expect("zone just created");
+    let config = LamassuConfig::default()
+        .integrity(IntegrityMode::Full)
+        .span(SpanConfig {
+            policy: SpanPolicy::Batched,
+            workers: 1,
+            pool_blocks: None,
+        });
+    LamassuFs::new(store, keys, config)
+}
+
+fn populate(fs: &dyn FileSystem, path: &str, size: usize) -> lamassu::core::Fd {
+    let fd = fs.create(path).expect("fresh mount");
+    let chunk: Vec<u8> = (0..64 * 1024).map(|i| (i % 249) as u8).collect();
+    let mut off = 0;
+    while off < size {
+        let take = chunk.len().min(size - off);
+        fs.write(fd, off as u64, &chunk[..take]).expect("populate");
+        off += take;
+    }
+    fs.fsync(fd).expect("populate fsync");
+    fd
+}
+
+#[test]
+fn warm_reread_loop_allocates_nothing() {
+    let _serial = serialize();
+    let fs = mount();
+    let size = 2 * 1024 * 1024;
+    let fd = populate(&fs, "/zero.dat", size);
+    let mut buf = vec![0u8; 64 * 1024];
+
+    let mut sweep = |fs: &LamassuFs, offset_skew: usize| {
+        let mut off = offset_skew;
+        while off + buf.len() <= size {
+            let n = fs.read_into(fd, off as u64, &mut buf).expect("read");
+            assert_eq!(n, buf.len());
+            off += buf.len();
+        }
+    };
+
+    // Warm everything: metadata cache, buffer pool, thread-local scratch,
+    // the transport clock's channel pinning.
+    sweep(&fs, 0);
+    sweep(&fs, BS / 2);
+    sweep(&fs, 0);
+
+    // Aligned warm re-reads: zero allocations per op.
+    let allocs = allocs_during(|| {
+        for _ in 0..8 {
+            sweep(&fs, 0);
+        }
+    });
+    assert_eq!(allocs, 0, "aligned warm re-read loop must not allocate");
+
+    // Misaligned warm re-reads (head/tail blocks stage through the pool —
+    // still zero allocations).
+    let allocs = allocs_during(|| {
+        for _ in 0..8 {
+            sweep(&fs, BS / 2);
+        }
+    });
+    assert_eq!(allocs, 0, "misaligned warm re-read loop must not allocate");
+
+    let stats = fs.pool_stats();
+    assert!(stats.hits > 0, "pool was exercised: {stats:?}");
+    assert!(
+        stats.pooled <= stats.capacity,
+        "idle buffers exceed the pool bound: {stats:?}"
+    );
+}
+
+#[test]
+fn steady_rewrite_loop_allocates_nothing() {
+    let _serial = serialize();
+    let fs = mount();
+    let size = 1024 * 1024;
+    let fd = populate(&fs, "/rw.dat", size);
+
+    let block: Vec<u8> = (0..BS).map(|i| (i % 241) as u8).collect();
+    let rewrite_pass = |fs: &LamassuFs| {
+        let mut off = 0;
+        while off + BS <= size {
+            fs.write(fd, off as u64, &block).expect("rewrite");
+            off += BS;
+        }
+        fs.fsync(fd).expect("rewrite fsync");
+    };
+
+    // Warm: commit staging buffer, pending-vector capacity, pooled blocks,
+    // metadata cache, nonce RNG state, thread-local key scratch.
+    rewrite_pass(&fs);
+    rewrite_pass(&fs);
+
+    let allocs = allocs_during(|| {
+        for _ in 0..4 {
+            rewrite_pass(&fs);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "steady aligned rewrite loop (incl. commits + fsync) must not allocate"
+    );
+}
+
+#[test]
+fn warm_cached_reread_loop_allocates_nothing() {
+    let _serial = serialize();
+    // LamassuFS over a CachedStore big enough to hold the whole file: after
+    // the first sweep every backend block is a cache hit served from pooled
+    // slots.
+    let backend = Arc::new(DedupStore::new(BS, StorageProfile::nfs_1gbe()));
+    let cache = Arc::new(CachedStore::new(
+        backend,
+        CacheConfig {
+            block_size: BS,
+            capacity_blocks: 2048,
+            ..CacheConfig::default()
+        },
+    ));
+    let km = KeyManager::new();
+    let zone = km.create_zone(1).expect("fresh key manager");
+    let keys = km.fetch_zone_keys(zone).expect("zone just created");
+    let config = LamassuConfig::default()
+        .integrity(IntegrityMode::Full)
+        .span(SpanConfig {
+            policy: SpanPolicy::Batched,
+            workers: 1,
+            pool_blocks: None,
+        });
+    let fs = LamassuFs::new(cache.clone(), keys, config);
+
+    let size = 1024 * 1024;
+    let fd = populate(&fs, "/cached.dat", size);
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut sweep = |fs: &LamassuFs| {
+        let mut off = 0;
+        while off + buf.len() <= size {
+            let n = fs.read_into(fd, off as u64, &mut buf).expect("read");
+            assert_eq!(n, buf.len());
+            off += buf.len();
+        }
+    };
+    sweep(&fs);
+    sweep(&fs);
+
+    let before_hits = cache.stats().hits;
+    let allocs = allocs_during(|| {
+        for _ in 0..8 {
+            sweep(&fs);
+        }
+    });
+    assert_eq!(allocs, 0, "warm cached re-read loop must not allocate");
+    assert!(
+        cache.stats().hits > before_hits,
+        "the loop really was served by the cache"
+    );
+}
