@@ -19,6 +19,7 @@ fn main() {
     experiments::cache::run(fio.min(16 * 1024 * 1024));
     experiments::span_io::run(fio.min(16 * 1024 * 1024));
     experiments::scaling::run(fio.min(8 * 1024 * 1024));
+    experiments::scaleout::run(fio.min(8 * 1024 * 1024));
     experiments::hot_path::run(8);
     println!("\nAll experiments complete; JSON reports are under ./results/");
 }

@@ -1,0 +1,7 @@
+//! Regenerates the scale-out experiment: sequential-read/write throughput
+//! for 1/2/4/8 routed backends at replication factors 1 and 2 over the NFS
+//! profile.
+
+fn main() {
+    lamassu_bench::experiments::scaleout::run(lamassu_bench::fio_file_size().min(8 * 1024 * 1024));
+}

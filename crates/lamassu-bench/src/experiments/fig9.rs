@@ -38,6 +38,9 @@ pub struct Fig9Row {
     pub cache_us: f64,
     /// Span-planning share (the `Plan` category of the span pipeline).
     pub plan_us: f64,
+    /// Distribution-tier routing share (zero on these unrouted mounts; the
+    /// scale-out experiment exercises routed mounts).
+    pub route_us: f64,
     /// Remainder.
     pub misc_us: f64,
     /// GetCEKey share of the total, in percent.
@@ -78,6 +81,7 @@ pub fn run(file_size: u64) -> Vec<Fig9Row> {
                 io_us: per_op(breakdown.io),
                 cache_us: per_op(breakdown.cache),
                 plan_us: per_op(breakdown.plan),
+                route_us: per_op(breakdown.route),
                 misc_us: per_op(breakdown.misc),
                 get_ce_key_pct: breakdown.get_ce_key_fraction() * 100.0,
                 pool_hit_pct: profiler.pool_stats().hit_rate() * 100.0,
@@ -96,6 +100,7 @@ pub fn run(file_size: u64) -> Vec<Fig9Row> {
             "I/O",
             "Cache",
             "Plan",
+            "Route",
             "Misc",
             "GetCEKey %",
             "Pool hit %",
@@ -111,6 +116,7 @@ pub fn run(file_size: u64) -> Vec<Fig9Row> {
             format!("{:.1}", r.io_us),
             format!("{:.1}", r.cache_us),
             format!("{:.1}", r.plan_us),
+            format!("{:.1}", r.route_us),
             format!("{:.1}", r.misc_us),
             format!("{:.0}%", r.get_ce_key_pct),
             format!("{:.0}%", r.pool_hit_pct),

@@ -14,6 +14,7 @@
 //! | [`cache`] | beyond the paper — cached vs uncached I/O over the NFS profile |
 //! | [`span_io`] | beyond the paper — span vs per-block pipeline round trips |
 //! | [`scaling`] | beyond the paper — multi-job throughput vs job count |
+//! | [`scaleout`] | beyond the paper — routed-tier throughput vs backend count |
 //! | [`hot_path`] | beyond the paper — allocs/op and ns/block on the steady-state data path |
 
 pub mod ablation;
@@ -25,6 +26,7 @@ pub mod fig11;
 pub mod fig6;
 pub mod fig9;
 pub mod hot_path;
+pub mod scaleout;
 pub mod scaling;
 pub mod span_io;
 pub mod table1;

@@ -4,6 +4,7 @@ use lamassu_cache::{CacheConfig, CachedStore};
 use lamassu_core::{
     EncFs, EncFsConfig, FileSystem, IntegrityMode, LamassuConfig, LamassuFs, PlainFs, SpanConfig,
 };
+use lamassu_dist::{DistConfig, RoutedStore};
 use lamassu_keymgr::{KeyManager, ZoneKeys};
 use lamassu_storage::{DedupStore, ObjectStore, StorageProfile};
 use std::sync::Arc;
@@ -169,6 +170,54 @@ pub fn mount_cached(
     }
 }
 
+/// A mount with a [`RoutedStore`] distributing blocks over several
+/// [`DedupStore`] backends below the shim.
+pub struct RoutedMount {
+    /// The mounted file system (shim over router over the members).
+    pub fs: Box<dyn FileSystem>,
+    /// The distribution tier. Pass this as the `store` argument of
+    /// [`lamassu_workloads::FioTester::run`]: its `io_time` is the busiest
+    /// member's makespan and its counters are the cluster totals.
+    pub router: Arc<RoutedStore<DedupStore>>,
+    /// The member backends, in stable-id order at mount time.
+    pub members: Vec<Arc<DedupStore>>,
+    /// Which shim variant this is.
+    pub kind: FsKind,
+    /// The shim's latency profiler (also attached to the router, so routing
+    /// time lands in the `Route` category of Figure 9).
+    pub profiler: std::sync::Arc<lamassu_core::Profiler>,
+}
+
+/// Builds a fresh routed mount: shim over a [`RoutedStore`] spreading
+/// placement units across `backends` fresh [`DedupStore`]s, each with its
+/// own transport profile instance (independent servers).
+pub fn mount_routed(
+    kind: FsKind,
+    profile: StorageProfile,
+    reserved_slots: usize,
+    backends: usize,
+    config: DistConfig,
+) -> RoutedMount {
+    let members: Vec<Arc<DedupStore>> = (0..backends)
+        .map(|_| Arc::new(DedupStore::new(4096, profile)))
+        .collect();
+    let router = Arc::new(RoutedStore::new(members.clone(), config));
+    let (fs, profiler) = shim_over(
+        kind,
+        router.clone() as Arc<dyn ObjectStore>,
+        reserved_slots,
+        SpanConfig::default(),
+    );
+    router.set_profiler(profiler.clone());
+    RoutedMount {
+        fs,
+        router,
+        members,
+        kind,
+        profiler,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +231,28 @@ mod tests {
             let fd = m.fs.create("/t").unwrap();
             m.fs.write(fd, 0, b"ok").unwrap();
             assert_eq!(m.fs.read(fd, 0, 2).unwrap(), b"ok");
+        }
+    }
+
+    #[test]
+    fn routed_mounts_round_trip_and_stripe() {
+        use lamassu_dist::Granularity;
+        for kind in FsKind::ALL {
+            let m = mount_routed(
+                kind,
+                StorageProfile::instant(),
+                8,
+                3,
+                DistConfig::new(2).granularity(Granularity::BlockRange(8192)),
+            );
+            assert_eq!(m.members.len(), 3);
+            let fd = m.fs.create("/t").unwrap();
+            let data = vec![5u8; 64 * 1024];
+            m.fs.write(fd, 0, &data).unwrap();
+            m.fs.fsync(fd).unwrap();
+            assert_eq!(m.fs.read(fd, 0, data.len()).unwrap(), data);
+            let agg = m.router.io_counters();
+            assert!(agg.write_ops > 0, "{kind:?} never hit the members");
         }
     }
 

@@ -965,10 +965,14 @@ impl<S: ObjectStore + ?Sized> ObjectStore for CachedStore<S> {
     fn io_counters(&self) -> IoCounters {
         let mut counters = self.inner.io_counters();
         let stats = self.stats.snapshot();
-        counters.cache_hits = stats.hits;
-        counters.cache_misses = stats.misses;
-        counters.cache_evictions = stats.evictions;
-        counters.cache_writebacks = stats.dirty_writebacks;
+        // Add rather than overwrite: when this cache sits above another
+        // counter-bearing tier (a routed store over cached members, or a
+        // stacked cache), the snapshot must describe the whole stack instead
+        // of silently discarding the tiers below.
+        counters.cache_hits += stats.hits;
+        counters.cache_misses += stats.misses;
+        counters.cache_evictions += stats.evictions;
+        counters.cache_writebacks += stats.dirty_writebacks;
         let pool = self.pool.stats();
         counters.pool_hits += pool.hits;
         counters.pool_misses += pool.misses;

@@ -17,6 +17,7 @@
 
 use lamassu_cache::{CacheConfig, CacheMode, CachedStore};
 use lamassu_core::{FileSystem, LamassuConfig, LamassuFs, OpenFlags};
+use lamassu_dist::{DistConfig, Granularity, RoutedStore};
 use lamassu_keymgr::KeyManager;
 use lamassu_storage::{DirStore, ObjectStore, StorageProfile};
 use lamassu_workloads::{FioConfig, FioTester, JobLayout, Workload};
@@ -63,6 +64,12 @@ OPTIONS:
                                with a capacity in blocks (default: off; 1024
                                blocks when a mode is given). Write-back
                                coalesces writes and flushes before exit.
+    --dist <N[:R]>             distribute the volume over N shard directories
+                               (<volume>/shard-00 ... ) with replication
+                               factor R (default R = 1): consistent-hash
+                               block-range placement, read failover, and
+                               scrub/read-repair during fsck. Composes with
+                               --cache (cache above the routed tier).
 ";
 
 struct Options {
@@ -76,7 +83,36 @@ struct Options {
     bench_layout: JobLayout,
     bench_mb: u64,
     cache: Option<(CacheMode, usize)>,
+    dist: Option<(usize, usize)>,
     positional: Vec<String>,
+}
+
+/// Parses `--dist` values: `N[:R]` with `N >= 1` backends and
+/// `1 <= R <= min(N, MAX_REPLICAS)` replicas.
+fn parse_dist_spec(value: &str) -> Result<(usize, usize), String> {
+    let (n_str, r_str) = match value.split_once(':') {
+        Some((n, r)) => (n, Some(r)),
+        None => (value, None),
+    };
+    let backends = n_str
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n >= 1)
+        .ok_or_else(|| format!("bad backend count: {n_str}"))?;
+    let replicas = match r_str {
+        Some(r) => r
+            .parse::<usize>()
+            .ok()
+            .filter(|&x| (1..=lamassu_dist::MAX_REPLICAS.min(backends)).contains(&x))
+            .ok_or_else(|| {
+                format!(
+                    "bad replica count: {r} (expected 1..={})",
+                    lamassu_dist::MAX_REPLICAS.min(backends)
+                )
+            })?,
+        None => 1,
+    };
+    Ok((backends, replicas))
 }
 
 /// Parses `--cache` values: `off`, `write-through[:blocks]`,
@@ -126,6 +162,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         bench_layout: JobLayout::SharedFile,
         bench_mb: 8,
         cache: None,
+        dist: None,
         positional: Vec::new(),
     };
     let mut flags: HashMap<&str, FlagSetter> = HashMap::new();
@@ -181,6 +218,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         o.cache = parse_cache_spec(&v)?;
         Ok(())
     });
+    flags.insert("--dist", |o, v| {
+        o.dist = Some(parse_dist_spec(&v)?);
+        Ok(())
+    });
 
     let mut i = 0;
     while i < args.len() {
@@ -215,8 +256,12 @@ fn load_key_manager(path: &str) -> Result<KeyManager, String> {
 struct Mounted {
     fs: LamassuFs,
     cache: Option<Arc<CachedStore>>,
+    /// The routed tier, when `--dist` spread the volume over shards — `fsck`
+    /// runs its scrub/read-repair pass.
+    dist: Option<Arc<RoutedStore>>,
     /// The store tier the shim sits on (the cache when one is configured,
-    /// the volume's `DirStore` otherwise) — where `bench` reads accounting.
+    /// then the router, then the volume's `DirStore`) — where `bench` reads
+    /// accounting.
     store: Arc<dyn ObjectStore>,
 }
 
@@ -249,10 +294,29 @@ fn mount(opts: &Options) -> Result<Mounted, String> {
     let keys = km
         .fetch_zone_keys(opts.zone)
         .map_err(|e| format!("zone {}: {e}", opts.zone))?;
-    let dir: Arc<dyn ObjectStore> = Arc::new(
-        DirStore::open(volume, StorageProfile::instant())
-            .map_err(|e| format!("cannot open volume {volume}: {e}"))?,
-    );
+    let mut dist = None;
+    let dir: Arc<dyn ObjectStore> = match opts.dist {
+        None => Arc::new(
+            DirStore::open(volume, StorageProfile::instant())
+                .map_err(|e| format!("cannot open volume {volume}: {e}"))?,
+        ),
+        Some((backends, replicas)) => {
+            let members: Vec<Arc<dyn ObjectStore>> = (0..backends)
+                .map(|i| {
+                    let shard = format!("{volume}/shard-{i:02}");
+                    DirStore::open(&shard, StorageProfile::instant())
+                        .map(|d| Arc::new(d) as Arc<dyn ObjectStore>)
+                        .map_err(|e| format!("cannot open shard {shard}: {e}"))
+                })
+                .collect::<Result<_, String>>()?;
+            let router = Arc::new(RoutedStore::new(
+                members,
+                DistConfig::new(replicas).granularity(Granularity::BlockRange(1024 * 1024)),
+            ));
+            dist = Some(router.clone());
+            router
+        }
+    };
     let mut cache = None;
     let store: Arc<dyn ObjectStore> = match opts.cache {
         None => dir,
@@ -283,7 +347,12 @@ fn mount(opts: &Options) -> Result<Mounted, String> {
             },
         },
     );
-    Ok(Mounted { fs, cache, store })
+    Ok(Mounted {
+        fs,
+        cache,
+        dist,
+        store,
+    })
 }
 
 fn cmd_keygen(opts: &Options) -> Result<(), String> {
@@ -413,6 +482,23 @@ fn cmd_verify(opts: &Options) -> Result<(), String> {
 
 fn cmd_fsck(opts: &Options) -> Result<(), String> {
     let fs_mount = mount(opts)?;
+    if let Some(router) = &fs_mount.dist {
+        let scrub = router.scrub();
+        println!(
+            "scrub: {} objects, {} units checked; {} mismatches, {} repaired, \
+             {} tombstones cleared{}",
+            scrub.objects,
+            scrub.units,
+            scrub.mismatches,
+            scrub.repaired,
+            scrub.tombstones_cleared,
+            if scrub.unreadable_units > 0 {
+                format!("; {} UNREADABLE units", scrub.unreadable_units)
+            } else {
+                String::new()
+            }
+        );
+    }
     let reports = fs_mount.recover_all().map_err(err)?;
     let mut dirty = 0;
     for (path, report) in &reports {

@@ -40,9 +40,14 @@ pub enum Category {
     /// or backend I/O is issued (see [`crate::span`]). Zero on mounts running
     /// the per-block fallback pipeline.
     Plan,
+    /// Distribution-tier routing overhead: ring lookups, replica fan-out and
+    /// failover bookkeeping in a `lamassu-dist::RoutedStore`, *excluding* the
+    /// member backends' own time (which stays in `Io`). Zero on unrouted
+    /// mounts.
+    Route,
 }
 
-const NUM_CATEGORIES: usize = 6;
+const NUM_CATEGORIES: usize = 7;
 
 /// Accumulated per-category time, plus derived *Misc*.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -62,6 +67,9 @@ pub struct LatencyBreakdown {
     pub cache: Duration,
     /// Time spent planning spans (zero on per-block mounts).
     pub plan: Duration,
+    /// Time spent in distribution-tier routing, net of the member backends'
+    /// own time (zero on unrouted mounts).
+    pub route: Duration,
     /// Everything else (buffer management, handle lookup, bookkeeping).
     pub misc: Duration,
 }
@@ -69,7 +77,14 @@ pub struct LatencyBreakdown {
 impl LatencyBreakdown {
     /// Sum of all categories.
     pub fn total(&self) -> Duration {
-        self.encrypt + self.decrypt + self.get_ce_key + self.io + self.cache + self.plan + self.misc
+        self.encrypt
+            + self.decrypt
+            + self.get_ce_key
+            + self.io
+            + self.cache
+            + self.plan
+            + self.route
+            + self.misc
     }
 
     /// Fraction of the total attributed to `GetCEKey`, the quantity the paper
@@ -132,6 +147,7 @@ impl Profiler {
             io: cats[Category::Io as usize],
             cache: cats[Category::Cache as usize],
             plan: cats[Category::Plan as usize],
+            route: cats[Category::Route as usize],
             misc: total_runtime.saturating_sub(explicit),
         }
     }

@@ -1,0 +1,185 @@
+//! Consistent-hash ring with virtual nodes.
+//!
+//! The ring maps placement keys (an object name, or an object name plus a
+//! block-range index) to an **owner chain**: the first `R` *distinct*
+//! members found walking clockwise from the key's position. Each member
+//! contributes `vnodes` points derived from its *stable id*, so a member
+//! keeps its arcs of the ring across unrelated joins and leaves — the
+//! property that makes membership deltas small (only keys whose owner chain
+//! actually changed need to move).
+//!
+//! Hashing uses [`DefaultHasher`], whose fixed-key SipHash-1-3 is
+//! deterministic across processes and runs; placement is therefore stable
+//! for a given membership, with no extra dependency.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Upper bound on the replication factor: owner chains live in fixed-size
+/// stack arrays so ring lookups never allocate on the data path.
+pub const MAX_REPLICAS: usize = 8;
+
+/// An owner chain: the member *slots* (indexes into the current membership
+/// list) that own one placement unit, primary first.
+pub type OwnerChain = [u32; MAX_REPLICAS];
+
+fn hash_of(x: impl Hash) -> u64 {
+    let mut h = DefaultHasher::new();
+    x.hash(&mut h);
+    h.finish()
+}
+
+/// A consistent-hash ring over member slots.
+#[derive(Clone, Debug, Default)]
+pub struct HashRing {
+    /// `(position, member slot)`, sorted by position.
+    points: Vec<(u64, u32)>,
+    members: usize,
+}
+
+impl HashRing {
+    /// Builds a ring with `vnodes` points per member. `member_ids[slot]` is
+    /// the *stable id* of the member occupying `slot`; points are derived
+    /// from the id, not the slot, so re-indexing the membership list does
+    /// not move data.
+    pub fn build(member_ids: &[u32], vnodes: usize) -> Self {
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(member_ids.len() * vnodes);
+        for (slot, &id) in member_ids.iter().enumerate() {
+            for v in 0..vnodes {
+                points.push((hash_of(("lamassu-dist/vnode", id, v)), slot as u32));
+            }
+        }
+        points.sort_unstable();
+        HashRing {
+            points,
+            members: member_ids.len(),
+        }
+    }
+
+    /// Ring position of the placement key `(name, unit)`.
+    pub fn key_position(name: &str, unit: u64) -> u64 {
+        hash_of(("lamassu-dist/key", name, unit))
+    }
+
+    /// Number of members on the ring.
+    pub fn members(&self) -> usize {
+        self.members
+    }
+
+    /// Fills `out` with the owner chain for the key at `position` and
+    /// returns its length, `min(replicas, members, MAX_REPLICAS)`.
+    /// Allocation-free: called on every routed read and write.
+    pub fn owners_at(&self, position: u64, replicas: usize, out: &mut OwnerChain) -> usize {
+        let want = replicas.min(self.members).min(MAX_REPLICAS);
+        if want == 0 || self.points.is_empty() {
+            return 0;
+        }
+        let start = self.points.partition_point(|&(p, _)| p < position) % self.points.len();
+        let mut found = 0;
+        for step in 0..self.points.len() {
+            let slot = self.points[(start + step) % self.points.len()].1;
+            if !out[..found].contains(&slot) {
+                out[found] = slot;
+                found += 1;
+                if found == want {
+                    break;
+                }
+            }
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn owners(ring: &HashRing, name: &str, unit: u64, r: usize) -> Vec<u32> {
+        let mut chain = [0u32; MAX_REPLICAS];
+        let n = ring.owners_at(HashRing::key_position(name, unit), r, &mut chain);
+        chain[..n].to_vec()
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let a = HashRing::build(&[0, 1, 2], 64);
+        let b = HashRing::build(&[0, 1, 2], 64);
+        for i in 0..100u64 {
+            assert_eq!(owners(&a, "obj", i, 2), owners(&b, "obj", i, 2));
+        }
+    }
+
+    #[test]
+    fn chains_hold_distinct_members() {
+        let ring = HashRing::build(&[0, 1, 2, 3], 32);
+        for i in 0..200u64 {
+            let chain = owners(&ring, "f", i, 3);
+            assert_eq!(chain.len(), 3);
+            let mut dedup = chain.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 3, "chain {chain:?} repeats a member");
+        }
+    }
+
+    #[test]
+    fn replicas_clamp_to_membership() {
+        let ring = HashRing::build(&[0, 1], 16);
+        assert_eq!(owners(&ring, "x", 0, 5).len(), 2);
+        let single = HashRing::build(&[9], 16);
+        assert_eq!(owners(&single, "x", 0, 3), vec![0]);
+    }
+
+    #[test]
+    fn vnodes_spread_keys_roughly_evenly() {
+        let ring = HashRing::build(&[0, 1, 2, 3], 64);
+        let mut counts = [0usize; 4];
+        for i in 0..4000u64 {
+            counts[owners(&ring, "load", i, 1)[0] as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (500..=1800).contains(&c),
+                "virtual nodes should avoid gross imbalance: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn adding_a_member_moves_only_a_fraction_of_keys() {
+        let old = HashRing::build(&[0, 1, 2, 3], 64);
+        let new = HashRing::build(&[0, 1, 2, 3, 4], 64);
+        let total = 4000u64;
+        let moved = (0..total)
+            .filter(|&i| {
+                // Compare by stable id; slots happen to equal ids here.
+                owners(&old, "delta", i, 1) != owners(&new, "delta", i, 1)
+            })
+            .count();
+        // Ideal is 1/5 of the keys; allow generous slack but far below a
+        // full reshuffle.
+        assert!(
+            moved < total as usize / 2,
+            "consistent hashing must not reshuffle: {moved}/{total}"
+        );
+        assert!(moved > 0, "the new member must take some keys");
+    }
+
+    #[test]
+    fn removed_member_keeps_other_arcs_stable() {
+        let old = HashRing::build(&[10, 20, 30], 64);
+        let new = HashRing::build(&[10, 30], 64);
+        for i in 0..1000u64 {
+            let before = owners(&old, "k", i, 1)[0];
+            let after = owners(&new, "k", i, 1)[0];
+            // Slot 1 was member 20 before; its keys must move, everyone
+            // else's primary must keep its id (slot 2 renumbers to 1).
+            let before_id = [10u32, 20, 30][before as usize];
+            let after_id = [10u32, 30][after as usize];
+            if before_id != 20 {
+                assert_eq!(before_id, after_id, "surviving arc moved for key {i}");
+            }
+        }
+    }
+}

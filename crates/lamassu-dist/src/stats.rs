@@ -1,0 +1,69 @@
+//! Routing-tier statistics: failovers, degraded writes, repairs, rebalances.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic accumulators behind [`DistStats`].
+#[derive(Default)]
+pub(crate) struct AtomicDistStats {
+    pub read_failovers: AtomicU64,
+    pub degraded_writes: AtomicU64,
+    pub scrub_mismatches: AtomicU64,
+    pub scrub_repairs: AtomicU64,
+    pub rebalanced_units: AtomicU64,
+}
+
+impl AtomicDistStats {
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self, suspects_pending: u64) -> DistStats {
+        DistStats {
+            read_failovers: self.read_failovers.load(Ordering::Relaxed),
+            degraded_writes: self.degraded_writes.load(Ordering::Relaxed),
+            scrub_mismatches: self.scrub_mismatches.load(Ordering::Relaxed),
+            scrub_repairs: self.scrub_repairs.load(Ordering::Relaxed),
+            rebalanced_units: self.rebalanced_units.load(Ordering::Relaxed),
+            suspects_pending,
+        }
+    }
+}
+
+/// Snapshot of a [`crate::RoutedStore`]'s routing statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DistStats {
+    /// Reads that fell over from a failed replica to the next in the chain.
+    pub read_failovers: u64,
+    /// Unit writes that succeeded on some, but not all, owners (the missed
+    /// owners were marked suspect for the next scrub).
+    pub degraded_writes: u64,
+    /// Replica digest divergences detected by [`crate::RoutedStore::scrub`].
+    pub scrub_mismatches: u64,
+    /// Replica units rewritten from a good copy by scrub.
+    pub scrub_repairs: u64,
+    /// Unit copies performed by membership-change rebalancing.
+    pub rebalanced_units: u64,
+    /// `(member, object)` pairs currently awaiting repair.
+    pub suspects_pending: u64,
+}
+
+/// What one [`crate::RoutedStore::scrub`] pass found and fixed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Objects examined.
+    pub objects: u64,
+    /// Placement units whose replica set was compared.
+    pub units: u64,
+    /// Units where replica digests diverged (or a replica was unreadable).
+    pub mismatches: u64,
+    /// Replica units rewritten from a good copy.
+    pub repaired: u64,
+    /// Stale replicas of removed objects deleted from members.
+    pub tombstones_cleared: u64,
+    /// Units where *no* replica was readable (nothing to repair from).
+    pub unreadable_units: u64,
+}

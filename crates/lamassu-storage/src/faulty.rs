@@ -137,6 +137,101 @@ impl FaultyStore {
     }
 }
 
+/// A deterministic, seedable generator of per-instance fault points for a
+/// fleet of [`FaultyStore`]s.
+///
+/// Distributed tests want *different* members of a cluster to crash at
+/// *different*, but reproducible, points. A schedule derives each instance's
+/// crash credits from `(seed, instance index)` with a SplitMix64 mix, so the
+/// same seed always produces the same failure pattern across runs — no
+/// global RNG, no extra dependency.
+///
+/// # Examples
+///
+/// ```
+/// use lamassu_storage::faulty::FaultSchedule;
+///
+/// let schedule = FaultSchedule::seeded(42).writes_within(10);
+/// let a = schedule.for_instance(0);
+/// let b = schedule.for_instance(1);
+/// // Same seed, same instance => same fault point; instances differ.
+/// assert_eq!(a, schedule.for_instance(0));
+/// assert!(a.writes_before_crash.unwrap() <= 10);
+/// assert!(b.writes_before_crash.unwrap() <= 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSchedule {
+    seed: u64,
+    max_writes: Option<u64>,
+    max_reads: Option<u64>,
+}
+
+/// The fault points a [`FaultSchedule`] drew for one instance; armed on a
+/// store with [`FaultyStore::arm`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArmedFaults {
+    /// Successful writes allowed before the crash, if a write fault is set.
+    pub writes_before_crash: Option<u64>,
+    /// Successful read units allowed before the crash, if a read fault is
+    /// set.
+    pub reads_before_crash: Option<u64>,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl FaultSchedule {
+    /// A schedule with the given seed and no faults configured.
+    pub fn seeded(seed: u64) -> Self {
+        FaultSchedule {
+            seed,
+            max_writes: None,
+            max_reads: None,
+        }
+    }
+
+    /// Configures a write fault within the first `max` writes (inclusive):
+    /// each instance draws a crash point uniformly from `0..=max`.
+    pub fn writes_within(mut self, max: u64) -> Self {
+        self.max_writes = Some(max);
+        self
+    }
+
+    /// Configures a read fault within the first `max` read units
+    /// (inclusive).
+    pub fn reads_within(mut self, max: u64) -> Self {
+        self.max_reads = Some(max);
+        self
+    }
+
+    /// The fault points for instance `k`. Deterministic in `(seed, k)`.
+    pub fn for_instance(&self, k: u64) -> ArmedFaults {
+        let draw = |salt: u64, max: u64| splitmix64(self.seed ^ salt ^ splitmix64(k)) % (max + 1);
+        ArmedFaults {
+            writes_before_crash: self.max_writes.map(|m| draw(0x57u64, m)),
+            reads_before_crash: self.max_reads.map(|m| draw(0x52u64, m)),
+        }
+    }
+}
+
+impl FaultyStore {
+    /// Arms the faults drawn from a [`FaultSchedule`], clearing the crashed
+    /// state. Unset fault kinds are left disarmed.
+    pub fn arm(&self, faults: ArmedFaults) {
+        if let Some(n) = faults.writes_before_crash {
+            self.writes_until_crash.store(n, Ordering::SeqCst);
+        }
+        if let Some(n) = faults.reads_before_crash {
+            self.reads_until_crash.store(n, Ordering::SeqCst);
+        }
+        self.crashed.store(false, Ordering::SeqCst);
+    }
+}
+
 impl ObjectStore for FaultyStore {
     fn create(&self, name: &str) -> Result<()> {
         self.check_alive()?;
@@ -363,6 +458,50 @@ mod tests {
         assert_eq!(a, [9u8; 16]);
         assert_eq!(b, [9u8; 16]);
         assert_eq!(c, [0u8; 16]);
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_and_bounded() {
+        let s = FaultSchedule::seeded(7).writes_within(20).reads_within(5);
+        for k in 0..32u64 {
+            let a = s.for_instance(k);
+            assert_eq!(a, s.for_instance(k), "same (seed, instance) must agree");
+            assert!(a.writes_before_crash.unwrap() <= 20);
+            assert!(a.reads_before_crash.unwrap() <= 5);
+        }
+        // Different instances (or seeds) draw different fault points —
+        // statistically, over 32 draws from 0..=20 at least two must differ.
+        let distinct: std::collections::HashSet<u64> = (0..32)
+            .map(|k| s.for_instance(k).writes_before_crash.unwrap())
+            .collect();
+        assert!(distinct.len() > 1, "instances all crash at the same point");
+        assert_ne!(
+            s.for_instance(0),
+            FaultSchedule::seeded(8)
+                .writes_within(20)
+                .reads_within(5)
+                .for_instance(0),
+            "seed must matter"
+        );
+    }
+
+    #[test]
+    fn arm_applies_drawn_faults() {
+        let (_inner, faulty) = setup();
+        let faults = FaultSchedule::seeded(1).writes_within(3).for_instance(0);
+        faulty.arm(faults);
+        assert_eq!(
+            faulty.writes_remaining(),
+            faults.writes_before_crash.unwrap()
+        );
+        assert_eq!(faulty.reads_remaining(), u64::MAX, "read fault unset");
+        for i in 0..faults.writes_before_crash.unwrap() {
+            faulty.write_at("f", i, &[1]).unwrap();
+        }
+        assert!(matches!(
+            faulty.write_at("f", 0, &[2]),
+            Err(StorageError::Crashed)
+        ));
     }
 
     #[test]

@@ -65,6 +65,30 @@ pub struct IoCounters {
 }
 
 impl IoCounters {
+    /// Field-wise sum of two counter snapshots. Wrapping stores that fan out
+    /// to several children (e.g. a routed tier) use this to report cluster
+    /// totals from one snapshot.
+    pub fn merge(mut self, other: &IoCounters) -> IoCounters {
+        self.read_ops += other.read_ops;
+        self.write_ops += other.write_ops;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+        self.cache_writebacks += other.cache_writebacks;
+        self.pool_hits += other.pool_hits;
+        self.pool_misses += other.pool_misses;
+        self
+    }
+
+    /// Sums an iterator of counter snapshots field-wise.
+    pub fn sum(counters: impl IntoIterator<Item = IoCounters>) -> IoCounters {
+        counters
+            .into_iter()
+            .fold(IoCounters::default(), |acc, c| acc.merge(&c))
+    }
+
     /// Cache hit fraction in `[0, 1]`; `0` when no cache sits above the
     /// store (or it was never exercised).
     pub fn cache_hit_rate(&self) -> f64 {

@@ -21,6 +21,10 @@
 //! * [`cache`] — [`cache::CachedStore`], a sharded CLOCK block cache that
 //!   slots between the shims and any object store (write-through or
 //!   write-back, with sequential read-ahead).
+//! * [`dist`] — [`dist::RoutedStore`], a distributed backend tier:
+//!   consistent-hash placement over N child backends with R-way replication,
+//!   read failover, digest-based scrub/read-repair and delta-only
+//!   rebalancing on membership change.
 //! * [`keymgr`] — KMIP-like key manager with isolation zones.
 //! * [`core`] — the [`core::FileSystem`] trait and the three shims:
 //!   [`core::PlainFs`], [`core::EncFs`] and [`core::LamassuFs`].
@@ -55,6 +59,7 @@
 pub use lamassu_cache as cache;
 pub use lamassu_core as core;
 pub use lamassu_crypto as crypto;
+pub use lamassu_dist as dist;
 pub use lamassu_format as format;
 pub use lamassu_keymgr as keymgr;
 pub use lamassu_storage as storage;

@@ -5,6 +5,7 @@
 
 use lamassu::cache::{CacheConfig, CacheMode, CachedStore};
 use lamassu::core::{FileSystem, LamassuConfig, LamassuFs, OpenFlags};
+use lamassu::dist::{DistConfig, Granularity, RoutedStore};
 use lamassu::keymgr::ZoneKeys;
 use lamassu::storage::{DedupStore, FaultyStore, ObjectStore, StorageError, StorageProfile};
 use std::sync::Arc;
@@ -350,6 +351,188 @@ fn overwrite_with_crash_cached(media: Arc<DedupStore>, blocks: usize, crash_afte
         Ok(())
     };
     run().is_ok()
+}
+
+/// A two-member replicated cluster of faulty stores under the shim, with a
+/// unit size large enough that every container lives in a single placement
+/// unit owned by both members (full-copy replication).
+fn faulty_pair() -> (Vec<Arc<FaultyStore>>, Arc<RoutedStore<FaultyStore>>) {
+    let members: Vec<Arc<FaultyStore>> = (0..2)
+        .map(|_| {
+            Arc::new(FaultyStore::new(Arc::new(DedupStore::new(
+                4096,
+                StorageProfile::instant(),
+            ))))
+        })
+        .collect();
+    let routed = Arc::new(RoutedStore::new(
+        members.clone(),
+        DistConfig::new(2).granularity(Granularity::BlockRange(1 << 20)),
+    ));
+    (members, routed)
+}
+
+/// Reads a member's full copy of `name` (physical length, then bytes).
+fn member_copy(store: &FaultyStore, name: &str) -> (u64, Vec<u8>) {
+    let len = store.len(name).unwrap();
+    let mut buf = vec![0u8; len as usize];
+    let n = store.read_into(name, 0, &mut buf).unwrap();
+    buf.truncate(n);
+    (len, buf)
+}
+
+#[test]
+fn replica_lost_during_commit_is_degraded_then_scrub_restores_it() {
+    // R=2 over two faulty members: one replica dies mid-commit. The shim's
+    // workload must still succeed (degraded write), reads must keep working
+    // through failover, and after the member comes back a scrub must restore
+    // its copy byte-for-byte from the survivor.
+    let blocks = 24usize;
+    let (members, routed) = faulty_pair();
+    let fs = LamassuFs::new(
+        routed.clone(),
+        keys(),
+        LamassuConfig::with_reserved_slots(2).unwrap(),
+    );
+    let fd = fs.create("/file").unwrap();
+    for b in 0..blocks {
+        fs.write(fd, (b * 4096) as u64, &pattern(1, b)).unwrap();
+    }
+    fs.fsync(fd).unwrap();
+
+    // Cut power on the second replica partway through the overwrite commit.
+    members[1].crash_after_writes(2);
+    for b in (0..blocks).step_by(2) {
+        fs.write(fd, (b * 4096) as u64, &pattern(2, b)).unwrap();
+    }
+    fs.fsync(fd).unwrap();
+    assert!(members[1].has_crashed(), "the fault never fired");
+    assert!(
+        routed.stats().degraded_writes > 0,
+        "the commit should have run degraded on the surviving replica"
+    );
+
+    // Reads during the outage succeed (failing over off the dead member
+    // wherever it is primary) and see the committed overwrite.
+    for b in 0..blocks {
+        let got = fs.read(fd, (b * 4096) as u64, 4096).unwrap();
+        let want = if b % 2 == 0 {
+            pattern(2, b)
+        } else {
+            pattern(1, b)
+        };
+        assert_eq!(got, want, "block {b} wrong during the outage");
+    }
+    fs.close(fd).unwrap();
+
+    // The member comes back with a torn copy; scrub resyncs it from the
+    // survivor, byte for byte, and a second pass finds nothing left to do.
+    members[1].disarm();
+    let report = routed.scrub();
+    assert!(
+        report.mismatches > 0 || report.repaired > 0,
+        "scrub found nothing to fix on the torn replica: {report:?}"
+    );
+    let clean = routed.scrub();
+    assert_eq!(clean.mismatches, 0, "second scrub still dirty: {clean:?}");
+    for name in routed.list() {
+        assert_eq!(
+            member_copy(&members[0], &name),
+            member_copy(&members[1], &name),
+            "replica copies of {name} diverge after scrub"
+        );
+    }
+
+    // A fresh mount over the repaired cluster verifies clean and serves the
+    // committed contents.
+    let fs2 = LamassuFs::new(
+        routed,
+        keys(),
+        LamassuConfig::with_reserved_slots(2).unwrap(),
+    );
+    assert!(fs2.verify("/file").unwrap().is_clean());
+    let fd2 = fs2.open("/file", OpenFlags::default()).unwrap();
+    for b in 0..blocks {
+        let want = if b % 2 == 0 {
+            pattern(2, b)
+        } else {
+            pattern(1, b)
+        };
+        assert_eq!(fs2.read(fd2, (b * 4096) as u64, 4096).unwrap(), want);
+    }
+}
+
+#[test]
+fn read_repair_after_silent_replica_corruption() {
+    // Silently corrupt one replica under the router, on the member that is
+    // NOT the chain primary for the damaged range (the primary wins the
+    // two-way digest tie, so corruption on it is a different failure mode —
+    // covered by the majority-vote tests in lamassu-dist). Scrub must count
+    // the mismatch and rewrite the corrupt copy from the good one.
+    let blocks = 24usize;
+    let (members, routed) = faulty_pair();
+    let fs = LamassuFs::new(
+        routed.clone(),
+        keys(),
+        LamassuConfig::with_reserved_slots(2).unwrap(),
+    );
+    let fd = fs.create("/file").unwrap();
+    for b in 0..blocks {
+        fs.write(fd, (b * 4096) as u64, &pattern(1, b)).unwrap();
+    }
+    fs.fsync(fd).unwrap();
+    fs.close(fd).unwrap();
+
+    // Flip bytes in the middle of the data region of every container, on
+    // each container's secondary replica.
+    let mut corrupted = 0;
+    for name in routed.list() {
+        let len = routed.len(&name).unwrap();
+        if len < 6000 {
+            continue;
+        }
+        let ids = routed.replica_ids(&name, 5000);
+        assert_eq!(ids.len(), 2, "R=2 must place two replicas of {name}");
+        let secondary = routed.member_store(ids[1]).unwrap();
+        secondary.write_at(&name, 5000, &[0xFF; 64]).unwrap();
+        corrupted += 1;
+    }
+    assert!(corrupted > 0, "no container was large enough to corrupt");
+
+    let report = routed.scrub();
+    assert!(
+        report.mismatches >= corrupted as u64,
+        "scrub missed corruption: {report:?}"
+    );
+    assert!(
+        report.repaired >= corrupted as u64,
+        "nothing repaired: {report:?}"
+    );
+    assert_eq!(routed.scrub().mismatches, 0, "repair did not converge");
+
+    // Both copies now agree byte-for-byte, and the file verifies and reads
+    // back as the original version everywhere.
+    for name in routed.list() {
+        assert_eq!(
+            member_copy(&members[0], &name),
+            member_copy(&members[1], &name),
+            "replica copies of {name} diverge after read-repair"
+        );
+    }
+    let fs2 = LamassuFs::new(
+        routed,
+        keys(),
+        LamassuConfig::with_reserved_slots(2).unwrap(),
+    );
+    assert!(fs2.verify("/file").unwrap().is_clean());
+    let fd2 = fs2.open("/file", OpenFlags::default()).unwrap();
+    for b in 0..blocks {
+        assert_eq!(
+            fs2.read(fd2, (b * 4096) as u64, 4096).unwrap(),
+            pattern(1, b),
+            "block {b} damaged after read-repair"
+        );
+    }
 }
 
 #[test]

@@ -25,6 +25,7 @@
 //! README's memory-model section.
 
 use lamassu::core::{FileSystem, IntegrityMode, LamassuConfig, LamassuFs, SpanConfig, SpanPolicy};
+use lamassu::dist::{DistConfig, Granularity, RoutedStore};
 use lamassu::keymgr::KeyManager;
 use lamassu::storage::{DedupStore, StorageProfile};
 use lamassu_cache::{CacheConfig, CachedStore};
@@ -185,6 +186,72 @@ fn steady_rewrite_loop_allocates_nothing() {
     assert_eq!(
         allocs, 0,
         "steady aligned rewrite loop (incl. commits + fsync) must not allocate"
+    );
+}
+
+#[test]
+fn warm_routed_reread_loop_allocates_nothing() {
+    let _serial = serialize();
+    // LamassuFS over a replicated two-member routed cluster: the router
+    // splits each span run at placement-unit boundaries in place (fixed
+    // owner-chain arrays, no per-op interning once the name is cached), so
+    // the warm re-read guarantee must survive the distribution tier.
+    let members: Vec<Arc<DedupStore>> = (0..2)
+        .map(|_| Arc::new(DedupStore::new(BS, StorageProfile::instant())))
+        .collect();
+    let routed = Arc::new(RoutedStore::new(
+        members,
+        DistConfig::new(2).granularity(Granularity::BlockRange(256 * 1024)),
+    ));
+    let km = KeyManager::new();
+    let zone = km.create_zone(1).expect("fresh key manager");
+    let keys = km.fetch_zone_keys(zone).expect("zone just created");
+    let config = LamassuConfig::default()
+        .integrity(IntegrityMode::Full)
+        .span(SpanConfig {
+            policy: SpanPolicy::Batched,
+            workers: 1,
+            pool_blocks: None,
+        });
+    let fs = LamassuFs::new(routed.clone(), keys, config);
+
+    let size = 1024 * 1024;
+    let fd = populate(&fs, "/routed.dat", size);
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut sweep = |fs: &LamassuFs, offset_skew: usize| {
+        let mut off = offset_skew;
+        while off + buf.len() <= size {
+            let n = fs.read_into(fd, off as u64, &mut buf).expect("read");
+            assert_eq!(n, buf.len());
+            off += buf.len();
+        }
+    };
+    sweep(&fs, 0);
+    sweep(&fs, BS / 2);
+    sweep(&fs, 0);
+
+    let allocs = allocs_during(|| {
+        for _ in 0..8 {
+            sweep(&fs, 0);
+        }
+    });
+    assert_eq!(allocs, 0, "warm routed re-read loop must not allocate");
+
+    // Misaligned sweeps cross placement-unit boundaries mid-buffer, forcing
+    // the router's piecewise split path — still allocation-free.
+    let allocs = allocs_during(|| {
+        for _ in 0..8 {
+            sweep(&fs, BS / 2);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "misaligned warm routed re-read loop must not allocate"
+    );
+    assert_eq!(
+        routed.stats().read_failovers,
+        0,
+        "healthy cluster reads must stay on the primary"
     );
 }
 
