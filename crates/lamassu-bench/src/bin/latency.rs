@@ -1,0 +1,9 @@
+//! Per-op latency percentiles per shim and the telemetry overhead check.
+//!
+//! Pass `--telemetry` to also dump the traced mount's full snapshot as
+//! Prometheus text (and under `results/latency_telemetry.json`).
+
+fn main() {
+    let telemetry = std::env::args().any(|a| a == "--telemetry");
+    lamassu_bench::experiments::latency::run(lamassu_bench::fio_file_size(), telemetry);
+}

@@ -11,6 +11,12 @@
 //! EXPERIMENTS.md), but the structural findings — hashing is a top
 //! contributor on the write path, and the full-integrity read path pays a
 //! hash the meta-only path does not — are reproduced.
+//!
+//! This figure reports category *means* (total time / ops), matching the
+//! paper's bars. Since the profiler's categories are histogram-backed
+//! (`Profiler::category_histogram`), the same instrumented run also yields
+//! per-category percentiles — the [`super::latency`] experiment reports the
+//! distribution view this mean-based figure cannot show.
 
 use crate::report::{write_json, Table};
 use crate::setup::{mount, FsKind};

@@ -1,0 +1,243 @@
+//! Per-operation latency percentiles and the telemetry overhead budget.
+//!
+//! Throughput (Figures 7 and 8) averages away the tail; this experiment
+//! reports what the always-on telemetry of `lamassu-telemetry` actually
+//! measures — per-request latency distributions:
+//!
+//! * **percentile table** — every shim of [`FsKind::ALL`] runs the
+//!   sequential- and random-read FIO workloads over an instant-profile store
+//!   with an op [`Tracer`] attached, and reports p50/p95/p99/max per-request
+//!   read latency from the preallocated histograms inside
+//!   [`lamassu_workloads::FioResult`];
+//! * **overhead comparison** — two identical warm LamassuFS mounts, one with
+//!   a tracer attached (full op spans + phase attribution) and one without
+//!   (the always-on counters and category histograms both keep running),
+//!   re-read the same file in interleaved best-of rounds. The release-mode
+//!   shape test asserts the traced mount stays within **3%** of the untraced
+//!   one — the crate's advertised overhead budget.
+//!
+//! With `dump_telemetry` (the binaries' `--telemetry` flag), the traced
+//! LamassuFS mount's full [`Snapshot`] — profiler breakdown, pool gauges,
+//! op histograms and slow-op log — is printed as Prometheus text and written
+//! under `results/latency_telemetry.json`.
+
+use crate::report::{write_json, Table};
+use crate::setup::{mount, FsKind, Mount};
+use lamassu_storage::StorageProfile;
+use lamassu_telemetry::{LatencySummary, Registry, Snapshot, TraceConfig, Tracer};
+use lamassu_workloads::{FioConfig, FioTester, Workload};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One (shim, workload) percentile row.
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencyRow {
+    /// Shim label ([`FsKind::label`]).
+    pub fs: String,
+    /// Workload label ([`Workload::label`]).
+    pub workload: String,
+    /// Per-request read-latency summary of the measured phase.
+    pub read: LatencySummary,
+}
+
+/// The traced-vs-untraced overhead comparison.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct OverheadRow {
+    /// Best ns/op with no tracer attached (counters and histograms only).
+    pub off_ns_per_op: f64,
+    /// Best ns/op with a tracer attached (full spans + phase attribution).
+    pub on_ns_per_op: f64,
+    /// `on / off` — the number the ≤ 1.03 release assertion pins.
+    pub ratio: f64,
+    /// Re-read operations per measured round.
+    pub ops: u64,
+}
+
+/// Everything the experiment measured.
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencyReport {
+    /// Percentile rows, one per (shim, workload).
+    pub rows: Vec<LatencyRow>,
+    /// The telemetry overhead comparison.
+    pub overhead: OverheadRow,
+}
+
+/// Attaches a fresh tracer (and its registry) to a mount's profiler.
+fn attach_tracer(m: &Mount) -> (Arc<Registry>, Arc<Tracer>) {
+    let registry = Arc::new(Registry::new());
+    let tracer = Tracer::new(&registry, TraceConfig::default());
+    m.profiler.attach_tracer(tracer.clone());
+    (registry, tracer)
+}
+
+/// Percentile rows: each shim runs the read workloads with tracing on.
+fn measure_percentiles(file_size: u64) -> Vec<LatencyRow> {
+    let tester = FioTester::new(FioConfig::small(file_size));
+    let mut rows = Vec::new();
+    for kind in FsKind::ALL {
+        let m = mount(kind, StorageProfile::instant(), 8);
+        attach_tracer(&m);
+        tester.populate(m.fs.as_ref(), "/lat").expect("populate");
+        for wl in [Workload::SeqRead, Workload::RandRead] {
+            let result = tester
+                .run(m.fs.as_ref(), m.store.as_ref(), "/lat", wl)
+                .expect("fio run");
+            rows.push(LatencyRow {
+                fs: kind.label().to_string(),
+                workload: wl.label().to_string(),
+                read: result.read_lat,
+            });
+        }
+    }
+    rows
+}
+
+/// Warm aligned 4 KiB re-reads over one file; returns wall ns for the pass.
+fn reread_pass(m: &Mount, fd: lamassu_core::Fd, buf: &mut [u8], ops: u64) -> f64 {
+    let start = Instant::now();
+    let mut off = 0u64;
+    for _ in 0..ops {
+        let n = m.fs.read_into(fd, off, buf).expect("warm re-read");
+        assert_eq!(n, buf.len());
+        off += buf.len() as u64;
+        if off + buf.len() as u64 > ops * buf.len() as u64 {
+            off = 0;
+        }
+    }
+    start.elapsed().as_nanos() as f64
+}
+
+/// Two identical warm LamassuFS mounts — tracer attached vs not — re-read
+/// the same data in interleaved best-of rounds so clock drift hits both
+/// equally. Returns the overhead row (and the traced mount for export).
+fn measure_overhead(file_size: u64) -> (OverheadRow, Mount, Arc<Registry>, Arc<Tracer>) {
+    let io = 4096usize;
+    let ops = file_size / io as u64;
+    let build = || {
+        let m = mount(FsKind::Lamassu, StorageProfile::instant(), 8);
+        let fd = m.fs.create("/hot").expect("fresh mount");
+        let chunk = vec![7u8; 1024 * 1024];
+        let mut off = 0u64;
+        while off < file_size {
+            m.fs.write(fd, off, &chunk).expect("populate");
+            off += chunk.len() as u64;
+        }
+        m.fs.fsync(fd).expect("populate fsync");
+        (m, fd)
+    };
+    let (off_mount, off_fd) = build();
+    let (on_mount, on_fd) = build();
+    let (registry, tracer) = attach_tracer(&on_mount);
+
+    let mut buf = vec![0u8; io];
+    // Warm both mounts: metadata caches, pools, per-thread rings.
+    for _ in 0..2 {
+        reread_pass(&off_mount, off_fd, &mut buf, ops);
+        reread_pass(&on_mount, on_fd, &mut buf, ops);
+    }
+    let mut best = [f64::INFINITY; 2];
+    for _ in 0..5 {
+        let off_ns = reread_pass(&off_mount, off_fd, &mut buf, ops);
+        let on_ns = reread_pass(&on_mount, on_fd, &mut buf, ops);
+        best[0] = best[0].min(off_ns / ops as f64);
+        best[1] = best[1].min(on_ns / ops as f64);
+    }
+    let row = OverheadRow {
+        off_ns_per_op: best[0],
+        on_ns_per_op: best[1],
+        ratio: best[1] / best[0],
+        ops,
+    };
+    (row, on_mount, registry, tracer)
+}
+
+fn fmt_us(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1000.0)
+}
+
+/// Runs the experiment; `file_size` sizes the FIO target and the re-read
+/// file. With `dump_telemetry`, also prints the traced mount's snapshot as
+/// Prometheus text and writes it under `results/latency_telemetry.json`.
+pub fn run(file_size: u64, dump_telemetry: bool) -> LatencyReport {
+    let rows = measure_percentiles(file_size);
+    let (overhead, on_mount, registry, tracer) = measure_overhead(file_size);
+
+    let mut table = Table::new(
+        "Per-op read latency percentiles (µs) and telemetry overhead",
+        &["fs", "workload", "ops", "p50", "p95", "p99", "max"],
+    );
+    for r in &rows {
+        table.row(&[
+            r.fs.clone(),
+            r.workload.clone(),
+            r.read.count.to_string(),
+            fmt_us(r.read.p50_ns),
+            fmt_us(r.read.p95_ns),
+            fmt_us(r.read.p99_ns),
+            fmt_us(r.read.max_ns),
+        ]);
+    }
+    table.print();
+    println!(
+        "telemetry overhead: traced {:.0} ns/op vs untraced {:.0} ns/op ({:+.2}%)",
+        overhead.on_ns_per_op,
+        overhead.off_ns_per_op,
+        (overhead.ratio - 1.0) * 100.0
+    );
+
+    let report = LatencyReport { rows, overhead };
+    write_json("latency", &report);
+
+    if dump_telemetry {
+        let mut snap = Snapshot::new();
+        on_mount
+            .profiler
+            .export(&mut snap, "lamassu", std::time::Duration::ZERO);
+        tracer.export(&mut snap, "trace");
+        registry.export(&mut snap, "registry");
+        print!("{}", snap.to_prometheus());
+        write_json("latency_telemetry", &snap);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_order_and_cover_every_shim() {
+        let report = run(2 * 1024 * 1024, false);
+        assert_eq!(report.rows.len(), FsKind::ALL.len() * 2);
+        for r in &report.rows {
+            assert!(r.read.count > 0, "{} {}", r.fs, r.workload);
+            assert!(r.read.p50_ns > 0);
+            assert!(r.read.p50_ns <= r.read.p95_ns);
+            assert!(r.read.p95_ns <= r.read.p99_ns);
+            assert!(r.read.p99_ns <= r.read.max_ns);
+        }
+        assert!(report.overhead.off_ns_per_op > 0.0);
+        assert!(report.overhead.on_ns_per_op > 0.0);
+    }
+
+    // The 3% budget is a release-mode property: debug builds neither inline
+    // the record path nor optimize the guards, so only the optimized build
+    // is held to the bar CI asserts.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn telemetry_overhead_stays_within_three_percent() {
+        use lamassu_telemetry::OpKind;
+        let (row, _m, _r, tracer) = measure_overhead(8 * 1024 * 1024);
+        assert!(
+            row.ratio <= 1.03,
+            "traced re-reads {:.0} ns/op vs untraced {:.0} ns/op — {:.2}% over the 3% budget",
+            row.on_ns_per_op,
+            row.off_ns_per_op,
+            (row.ratio - 1.0) * 100.0
+        );
+        // The traced mount really was tracing: every measured op spanned.
+        assert!(tracer.ops() > 0);
+        assert!(tracer.op_histogram(OpKind::Read).count > 0);
+    }
+}

@@ -16,6 +16,7 @@
 //! | [`scaling`] | beyond the paper — multi-job throughput vs job count |
 //! | [`scaleout`] | beyond the paper — routed-tier throughput vs backend count |
 //! | [`hot_path`] | beyond the paper — allocs/op and ns/block on the steady-state data path |
+//! | [`latency`] | beyond the paper — per-op latency percentiles and the telemetry overhead budget |
 
 pub mod ablation;
 pub mod ablation_ce_granularity;
@@ -26,6 +27,7 @@ pub mod fig11;
 pub mod fig6;
 pub mod fig9;
 pub mod hot_path;
+pub mod latency;
 pub mod scaleout;
 pub mod scaling;
 pub mod span_io;

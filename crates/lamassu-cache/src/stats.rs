@@ -1,9 +1,10 @@
 //! Hit/miss/eviction/write-back accounting.
 
+use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Snapshot of a cache's cumulative counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct CacheStats {
     /// Block *reads* served from the cache.
     pub hits: u64,
@@ -31,6 +32,20 @@ impl CacheStats {
             0.0
         } else {
             self.hits as f64 / total as f64
+        }
+    }
+
+    /// Field-wise sum of two snapshots (the workspace-wide stats `merge`
+    /// convention — used when aggregating several cache tiers).
+    pub fn merge(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            write_hits: self.write_hits + other.write_hits,
+            evictions: self.evictions + other.evictions,
+            dirty_writebacks: self.dirty_writebacks + other.dirty_writebacks,
+            prefetched: self.prefetched + other.prefetched,
+            invalidated: self.invalidated + other.invalidated,
         }
     }
 }
@@ -88,6 +103,21 @@ mod tests {
             ..CacheStats::default()
         };
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_fieldwise_and_serializes() {
+        let a = CacheStats {
+            hits: 2,
+            misses: 1,
+            invalidated: 4,
+            ..CacheStats::default()
+        };
+        let b = a.merge(&a);
+        assert_eq!(b.hits, 4);
+        assert_eq!(b.invalidated, 8);
+        let json = serde_json::to_string(&a).unwrap();
+        assert!(json.contains("\"hits\":2"), "{json}");
     }
 
     #[test]

@@ -20,6 +20,7 @@ use lamassu_core::{FileSystem, LamassuConfig, LamassuFs, OpenFlags};
 use lamassu_dist::{DistConfig, Granularity, RoutedStore};
 use lamassu_keymgr::KeyManager;
 use lamassu_storage::{DirStore, ObjectStore, StorageProfile};
+use lamassu_telemetry::{Registry, Snapshot, TraceConfig, Tracer};
 use lamassu_workloads::{FioConfig, FioTester, JobLayout, Workload};
 use std::collections::HashMap;
 use std::fs;
@@ -45,6 +46,10 @@ COMMANDS:
     bench [workload]           drive an fio-style workload against the volume
                                (seq-read | seq-write | rand-read | rand-write |
                                rand-rw; default rand-read) with --jobs threads
+    stats [workload]           run a workload with an op tracer attached and
+                               dump the full telemetry snapshot — latency
+                               breakdown, per-op histograms, cache/dist/backend
+                               counters and the slow-op log (see --format)
 
 OPTIONS:
     --volume <dir>             backing-store directory (required except keygen)
@@ -70,6 +75,8 @@ OPTIONS:
                                block-range placement, read failover, and
                                scrub/read-repair during fsck. Composes with
                                --cache (cache above the routed tier).
+    --format <f>               stats output format: json (pretty snapshot),
+                               prom (Prometheus text) or both (default)
 ";
 
 struct Options {
@@ -84,7 +91,16 @@ struct Options {
     bench_mb: u64,
     cache: Option<(CacheMode, usize)>,
     dist: Option<(usize, usize)>,
+    format: StatsFormat,
     positional: Vec<String>,
+}
+
+/// Output format of `lamassu stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StatsFormat {
+    Json,
+    Prom,
+    Both,
 }
 
 /// Parses `--dist` values: `N[:R]` with `N >= 1` backends and
@@ -163,6 +179,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         bench_mb: 8,
         cache: None,
         dist: None,
+        format: StatsFormat::Both,
         positional: Vec::new(),
     };
     let mut flags: HashMap<&str, FlagSetter> = HashMap::new();
@@ -220,6 +237,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     });
     flags.insert("--dist", |o, v| {
         o.dist = Some(parse_dist_spec(&v)?);
+        Ok(())
+    });
+    flags.insert("--format", |o, v| {
+        o.format = match v.as_str() {
+            "json" => StatsFormat::Json,
+            "prom" => StatsFormat::Prom,
+            "both" => StatsFormat::Both,
+            other => return Err(format!("bad format '{other}' (json, prom or both)")),
+        };
         Ok(())
     });
 
@@ -620,6 +646,86 @@ fn is_bench_scratch(path: &str) -> bool {
     path == "/bench.fio" || path.starts_with("/bench.fio.job")
 }
 
+/// `lamassu stats`: drives one workload with a full op tracer attached and
+/// dumps the telemetry snapshot of every tier in the mounted stack — the
+/// shim's latency breakdown and per-category histograms, the op/trace rings,
+/// cache and routed-tier counters, backend I/O counters and the workload's
+/// own per-request percentiles.
+fn cmd_stats(opts: &Options) -> Result<(), String> {
+    let workload = match opts.positional.as_slice() {
+        [] => Workload::RandRead,
+        [w] => parse_workload(w)?,
+        _ => return Err("usage: lamassu stats [workload]".to_string()),
+    };
+    let fs_mount = mount(opts)?;
+    if let Some(clash) = fs_mount
+        .list()
+        .map_err(err)?
+        .iter()
+        .find(|p| is_bench_scratch(p))
+    {
+        return Err(format!(
+            "volume already contains {clash}; stats would overwrite and delete it — \
+             remove or rename that file first"
+        ));
+    }
+
+    // Attach the tracer before any measured traffic, so every operation of
+    // the workload is spanned and phase-attributed.
+    let registry = Arc::new(Registry::new());
+    let tracer = Tracer::new(&registry, TraceConfig::default());
+    fs_mount.fs.profiler().attach_tracer(tracer.clone());
+
+    let tester = FioTester::new(FioConfig {
+        file_size: opts.bench_mb * 1024 * 1024,
+        ..FioConfig::default()
+    });
+    let outcome = tester
+        .run_jobs(
+            &fs_mount.fs,
+            fs_mount.store.as_ref(),
+            "/bench.fio",
+            workload,
+            opts.jobs,
+            opts.bench_layout,
+        )
+        .map_err(err);
+    let cleanup = (|| {
+        for path in fs_mount.list().map_err(err)? {
+            if is_bench_scratch(&path) {
+                fs_mount.remove(&path).map_err(err)?;
+            }
+        }
+        fs_mount.finish()
+    })();
+    let result = outcome?;
+
+    let mut snap = Snapshot::new();
+    fs_mount
+        .fs
+        .profiler()
+        .export(&mut snap, "shim", result.aggregate.total_time);
+    tracer.export(&mut snap, "trace");
+    registry.export(&mut snap, "ops");
+    if let Some(cache) = &fs_mount.cache {
+        snap.section("cache", &cache.stats());
+    }
+    if let Some(router) = &fs_mount.dist {
+        snap.section("dist", &router.stats());
+        snap.section("scrub", &router.scrub_totals());
+    }
+    snap.section("backend", &fs_mount.store.io_counters());
+    snap.section("fio", &result.aggregate);
+
+    if matches!(opts.format, StatsFormat::Json | StatsFormat::Both) {
+        println!("{}", snap.to_json());
+    }
+    if matches!(opts.format, StatsFormat::Prom | StatsFormat::Both) {
+        print!("{}", snap.to_prometheus());
+    }
+    cleanup
+}
+
 fn cmd_rekey(opts: &Options) -> Result<(), String> {
     let km = load_key_manager(&opts.keys)?;
     let fs_mount = mount(opts)?;
@@ -679,6 +785,7 @@ fn main() -> ExitCode {
         "fsck" => cmd_fsck(&opts),
         "rekey" => cmd_rekey(&opts),
         "bench" => cmd_bench(&opts),
+        "stats" => cmd_stats(&opts),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

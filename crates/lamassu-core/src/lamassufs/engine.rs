@@ -262,6 +262,11 @@ impl Engine {
         self.profiler.clone()
     }
 
+    /// Borrow of the profiler for the hot path (no refcount traffic).
+    pub(crate) fn profiler_ref(&self) -> &Profiler {
+        &self.profiler
+    }
+
     pub(crate) fn geometry(&self) -> Geometry {
         self.geometry
     }

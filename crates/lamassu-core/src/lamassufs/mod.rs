@@ -41,13 +41,14 @@ mod engine;
 mod tests;
 
 use crate::fs::{FileAttr, FileSystem, OpenFlags};
-use crate::handles::{HandleTable, PathRegistry};
+use crate::handles::{FdEntry, HandleTable, PathRegistry};
 use crate::profiler::Profiler;
 use crate::{Fd, FsError, Result};
 use engine::{Engine, LamassuFile};
 use lamassu_format::Geometry;
 use lamassu_keymgr::ZoneKeys;
 use lamassu_storage::ObjectStore;
+use lamassu_telemetry::{OpGuard, OpKind};
 use parking_lot::RwLock;
 use std::io::IoSlice;
 use std::sync::Arc;
@@ -155,6 +156,22 @@ impl LamassuFs {
         self.engine.block_pool().stats()
     }
 
+    /// Opens a telemetry op span when a tracer is attached to the mount's
+    /// profiler (see `Profiler::attach_tracer`). Allocation-free on the hot
+    /// path: the path tag is an `Arc<str>` refcount bump plus a
+    /// fixed-buffer copy, and the guard records into preallocated rings on
+    /// drop.
+    fn op_span(
+        &self,
+        kind: OpKind,
+        entry: &FdEntry<SharedFile>,
+        bytes: u64,
+    ) -> Option<OpGuard<'_>> {
+        let tracer = self.engine.profiler_ref().tracer()?;
+        let path = entry.path();
+        Some(tracer.op(kind, &path, bytes))
+    }
+
     /// Loads the per-file state for a path that must already exist.
     fn load_state(&self, path: &str) -> Result<SharedFile> {
         if !self.engine.object_exists(path) {
@@ -253,6 +270,7 @@ impl FileSystem for LamassuFs {
 
     fn read_into(&self, fd: Fd, offset: u64, buf: &mut [u8]) -> Result<usize> {
         let entry = self.handles.get(fd)?;
+        let _span = self.op_span(OpKind::Read, &entry, buf.len() as u64);
         // The whole read pipeline runs under the shared guard: concurrent
         // readers of one file proceed in parallel, excluded only by writers.
         let file = entry.state.read();
@@ -261,18 +279,22 @@ impl FileSystem for LamassuFs {
 
     fn write_vectored(&self, fd: Fd, offset: u64, bufs: &[IoSlice<'_>]) -> Result<usize> {
         let entry = self.handles.get(fd)?;
+        let bytes: usize = bufs.iter().map(|b| b.len()).sum();
+        let _span = self.op_span(OpKind::Write, &entry, bytes as u64);
         let mut file = entry.state.write();
         self.engine.write_vectored_range(&mut file, offset, bufs)
     }
 
     fn truncate(&self, fd: Fd, size: u64) -> Result<()> {
         let entry = self.handles.get(fd)?;
+        let _span = self.op_span(OpKind::Truncate, &entry, 0);
         let mut file = entry.state.write();
         self.engine.truncate(&mut file, size)
     }
 
     fn fsync(&self, fd: Fd) -> Result<()> {
         let entry = self.handles.get(fd)?;
+        let _span = self.op_span(OpKind::Fsync, &entry, 0);
         let mut file = entry.state.write();
         self.engine.flush(&mut file)?;
         self.engine.sync_object(file.name())

@@ -732,3 +732,50 @@ fn kind_reports_integrity_variant() {
     let (_s, fs) = mount();
     assert_eq!(fs.kind(), "LamassuFS");
 }
+
+#[test]
+fn attached_tracer_spans_every_entry_point() {
+    use crate::Category;
+    use lamassu_telemetry::{OpKind, Registry, TraceConfig, Tracer};
+    let (_s, fs) = mount();
+    let registry = Registry::new();
+    let tracer = Tracer::new(&registry, TraceConfig::default());
+    fs.profiler().attach_tracer(tracer.clone());
+
+    let fd = fs.create("/traced").unwrap();
+    let data = unique_data(8192, 7);
+    fs.write(fd, 0, &data).unwrap();
+    fs.fsync(fd).unwrap();
+    let mut buf = vec![0u8; 8192];
+    fs.read_into(fd, 0, &mut buf).unwrap();
+    fs.truncate(fd, 4096).unwrap();
+
+    assert_eq!(tracer.op_histogram(OpKind::Write).count, 1);
+    assert_eq!(tracer.op_histogram(OpKind::Fsync).count, 1);
+    assert_eq!(tracer.op_histogram(OpKind::Read).count, 1);
+    assert_eq!(tracer.op_histogram(OpKind::Truncate).count, 1);
+    let read = tracer
+        .recent()
+        .into_iter()
+        .find(|r| r.op == OpKind::Read)
+        .expect("read span retained");
+    assert_eq!(read.file(), "/traced");
+    assert_eq!(read.bytes, 8192);
+    // The profiler's category charges became the span's child phases: a
+    // full-integrity read must show decrypt + get_ce_key + io time.
+    assert!(read.phases_ns[Category::Decrypt as usize] > 0);
+    assert!(read.phases_ns[Category::GetCeKey as usize] > 0);
+    assert!(read.phases_ns[Category::Io as usize] > 0);
+}
+
+#[test]
+fn untraced_mounts_record_category_histograms_only() {
+    use crate::Category;
+    let (_s, fs) = mount();
+    let fd = fs.create("/quiet").unwrap();
+    fs.write(fd, 0, &unique_data(4096, 9)).unwrap();
+    fs.fsync(fd).unwrap();
+    assert!(fs.profiler().tracer().is_none());
+    let hist = fs.profiler().category_histogram(Category::Encrypt);
+    assert!(hist.count > 0, "histograms are always on");
+}

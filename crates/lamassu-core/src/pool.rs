@@ -72,7 +72,7 @@ const POOL_SHARDS: usize = 8;
 
 /// Counters describing one pool's traffic (all monotonically increasing
 /// except [`PoolStats::pooled`], a point-in-time gauge).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct PoolStats {
     /// `take` calls served from the free list — no allocation.
     pub hits: u64,
@@ -219,6 +219,17 @@ impl BlockPool {
             pooled: self.pooled(),
             capacity: self.capacity(),
         }
+    }
+
+    /// Zeroes the traffic counters (hits/misses/recycled/discarded). The
+    /// `pooled` gauge and capacity describe live buffers and are left
+    /// alone. Used by `Profiler::reset_all` to start a fresh accounting
+    /// window; the pool's contents are untouched, so warm stays warm.
+    pub fn reset_stats(&self) {
+        self.inner.hits.store(0, Ordering::Relaxed);
+        self.inner.misses.store(0, Ordering::Relaxed);
+        self.inner.recycled.store(0, Ordering::Relaxed);
+        self.inner.discarded.store(0, Ordering::Relaxed);
     }
 
     /// Hands out a buffer with **unspecified contents** (recycled buffers

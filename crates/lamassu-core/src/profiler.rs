@@ -15,10 +15,34 @@
 //! `Encrypt`/`Decrypt`/`GetCeKey` categories record the *wall* time of each
 //! parallel batch, so the breakdown keeps describing end-to-end latency (not
 //! aggregate CPU time) exactly as Figure 9 does.
+//!
+//! # Histogram-backed categories
+//!
+//! Since the telemetry PR every category is backed by a preallocated
+//! log-linear [`Histogram`] in addition to the Figure 9 sum: each
+//! [`Profiler::add`] records the charged duration into the category's
+//! histogram (lock-free, allocation-free), so
+//! [`Profiler::category_histogram`] can report the *distribution* of
+//! per-batch charge times — p50/p95/p99/max — where Figure 9 only shows the
+//! total. The same `add` call also feeds the per-operation phase
+//! accumulator of an attached [`Tracer`] (see [`Profiler::attach_tracer`]),
+//! which is how `op=read` trace spans get their plan/crypto/backend/route
+//! child timings without any extra instrumentation in the shims.
+//!
+//! # Reset semantics
+//!
+//! [`Profiler::reset`] is a **measurement-window** reset: it zeroes the
+//! category sums and histograms but deliberately keeps the attached pools'
+//! counters, which describe the mount's lifetime (warm-up included), not a
+//! window. [`Profiler::reset_all`] also zeroes the attached pools' traffic
+//! counters — use it when the pools' hit rates should describe the next
+//! window only. (Before this was split, `reset` kept pool stats silently.)
 
 use crate::pool::{BlockPool, PoolStats};
+use lamassu_telemetry::{trace, HistSnapshot, Histogram, Snapshot, Tracer};
 use parking_lot::Mutex;
-use std::sync::Arc;
+use serde::Serialize;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// A latency category from Figure 9 of the paper.
@@ -49,8 +73,27 @@ pub enum Category {
 
 const NUM_CATEGORIES: usize = 7;
 
+impl Category {
+    /// Every category, in discriminant order (the order
+    /// [`lamassu_telemetry::PHASE_NAMES`] mirrors).
+    pub const ALL: [Category; NUM_CATEGORIES] = [
+        Category::Encrypt,
+        Category::Decrypt,
+        Category::GetCeKey,
+        Category::Io,
+        Category::Cache,
+        Category::Plan,
+        Category::Route,
+    ];
+
+    /// Stable lowercase label used in metric names and exports.
+    pub fn label(&self) -> &'static str {
+        trace::PHASE_NAMES[*self as usize]
+    }
+}
+
 /// Accumulated per-category time, plus derived *Misc*.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct LatencyBreakdown {
     /// Time spent encrypting.
     pub encrypt: Duration,
@@ -102,15 +145,21 @@ impl LatencyBreakdown {
 
 /// Thread-safe accumulator for per-category latencies.
 ///
-/// Beyond the Figure 9 durations, a profiler can carry references to the
-/// mount's [`BlockPool`]s (see [`Profiler::attach_pool`]) so one handle
+/// Beyond the Figure 9 durations, a profiler carries a preallocated latency
+/// [`Histogram`] per category (see the module docs), can hold references to
+/// the mount's [`BlockPool`]s (see [`Profiler::attach_pool`]) so one handle
 /// surfaces both the latency breakdown *and* the buffer-pool hit/miss
-/// counters of the zero-allocation data path.
+/// counters of the zero-allocation data path, and can carry the mount's
+/// per-operation [`Tracer`] (see [`Profiler::attach_tracer`]).
 #[derive(Default)]
 pub struct Profiler {
     categories: Mutex<[Duration; NUM_CATEGORIES]>,
+    /// Per-category charge-time distributions, preallocated at construction.
+    hists: [Histogram; NUM_CATEGORIES],
     /// Block pools attached by the owning mount, for stats surfacing only.
     pools: Mutex<Vec<BlockPool>>,
+    /// The mount's op tracer, once attached (one atomic load to consult).
+    tracer: OnceLock<Arc<Tracer>>,
 }
 
 impl Profiler {
@@ -119,10 +168,17 @@ impl Profiler {
         Arc::new(Profiler::default())
     }
 
-    /// Adds `elapsed` to `category`.
+    /// Adds `elapsed` to `category`: the Figure 9 sum, the category's
+    /// histogram, and — when an op span is open on this thread — the
+    /// tracer's per-operation phase accumulator.
     pub fn add(&self, category: Category, elapsed: Duration) {
-        let mut cats = self.categories.lock();
-        cats[category as usize] += elapsed;
+        {
+            let mut cats = self.categories.lock();
+            cats[category as usize] += elapsed;
+        }
+        let ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        self.hists[category as usize].record(ns);
+        trace::phase_add(category as usize, ns);
     }
 
     /// Runs `f`, charging its wall-clock time to `category`, and returns its
@@ -152,10 +208,32 @@ impl Profiler {
         }
     }
 
-    /// Resets all categories to zero (attached pools keep their counters —
-    /// they describe the mount's lifetime, not a measurement window).
+    /// Distribution of the durations charged to `category` since the last
+    /// reset (per-batch charge times, not per-block).
+    pub fn category_histogram(&self, category: Category) -> HistSnapshot {
+        self.hists[category as usize].snapshot()
+    }
+
+    /// **Measurement-window** reset: zeroes the category sums and
+    /// histograms. Attached pools keep their counters — they describe the
+    /// mount's lifetime, not a window; use [`Profiler::reset_all`] to clear
+    /// those too.
     pub fn reset(&self) {
         *self.categories.lock() = [Duration::ZERO; NUM_CATEGORIES];
+        for h in &self.hists {
+            h.reset();
+        }
+    }
+
+    /// Full reset: everything [`Profiler::reset`] clears **plus** the
+    /// attached pools' traffic counters (hits/misses/recycled/discarded —
+    /// the `pooled` gauge and capacity describe live buffers and are
+    /// untouched).
+    pub fn reset_all(&self) {
+        self.reset();
+        for pool in self.pools.lock().iter() {
+            pool.reset_stats();
+        }
     }
 
     /// Attaches a [`BlockPool`] whose hit/miss counters
@@ -177,6 +255,40 @@ impl Profiler {
             .lock()
             .iter()
             .fold(PoolStats::default(), |acc, p| acc.merge(&p.stats()))
+    }
+
+    /// Attaches the mount's per-operation [`Tracer`]. The shims consult it
+    /// at each entry point to open op spans; [`Profiler::add`] feeds its
+    /// phase accumulator either way. First attachment wins; later calls are
+    /// ignored (the tracer is part of the mount's identity).
+    pub fn attach_tracer(&self, tracer: Arc<Tracer>) {
+        let _ = self.tracer.set(tracer);
+    }
+
+    /// The attached tracer, if any (one atomic load — hot-path safe).
+    #[inline]
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.get()
+    }
+
+    /// Dumps this profiler into `snap` under `section`: the Figure 9
+    /// breakdown (against `total_runtime`), the merged pool counters, and
+    /// one latency histogram per category that saw traffic.
+    pub fn export(&self, snap: &mut Snapshot, section: &str, total_runtime: Duration) {
+        snap.section(section, &self.breakdown(total_runtime));
+        snap.section_value(
+            section,
+            serde::Value::Object(vec![(
+                "pool".to_string(),
+                Serialize::to_value(&self.pool_stats()),
+            )]),
+        );
+        for cat in Category::ALL {
+            let hist = self.category_histogram(cat);
+            if hist.count > 0 {
+                snap.histogram(section, &format!("{}_ns", cat.label()), hist);
+            }
+        }
     }
 }
 
@@ -241,5 +353,90 @@ mod tests {
         let b = p.breakdown(Duration::ZERO);
         assert_eq!(b.total(), Duration::ZERO);
         assert_eq!(b.get_ce_key_fraction(), 0.0);
+    }
+
+    #[test]
+    fn every_add_lands_in_the_category_histogram() {
+        let p = Profiler::new();
+        p.add(Category::Io, Duration::from_micros(100));
+        p.add(Category::Io, Duration::from_micros(300));
+        p.add(Category::Encrypt, Duration::from_micros(5));
+        let io = p.category_histogram(Category::Io);
+        assert_eq!(io.count, 2);
+        assert_eq!(io.max, 300_000);
+        assert_eq!(p.category_histogram(Category::Encrypt).count, 1);
+        assert_eq!(p.category_histogram(Category::Route).count, 0);
+    }
+
+    #[test]
+    fn category_labels_align_with_phase_names() {
+        // The tracer stores phases by `Category as usize`; the two tables
+        // must agree forever.
+        for cat in Category::ALL {
+            assert_eq!(
+                cat.label(),
+                lamassu_telemetry::PHASE_NAMES[cat as usize],
+                "{cat:?}"
+            );
+        }
+        assert_eq!(Category::ALL.len(), lamassu_telemetry::NUM_PHASES);
+    }
+
+    #[test]
+    fn window_reset_keeps_pool_counters_and_reset_all_clears_them() {
+        let p = Profiler::new();
+        let pool = BlockPool::new(64, 8);
+        p.attach_pool(&pool);
+        drop(pool.take()); // one miss, one recycle
+        drop(pool.take()); // one hit
+        p.add(Category::Io, Duration::from_millis(1));
+
+        p.reset();
+        assert_eq!(p.category_histogram(Category::Io).count, 0);
+        let stats = p.pool_stats();
+        assert_eq!(stats.hits, 1, "window reset keeps pool counters");
+        assert_eq!(stats.misses, 1);
+
+        p.reset_all();
+        let stats = p.pool_stats();
+        assert_eq!((stats.hits, stats.misses, stats.recycled), (0, 0, 0));
+        assert_eq!(stats.pooled, 1, "live-buffer gauge survives reset_all");
+        assert_eq!(stats.capacity, pool.capacity());
+    }
+
+    #[test]
+    fn add_feeds_an_open_trace_span() {
+        use lamassu_telemetry::{OpKind, Registry, TraceConfig, Tracer};
+        let p = Profiler::new();
+        let reg = Registry::new();
+        let tracer = Tracer::new(&reg, TraceConfig::default());
+        p.attach_tracer(tracer.clone());
+        {
+            let _op = p.tracer().unwrap().op(OpKind::Read, "/spanned", 123);
+            p.add(Category::Io, Duration::from_micros(50));
+            p.add(Category::Decrypt, Duration::from_micros(20));
+        }
+        let rec = tracer.recent()[0];
+        assert_eq!(rec.file(), "/spanned");
+        assert_eq!(rec.phases_ns[Category::Io as usize], 50_000);
+        assert_eq!(rec.phases_ns[Category::Decrypt as usize], 20_000);
+    }
+
+    #[test]
+    fn export_composes_breakdown_pool_and_histograms() {
+        let p = Profiler::new();
+        p.add(Category::GetCeKey, Duration::from_millis(3));
+        let mut snap = Snapshot::new();
+        p.export(&mut snap, "shim", Duration::from_millis(10));
+        let json = snap.to_json();
+        assert!(json.contains("\"get_ce_key\""), "{json}");
+        assert!(json.contains("\"pool\""), "{json}");
+        assert!(json.contains("get_ce_key_ns"), "{json}");
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("lamassu_shim_get_ce_key_seconds"), "{prom}");
+        assert!(
+            prom.contains("# TYPE lamassu_shim_get_ce_key_ns histogram"),
+            "{prom}"
+        );
     }
 }

@@ -140,6 +140,8 @@ pub struct RoutedStore<S: ObjectStore + ?Sized = dyn ObjectStore> {
     /// `(member id, object)` pairs awaiting repair.
     suspects: Mutex<BTreeMap<(u32, Arc<str>), SuspectKind>>,
     stats: AtomicDistStats,
+    /// Running union of every scrub pass (see [`RoutedStore::scrub_totals`]).
+    scrub_totals: Mutex<ScrubReport>,
     profiler: RwLock<Option<Arc<Profiler>>>,
 }
 
@@ -168,6 +170,7 @@ impl<S: ObjectStore + ?Sized> RoutedStore<S> {
             meta: Mutex::new(HashMap::new()),
             suspects: Mutex::new(BTreeMap::new()),
             stats: AtomicDistStats::default(),
+            scrub_totals: Mutex::new(ScrubReport::default()),
             profiler: RwLock::new(None),
         }
     }
@@ -972,7 +975,18 @@ impl<S: ObjectStore + ?Sized> RoutedStore<S> {
         }
         AtomicDistStats::add(&self.stats.scrub_mismatches, report.mismatches);
         AtomicDistStats::add(&self.stats.scrub_repairs, report.repaired);
+        {
+            let mut totals = self.scrub_totals.lock();
+            *totals = totals.merge(&report);
+        }
         report
+    }
+
+    /// The union of every scrub pass run so far on this instance (each
+    /// [`RoutedStore::scrub`] merges its report in) — the cumulative scrub
+    /// outcome telemetry snapshots export.
+    pub fn scrub_totals(&self) -> ScrubReport {
+        *self.scrub_totals.lock()
     }
 
     fn clear_tombstones(&self, m: &Membership<S>, report: &mut ScrubReport) {

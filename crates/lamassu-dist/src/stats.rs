@@ -1,5 +1,6 @@
 //! Routing-tier statistics: failovers, degraded writes, repairs, rebalances.
 
+use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Atomic accumulators behind [`DistStats`].
@@ -34,7 +35,7 @@ impl AtomicDistStats {
 }
 
 /// Snapshot of a [`crate::RoutedStore`]'s routing statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct DistStats {
     /// Reads that fell over from a failed replica to the next in the chain.
     pub read_failovers: u64,
@@ -51,8 +52,25 @@ pub struct DistStats {
     pub suspects_pending: u64,
 }
 
+impl DistStats {
+    /// Field-wise sum of two snapshots (the workspace-wide stats `merge`
+    /// convention — used when aggregating several routed clusters). The
+    /// `suspects_pending` gauge sums too: the aggregate is "suspects across
+    /// all clusters".
+    pub fn merge(&self, other: &DistStats) -> DistStats {
+        DistStats {
+            read_failovers: self.read_failovers + other.read_failovers,
+            degraded_writes: self.degraded_writes + other.degraded_writes,
+            scrub_mismatches: self.scrub_mismatches + other.scrub_mismatches,
+            scrub_repairs: self.scrub_repairs + other.scrub_repairs,
+            rebalanced_units: self.rebalanced_units + other.rebalanced_units,
+            suspects_pending: self.suspects_pending + other.suspects_pending,
+        }
+    }
+}
+
 /// What one [`crate::RoutedStore::scrub`] pass found and fixed.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct ScrubReport {
     /// Objects examined.
     pub objects: u64,
@@ -66,4 +84,61 @@ pub struct ScrubReport {
     pub tombstones_cleared: u64,
     /// Units where *no* replica was readable (nothing to repair from).
     pub unreadable_units: u64,
+}
+
+impl ScrubReport {
+    /// Field-wise sum of two reports (the workspace-wide stats `merge`
+    /// convention — [`crate::RoutedStore::scrub_totals`] accumulates passes
+    /// with it).
+    pub fn merge(&self, other: &ScrubReport) -> ScrubReport {
+        ScrubReport {
+            objects: self.objects + other.objects,
+            units: self.units + other.units,
+            mismatches: self.mismatches + other.mismatches,
+            repaired: self.repaired + other.repaired,
+            tombstones_cleared: self.tombstones_cleared + other.tombstones_cleared,
+            unreadable_units: self.unreadable_units + other.unreadable_units,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_fieldwise() {
+        let d = DistStats {
+            read_failovers: 1,
+            suspects_pending: 2,
+            ..DistStats::default()
+        };
+        let m = d.merge(&d);
+        assert_eq!(m.read_failovers, 2);
+        assert_eq!(m.suspects_pending, 4);
+        let s = ScrubReport {
+            objects: 3,
+            repaired: 1,
+            ..ScrubReport::default()
+        };
+        let m = s.merge(&s);
+        assert_eq!(m.objects, 6);
+        assert_eq!(m.repaired, 2);
+    }
+
+    #[test]
+    fn stats_serialize_for_snapshot_export() {
+        let d = DistStats {
+            degraded_writes: 5,
+            ..DistStats::default()
+        };
+        let json = serde_json::to_string(&d).unwrap();
+        assert!(json.contains("\"degraded_writes\":5"), "{json}");
+        let s = ScrubReport {
+            units: 7,
+            ..ScrubReport::default()
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"units\":7"), "{json}");
+    }
 }

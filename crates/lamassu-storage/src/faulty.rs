@@ -12,9 +12,34 @@
 use crate::profile::IoCounters;
 use crate::store::ObjectStore;
 use crate::{Result, StorageError};
+use serde::Serialize;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Counters making the injected faults observable (exported through the
+/// telemetry snapshots so experiments can assert what actually fired).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct FaultStats {
+    /// Power cuts fired by an exhausted *write* credit.
+    pub write_crashes: u64,
+    /// Power cuts fired by an exhausted *read* credit.
+    pub read_crashes: u64,
+    /// Operations refused because the simulated machine was already down.
+    pub refused_ops: u64,
+}
+
+impl FaultStats {
+    /// Field-wise sum of two snapshots (the workspace-wide stats `merge`
+    /// convention — used when aggregating a fleet of faulty members).
+    pub fn merge(&self, other: &FaultStats) -> FaultStats {
+        FaultStats {
+            write_crashes: self.write_crashes + other.write_crashes,
+            read_crashes: self.read_crashes + other.read_crashes,
+            refused_ops: self.refused_ops + other.refused_ops,
+        }
+    }
+}
 
 /// An [`ObjectStore`] wrapper that injects a crash after N writes.
 ///
@@ -42,6 +67,9 @@ pub struct FaultyStore {
     /// [`FaultyStore::crash_after_reads`]).
     reads_until_crash: AtomicU64,
     crashed: AtomicBool,
+    write_crashes: AtomicU64,
+    read_crashes: AtomicU64,
+    refused_ops: AtomicU64,
 }
 
 impl FaultyStore {
@@ -52,6 +80,20 @@ impl FaultyStore {
             writes_until_crash: AtomicU64::new(u64::MAX),
             reads_until_crash: AtomicU64::new(u64::MAX),
             crashed: AtomicBool::new(false),
+            write_crashes: AtomicU64::new(0),
+            read_crashes: AtomicU64::new(0),
+            refused_ops: AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshot of the fault-injection counters. Counters are cumulative
+    /// over the store's lifetime; `disarm`/re-arming does not clear them, so
+    /// a test can assert exactly how many injections a scenario produced.
+    pub fn fault_stats(&self) -> FaultStats {
+        FaultStats {
+            write_crashes: self.write_crashes.load(Ordering::Relaxed),
+            read_crashes: self.read_crashes.load(Ordering::Relaxed),
+            refused_ops: self.refused_ops.load(Ordering::Relaxed),
         }
     }
 
@@ -103,14 +145,16 @@ impl FaultyStore {
 
     fn check_alive(&self) -> Result<()> {
         if self.crashed.load(Ordering::SeqCst) {
+            self.refused_ops.fetch_add(1, Ordering::Relaxed);
             Err(StorageError::Crashed)
         } else {
             Ok(())
         }
     }
 
-    /// Consumes one credit from `credits`, crashing when it hits zero.
-    fn consume_credit(&self, credits: &AtomicU64) -> Result<()> {
+    /// Consumes one credit from `credits`, crashing (and counting the
+    /// injection in `crash_counter`) when it hits zero.
+    fn consume_credit(&self, credits: &AtomicU64, crash_counter: &AtomicU64) -> Result<()> {
         self.check_alive()?;
         let mut cur = credits.load(Ordering::SeqCst);
         loop {
@@ -119,6 +163,7 @@ impl FaultyStore {
             }
             if cur == 0 {
                 self.crashed.store(true, Ordering::SeqCst);
+                crash_counter.fetch_add(1, Ordering::Relaxed);
                 return Err(StorageError::Crashed);
             }
             match credits.compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst) {
@@ -129,11 +174,11 @@ impl FaultyStore {
     }
 
     fn consume_write_credit(&self) -> Result<()> {
-        self.consume_credit(&self.writes_until_crash)
+        self.consume_credit(&self.writes_until_crash, &self.write_crashes)
     }
 
     fn consume_read_credit(&self) -> Result<()> {
-        self.consume_credit(&self.reads_until_crash)
+        self.consume_credit(&self.reads_until_crash, &self.read_crashes)
     }
 }
 
@@ -375,6 +420,35 @@ mod tests {
         assert!(faulty.has_crashed());
         // The failed write must not have reached the media.
         assert_eq!(inner.len("f").unwrap(), 3);
+    }
+
+    #[test]
+    fn fault_stats_count_injections_and_refusals() {
+        let (_inner, faulty) = setup();
+        assert_eq!(faulty.fault_stats(), FaultStats::default());
+        faulty.crash_after_writes(1);
+        faulty.write_at("f", 0, b"a").unwrap();
+        assert!(faulty.write_at("f", 1, b"b").is_err()); // injection fires
+        assert!(faulty.read_at("f", 0, 1).is_err()); // refused: already down
+        assert!(faulty.write_at("f", 0, b"c").is_err()); // refused too
+        let stats = faulty.fault_stats();
+        assert_eq!(stats.write_crashes, 1);
+        assert_eq!(stats.read_crashes, 0);
+        assert_eq!(stats.refused_ops, 2);
+        let merged = stats.merge(&stats);
+        assert_eq!(merged.write_crashes, 2);
+        assert_eq!(merged.refused_ops, 4);
+    }
+
+    #[test]
+    fn read_crash_counts_separately() {
+        let (_inner, faulty) = setup();
+        faulty.write_at("f", 0, b"abc").unwrap();
+        faulty.crash_after_reads(0);
+        assert!(faulty.read_at("f", 0, 1).is_err());
+        let stats = faulty.fault_stats();
+        assert_eq!(stats.read_crashes, 1);
+        assert_eq!(stats.write_crashes, 0);
     }
 
     #[test]

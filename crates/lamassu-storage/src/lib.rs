@@ -37,7 +37,7 @@ mod error;
 pub use dedup::{DedupReport, DedupStore, UsageReport};
 pub use dirstore::DirStore;
 pub use error::StorageError;
-pub use faulty::{ArmedFaults, FaultSchedule, FaultyStore};
+pub use faulty::{ArmedFaults, FaultSchedule, FaultStats, FaultyStore};
 pub use profile::{IoCounters, StorageProfile};
 pub use store::ObjectStore;
 

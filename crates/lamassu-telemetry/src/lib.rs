@@ -1,0 +1,50 @@
+//! Always-on observability substrate for the Lamassu reproduction.
+//!
+//! The paper's Figure 9 reports wall-clock *sums* per latency category — one
+//! number per category at experiment end. That is enough to reproduce the
+//! figure but not to run the stack as a service: a production mount needs
+//! latency *distributions* (p50/p95/p99 per operation), live counters, and a
+//! trace of what each slow operation actually did. This crate provides that
+//! substrate with the constraint the rest of the workspace already enforces:
+//! the steady-state data path performs **zero heap allocations per
+//! operation** (`tests/zero_alloc.rs`), so every telemetry structure is
+//! preallocated at mount time and the record path is lock-free atomics (or
+//! one uncontended sharded lock for trace rings) — never the global
+//! allocator.
+//!
+//! * [`hist`] — fixed-bucket log-linear [`Histogram`]: preallocated
+//!   `AtomicU64` buckets, lock-free [`Histogram::record`], mergeable
+//!   [`HistSnapshot`]s with p50/p95/p99/max quantile estimates accurate to
+//!   one bucket width (buckets grow ~12.5 % per step, so quantiles are
+//!   exact to better than one part in eight).
+//! * [`registry`] — a [`Registry`] of named [`Counter`]s, [`Gauge`]s and
+//!   histograms. Registration (get-or-create by name) allocates and belongs
+//!   at mount time; the returned handles are `Arc`-shared atomics that are
+//!   free to bump on the hot path.
+//! * [`trace`] — per-operation spans: [`Tracer::op`] opens an [`OpGuard`]
+//!   that, on drop, writes one fixed-size [`TraceRecord`] (op kind, file
+//!   tag, bytes, total latency, per-phase child timings) into a preallocated
+//!   per-thread-sharded ring buffer, records the op's latency histogram, and
+//!   retains any op slower than a configurable threshold in a dedicated
+//!   slow-op ring.
+//! * [`snapshot`] — uniform export: a [`Snapshot`] composes any
+//!   `serde::Serialize` stats struct (the tiers' `IoCounters`, `CacheStats`,
+//!   `PoolStats`, `DistStats`, …) plus histograms, and renders the whole
+//!   tree as pretty JSON or Prometheus-style text exposition.
+//!
+//! The crate is a leaf: every other workspace crate can depend on it, so the
+//! shims, the cache, the router and the workload driver all export through
+//! the same types.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod registry;
+pub mod snapshot;
+pub mod trace;
+
+pub use hist::{HistSnapshot, Histogram, LatencySummary};
+pub use registry::{Counter, Gauge, Registry};
+pub use snapshot::Snapshot;
+pub use trace::{OpGuard, OpKind, TraceConfig, TraceRecord, Tracer, NUM_PHASES, PHASE_NAMES};

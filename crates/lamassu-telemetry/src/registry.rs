@@ -1,0 +1,199 @@
+//! Named metric registry: counters, gauges and histograms by name.
+//!
+//! A [`Registry`] is the mount-time directory of everything a process
+//! exports. Handles are get-or-create by name — [`Registry::counter`],
+//! [`Registry::gauge`] and [`Registry::histogram`] allocate on the *first*
+//! request for a name and afterwards return clones sharing the same atomics,
+//! so two tiers asking for the same metric see one counter. Registration
+//! belongs at mount/setup time; the returned [`Counter`]/[`Gauge`]/
+//! [`Histogram`] handles are plain `Arc`'d atomics that are free to bump on
+//! the zero-allocation hot path.
+//!
+//! [`Registry::export`] dumps every registered metric into a
+//! [`crate::Snapshot`] section, sorted by name.
+
+use crate::hist::Histogram;
+use crate::snapshot::Snapshot;
+use parking_lot::Mutex;
+use serde::Value;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter. Cloning shares the same cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable point-in-time value. Cloning shares the same cell.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`, saturating at zero under concurrent mixes only as far
+    /// as `fetch_sub` wraps — callers keep add/sub balanced.
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// The process's metric directory (see the module docs). Cloning is cheap
+/// and shares the same registry.
+///
+/// # Examples
+///
+/// ```
+/// use lamassu_telemetry::Registry;
+///
+/// let reg = Registry::new();
+/// let ops = reg.counter("shim.ops");
+/// ops.inc();
+/// reg.counter("shim.ops").inc(); // same underlying counter
+/// assert_eq!(ops.get(), 2);
+/// ```
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it on first
+    /// use. Allocates only on creation — call at setup time, keep the handle.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.counters.lock();
+        if let Some(c) = map.get(name) {
+            return c.clone();
+        }
+        let c = Counter::default();
+        map.insert(name.to_string(), c.clone());
+        c
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.gauges.lock();
+        if let Some(g) = map.get(name) {
+            return g.clone();
+        }
+        let g = Gauge::default();
+        map.insert(name.to_string(), g.clone());
+        g
+    }
+
+    /// Returns the histogram registered under `name`, creating it on first
+    /// use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.inner.histograms.lock();
+        if let Some(h) = map.get(name) {
+            return h.clone();
+        }
+        let h = Histogram::new();
+        map.insert(name.to_string(), h.clone());
+        h
+    }
+
+    /// Dumps every registered metric into `snap` under `section`: counters
+    /// and gauges as a name → value object, histograms as full
+    /// distributions.
+    pub fn export(&self, snap: &mut Snapshot, section: &str) {
+        let mut pairs: Vec<(String, Value)> = Vec::new();
+        for (name, c) in self.inner.counters.lock().iter() {
+            pairs.push((name.clone(), Value::U64(c.get())));
+        }
+        for (name, g) in self.inner.gauges.lock().iter() {
+            pairs.push((name.clone(), Value::U64(g.get())));
+        }
+        snap.section_value(section, Value::Object(pairs));
+        for (name, h) in self.inner.histograms.lock().iter() {
+            snap.histogram(section, name, h.snapshot());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_share_by_name() {
+        let reg = Registry::new();
+        reg.counter("a").add(5);
+        assert_eq!(reg.counter("a").get(), 5);
+        reg.gauge("g").set(9);
+        reg.gauge("g").sub(2);
+        assert_eq!(reg.gauge("g").get(), 7);
+        assert_eq!(reg.counter("other").get(), 0);
+    }
+
+    #[test]
+    fn histograms_share_by_name() {
+        let reg = Registry::new();
+        reg.histogram("lat").record(100);
+        let h = reg.histogram("lat");
+        assert_eq!(h.snapshot().count, 1);
+    }
+
+    #[test]
+    fn export_lists_everything_sorted() {
+        let reg = Registry::new();
+        reg.counter("z.ops").inc();
+        reg.counter("a.ops").add(3);
+        reg.gauge("depth").set(2);
+        reg.histogram("lat").record(50);
+        let mut snap = Snapshot::new();
+        reg.export(&mut snap, "metrics");
+        let json = snap.to_json();
+        assert!(json.contains("\"a.ops\": 3"), "{json}");
+        assert!(json.contains("\"z.ops\": 1"), "{json}");
+        assert!(json.contains("\"depth\": 2"), "{json}");
+        assert!(json.contains("\"lat\""), "{json}");
+    }
+}

@@ -1,0 +1,328 @@
+//! Uniform export: compose every tier's stats into one serializable tree.
+//!
+//! A [`Snapshot`] is a list of named sections. Each section holds an
+//! arbitrary `serde::Serialize` stats struct (added with
+//! [`Snapshot::section`] — the tiers' `IoCounters`, `CacheStats`,
+//! `PoolStats`, `DistStats`, `ScrubReport`, … all compose without
+//! hand-rolled glue because they serialize through the same `Value` tree)
+//! plus any number of named latency [histograms](`crate::HistSnapshot`).
+//!
+//! Two renderers cover the two consumers:
+//!
+//! * [`Snapshot::to_json`] — pretty JSON, one object per section, for files
+//!   and humans;
+//! * [`Snapshot::to_prometheus`] — Prometheus-style text exposition: every
+//!   numeric leaf becomes `lamassu_<section>_<path> <value>`,
+//!   `Duration`-shaped `{secs, nanos}` objects collapse into a single
+//!   `_seconds` float, and histograms render as the standard cumulative
+//!   `_bucket{le="…"}` / `_sum` / `_count` triple.
+
+use crate::hist::{bucket_upper, HistSnapshot};
+use serde::{Serialize, Value};
+use std::fmt::Write as _;
+
+struct Section {
+    name: String,
+    value: Value,
+    hists: Vec<(String, HistSnapshot)>,
+}
+
+/// A composed, serializable view of the whole stack's stats (see the module
+/// docs).
+///
+/// # Examples
+///
+/// ```
+/// use lamassu_telemetry::{Histogram, Snapshot};
+/// use serde::Serialize;
+///
+/// #[derive(Serialize)]
+/// struct Stats {
+///     ops: u64,
+/// }
+///
+/// let h = Histogram::new();
+/// h.record(1200);
+/// let mut snap = Snapshot::new();
+/// snap.section("shim", &Stats { ops: 9 });
+/// snap.histogram("shim", "read_ns", h.snapshot());
+/// assert!(snap.to_json().contains("\"ops\": 9"));
+/// assert!(snap.to_prometheus().contains("lamassu_shim_ops 9"));
+/// ```
+#[derive(Default)]
+pub struct Snapshot {
+    sections: Vec<Section>,
+}
+
+impl Snapshot {
+    /// Creates an empty snapshot.
+    pub fn new() -> Self {
+        Snapshot::default()
+    }
+
+    fn section_mut(&mut self, name: &str) -> &mut Section {
+        if let Some(i) = self.sections.iter().position(|s| s.name == name) {
+            return &mut self.sections[i];
+        }
+        self.sections.push(Section {
+            name: name.to_string(),
+            value: Value::Object(Vec::new()),
+            hists: Vec::new(),
+        });
+        self.sections.last_mut().expect("just pushed")
+    }
+
+    /// Adds (or merges into) section `name` from any `Serialize` stats
+    /// struct. Repeated calls on the same section merge object keys, later
+    /// calls winning on conflicts.
+    pub fn section<T: Serialize + ?Sized>(&mut self, name: &str, value: &T) {
+        self.section_value(name, value.to_value());
+    }
+
+    /// Adds (or merges) an already-built [`Value`] under section `name`.
+    pub fn section_value(&mut self, name: &str, value: Value) {
+        let section = self.section_mut(name);
+        match (&mut section.value, value) {
+            (Value::Object(existing), Value::Object(new)) => {
+                for (k, v) in new {
+                    if let Some(slot) = existing.iter_mut().find(|(ek, _)| *ek == k) {
+                        slot.1 = v;
+                    } else {
+                        existing.push((k, v));
+                    }
+                }
+            }
+            (slot, new) => *slot = new,
+        }
+    }
+
+    /// Attaches a latency histogram named `name` to section `section`.
+    pub fn histogram(&mut self, section: &str, name: &str, snap: HistSnapshot) {
+        let section = self.section_mut(section);
+        if let Some(slot) = section.hists.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = snap;
+        } else {
+            section.hists.push((name.to_string(), snap));
+        }
+    }
+
+    /// Renders the whole snapshot as pretty JSON: one object per section,
+    /// histograms nested under a `latency` key.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("value tree renders infallibly")
+    }
+
+    /// Renders the whole snapshot in the Prometheus text exposition format.
+    /// Metric names are `lamassu_<section>_<flattened path>`; see the module
+    /// docs for the flattening rules.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for section in &self.sections {
+            let base = format!("lamassu_{}", sanitize(&section.name));
+            flatten(&mut out, &base, &section.value);
+            for (name, hist) in &section.hists {
+                prometheus_histogram(&mut out, &format!("{base}_{}", sanitize(name)), hist);
+            }
+        }
+        out
+    }
+}
+
+impl Serialize for Snapshot {
+    fn to_value(&self) -> Value {
+        let sections = self
+            .sections
+            .iter()
+            .map(|s| {
+                let mut v = s.value.clone();
+                if !s.hists.is_empty() {
+                    let hists = Value::Object(
+                        s.hists
+                            .iter()
+                            .map(|(n, h)| (n.clone(), h.to_value()))
+                            .collect(),
+                    );
+                    match &mut v {
+                        Value::Object(pairs) => pairs.push(("latency".into(), hists)),
+                        other => {
+                            *other = Value::Object(vec![
+                                ("value".into(), other.clone()),
+                                ("latency".into(), hists),
+                            ])
+                        }
+                    }
+                }
+                (s.name.clone(), v)
+            })
+            .collect();
+        Value::Object(sections)
+    }
+}
+
+/// Maps a name into the Prometheus metric-name alphabet.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// True for `{secs, nanos}` objects, the shape `Duration` serializes to.
+fn as_duration_seconds(pairs: &[(String, Value)]) -> Option<f64> {
+    if pairs.len() != 2 {
+        return None;
+    }
+    let secs = pairs.iter().find(|(k, _)| k == "secs")?;
+    let nanos = pairs.iter().find(|(k, _)| k == "nanos")?;
+    match (&secs.1, &nanos.1) {
+        (Value::U64(s), Value::U64(n)) => Some(*s as f64 + *n as f64 * 1e-9),
+        _ => None,
+    }
+}
+
+/// Emits every numeric leaf of `v` as `<prefix>_<path> <value>`.
+fn flatten(out: &mut String, prefix: &str, v: &Value) {
+    match v {
+        Value::U64(n) => {
+            let _ = writeln!(out, "{prefix} {n}");
+        }
+        Value::I64(n) => {
+            let _ = writeln!(out, "{prefix} {n}");
+        }
+        Value::F64(n) if n.is_finite() => {
+            let _ = writeln!(out, "{prefix} {n}");
+        }
+        Value::Bool(b) => {
+            let _ = writeln!(out, "{prefix} {}", u8::from(*b));
+        }
+        Value::Object(pairs) => {
+            if let Some(secs) = as_duration_seconds(pairs) {
+                let _ = writeln!(out, "{prefix}_seconds {secs}");
+            } else {
+                for (k, v) in pairs {
+                    flatten(out, &format!("{prefix}_{}", sanitize(k)), v);
+                }
+            }
+        }
+        // Strings, nulls, non-finite floats and arrays have no numeric
+        // exposition; JSON keeps them.
+        _ => {}
+    }
+}
+
+/// Emits one histogram as cumulative `_bucket{le="…"}` lines plus `_sum`
+/// and `_count`, listing only the buckets that hold data.
+fn prometheus_histogram(out: &mut String, name: &str, hist: &HistSnapshot) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for (i, &n) in hist.buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        cumulative += n;
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{le=\"{}\"}} {cumulative}",
+            bucket_upper(i)
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count);
+    let _ = writeln!(out, "{name}_sum {}", hist.sum);
+    let _ = writeln!(out, "{name}_count {}", hist.count);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+    use std::time::Duration;
+
+    #[derive(Serialize)]
+    struct Demo {
+        ops: u64,
+        rate: f64,
+        busy: Duration,
+        label: String,
+    }
+
+    fn demo() -> Demo {
+        Demo {
+            ops: 41,
+            rate: 0.5,
+            busy: Duration::new(2, 500_000_000),
+            label: "x".into(),
+        }
+    }
+
+    #[test]
+    fn json_nests_sections_and_histograms() {
+        let h = Histogram::new();
+        h.record(77);
+        let mut snap = Snapshot::new();
+        snap.section("tier", &demo());
+        snap.histogram("tier", "read_ns", h.snapshot());
+        let json = snap.to_json();
+        assert!(json.contains("\"tier\""), "{json}");
+        assert!(json.contains("\"ops\": 41"), "{json}");
+        assert!(json.contains("\"latency\""), "{json}");
+        assert!(json.contains("\"read_ns\""), "{json}");
+    }
+
+    #[test]
+    fn sections_merge_and_overwrite() {
+        let mut snap = Snapshot::new();
+        snap.section("t", &demo());
+        snap.section_value(
+            "t",
+            Value::Object(vec![
+                ("ops".into(), Value::U64(99)),
+                ("extra".into(), Value::U64(1)),
+            ]),
+        );
+        let json = snap.to_json();
+        assert!(json.contains("\"ops\": 99"), "{json}");
+        assert!(json.contains("\"extra\": 1"), "{json}");
+        assert!(json.contains("\"rate\""), "{json}");
+    }
+
+    #[test]
+    fn prometheus_flattens_leaves_and_durations() {
+        let mut snap = Snapshot::new();
+        snap.section("cache tier", &demo());
+        let text = snap.to_prometheus();
+        assert!(text.contains("lamassu_cache_tier_ops 41"), "{text}");
+        assert!(text.contains("lamassu_cache_tier_rate 0.5"), "{text}");
+        assert!(
+            text.contains("lamassu_cache_tier_busy_seconds 2.5"),
+            "{text}"
+        );
+        assert!(!text.contains("label"), "strings must be skipped: {text}");
+    }
+
+    #[test]
+    fn prometheus_histogram_is_cumulative() {
+        let h = Histogram::new();
+        h.record(5);
+        h.record(5);
+        h.record(1_000);
+        let mut snap = Snapshot::new();
+        snap.histogram("shim", "lat", h.snapshot());
+        let text = snap.to_prometheus();
+        assert!(text.contains("# TYPE lamassu_shim_lat histogram"), "{text}");
+        assert!(
+            text.contains("lamassu_shim_lat_bucket{le=\"5\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lamassu_shim_lat_bucket{le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("lamassu_shim_lat_sum 1010"), "{text}");
+        assert!(text.contains("lamassu_shim_lat_count 3"), "{text}");
+        // The 1000 bucket's cumulative count includes the earlier two.
+        let last = text
+            .lines()
+            .rfind(|l| l.contains("_bucket{le=") && !l.contains("+Inf"))
+            .unwrap();
+        assert!(last.ends_with(" 3"), "{last}");
+    }
+}

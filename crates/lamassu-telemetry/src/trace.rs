@@ -1,0 +1,624 @@
+//! Per-operation trace spans with preallocated ring buffers.
+//!
+//! A [`Tracer`] records one fixed-size [`TraceRecord`] per file-system
+//! operation: the op kind, a truncated file tag, byte count, total wall
+//! latency, and the per-phase child timings (plan/crypto/backend/route —
+//! the same seven phases as the Figure 9 categories, see [`PHASE_NAMES`]).
+//! Records land in per-thread-sharded ring buffers whose slots are
+//! preallocated at construction, so the record path is: one `Instant` read,
+//! a thread-local phase-accumulator drain, one uncontended sharded mutex,
+//! and a handful of atomics — **no heap allocation**, preserving the
+//! zero-allocation steady-state guarantee of `tests/zero_alloc.rs`.
+//!
+//! Phase attribution works through a thread-local frame: [`Tracer::op`]
+//! opens the frame, the shims' `Profiler::add` calls [`phase_add`] as they
+//! charge categories, and the [`OpGuard`]'s drop drains the frame into the
+//! record. Any operation slower than the configurable threshold
+//! ([`TraceConfig::slow_threshold`]) is additionally retained in a
+//! dedicated slow-op ring that fast traffic cannot evict.
+
+use crate::hist::Histogram;
+use crate::registry::{Counter, Registry};
+use crate::snapshot::Snapshot;
+use parking_lot::Mutex;
+use serde::{Serialize, Value};
+use std::cell::RefCell;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Number of child-span phases per operation — one per Figure 9 category.
+pub const NUM_PHASES: usize = 7;
+
+/// Phase names, index-aligned with `lamassu-core::Category` (the profiler
+/// charges `Category as usize`, the tracer stores `phases_ns[same index]`).
+pub const PHASE_NAMES: [&str; NUM_PHASES] = [
+    "encrypt",
+    "decrypt",
+    "get_ce_key",
+    "io",
+    "cache",
+    "plan",
+    "route",
+];
+
+/// Bytes of the file path retained in a trace record.
+const FILE_TAG_LEN: usize = 40;
+
+/// Ring shards (mirrors the block pool's thread sharding).
+const RING_SHARDS: usize = 8;
+
+/// The operation kinds the shims trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OpKind {
+    /// A read of file bytes.
+    Read,
+    /// A write of file bytes.
+    Write,
+    /// A durability barrier.
+    Fsync,
+    /// A truncation.
+    Truncate,
+    /// Anything else (create/remove/rename/metadata).
+    #[default]
+    Other,
+}
+
+/// Number of [`OpKind`] variants.
+const NUM_OPS: usize = 5;
+
+impl OpKind {
+    /// Stable lowercase label (used in metric names and exports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            OpKind::Read => "read",
+            OpKind::Write => "write",
+            OpKind::Fsync => "fsync",
+            OpKind::Truncate => "truncate",
+            OpKind::Other => "other",
+        }
+    }
+}
+
+/// One completed operation, fixed-size and `Copy` so ring slots never
+/// allocate.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceRecord {
+    /// Global completion order (monotone per tracer).
+    pub seq: u64,
+    /// What the operation was.
+    pub op: OpKind,
+    /// Leading bytes of the file path (see [`TraceRecord::file`]).
+    pub file_tag: [u8; FILE_TAG_LEN],
+    /// Number of valid bytes in `file_tag`.
+    pub file_len: u8,
+    /// Payload bytes moved (0 for fsync/truncate).
+    pub bytes: u64,
+    /// End-to-end wall time in nanoseconds.
+    pub total_ns: u64,
+    /// Child-span time per phase, indexed like [`PHASE_NAMES`].
+    pub phases_ns: [u64; NUM_PHASES],
+}
+
+impl Default for TraceRecord {
+    fn default() -> Self {
+        TraceRecord {
+            seq: 0,
+            op: OpKind::Other,
+            file_tag: [0; FILE_TAG_LEN],
+            file_len: 0,
+            bytes: 0,
+            total_ns: 0,
+            phases_ns: [0; NUM_PHASES],
+        }
+    }
+}
+
+impl TraceRecord {
+    /// The retained file tag as text (paths longer than the tag are
+    /// truncated).
+    pub fn file(&self) -> &str {
+        std::str::from_utf8(&self.file_tag[..self.file_len as usize]).unwrap_or("")
+    }
+}
+
+impl Serialize for TraceRecord {
+    fn to_value(&self) -> Value {
+        let phases: Vec<(String, Value)> = PHASE_NAMES
+            .iter()
+            .zip(self.phases_ns.iter())
+            .filter(|(_, &ns)| ns > 0)
+            .map(|(name, &ns)| (name.to_string(), Value::U64(ns)))
+            .collect();
+        Value::Object(vec![
+            ("seq".into(), Value::U64(self.seq)),
+            ("op".into(), Value::Str(self.op.label().into())),
+            ("file".into(), Value::Str(self.file().into())),
+            ("bytes".into(), Value::U64(self.bytes)),
+            ("total_ns".into(), Value::U64(self.total_ns)),
+            ("phases_ns".into(), Value::Object(phases)),
+        ])
+    }
+}
+
+/// Tracer sizing and thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Total recent-op ring capacity, split across the thread shards
+    /// (rounded up to a whole number per shard).
+    pub ring_capacity: usize,
+    /// Slow-op ring capacity.
+    pub slow_capacity: usize,
+    /// Ops at least this slow are retained in the slow-op ring.
+    pub slow_threshold: Duration,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            ring_capacity: 512,
+            slow_capacity: 128,
+            slow_threshold: Duration::from_millis(10),
+        }
+    }
+}
+
+/// A fixed-capacity overwrite-oldest ring of trace records. Slots are
+/// preallocated; push is an index write.
+struct Ring {
+    slots: Vec<TraceRecord>,
+    next: usize,
+    filled: usize,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Self {
+        Ring {
+            slots: vec![TraceRecord::default(); capacity.max(1)],
+            next: 0,
+            filled: 0,
+        }
+    }
+
+    fn push(&mut self, rec: TraceRecord) {
+        self.slots[self.next] = rec;
+        self.next = (self.next + 1) % self.slots.len();
+        self.filled = (self.filled + 1).min(self.slots.len());
+    }
+
+    fn drain_into(&self, out: &mut Vec<TraceRecord>) {
+        out.extend_from_slice(&self.slots[..self.filled]);
+    }
+}
+
+/// The per-op phase accumulator: opened by [`Tracer::op`], fed by
+/// [`phase_add`], drained by the guard's drop. One frame per thread — a
+/// nested op (a shim calling back into itself) records nothing rather than
+/// stealing the outer op's phases.
+struct Frame {
+    depth: u32,
+    phases_ns: [u64; NUM_PHASES],
+}
+
+thread_local! {
+    static FRAME: RefCell<Frame> = const {
+        RefCell::new(Frame { depth: 0, phases_ns: [0; NUM_PHASES] })
+    };
+}
+
+/// Charges `ns` to phase `index` (a `lamassu-core::Category as usize`) of
+/// the operation currently open **on this thread**. A no-op outside an op
+/// — callers (the profilers) charge unconditionally and cheaply.
+#[inline]
+pub fn phase_add(index: usize, ns: u64) {
+    FRAME.with(|f| {
+        if let Ok(mut frame) = f.try_borrow_mut() {
+            if frame.depth > 0 && index < NUM_PHASES {
+                frame.phases_ns[index] += ns;
+            }
+        }
+    });
+}
+
+/// The calling thread's ring shard, hashed from its thread id once and
+/// cached (the same spreading scheme as the block pool's shards).
+fn thread_shard_index() -> usize {
+    thread_local! {
+        /// Shard + 1; 0 means "not yet computed".
+        static HOME: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+    }
+    HOME.with(|c| {
+        let cached = c.get();
+        if cached != 0 {
+            return cached - 1;
+        }
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        std::thread::current().id().hash(&mut h);
+        let idx = h.finish() as usize % RING_SHARDS;
+        c.set(idx + 1);
+        idx
+    })
+}
+
+struct TracerInner {
+    rings: Vec<Mutex<Ring>>,
+    slow: Mutex<Ring>,
+    slow_threshold_ns: AtomicU64,
+    seq: AtomicU64,
+    ops: Counter,
+    slow_ops: Counter,
+    dropped_nested: Counter,
+    op_hists: [Histogram; NUM_OPS],
+}
+
+/// The per-mount operation tracer (see the module docs). Cloning is cheap
+/// and shares the same rings.
+///
+/// # Examples
+///
+/// ```
+/// use lamassu_telemetry::{OpKind, Registry, TraceConfig, Tracer};
+///
+/// let reg = Registry::new();
+/// let tracer = Tracer::new(&reg, TraceConfig::default());
+/// {
+///     let _op = tracer.op(OpKind::Read, "/data/a", 4096);
+///     // ... the operation runs; Profiler::add feeds the phase spans ...
+/// }
+/// assert_eq!(tracer.recent().len(), 1);
+/// assert_eq!(reg.counter("trace.ops").get(), 1);
+/// ```
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Tracer {
+    /// Builds a tracer, preallocating every ring slot and registering its
+    /// counters (`trace.ops`, `trace.slow_ops`, `trace.dropped_nested`) and
+    /// per-op-kind latency histograms (`op.read_ns`, …) in `registry`.
+    pub fn new(registry: &Registry, config: TraceConfig) -> Arc<Self> {
+        let shard_cap = config.ring_capacity.div_ceil(RING_SHARDS).max(1);
+        let op_hists = [
+            registry.histogram("op.read_ns"),
+            registry.histogram("op.write_ns"),
+            registry.histogram("op.fsync_ns"),
+            registry.histogram("op.truncate_ns"),
+            registry.histogram("op.other_ns"),
+        ];
+        Arc::new(Tracer {
+            inner: Arc::new(TracerInner {
+                rings: (0..RING_SHARDS)
+                    .map(|_| Mutex::new(Ring::new(shard_cap)))
+                    .collect(),
+                slow: Mutex::new(Ring::new(config.slow_capacity.max(1))),
+                slow_threshold_ns: AtomicU64::new(
+                    config.slow_threshold.as_nanos().min(u64::MAX as u128) as u64,
+                ),
+                seq: AtomicU64::new(0),
+                ops: registry.counter("trace.ops"),
+                slow_ops: registry.counter("trace.slow_ops"),
+                dropped_nested: registry.counter("trace.dropped_nested"),
+                op_hists,
+            }),
+        })
+    }
+
+    /// Opens a span for one operation; the returned guard records it when
+    /// dropped. Allocation-free: the file tag is copied into a fixed
+    /// buffer. A nested call on the same thread returns an inert guard
+    /// (counted in `trace.dropped_nested`) so phase attribution stays with
+    /// the outermost op.
+    #[inline]
+    pub fn op(&self, kind: OpKind, file: &str, bytes: u64) -> OpGuard<'_> {
+        let owns = FRAME.with(|f| match f.try_borrow_mut() {
+            Ok(mut frame) => {
+                frame.depth += 1;
+                if frame.depth == 1 {
+                    frame.phases_ns = [0; NUM_PHASES];
+                    true
+                } else {
+                    false
+                }
+            }
+            Err(_) => false,
+        });
+        let mut file_tag = [0u8; FILE_TAG_LEN];
+        let take = file.len().min(FILE_TAG_LEN);
+        // Cut at a char boundary so the tag stays valid UTF-8.
+        let take = (0..=take)
+            .rev()
+            .find(|&i| file.is_char_boundary(i))
+            .unwrap_or(0);
+        file_tag[..take].copy_from_slice(&file.as_bytes()[..take]);
+        OpGuard {
+            tracer: &self.inner,
+            kind,
+            file_tag,
+            file_len: take as u8,
+            bytes,
+            owns,
+            start: Instant::now(),
+        }
+    }
+
+    /// Changes the slow-op retention threshold at runtime.
+    pub fn set_slow_threshold(&self, threshold: Duration) {
+        self.inner.slow_threshold_ns.store(
+            threshold.as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// The current slow-op retention threshold.
+    pub fn slow_threshold(&self) -> Duration {
+        Duration::from_nanos(self.inner.slow_threshold_ns.load(Ordering::Relaxed))
+    }
+
+    /// Total operations recorded.
+    pub fn ops(&self) -> u64 {
+        self.inner.ops.get()
+    }
+
+    /// The retained recent records across all thread shards, oldest first.
+    pub fn recent(&self) -> Vec<TraceRecord> {
+        let mut out = Vec::new();
+        for ring in &self.inner.rings {
+            ring.lock().drain_into(&mut out);
+        }
+        out.sort_by_key(|r| r.seq);
+        out
+    }
+
+    /// The retained slow operations, oldest first.
+    pub fn slow(&self) -> Vec<TraceRecord> {
+        let mut out = Vec::new();
+        self.inner.slow.lock().drain_into(&mut out);
+        out.sort_by_key(|r| r.seq);
+        out
+    }
+
+    /// Latency histogram snapshot for one op kind.
+    pub fn op_histogram(&self, kind: OpKind) -> crate::hist::HistSnapshot {
+        self.inner.op_hists[kind as usize].snapshot()
+    }
+
+    /// Dumps the trace state (threshold, retained slow ops, the tail of the
+    /// recent ring) into `snap` under `section`. Counters and op
+    /// histograms live in the [`Registry`] the tracer was built with —
+    /// export that too for the full picture.
+    pub fn export(&self, snap: &mut Snapshot, section: &str) {
+        let slow: Vec<Value> = self.slow().iter().map(Serialize::to_value).collect();
+        let recent = self.recent();
+        let tail: Vec<Value> = recent
+            .iter()
+            .rev()
+            .take(16)
+            .rev()
+            .map(Serialize::to_value)
+            .collect();
+        snap.section_value(
+            section,
+            Value::Object(vec![
+                ("ops".into(), Value::U64(self.ops())),
+                (
+                    "slow_threshold_ns".into(),
+                    Value::U64(self.inner.slow_threshold_ns.load(Ordering::Relaxed)),
+                ),
+                ("slow".into(), Value::Array(slow)),
+                ("recent".into(), Value::Array(tail)),
+            ]),
+        );
+    }
+}
+
+/// Open span for one in-flight operation; records on drop (see
+/// [`Tracer::op`]).
+pub struct OpGuard<'a> {
+    tracer: &'a TracerInner,
+    kind: OpKind,
+    file_tag: [u8; FILE_TAG_LEN],
+    file_len: u8,
+    bytes: u64,
+    /// True when this guard opened the thread's frame (outermost op).
+    owns: bool,
+    start: Instant,
+}
+
+impl Drop for OpGuard<'_> {
+    fn drop(&mut self) {
+        let total_ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let phases_ns = FRAME.with(|f| match f.try_borrow_mut() {
+            Ok(mut frame) => {
+                frame.depth = frame.depth.saturating_sub(1);
+                if self.owns {
+                    std::mem::take(&mut frame.phases_ns)
+                } else {
+                    [0; NUM_PHASES]
+                }
+            }
+            Err(_) => [0; NUM_PHASES],
+        });
+        if !self.owns {
+            self.tracer.dropped_nested.inc();
+            return;
+        }
+        let rec = TraceRecord {
+            seq: self.tracer.seq.fetch_add(1, Ordering::Relaxed),
+            op: self.kind,
+            file_tag: self.file_tag,
+            file_len: self.file_len,
+            bytes: self.bytes,
+            total_ns,
+            phases_ns,
+        };
+        self.tracer.rings[thread_shard_index()].lock().push(rec);
+        self.tracer.op_hists[self.kind as usize].record(total_ns);
+        self.tracer.ops.inc();
+        if total_ns >= self.tracer.slow_threshold_ns.load(Ordering::Relaxed) {
+            self.tracer.slow.lock().push(rec);
+            self.tracer.slow_ops.inc();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracer() -> (Registry, Arc<Tracer>) {
+        let reg = Registry::new();
+        let t = Tracer::new(&reg, TraceConfig::default());
+        (reg, t)
+    }
+
+    #[test]
+    fn guard_records_op_and_histogram() {
+        let (reg, t) = tracer();
+        {
+            let _op = t.op(OpKind::Write, "/a/b", 8192);
+        }
+        let recs = t.recent();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].op, OpKind::Write);
+        assert_eq!(recs[0].file(), "/a/b");
+        assert_eq!(recs[0].bytes, 8192);
+        assert_eq!(t.op_histogram(OpKind::Write).count, 1);
+        assert_eq!(reg.counter("trace.ops").get(), 1);
+    }
+
+    #[test]
+    fn phases_attach_to_the_open_op() {
+        let (_reg, t) = tracer();
+        {
+            let _op = t.op(OpKind::Read, "/f", 1);
+            phase_add(3, 1_000); // io
+            phase_add(3, 500);
+            phase_add(6, 42); // route
+        }
+        let rec = t.recent()[0];
+        assert_eq!(rec.phases_ns[3], 1_500);
+        assert_eq!(rec.phases_ns[6], 42);
+        assert_eq!(rec.phases_ns[0], 0);
+    }
+
+    #[test]
+    fn phase_add_outside_an_op_is_inert() {
+        let (_reg, t) = tracer();
+        phase_add(0, 999);
+        {
+            let _op = t.op(OpKind::Read, "/f", 1);
+        }
+        assert_eq!(t.recent()[0].phases_ns[0], 0);
+    }
+
+    #[test]
+    fn nested_ops_do_not_steal_phases() {
+        let (reg, t) = tracer();
+        {
+            let _outer = t.op(OpKind::Read, "/outer", 10);
+            phase_add(5, 7);
+            {
+                let _inner = t.op(OpKind::Other, "/inner", 0);
+                phase_add(5, 3);
+            }
+            phase_add(5, 1);
+        }
+        let recs = t.recent();
+        assert_eq!(recs.len(), 1, "inner op must be dropped");
+        assert_eq!(recs[0].file(), "/outer");
+        assert_eq!(recs[0].phases_ns[5], 11, "all phases go to the outer op");
+        assert_eq!(reg.counter("trace.dropped_nested").get(), 1);
+    }
+
+    #[test]
+    fn slow_ops_are_retained_separately() {
+        let (reg, t) = tracer();
+        t.set_slow_threshold(Duration::ZERO); // everything is "slow"
+        {
+            let _op = t.op(OpKind::Fsync, "/s", 0);
+        }
+        t.set_slow_threshold(Duration::from_secs(3600));
+        {
+            let _op = t.op(OpKind::Fsync, "/fast", 0);
+        }
+        let slow = t.slow();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].file(), "/s");
+        assert_eq!(reg.counter("trace.slow_ops").get(), 1);
+        assert_eq!(t.recent().len(), 2);
+    }
+
+    #[test]
+    fn rings_overwrite_oldest() {
+        let reg = Registry::new();
+        let t = Tracer::new(
+            &reg,
+            TraceConfig {
+                ring_capacity: 8, // 1 slot per shard
+                slow_capacity: 4,
+                ..TraceConfig::default()
+            },
+        );
+        for i in 0..20u64 {
+            let _op = t.op(OpKind::Read, "/r", i);
+        }
+        let recs = t.recent();
+        assert_eq!(recs.len(), 1, "single-thread traffic homes to one shard");
+        assert_eq!(recs[0].bytes, 19, "newest survives");
+        assert_eq!(t.ops(), 20);
+    }
+
+    #[test]
+    fn long_and_multibyte_paths_truncate_safely() {
+        let (_reg, t) = tracer();
+        let long = format!("/{}", "x".repeat(100));
+        {
+            let _op = t.op(OpKind::Read, &long, 0);
+        }
+        let multi = format!("/{}", "é".repeat(40));
+        {
+            let _op = t.op(OpKind::Read, &multi, 0);
+        }
+        let recs = t.recent();
+        assert_eq!(recs[0].file().len(), FILE_TAG_LEN);
+        assert!(recs[1].file().starts_with("/é"));
+    }
+
+    #[test]
+    fn phase_names_cover_all_phases() {
+        assert_eq!(PHASE_NAMES.len(), NUM_PHASES);
+    }
+
+    #[test]
+    fn export_includes_slow_and_recent() {
+        let (_reg, t) = tracer();
+        t.set_slow_threshold(Duration::ZERO);
+        {
+            let _op = t.op(OpKind::Read, "/e", 5);
+        }
+        let mut snap = Snapshot::new();
+        t.export(&mut snap, "trace");
+        let json = snap.to_json();
+        assert!(json.contains("\"slow\""), "{json}");
+        assert!(json.contains("\"/e\""), "{json}");
+    }
+
+    #[test]
+    fn cross_thread_ops_all_land() {
+        let (_reg, t) = tracer();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let t = (*t).clone();
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        let _op = t.op(OpKind::Write, "/t", i);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.ops(), 200);
+        assert_eq!(t.op_histogram(OpKind::Write).count, 200);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the log-linear histogram (ISSUE 7 satellite).
+//!
+//! Three families, each against the exact multiset of recorded values:
+//!
+//! * **Bucketing** — every value lands in the bucket whose bounds contain
+//!   it, and the bounds tile the `u64` line with no gaps or overlaps.
+//! * **Merging** — the merge of two snapshots equals the snapshot of the
+//!   union of the inputs, bucket for bucket and counter for counter.
+//! * **Quantiles** — for random workloads, every quantile estimate lies in
+//!   the same bucket as the exact order statistic, i.e. within one bucket
+//!   width (≤ 12.5 % of the value).
+
+use lamassu_telemetry::hist::{bucket_index, bucket_lower, bucket_upper, NUM_BUCKETS};
+use lamassu_telemetry::Histogram;
+use proptest::prelude::*;
+
+/// Values spread over the interesting ranges: tiny exact buckets,
+/// nanosecond-scale latencies, and the huge tail.
+fn value_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        3 => 0u64..64,
+        4 => 0u64..2_000_000,
+        2 => 0u64..u64::MAX / 2,
+        1 => (u64::MAX - 1_000_000)..=u64::MAX,
+    ]
+}
+
+/// The exact `q`-quantile of a sorted sample: the smallest value whose rank
+/// reaches `ceil(q * n)` (matching `HistSnapshot::quantile`'s rank rule).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #[test]
+    fn values_land_in_their_bucket(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < NUM_BUCKETS);
+        prop_assert!(bucket_lower(i) <= v);
+        prop_assert!(v <= bucket_upper(i));
+        // Neighbouring buckets do not also claim v.
+        if i > 0 {
+            prop_assert!(bucket_upper(i - 1) < v);
+        }
+        if i + 1 < NUM_BUCKETS {
+            prop_assert!(v < bucket_lower(i + 1));
+        }
+    }
+
+    #[test]
+    fn recording_counts_every_value(values in prop::collection::vec(value_strategy(), 1..200)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.min, *values.iter().min().unwrap());
+        prop_assert_eq!(s.max, *values.iter().max().unwrap());
+        prop_assert_eq!(
+            s.sum,
+            values.iter().fold(0u64, |acc, &v| acc.wrapping_add(v))
+        );
+        // Bucket for bucket, the snapshot is the multiset's histogram.
+        for (i, &n) in s.buckets.iter().enumerate() {
+            let expect = values.iter().filter(|&&v| bucket_index(v) == i).count() as u64;
+            prop_assert_eq!(n, expect, "bucket {}", i);
+        }
+    }
+
+    #[test]
+    fn merged_snapshots_equal_the_union(
+        a in prop::collection::vec(value_strategy(), 0..120),
+        b in prop::collection::vec(value_strategy(), 0..120),
+    ) {
+        let ha = Histogram::new();
+        let hb = Histogram::new();
+        let hu = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            hu.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hu.record(v);
+        }
+        prop_assert_eq!(ha.snapshot().merge(&hb.snapshot()), hu.snapshot());
+        // Merge is symmetric.
+        prop_assert_eq!(hb.snapshot().merge(&ha.snapshot()), hu.snapshot());
+    }
+
+    #[test]
+    fn quantiles_are_within_one_bucket_of_exact(
+        mut values in prop::collection::vec(value_strategy(), 1..300),
+        q_mille in 0u64..=1000,
+    ) {
+        let q = q_mille as f64 / 1000.0;
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let exact = exact_quantile(&values, q);
+        let estimate = h.snapshot().quantile(q);
+        // Same bucket as the exact order statistic → error < bucket width.
+        let i = bucket_index(exact);
+        prop_assert!(
+            bucket_lower(i) <= estimate && estimate <= bucket_upper(i),
+            "estimate {} for exact {} strayed from bucket {}",
+            estimate,
+            exact,
+            i
+        );
+    }
+
+    #[test]
+    fn summary_orders_its_quantiles(values in prop::collection::vec(value_strategy(), 1..200)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot().summary();
+        prop_assert!(s.p50_ns <= s.p95_ns);
+        prop_assert!(s.p95_ns <= s.p99_ns);
+        prop_assert!(s.p99_ns <= s.max_ns);
+        prop_assert_eq!(s.count, values.len() as u64);
+    }
+}

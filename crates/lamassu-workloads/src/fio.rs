@@ -23,6 +23,7 @@
 
 use lamassu_core::{FileSystem, OpenFlags};
 use lamassu_storage::ObjectStore;
+use lamassu_telemetry::{HistSnapshot, Histogram, LatencySummary};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, RngCore, SeedableRng};
@@ -165,6 +166,13 @@ pub struct FioResult {
     /// the quantity the span pipeline collapses (one vectored operation per
     /// run of blocks instead of one per block).
     pub round_trips: u64,
+    /// Per-request read-latency percentiles of the measured phase, from a
+    /// preallocated lock-free histogram (all zero if the workload issued no
+    /// reads). Nanoseconds of shim compute only — modelled transport time is
+    /// accounted separately in `io_time`.
+    pub read_lat: LatencySummary,
+    /// Per-request write-latency percentiles (all zero for pure-read runs).
+    pub write_lat: LatencySummary,
 }
 
 /// Drives the five workloads against a mounted file system.
@@ -249,25 +257,30 @@ impl FioTester {
     }
 
     /// Executes one job's op schedule against an already-open descriptor and
-    /// returns its wall time. Reads land in one reused buffer through the
-    /// zero-copy `read_into` path, so the measured loop — like FIO itself —
-    /// allocates nothing per operation.
+    /// returns its wall time, recording each request's latency into `lats`.
+    /// Reads land in one reused buffer through the zero-copy `read_into`
+    /// path and the histograms are preallocated lock-free buckets, so the
+    /// measured loop — like FIO itself — allocates nothing per operation.
     fn execute_ops(
         &self,
         fs: &dyn FileSystem,
         fd: lamassu_core::Fd,
         plan: &mut OpPlan,
+        lats: &OpLatencies,
     ) -> lamassu_core::Result<Duration> {
         let mut read_buf = vec![0u8; self.config.io_size];
         let start = Instant::now();
         for i in 0..plan.offsets.len() {
             let offset = plan.offsets[i];
+            let op_start = Instant::now();
             if plan.is_read[i] {
                 let _ = fs.read_into(fd, offset, &mut read_buf)?;
+                lats.read.record_duration(op_start.elapsed());
             } else {
                 plan.op_counter = plan.op_counter.wrapping_add(0x9e37_79b9_7f4a_7c15);
                 plan.write_buf[..8].copy_from_slice(&plan.op_counter.to_le_bytes());
                 fs.write_vectored(fd, offset, &[IoSlice::new(&plan.write_buf)])?;
+                lats.write.record_duration(op_start.elapsed());
             }
         }
         fs.fsync(fd)?;
@@ -294,8 +307,9 @@ impl FioTester {
             fs.create(path)?
         };
 
+        let lats = OpLatencies::default();
         store.reset_io_accounting();
-        let compute_time = self.execute_ops(fs, fd, &mut plan)?;
+        let compute_time = self.execute_ops(fs, fd, &mut plan, &lats)?;
         let io_time = store.io_time();
         let counters = store.io_counters();
         fs.close(fd)?;
@@ -317,6 +331,8 @@ impl FioTester {
             counters,
             cache_hit_rate: counters.cache_hit_rate(),
             round_trips: counters.read_ops + counters.write_ops,
+            read_lat: lats.read.snapshot().summary(),
+            write_lat: lats.write.snapshot().summary(),
         })
     }
 
@@ -373,10 +389,12 @@ impl FioTester {
             }
         }
 
-        // Per-job op schedules, precomputed so RNG time is not measured.
+        // Per-job op schedules, precomputed so RNG time is not measured, and
+        // per-job latency histograms, preallocated for the same reason.
         let mut plans: Vec<OpPlan> = (0..jobs)
             .map(|j| self.plan_ops(workload, j as u64 + 1))
             .collect();
+        let lat_pairs: Vec<OpLatencies> = (0..jobs).map(|_| OpLatencies::default()).collect();
 
         // Every job gets its own descriptor, opened — like [`FioTester::run`]
         // does — *before* the accounting reset, so open/load backend traffic
@@ -393,12 +411,13 @@ impl FioTester {
             let handles: Vec<_> = plans
                 .iter_mut()
                 .zip(&fds)
-                .map(|(plan, &fd)| {
+                .zip(&lat_pairs)
+                .map(|((plan, &fd), lats)| {
                     scope.spawn(move || {
                         // Start all jobs together so their round trips
                         // genuinely overlap on the modelled transport.
                         barrier.wait();
-                        self.execute_ops(fs, fd, plan)
+                        self.execute_ops(fs, fd, plan, lats)
                     })
                 })
                 .collect();
@@ -420,7 +439,8 @@ impl FioTester {
         let bytes_per_job = self.config.ops() * self.config.io_size as u64;
         let per_job: Vec<FioResult> = walls
             .iter()
-            .map(|&wall| FioResult {
+            .zip(&lat_pairs)
+            .map(|(&wall, lats)| FioResult {
                 workload,
                 jobs,
                 bytes: bytes_per_job,
@@ -434,12 +454,25 @@ impl FioTester {
                 counters: lamassu_storage::IoCounters::default(),
                 cache_hit_rate: 0.0,
                 round_trips: 0,
+                read_lat: lats.read.snapshot().summary(),
+                write_lat: lats.write.snapshot().summary(),
             })
             .collect();
 
         let compute_time = walls.iter().copied().max().unwrap_or_default();
         let total_time = compute_time + io_time;
         let total_bytes = bytes_per_job * jobs as u64;
+        // Aggregate latency is the *union* of the per-job histograms (bucket
+        // merge), not an average of summaries — percentiles don't average.
+        let merge_lats = |pick: fn(&OpLatencies) -> &Histogram| {
+            lat_pairs
+                .iter()
+                .map(|l| pick(l).snapshot())
+                .reduce(|a, b| a.merge(&b))
+                .expect("at least one job")
+        };
+        let read_union: HistSnapshot = merge_lats(|l| &l.read);
+        let write_union: HistSnapshot = merge_lats(|l| &l.write);
         let aggregate = FioResult {
             workload,
             jobs,
@@ -454,6 +487,8 @@ impl FioTester {
             counters,
             cache_hit_rate: counters.cache_hit_rate(),
             round_trips: counters.read_ops + counters.write_ops,
+            read_lat: read_union.summary(),
+            write_lat: write_union.summary(),
         };
         Ok(MultiJobResult {
             workload,
@@ -463,6 +498,14 @@ impl FioTester {
             aggregate,
         })
     }
+}
+
+/// One job's pair of per-request latency histograms, preallocated before the
+/// measured phase so recording is pure lock-free atomics.
+#[derive(Default)]
+struct OpLatencies {
+    read: Histogram,
+    write: Histogram,
 }
 
 /// One job's precomputed op schedule.
@@ -664,6 +707,60 @@ mod tests {
             single.aggregate.io_time
         );
         assert_eq!(multi.aggregate.counters.read_ops, 4 * 256);
+    }
+
+    #[test]
+    fn per_op_latency_percentiles_cover_the_measured_phase() {
+        let store = Arc::new(DedupStore::new(4096, StorageProfile::instant()));
+        let fs = LamassuFs::new(store.clone(), keys(), LamassuConfig::default());
+        let tester = FioTester::new(small_config());
+        tester.populate(&fs, "/bench").unwrap();
+        let result = tester
+            .run(&fs, store.as_ref(), "/bench", Workload::RandRw)
+            .unwrap();
+        // Every op lands in exactly one of the two histograms.
+        assert_eq!(result.read_lat.count + result.write_lat.count, result.ops);
+        assert!(result.read_lat.count > 0 && result.write_lat.count > 0);
+        for lat in [result.read_lat, result.write_lat] {
+            assert!(lat.p50_ns > 0);
+            assert!(lat.p50_ns <= lat.p95_ns);
+            assert!(lat.p95_ns <= lat.p99_ns);
+            assert!(lat.p99_ns <= lat.max_ns);
+        }
+        // Pure-read runs leave the write histogram untouched.
+        let result = tester
+            .run(&fs, store.as_ref(), "/bench", Workload::SeqRead)
+            .unwrap();
+        assert_eq!(result.read_lat.count, result.ops);
+        assert_eq!(result.write_lat, LatencySummary::default());
+    }
+
+    #[test]
+    fn multi_job_aggregate_latency_is_the_union_of_jobs() {
+        let store = Arc::new(DedupStore::new(4096, StorageProfile::instant()));
+        let fs = LamassuFs::new(store.clone(), keys(), LamassuConfig::default());
+        let tester = FioTester::new(small_config());
+        let result = tester
+            .run_jobs(
+                &fs,
+                store.as_ref(),
+                "/bench",
+                Workload::RandRead,
+                3,
+                JobLayout::SharedFile,
+            )
+            .unwrap();
+        let per_job_reads: u64 = result.per_job.iter().map(|j| j.read_lat.count).sum();
+        assert_eq!(result.aggregate.read_lat.count, per_job_reads);
+        assert_eq!(result.aggregate.read_lat.count, 3 * 256);
+        // The union's max is the max over jobs.
+        let job_max = result
+            .per_job
+            .iter()
+            .map(|j| j.read_lat.max_ns)
+            .max()
+            .unwrap();
+        assert_eq!(result.aggregate.read_lat.max_ns, job_max);
     }
 
     #[test]

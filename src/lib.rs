@@ -28,6 +28,9 @@
 //! * [`keymgr`] — KMIP-like key manager with isolation zones.
 //! * [`core`] — the [`core::FileSystem`] trait and the three shims:
 //!   [`core::PlainFs`], [`core::EncFs`] and [`core::LamassuFs`].
+//! * [`telemetry`] — always-on metrics: lock-free latency histograms, the
+//!   counter/gauge registry, per-operation trace spans and the JSON /
+//!   Prometheus snapshot export every tier feeds.
 //! * [`workloads`] — synthetic data generators and the FIO-style tester used
 //!   by the benchmark harness.
 //!
@@ -63,4 +66,5 @@ pub use lamassu_dist as dist;
 pub use lamassu_format as format;
 pub use lamassu_keymgr as keymgr;
 pub use lamassu_storage as storage;
+pub use lamassu_telemetry as telemetry;
 pub use lamassu_workloads as workloads;

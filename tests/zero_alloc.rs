@@ -19,6 +19,12 @@
 //! the in-memory `DedupStore` with the instant transport profile so the only
 //! code under test is our own data path.
 //!
+//! The guarantee holds **with telemetry fully enabled**: the re-read tests
+//! attach a `lamassu-telemetry` op [`Tracer`] to the mount's profiler before
+//! warming, so every measured operation is spanned, phase-attributed and
+//! pushed into the preallocated trace rings — and must still cost zero
+//! allocations.
+//!
 //! The loops run single-threaded with `workers: 1` (the inline crypto
 //! regime): with a wider worker pool the per-span thread fan-out allocates
 //! by design — that trade is documented in `lamassu-core::span` and the
@@ -28,6 +34,7 @@ use lamassu::core::{FileSystem, IntegrityMode, LamassuConfig, LamassuFs, SpanCon
 use lamassu::dist::{DistConfig, Granularity, RoutedStore};
 use lamassu::keymgr::KeyManager;
 use lamassu::storage::{DedupStore, StorageProfile};
+use lamassu::telemetry::{OpKind, Registry, TraceConfig, Tracer};
 use lamassu_cache::{CacheConfig, CachedStore};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -95,6 +102,16 @@ fn mount() -> LamassuFs {
     LamassuFs::new(store, keys, config)
 }
 
+/// Attaches a fresh op tracer (full spans + phase attribution) to a mount.
+/// All telemetry state — rings, histograms, counters — is preallocated here,
+/// before the measured window.
+fn attach_tracer(fs: &LamassuFs) -> Arc<Tracer> {
+    let registry = Arc::new(Registry::new());
+    let tracer = Tracer::new(&registry, TraceConfig::default());
+    fs.profiler().attach_tracer(tracer.clone());
+    tracer
+}
+
 fn populate(fs: &dyn FileSystem, path: &str, size: usize) -> lamassu::core::Fd {
     let fd = fs.create(path).expect("fresh mount");
     let chunk: Vec<u8> = (0..64 * 1024).map(|i| (i % 249) as u8).collect();
@@ -112,6 +129,7 @@ fn populate(fs: &dyn FileSystem, path: &str, size: usize) -> lamassu::core::Fd {
 fn warm_reread_loop_allocates_nothing() {
     let _serial = serialize();
     let fs = mount();
+    let tracer = attach_tracer(&fs);
     let size = 2 * 1024 * 1024;
     let fd = populate(&fs, "/zero.dat", size);
     let mut buf = vec![0u8; 64 * 1024];
@@ -141,12 +159,19 @@ fn warm_reread_loop_allocates_nothing() {
 
     // Misaligned warm re-reads (head/tail blocks stage through the pool —
     // still zero allocations).
+    let ops_before = tracer.ops();
     let allocs = allocs_during(|| {
         for _ in 0..8 {
             sweep(&fs, BS / 2);
         }
     });
     assert_eq!(allocs, 0, "misaligned warm re-read loop must not allocate");
+    // Telemetry was live the whole time: every measured read was spanned.
+    assert!(
+        tracer.ops() > ops_before,
+        "the tracer must have spanned the measured reads"
+    );
+    assert!(tracer.op_histogram(OpKind::Read).count > 0);
 
     let stats = fs.pool_stats();
     assert!(stats.hits > 0, "pool was exercised: {stats:?}");
@@ -214,6 +239,7 @@ fn warm_routed_reread_loop_allocates_nothing() {
             pool_blocks: None,
         });
     let fs = LamassuFs::new(routed.clone(), keys, config);
+    let tracer = attach_tracer(&fs);
 
     let size = 1024 * 1024;
     let fd = populate(&fs, "/routed.dat", size);
@@ -248,6 +274,10 @@ fn warm_routed_reread_loop_allocates_nothing() {
         allocs, 0,
         "misaligned warm routed re-read loop must not allocate"
     );
+    assert!(
+        tracer.ops() > 0,
+        "the tracer must have spanned the routed reads"
+    );
     assert_eq!(
         routed.stats().read_failovers,
         0,
@@ -281,6 +311,7 @@ fn warm_cached_reread_loop_allocates_nothing() {
             pool_blocks: None,
         });
     let fs = LamassuFs::new(cache.clone(), keys, config);
+    let tracer = attach_tracer(&fs);
 
     let size = 1024 * 1024;
     let fd = populate(&fs, "/cached.dat", size);
@@ -306,5 +337,9 @@ fn warm_cached_reread_loop_allocates_nothing() {
     assert!(
         cache.stats().hits > before_hits,
         "the loop really was served by the cache"
+    );
+    assert!(
+        tracer.ops() > 0,
+        "the tracer must have spanned the cached reads"
     );
 }
