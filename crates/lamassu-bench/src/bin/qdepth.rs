@@ -1,0 +1,6 @@
+//! Regenerates the queue-depth experiment: async-pipeline read makespan at
+//! channel queue depths {1, 4, 8, 16} over the NFS transport profile.
+
+fn main() {
+    lamassu_bench::experiments::qdepth::run(lamassu_bench::fio_file_size().min(16 * 1024 * 1024));
+}

@@ -18,6 +18,7 @@ fn main() {
     experiments::ablation_key_server::run(2048);
     experiments::cache::run(fio.min(16 * 1024 * 1024));
     experiments::span_io::run(fio.min(16 * 1024 * 1024));
+    experiments::qdepth::run(fio.min(16 * 1024 * 1024));
     experiments::scaling::run(fio.min(8 * 1024 * 1024));
     experiments::scaleout::run(fio.min(8 * 1024 * 1024));
     experiments::hot_path::run(8);

@@ -123,6 +123,7 @@ impl SpanReadSetup {
             // not thread-spawn jitter.
             workers: 1,
             pool_blocks,
+            ..SpanConfig::default()
         });
         let fs = LamassuFs::new(store, keys, config);
         let size = file_mb * 1024 * 1024;

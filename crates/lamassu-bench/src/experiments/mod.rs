@@ -13,6 +13,7 @@
 //! | [`ablation_key_server`] | §1 — local KDF vs DupLESS-style server-aided keys |
 //! | [`cache`] | beyond the paper — cached vs uncached I/O over the NFS profile |
 //! | [`span_io`] | beyond the paper — span vs per-block pipeline round trips |
+//! | [`qdepth`] | beyond the paper — async-pipeline read makespan vs channel queue depth |
 //! | [`scaling`] | beyond the paper — multi-job throughput vs job count |
 //! | [`scaleout`] | beyond the paper — routed-tier throughput vs backend count |
 //! | [`hot_path`] | beyond the paper — allocs/op and ns/block on the steady-state data path |
@@ -28,6 +29,7 @@ pub mod fig6;
 pub mod fig9;
 pub mod hot_path;
 pub mod latency;
+pub mod qdepth;
 pub mod scaleout;
 pub mod scaling;
 pub mod span_io;

@@ -59,6 +59,11 @@ OPTIONS:
     --reserved-slots <R>       reserved transient key slots (default: 8)
     --workers <n>              crypto worker threads for span batches
                                (default: 0 = auto, min(4, CPU cores))
+    --qd <n>                   per-channel queue depth of the backing store:
+                               how many submitted operations the async data
+                               path keeps in flight per transport channel
+                               (default: the profile's native depth). Applies
+                               to every tier, including bench volumes.
     --jobs <n>                 concurrent bench jobs, each with its own
                                descriptor (default: 1)
     --bench-layout <l>         bench file layout: shared (all jobs on one
@@ -86,6 +91,7 @@ struct Options {
     block_size: usize,
     reserved_slots: usize,
     workers: usize,
+    qd: Option<usize>,
     jobs: usize,
     bench_layout: JobLayout,
     bench_mb: u64,
@@ -174,6 +180,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         block_size: 4096,
         reserved_slots: 8,
         workers: 0,
+        qd: None,
         jobs: 1,
         bench_layout: JobLayout::SharedFile,
         bench_mb: 8,
@@ -205,6 +212,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     });
     flags.insert("--workers", |o, v| {
         o.workers = v.parse().map_err(|_| format!("bad worker count: {v}"))?;
+        Ok(())
+    });
+    flags.insert("--qd", |o, v| {
+        o.qd = Some(
+            v.parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("bad queue depth: {v}"))?,
+        );
         Ok(())
     });
     flags.insert("--jobs", |o, v| {
@@ -321,16 +337,22 @@ fn mount(opts: &Options) -> Result<Mounted, String> {
         .fetch_zone_keys(opts.zone)
         .map_err(|e| format!("zone {}: {e}", opts.zone))?;
     let mut dist = None;
+    // --qd overrides how many submitted operations each transport channel
+    // keeps in flight; the instant profile's native depth is 1.
+    let profile = match opts.qd {
+        Some(qd) => StorageProfile::instant().with_queue_depth(qd),
+        None => StorageProfile::instant(),
+    };
     let dir: Arc<dyn ObjectStore> = match opts.dist {
         None => Arc::new(
-            DirStore::open(volume, StorageProfile::instant())
+            DirStore::open(volume, profile)
                 .map_err(|e| format!("cannot open volume {volume}: {e}"))?,
         ),
         Some((backends, replicas)) => {
             let members: Vec<Arc<dyn ObjectStore>> = (0..backends)
                 .map(|i| {
                     let shard = format!("{volume}/shard-{i:02}");
-                    DirStore::open(&shard, StorageProfile::instant())
+                    DirStore::open(&shard, profile)
                         .map(|d| Arc::new(d) as Arc<dyn ObjectStore>)
                         .map_err(|e| format!("cannot open shard {shard}: {e}"))
                 })

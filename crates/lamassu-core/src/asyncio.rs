@@ -1,0 +1,102 @@
+//! Single-submission round-trip helpers of the completion-based I/O model.
+//!
+//! The pipelines with a real overlap opportunity — LamassuFS span runs,
+//! EncFS span chunks — manage their own submission batches. The thin shims'
+//! operations are one backend call each, so their [`IoMode::Async`] paths
+//! route through these helpers instead: submit the operation, then
+//! immediately drain its completion. A single submission still exercises the
+//! whole submit/complete contract (deferred faults, completion reordering,
+//! the queue-depth lanes) while costing exactly one round trip — which is
+//! what keeps PlainFS flat across queue depths in the `qdepth` experiment.
+//!
+//! [`IoMode::Async`]: crate::span::IoMode::Async
+
+use crate::profiler::{Category, Profiler};
+use lamassu_storage::{Completion, ObjectStore, SubmitQueue, SubmitTicket};
+use std::cell::RefCell;
+use std::io::{IoSlice, IoSliceMut};
+use std::time::Instant;
+
+thread_local! {
+    /// The thread's single-shot submission queue and completion staging,
+    /// reused so the warm round-trip path allocates nothing.
+    static ROUNDTRIP_SCRATCH: RefCell<(SubmitQueue, Vec<Completion>)> =
+        RefCell::new((SubmitQueue::new(), Vec::new()));
+}
+
+/// Meters one store call — wall time plus the virtual transport time it
+/// advanced — into `cat`. Submissions belong in [`Category::Io`] (the
+/// makespan growth the operation adds to its channel), poll/wait calls in
+/// [`Category::Queue`] (time spent blocked on completions).
+pub(crate) fn meter<T>(
+    profiler: &Profiler,
+    store: &dyn ObjectStore,
+    cat: Category,
+    f: impl FnOnce() -> T,
+) -> T {
+    let virt_before = store.io_time();
+    let start = Instant::now();
+    let out = f();
+    let elapsed = start.elapsed() + store.io_time().saturating_sub(virt_before);
+    profiler.add(cat, elapsed);
+    out
+}
+
+/// One submitted vectored read, drained to completion before returning.
+pub(crate) fn roundtrip_read(
+    profiler: &Profiler,
+    store: &dyn ObjectStore,
+    name: &str,
+    offset: u64,
+    bufs: &mut [IoSliceMut<'_>],
+) -> lamassu_storage::Result<usize> {
+    roundtrip(profiler, store, |q| {
+        meter(profiler, store, Category::Io, || {
+            store.submit_read_vectored(q, name, offset, bufs)
+        })
+    })
+}
+
+/// One submitted vectored write, drained to completion before returning.
+/// Returns the total byte count of the scatter list on success.
+pub(crate) fn roundtrip_write(
+    profiler: &Profiler,
+    store: &dyn ObjectStore,
+    name: &str,
+    offset: u64,
+    bufs: &[IoSlice<'_>],
+) -> lamassu_storage::Result<usize> {
+    roundtrip(profiler, store, |q| {
+        meter(profiler, store, Category::Io, || {
+            store.submit_write_vectored(q, name, offset, bufs)
+        })
+    })
+}
+
+/// Submits one operation and waits for its completion: the operation's
+/// result — byte count or deferred fault — surfaces only through the drained
+/// [`Completion`], exactly as it would in a deeper pipeline.
+fn roundtrip(
+    profiler: &Profiler,
+    store: &dyn ObjectStore,
+    submit: impl FnOnce(&mut SubmitQueue) -> SubmitTicket,
+) -> lamassu_storage::Result<usize> {
+    crate::pool::with_tls(&ROUNDTRIP_SCRATCH, |(q, completions)| {
+        q.reset();
+        completions.clear();
+        let ticket = submit(q);
+        profiler.ops_submitted(1);
+        meter(profiler, store, Category::Queue, || {
+            store.wait_completions(q, completions)
+        });
+        profiler.ops_completed(completions.len() as u64);
+        let result = completions
+            .iter()
+            .find(|c| c.ticket == ticket)
+            .expect("a single submission completes at the wait barrier")
+            .result
+            .clone();
+        completions.clear();
+        result
+    })
+}

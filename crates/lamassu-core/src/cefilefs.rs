@@ -23,12 +23,13 @@
 //! outer key, holding the convergent file key and the logical size) followed
 //! by the CBC-encrypted body, padded to whole blocks.
 
+use crate::asyncio;
 use crate::fs::{FileAttr, FileSystem, OpenFlags};
 use crate::handles::{HandleTable, PathRegistry};
 use crate::iovec::{self, GatherCursor};
 use crate::pool::BlockPool;
 use crate::profiler::{Category, Profiler};
-use crate::span::{SpanConfig, SpanPolicy};
+use crate::span::{IoMode, SpanConfig, SpanPolicy};
 use crate::{Fd, FsError, Result};
 use lamassu_crypto::aes::Aes256;
 use lamassu_crypto::gcm::{Aes256Gcm, NONCE_LEN, TAG_LEN};
@@ -145,15 +146,17 @@ impl CeFileFs {
         let mut header = self.blocks.take();
         let mut body = if batched {
             // Header and body are physically contiguous: one round trip,
-            // header staged through a pooled block.
+            // header staged through a pooled block. The async mode routes
+            // the same vectored read through the store's submission queue.
             let mut body = vec![0u8; body_len];
-            let n = self.io(|| {
-                self.store.read_into_vectored(
-                    path,
-                    0,
-                    &mut [IoSliceMut::new(&mut header), IoSliceMut::new(&mut body)],
-                )
-            })?;
+            let bufs = &mut [IoSliceMut::new(&mut header), IoSliceMut::new(&mut body)];
+            let n = match self.span.io {
+                IoMode::Async => {
+                    asyncio::roundtrip_read(&self.profiler, &*self.store, path, 0, bufs)
+                        .map_err(FsError::from)?
+                }
+                IoMode::Blocking => self.io(|| self.store.read_into_vectored(path, 0, bufs))?,
+            };
             if n < self.block_size {
                 // Too short to even hold a header: not a CeFile object.
                 return Err(FsError::Metadata(
@@ -251,11 +254,19 @@ impl CeFileFs {
 
         self.io(|| self.store.truncate(path, 0))?;
         if self.span.policy == SpanPolicy::Batched && !body.is_empty() {
-            // Header and body land in one vectored backend write.
-            self.io(|| {
-                self.store
-                    .write_at_vectored(path, 0, &[IoSlice::new(&header), IoSlice::new(&body)])
-            })?;
+            // Header and body land in one vectored backend write; the async
+            // mode submits it and drains the completion (the write's result —
+            // including any injected fault — surfaces at the drain).
+            let bufs = &[IoSlice::new(&header), IoSlice::new(&body)];
+            match self.span.io {
+                IoMode::Async => {
+                    asyncio::roundtrip_write(&self.profiler, &*self.store, path, 0, bufs)
+                        .map_err(FsError::from)?;
+                }
+                IoMode::Blocking => {
+                    self.io(|| self.store.write_at_vectored(path, 0, bufs))?;
+                }
+            }
         } else {
             self.io(|| self.store.write_at(path, 0, &header))?;
             if !body.is_empty() {

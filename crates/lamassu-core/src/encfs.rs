@@ -25,22 +25,24 @@
 //! blocks in small per-call buffers), so concurrent readers of one file
 //! proceed in parallel and are excluded only by writers.
 
+use crate::asyncio;
 use crate::fs::{FileAttr, FileSystem, OpenFlags};
 use crate::handles::{HandleTable, PathRegistry};
 use crate::iovec::{self, GatherCursor};
-use crate::pool::{BlockBuf, BlockPool};
+use crate::pool::{with_tls, BlockBuf, BlockPool};
 use crate::profiler::{Category, Profiler};
-use crate::span::{SpanConfig, SpanPlanner, SpanPolicy};
+use crate::span::{IoMode, SpanConfig, SpanPlan, SpanPlanner, SpanPolicy};
 use crate::{Fd, FsError, Result};
 use lamassu_crypto::aes::Aes256;
 use lamassu_crypto::pool::CryptoPool;
 use lamassu_crypto::{batch, cbc};
 use lamassu_crypto::{Iv128, Key256};
-use lamassu_storage::ObjectStore;
+use lamassu_storage::{Completion, ObjectStore, SubmitQueue, SubmitTicket};
 use parking_lot::RwLock;
 use rand::RngCore;
 use std::cell::RefCell;
 use std::io::IoSlice;
+use std::ops::Range;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -50,6 +52,31 @@ thread_local! {
     /// shared borrow, reused so warm reads and writes allocate nothing.
     static IV_SCRATCH: RefCell<(Vec<Iv128>, Vec<usize>)> =
         const { RefCell::new((Vec::new(), Vec::new())) };
+    /// Async span-pipeline scratch: the thread's submission queue, drained
+    /// completion staging, and the in-flight chunk records of a span read.
+    static ENC_ASYNC_SCRATCH: RefCell<EncAsyncScratch> =
+        RefCell::new(EncAsyncScratch::default());
+}
+
+/// Reusable state of one thread's EncFS submission pipeline.
+#[derive(Default)]
+struct EncAsyncScratch {
+    queue: SubmitQueue,
+    completions: Vec<Completion>,
+    chunks: Vec<PendingChunk>,
+}
+
+/// One submitted span-read chunk awaiting its completion: the identifying
+/// ticket, the chunk's block range, and the staged edge buffers it owns
+/// until the completion lands.
+struct PendingChunk {
+    ticket: SubmitTicket,
+    chunk_first: u64,
+    chunk_last: u64,
+    head_stage: Option<BlockBuf>,
+    tail_stage: Option<BlockBuf>,
+    /// The contiguous middle region of the caller's buffer.
+    mid_range: Range<usize>,
 }
 
 /// Runs `f` with the thread's IV scratch (fresh fallback if re-entered).
@@ -314,8 +341,9 @@ impl EncFs {
         let plan = self
             .profiler
             .time(Category::Plan, || self.planner.plan(offset, buf.len()));
-        let mut head_stage: Option<BlockBuf> = None;
-        let mut tail_stage: Option<BlockBuf> = None;
+        if self.config.span.io == IoMode::Async {
+            return self.read_span_async(path, st, &plan, buf);
+        }
         let mut chunk_first = plan.first_block;
         while chunk_first <= plan.last_block {
             let chunk_last = (chunk_first + MAX_SPAN_BLOCKS as u64 - 1).min(plan.last_block);
@@ -329,6 +357,8 @@ impl EncFs {
             } else {
                 0..0
             };
+            let mut head_stage = head_staged.then(|| self.blocks.take());
+            let mut tail_stage = tail_staged.then(|| self.blocks.take());
 
             // One backend round trip for the chunk: straight into the
             // caller's buffer when aligned, scattered over the pooled edge
@@ -340,25 +370,11 @@ impl EncFs {
                         .read_into(path, self.data_offset(chunk_first), mid_slice)
                 })?
             } else {
-                if head_staged && head_stage.is_none() {
-                    head_stage = Some(self.blocks.take());
-                }
-                if tail_staged && tail_stage.is_none() {
-                    tail_stage = Some(self.blocks.take());
-                }
                 let mid_slice = &mut buf[mid_range.clone()];
                 iovec::with_scatter3(
-                    if head_staged {
-                        head_stage.as_deref_mut()
-                    } else {
-                        None
-                    },
+                    head_stage.as_deref_mut(),
                     mid_slice,
-                    if tail_staged {
-                        tail_stage.as_deref_mut()
-                    } else {
-                        None
-                    },
+                    tail_stage.as_deref_mut(),
                     |io_bufs| {
                         self.io(|| {
                             self.store.read_into_vectored(
@@ -370,78 +386,240 @@ impl EncFs {
                     },
                 )?
             };
-
-            // Zero the unread tail of every block (the sparse-hole
-            // convention: zero ciphertext reads back as zero plaintext),
-            // then decrypt — edges individually, the middle as one
-            // contiguous batch with per-block IVs from thread-local
-            // scratch. Hole blocks inside the middle are decrypted along
-            // with the batch and re-zeroed after, which keeps the span
-            // contiguous (holes are rare; correctness is byte-identical to
-            // the skip-the-hole per-block path).
-            with_iv_scratch(|ivs, holes| -> Result<()> {
-                ivs.clear();
-                holes.clear();
-                if head_staged {
-                    let head = head_stage.as_deref_mut().expect("taken");
-                    let filled = n.min(bs);
-                    head[filled..].fill(0);
-                    if head.iter().any(|&b| b != 0) {
-                        let iv = Self::block_iv(&st.cipher, &st.file_iv, chunk_first);
-                        self.profiler.time(Category::Decrypt, || {
-                            cbc::decrypt_in_place(&st.cipher, &iv, head)
-                        })?;
-                    }
-                }
-                for i in 0..mid_count {
-                    let chunk_idx = head_staged as usize + i;
-                    let blk = &mut buf[mid_range.start + i * bs..mid_range.start + (i + 1) * bs];
-                    let filled = n.saturating_sub(chunk_idx * bs).min(bs);
-                    blk[filled..].fill(0);
-                    if blk.iter().all(|&b| b == 0) {
-                        holes.push(i);
-                    }
-                    ivs.push(Self::block_iv(
-                        &st.cipher,
-                        &st.file_iv,
-                        chunk_first + chunk_idx as u64,
-                    ));
-                }
-                if mid_count > 0 {
-                    let mid_slice = &mut buf[mid_range.clone()];
-                    self.profiler.time(Category::Decrypt, || {
-                        batch::decrypt_span_with(&self.pool, &st.cipher, ivs, mid_slice, bs)
-                    })?;
-                    for &i in holes.iter() {
-                        buf[mid_range.start + i * bs..mid_range.start + (i + 1) * bs].fill(0);
-                    }
-                }
-                if tail_staged {
-                    let tail = tail_stage.as_deref_mut().expect("taken");
-                    let filled = n.saturating_sub((blocks - 1) * bs).min(bs);
-                    tail[filled..].fill(0);
-                    if tail.iter().any(|&b| b != 0) {
-                        let iv = Self::block_iv(&st.cipher, &st.file_iv, chunk_last);
-                        self.profiler.time(Category::Decrypt, || {
-                            cbc::decrypt_in_place(&st.cipher, &iv, tail)
-                        })?;
-                    }
-                }
-                Ok(())
-            })?;
-
-            // Copy the requested fragments of the staged edges out.
-            if head_staged {
-                let (in_block, take) = plan.span_of(chunk_first);
-                let head = head_stage.as_deref().expect("taken");
-                buf[plan.buf_range(chunk_first)].copy_from_slice(&head[in_block..in_block + take]);
-            }
-            if tail_staged {
-                let (in_block, take) = plan.span_of(chunk_last);
-                let tail = tail_stage.as_deref().expect("taken");
-                buf[plan.buf_range(chunk_last)].copy_from_slice(&tail[in_block..in_block + take]);
-            }
+            self.finish_span_chunk(
+                st,
+                &plan,
+                chunk_first,
+                chunk_last,
+                &mut head_stage,
+                &mut tail_stage,
+                mid_range,
+                n,
+                buf,
+            )?;
             chunk_first = chunk_last + 1;
+        }
+        Ok(())
+    }
+
+    /// The async span read ([`IoMode::Async`], the default): every
+    /// [`MAX_SPAN_BLOCKS`]-bounded chunk of the planned range is submitted to
+    /// the store's completion queue up front, and each chunk's batch decrypt
+    /// starts as its completion lands while later chunks are still in flight
+    /// — so a large read keeps up to `queue_depth` backend operations
+    /// overlapped instead of paying one serial round trip per chunk.
+    fn read_span_async(
+        &self,
+        path: &str,
+        st: &EncFileState,
+        plan: &SpanPlan,
+        buf: &mut [u8],
+    ) -> Result<()> {
+        let bs = self.config.block_size;
+        with_tls(&ENC_ASYNC_SCRATCH, |scratch| {
+            let EncAsyncScratch {
+                queue: q,
+                completions,
+                chunks,
+            } = scratch;
+            q.reset();
+            completions.clear();
+            chunks.clear();
+
+            // Submission phase: stage the (at most two) partial edge blocks
+            // and hand every chunk to the store back to back.
+            let mut chunk_first = plan.first_block;
+            while chunk_first <= plan.last_block {
+                let chunk_last = (chunk_first + MAX_SPAN_BLOCKS as u64 - 1).min(plan.last_block);
+                let head_staged = !plan.is_full(chunk_first);
+                let tail_staged = chunk_last != chunk_first && !plan.is_full(chunk_last);
+                let blocks = (chunk_last - chunk_first + 1) as usize;
+                let mid_count = blocks - head_staged as usize - tail_staged as usize;
+                let mid_range = if mid_count > 0 {
+                    let start = plan.buf_range(chunk_first + head_staged as u64).start;
+                    start..start + mid_count * bs
+                } else {
+                    0..0
+                };
+                let mut head_stage = head_staged.then(|| self.blocks.take());
+                let mut tail_stage = tail_staged.then(|| self.blocks.take());
+                let mid_slice = &mut buf[mid_range.clone()];
+                let ticket = iovec::with_scatter3(
+                    head_stage.as_deref_mut(),
+                    mid_slice,
+                    tail_stage.as_deref_mut(),
+                    |io_bufs| {
+                        asyncio::meter(&self.profiler, &*self.store, Category::Io, || {
+                            self.store.submit_read_vectored(
+                                q,
+                                path,
+                                self.data_offset(chunk_first),
+                                io_bufs,
+                            )
+                        })
+                    },
+                );
+                self.profiler.ops_submitted(1);
+                chunks.push(PendingChunk {
+                    ticket,
+                    chunk_first,
+                    chunk_last,
+                    head_stage,
+                    tail_stage,
+                    mid_range,
+                });
+                chunk_first = chunk_last + 1;
+            }
+
+            // Completion phase: finish chunks in whatever order the store
+            // releases them, matching by ticket. The blocking oracle stops
+            // at its first failing chunk, so the earliest chunk's error wins.
+            let mut first_err: Option<(u64, FsError)> = None;
+            let mut remaining = chunks.len();
+            while remaining > 0 {
+                completions.clear();
+                asyncio::meter(&self.profiler, &*self.store, Category::Queue, || {
+                    self.store.poll_completions(q, completions);
+                    if completions.is_empty() {
+                        self.store.wait_completions(q, completions);
+                    }
+                });
+                if completions.is_empty() {
+                    debug_assert!(false, "store dropped an in-flight completion");
+                    break;
+                }
+                self.profiler.ops_completed(completions.len() as u64);
+                remaining -= completions.len().min(remaining);
+                for c in completions.iter() {
+                    let p = chunks
+                        .iter_mut()
+                        .find(|p| p.ticket == c.ticket)
+                        .expect("every completion matches a submitted chunk");
+                    let finished = match &c.result {
+                        Ok(n) => self.finish_span_chunk(
+                            st,
+                            plan,
+                            p.chunk_first,
+                            p.chunk_last,
+                            &mut p.head_stage,
+                            &mut p.tail_stage,
+                            p.mid_range.clone(),
+                            *n,
+                            buf,
+                        ),
+                        Err(e) => Err(FsError::from(e.clone())),
+                    };
+                    p.head_stage = None;
+                    p.tail_stage = None;
+                    if let Err(e) = finished {
+                        match &first_err {
+                            Some((s, _)) if *s <= p.chunk_first => {}
+                            _ => first_err = Some((p.chunk_first, e)),
+                        }
+                    }
+                }
+            }
+            chunks.clear();
+
+            // Transport barrier: raise the channel's blocking frontier past
+            // the last in-flight submission.
+            completions.clear();
+            asyncio::meter(&self.profiler, &*self.store, Category::Queue, || {
+                self.store.wait_completions(q, completions)
+            });
+            self.profiler.ops_completed(completions.len() as u64);
+
+            match first_err {
+                Some((_, e)) => Err(e),
+                None => Ok(()),
+            }
+        })
+    }
+
+    /// Post-transport half of one span-read chunk, shared between the
+    /// blocking pipeline (called right after its read returns) and the async
+    /// pipeline (called as the chunk's completion lands): zeroes the unread
+    /// tail of every block (the sparse-hole convention: zero ciphertext
+    /// reads back as zero plaintext), decrypts — edges individually, the
+    /// middle as one contiguous batch with per-block IVs from thread-local
+    /// scratch — and copies the requested fragments of the staged edges out.
+    /// Hole blocks inside the middle are decrypted along with the batch and
+    /// re-zeroed after, which keeps the span contiguous (holes are rare;
+    /// correctness is byte-identical to the skip-the-hole per-block path).
+    #[allow(clippy::too_many_arguments)]
+    fn finish_span_chunk(
+        &self,
+        st: &EncFileState,
+        plan: &SpanPlan,
+        chunk_first: u64,
+        chunk_last: u64,
+        head_stage: &mut Option<BlockBuf>,
+        tail_stage: &mut Option<BlockBuf>,
+        mid_range: Range<usize>,
+        n: usize,
+        buf: &mut [u8],
+    ) -> Result<()> {
+        let bs = self.config.block_size;
+        let head_staged = head_stage.is_some();
+        let blocks = (chunk_last - chunk_first + 1) as usize;
+        let mid_count = blocks - head_staged as usize - tail_stage.is_some() as usize;
+        with_iv_scratch(|ivs, holes| -> Result<()> {
+            ivs.clear();
+            holes.clear();
+            if let Some(head) = head_stage.as_deref_mut() {
+                let filled = n.min(bs);
+                head[filled..].fill(0);
+                if head.iter().any(|&b| b != 0) {
+                    let iv = Self::block_iv(&st.cipher, &st.file_iv, chunk_first);
+                    self.profiler.time(Category::Decrypt, || {
+                        cbc::decrypt_in_place(&st.cipher, &iv, head)
+                    })?;
+                }
+            }
+            for i in 0..mid_count {
+                let chunk_idx = head_staged as usize + i;
+                let blk = &mut buf[mid_range.start + i * bs..mid_range.start + (i + 1) * bs];
+                let filled = n.saturating_sub(chunk_idx * bs).min(bs);
+                blk[filled..].fill(0);
+                if blk.iter().all(|&b| b == 0) {
+                    holes.push(i);
+                }
+                ivs.push(Self::block_iv(
+                    &st.cipher,
+                    &st.file_iv,
+                    chunk_first + chunk_idx as u64,
+                ));
+            }
+            if mid_count > 0 {
+                let mid_slice = &mut buf[mid_range.clone()];
+                self.profiler.time(Category::Decrypt, || {
+                    batch::decrypt_span_with(&self.pool, &st.cipher, ivs, mid_slice, bs)
+                })?;
+                for &i in holes.iter() {
+                    buf[mid_range.start + i * bs..mid_range.start + (i + 1) * bs].fill(0);
+                }
+            }
+            if let Some(tail) = tail_stage.as_deref_mut() {
+                let filled = n.saturating_sub((blocks - 1) * bs).min(bs);
+                tail[filled..].fill(0);
+                if tail.iter().any(|&b| b != 0) {
+                    let iv = Self::block_iv(&st.cipher, &st.file_iv, chunk_last);
+                    self.profiler.time(Category::Decrypt, || {
+                        cbc::decrypt_in_place(&st.cipher, &iv, tail)
+                    })?;
+                }
+            }
+            Ok(())
+        })?;
+
+        // Copy the requested fragments of the staged edges out.
+        if let Some(head) = head_stage.as_deref() {
+            let (in_block, take) = plan.span_of(chunk_first);
+            buf[plan.buf_range(chunk_first)].copy_from_slice(&head[in_block..in_block + take]);
+        }
+        if let Some(tail) = tail_stage.as_deref() {
+            let (in_block, take) = plan.span_of(chunk_last);
+            buf[plan.buf_range(chunk_last)].copy_from_slice(&tail[in_block..in_block + take]);
         }
         Ok(())
     }
@@ -449,7 +627,13 @@ impl EncFs {
     /// The span write pipeline: stages each [`MAX_SPAN_BLOCKS`]-bounded chunk
     /// of the range as plaintext (reading only the partial edge blocks back
     /// for the read-modify-write), encrypts the whole chunk as one parallel
-    /// batch, and writes it with a single backend operation.
+    /// batch, and writes it with a single backend operation. Under
+    /// [`IoMode::Async`] the chunk writes are submitted to the store's
+    /// completion queue as they are encrypted — chunk N+1's read-modify-write
+    /// and encrypt overlap chunk N's transport — with one wait barrier at the
+    /// end. (Reusing the staging buffer across submitted chunks is safe:
+    /// submissions execute eagerly, so the store has copied the bytes out by
+    /// the time submit returns.)
     fn write_span(
         &self,
         path: &str,
@@ -462,8 +646,13 @@ impl EncFs {
         let plan = self
             .profiler
             .time(Category::Plan, || self.planner.plan(offset, total));
+        let async_io = self.config.span.io == IoMode::Async;
         let mut span_buf = std::mem::take(&mut st.span_buf);
         let result = (|| {
+            if async_io {
+                with_tls(&ENC_ASYNC_SCRATCH, |s| s.queue.reset());
+            }
+            let mut submitted: u64 = 0;
             let mut chunk_first = plan.first_block;
             while chunk_first <= plan.last_block {
                 let chunk_last = (chunk_first + MAX_SPAN_BLOCKS as u64 - 1).min(plan.last_block);
@@ -516,11 +705,52 @@ impl EncFs {
                     })?;
                     Ok(())
                 })?;
-                self.io(|| {
-                    self.store
-                        .write_at(path, self.data_offset(chunk_first), chunk)
-                })?;
+                if async_io {
+                    with_tls(&ENC_ASYNC_SCRATCH, |s| {
+                        asyncio::meter(&self.profiler, &*self.store, Category::Io, || {
+                            self.store.submit_write_vectored(
+                                &mut s.queue,
+                                path,
+                                self.data_offset(chunk_first),
+                                &[IoSlice::new(chunk)],
+                            )
+                        })
+                    });
+                    submitted += 1;
+                } else {
+                    self.io(|| {
+                        self.store
+                            .write_at(path, self.data_offset(chunk_first), chunk)
+                    })?;
+                }
                 chunk_first = chunk_last + 1;
+            }
+            if async_io {
+                self.profiler.ops_submitted(submitted);
+                // Wait barrier: surface the earliest-submitted failure, as
+                // the blocking oracle would have stopped there.
+                with_tls(&ENC_ASYNC_SCRATCH, |s| -> Result<()> {
+                    let EncAsyncScratch {
+                        queue: q,
+                        completions,
+                        ..
+                    } = s;
+                    completions.clear();
+                    asyncio::meter(&self.profiler, &*self.store, Category::Queue, || {
+                        self.store.wait_completions(q, completions)
+                    });
+                    self.profiler.ops_completed(completions.len() as u64);
+                    let first_err = completions
+                        .iter()
+                        .filter(|c| c.result.is_err())
+                        .min_by_key(|c| c.ticket)
+                        .map(|c| c.result.clone().unwrap_err());
+                    completions.clear();
+                    match first_err {
+                        Some(e) => Err(FsError::from(e)),
+                        None => Ok(()),
+                    }
+                })?;
             }
             Ok(())
         })();

@@ -48,7 +48,7 @@ use crate::iovec::{self, GatherCursor};
 use crate::lamassufs::{IntegrityMode, LamassuConfig};
 use crate::pool::{with_tls, BlockBuf, BlockPool};
 use crate::profiler::{Category, Profiler};
-use crate::span::{SpanConfig, SpanPlan, SpanPlanner, SpanPolicy};
+use crate::span::{IoMode, SpanConfig, SpanPlan, SpanPlanner, SpanPolicy};
 use crate::{FsError, Result};
 use lamassu_crypto::aes::Aes256;
 use lamassu_crypto::gcm::Aes256Gcm;
@@ -58,12 +58,13 @@ use lamassu_crypto::{batch, cbc};
 use lamassu_crypto::{Key256, FIXED_IV};
 use lamassu_format::{Geometry, MetadataBlock, TransientEntry};
 use lamassu_keymgr::ZoneKeys;
-use lamassu_storage::{ObjectStore, StorageError};
+use lamassu_storage::{Completion, ObjectStore, StorageError, SubmitQueue, SubmitTicket};
 use parking_lot::{Mutex, RwLock};
 use rand::RngCore;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::io::IoSlice;
+use std::ops::Range;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -94,6 +95,37 @@ thread_local! {
     /// Derived/recomputed key scratch (integrity re-derivation, commit key
     /// derivation).
     static KEY_SCRATCH: RefCell<Vec<Key256>> = const { RefCell::new(Vec::new()) };
+    /// Async-pipeline scratch: the thread's submission queue, the drained
+    /// completion staging, and the per-run in-flight records. Thread-local
+    /// for the same reason as [`RUN_SCRATCH`] — the read path holds only a
+    /// shared file borrow — and reused so the warm async path allocates
+    /// nothing.
+    static ASYNC_SCRATCH: RefCell<AsyncScratch> = RefCell::new(AsyncScratch::default());
+}
+
+/// Reusable state of one thread's submission/completion pipeline.
+#[derive(Default)]
+struct AsyncScratch {
+    queue: SubmitQueue,
+    completions: Vec<Completion>,
+    reads: Vec<PendingRead>,
+}
+
+/// One submitted span-read run awaiting its completion: the ticket that
+/// identifies it, the geometry needed to finish it, and the staged edge
+/// buffers it owns until the completion lands (the pooled buffers return to
+/// the pool when the record is cleared).
+struct PendingRead {
+    ticket: SubmitTicket,
+    run_start: u64,
+    /// Index of the run's first key in the caller's flat key scratch.
+    key_idx: usize,
+    /// Number of blocks (= keys) in the run.
+    len: usize,
+    head_stage: Option<BlockBuf>,
+    tail_stage: Option<BlockBuf>,
+    /// The contiguous middle region of the caller's buffer.
+    mid_range: Range<usize>,
 }
 
 /// Outcome of a crash-recovery scan over one file (paper §2.4).
@@ -314,12 +346,22 @@ impl Engine {
 
     /// Charges a backing-store call to the I/O latency category.
     fn io<T>(&self, f: impl FnOnce() -> lamassu_storage::Result<T>) -> Result<T> {
+        self.io_meter(Category::Io, f).map_err(FsError::from)
+    }
+
+    /// Charges a backing-store call — wall time plus the virtual transport
+    /// time it advanced — to `cat`. The async pipeline meters its submit
+    /// calls as [`Category::Io`] (the makespan growth each submission adds to
+    /// the channel) and its poll/wait calls as [`Category::Queue`] (the time
+    /// spent blocked on completions), so the Figure 9 breakdown separates
+    /// transport from submission-queue stalls.
+    fn io_meter<T>(&self, cat: Category, f: impl FnOnce() -> T) -> T {
         let virt_before = self.store.io_time();
         let start = Instant::now();
         let out = f();
         let elapsed = start.elapsed() + self.store.io_time().saturating_sub(virt_before);
-        self.profiler.add(Category::Io, elapsed);
-        out.map_err(FsError::from)
+        self.profiler.add(cat, elapsed);
+        out
     }
 
     /// Additional authenticated data binding a metadata block to its segment
@@ -613,9 +655,16 @@ impl Engine {
             return Ok(0);
         }
         let len = buf.len().min((file.logical_size - offset) as usize);
-        match self.span.policy {
-            SpanPolicy::PerBlock => self.read_range_per_block(file, offset, &mut buf[..len])?,
-            SpanPolicy::Batched => self.read_range_batched(file, offset, &mut buf[..len])?,
+        match (self.span.policy, self.span.io) {
+            (SpanPolicy::PerBlock, _) => {
+                self.read_range_per_block(file, offset, &mut buf[..len])?
+            }
+            (SpanPolicy::Batched, IoMode::Async) => {
+                self.read_range_async(file, offset, &mut buf[..len])?
+            }
+            (SpanPolicy::Batched, IoMode::Blocking) => {
+                self.read_range_batched(file, offset, &mut buf[..len])?
+            }
         }
         Ok(len)
     }
@@ -713,6 +762,224 @@ impl Engine {
         })
     }
 
+    /// The async span read pipeline ([`IoMode::Async`], the default): same
+    /// plan and classification as [`Engine::read_range_batched`], but instead
+    /// of one blocking vectored read per run, **all** of the span's runs are
+    /// submitted to the store's completion queue up front and each run's
+    /// batch decrypt / integrity check starts as its completion lands while
+    /// later runs are still in flight. A single client thread therefore keeps
+    /// up to `StorageProfile.queue_depth` backend operations overlapped, and
+    /// crypto for early runs overlaps the transport of later ones.
+    ///
+    /// Completion-token ownership: each submitted run's staged edge buffers
+    /// live in the thread-local [`PendingRead`] record its ticket indexes, so
+    /// the borrow handed to the store ends at submit-return and the result —
+    /// byte count *or* deferred fault — surfaces only through the drained
+    /// [`Completion`]. Holes, pending blocks and classification are identical
+    /// to the blocking oracle; the differential tests replay workloads
+    /// through both modes and require byte-identical results.
+    fn read_range_async(&self, file: &LamassuFile, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let plan = self
+            .profiler
+            .time(Category::Plan, || self.planner.plan(offset, buf.len()));
+        let n_per_seg = self.geometry.keys_per_metadata_block() as u64;
+        with_tls(&RUN_SCRATCH, |(runs, keys, holes)| {
+            runs.clear();
+            keys.clear();
+            // Accumulate the runs of *every* segment group before touching
+            // the store, so the submission batch covers the whole span.
+            let mut block = plan.first_block;
+            while block <= plan.last_block {
+                let segment = block / n_per_seg;
+                let group_end = ((segment + 1) * n_per_seg - 1).min(plan.last_block);
+                holes.clear();
+                let group_first_run = runs.len();
+                self.with_meta(file, segment, |mb| {
+                    for b in block..=group_end {
+                        if file.pending_block(b).is_some() {
+                            continue;
+                        }
+                        let slot = (b % n_per_seg) as usize;
+                        match mb.key(slot) {
+                            None => holes.push(b),
+                            Some(key) => {
+                                // Runs never merge across a segment boundary:
+                                // a metadata block sits between the groups on
+                                // disk.
+                                let can_merge = runs.len() > group_first_run;
+                                match runs.last_mut() {
+                                    Some((start, _, len))
+                                        if can_merge && *start + *len as u64 == b =>
+                                    {
+                                        *len += 1
+                                    }
+                                    _ => runs.push((b, keys.len(), 1)),
+                                }
+                                keys.push(*key);
+                            }
+                        }
+                    }
+                })?;
+                for b in block..=group_end {
+                    if let Some(plain) = file.pending_block(b) {
+                        let (in_block, take) = plan.span_of(b);
+                        buf[plan.buf_range(b)].copy_from_slice(&plain[in_block..in_block + take]);
+                    }
+                }
+                for &b in holes.iter() {
+                    buf[plan.buf_range(b)].fill(0);
+                }
+                block = group_end + 1;
+            }
+            self.read_runs_async(file, &plan, runs, keys, buf)
+        })
+    }
+
+    /// Submits every run of a planned span to the store's completion queue,
+    /// then drains completions — decrypting and checking each run the moment
+    /// its completion lands — until all runs have finished. Ends with a
+    /// [`ObjectStore::wait_completions`] barrier so the channel's blocking
+    /// frontier catches up to the last in-flight submission.
+    fn read_runs_async(
+        &self,
+        file: &LamassuFile,
+        plan: &SpanPlan,
+        runs: &[RunSpan],
+        keys: &[Key256],
+        buf: &mut [u8],
+    ) -> Result<()> {
+        if runs.is_empty() {
+            return Ok(());
+        }
+        let bs = self.geometry.block_size();
+        with_tls(&ASYNC_SCRATCH, |scratch| {
+            let AsyncScratch {
+                queue: q,
+                completions,
+                reads,
+            } = scratch;
+            q.reset();
+            completions.clear();
+            reads.clear();
+
+            // Submission phase: stage the edge buffers of every run and hand
+            // the whole span to the store back to back. The store executes
+            // the data movement eagerly (the buffer borrows end here) but
+            // schedules the transport cost onto its queue-depth lanes, so the
+            // submissions overlap in virtual time.
+            for &(run_start, key_idx, len) in runs {
+                let run_last = run_start + len as u64 - 1;
+                let head_staged = !plan.is_full(run_start);
+                let tail_staged = run_last != run_start && !plan.is_full(run_last);
+                let mut head_stage = head_staged.then(|| self.blocks.take());
+                let mut tail_stage = tail_staged.then(|| self.blocks.take());
+                let mid_first = run_start + head_staged as u64;
+                let mid_count = len - head_staged as usize - tail_staged as usize;
+                let mid_range = if mid_count > 0 {
+                    let start = plan.buf_range(mid_first).start;
+                    start..start + mid_count * bs
+                } else {
+                    0..0
+                };
+                let phys = self.geometry.locate_block(run_start).physical_offset;
+                let mid_slice = &mut buf[mid_range.clone()];
+                let ticket = iovec::with_scatter3(
+                    head_stage.as_deref_mut(),
+                    mid_slice,
+                    tail_stage.as_deref_mut(),
+                    |io_bufs| {
+                        self.io_meter(Category::Io, || {
+                            self.store
+                                .submit_read_vectored(q, &file.name, phys, io_bufs)
+                        })
+                    },
+                );
+                self.profiler.ops_submitted(1);
+                reads.push(PendingRead {
+                    ticket,
+                    run_start,
+                    key_idx,
+                    len,
+                    head_stage,
+                    tail_stage,
+                    mid_range,
+                });
+            }
+
+            // Completion phase: serve completions in whatever order the store
+            // releases them — matching by ticket, never by position — and
+            // finish each run (zero-fill short reads, decrypt, integrity
+            // check, copy edges out) while later runs are still in flight.
+            // The blocking oracle stops at its first failing run, so on
+            // multiple failures the error of the earliest run wins.
+            let mut first_err: Option<(u64, FsError)> = None;
+            let mut remaining = reads.len();
+            while remaining > 0 {
+                completions.clear();
+                self.io_meter(Category::Queue, || {
+                    self.store.poll_completions(q, completions);
+                    if completions.is_empty() {
+                        self.store.wait_completions(q, completions);
+                    }
+                });
+                if completions.is_empty() {
+                    debug_assert!(false, "store dropped an in-flight completion");
+                    break;
+                }
+                self.profiler.ops_completed(completions.len() as u64);
+                remaining -= completions.len().min(remaining);
+                for c in completions.iter() {
+                    let p = reads
+                        .iter_mut()
+                        .find(|p| p.ticket == c.ticket)
+                        .expect("every completion matches a submitted run");
+                    let run_keys = &keys[p.key_idx..p.key_idx + p.len];
+                    let finished = match &c.result {
+                        Ok(n) => self.finish_run(
+                            file,
+                            plan,
+                            p.run_start,
+                            run_keys,
+                            buf,
+                            &mut p.head_stage,
+                            &mut p.tail_stage,
+                            p.mid_range.clone(),
+                            *n,
+                        ),
+                        Err(e) => Err(FsError::from(e.clone())),
+                    };
+                    // Return the staged edges to the pool promptly; a
+                    // drained ticket is dead either way.
+                    p.head_stage = None;
+                    p.tail_stage = None;
+                    if let Err(e) = finished {
+                        match &first_err {
+                            Some((s, _)) if *s <= p.run_start => {}
+                            _ => first_err = Some((p.run_start, e)),
+                        }
+                    }
+                }
+            }
+            reads.clear();
+
+            // Transport barrier: even when every completion arrived via
+            // poll, the channel's lanes may still run past its blocking
+            // frontier — wait_completions raises the floor so later blocking
+            // operations cannot start before the span's I/O finishes.
+            completions.clear();
+            self.io_meter(Category::Queue, || {
+                self.store.wait_completions(q, completions)
+            });
+            self.profiler.ops_completed(completions.len() as u64);
+            debug_assert!(completions.is_empty(), "barrier found undrained work");
+
+            match first_err {
+                Some((_, e)) => Err(e),
+                None => Ok(()),
+            }
+        })
+    }
+
     /// Reads and decrypts one physically contiguous run of `keys.len()`
     /// blocks starting at `run_start`.
     ///
@@ -773,6 +1040,46 @@ impl Engine {
                 |io_bufs| self.io(|| self.store.read_into_vectored(&file.name, phys, io_bufs)),
             )?
         };
+
+        self.finish_run(
+            file,
+            plan,
+            run_start,
+            keys,
+            buf,
+            &mut head_stage,
+            &mut tail_stage,
+            mid_range,
+            n,
+        )
+    }
+
+    /// Post-transport half of a span-read run, shared between the blocking
+    /// pipeline (called right after its vectored read returns) and the async
+    /// pipeline (called as the run's completion lands): zero-fills blocks a
+    /// short read could not produce, decrypts edges individually and the
+    /// middle as one contiguous batch, runs the §2.5 self-check under full
+    /// integrity, and copies the requested fragments of the staged edge
+    /// blocks out.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_run(
+        &self,
+        file: &LamassuFile,
+        plan: &SpanPlan,
+        run_start: u64,
+        keys: &[Key256],
+        buf: &mut [u8],
+        head_stage: &mut Option<BlockBuf>,
+        tail_stage: &mut Option<BlockBuf>,
+        mid_range: Range<usize>,
+        n: usize,
+    ) -> Result<()> {
+        let bs = self.geometry.block_size();
+        let run_last = run_start + keys.len() as u64 - 1;
+        let head_staged = head_stage.is_some();
+        let tail_staged = tail_stage.is_some();
+        let mid_first = run_start + head_staged as u64;
+        let mid_count = keys.len() - head_staged as usize - tail_staged as usize;
 
         // Blocks the store could not fully produce (a key present but the
         // data never reached disk — only possible after an unrecovered
@@ -1061,28 +1368,39 @@ impl Engine {
                     }
                 }
             }
-            let mut i = 0;
-            while i < blocks.len() {
-                let mut j = i + 1;
-                while j < blocks.len() && blocks[j] == blocks[j - 1] + 1 {
-                    j += 1;
-                }
-                let offset = self.geometry.locate_block(blocks[i]).physical_offset;
-                match self.span.policy {
-                    SpanPolicy::Batched => {
-                        let run = &data[i * bs..j * bs];
-                        self.io(|| self.store.write_at(&file.name, offset, run))?;
+            if matches!(
+                (self.span.policy, self.span.io),
+                (SpanPolicy::Batched, IoMode::Async)
+            ) {
+                // The async pipeline submits every run back to back and waits
+                // once, so the chunk's data writes overlap on the channel's
+                // queue-depth lanes instead of paying one serial round trip
+                // per run.
+                self.write_chunk_runs_async(file, blocks, data)?;
+            } else {
+                let mut i = 0;
+                while i < blocks.len() {
+                    let mut j = i + 1;
+                    while j < blocks.len() && blocks[j] == blocks[j - 1] + 1 {
+                        j += 1;
                     }
-                    SpanPolicy::PerBlock => {
-                        // The oracle pipeline writes one block per backend
-                        // operation, as the original prototype did.
-                        for (k, block) in data[i * bs..j * bs].chunks_exact(bs).enumerate() {
-                            let off = self.geometry.locate_block(blocks[i + k]).physical_offset;
-                            self.io(|| self.store.write_at(&file.name, off, block))?;
+                    let offset = self.geometry.locate_block(blocks[i]).physical_offset;
+                    match self.span.policy {
+                        SpanPolicy::Batched => {
+                            let run = &data[i * bs..j * bs];
+                            self.io(|| self.store.write_at(&file.name, offset, run))?;
+                        }
+                        SpanPolicy::PerBlock => {
+                            // The oracle pipeline writes one block per backend
+                            // operation, as the original prototype did.
+                            for (k, block) in data[i * bs..j * bs].chunks_exact(bs).enumerate() {
+                                let off = self.geometry.locate_block(blocks[i + k]).physical_offset;
+                                self.io(|| self.store.write_at(&file.name, off, block))?;
+                            }
                         }
                     }
+                    i = j;
                 }
-                i = j;
             }
 
             // Phase 3: the segment is consistent again.
@@ -1097,6 +1415,65 @@ impl Engine {
             file.size_dirty = false;
         }
         Ok(())
+    }
+
+    /// Commit phase 2 under [`IoMode::Async`]: submits one vectored write per
+    /// run of adjacent blocks, then drains every completion with one
+    /// [`ObjectStore::wait_completions`] barrier. Write results — including
+    /// injected faults — surface only at the barrier; on multiple failures
+    /// the earliest submission's error wins, mirroring the blocking loop.
+    fn write_chunk_runs_async(
+        &self,
+        file: &LamassuFile,
+        blocks: &[u64],
+        data: &[u8],
+    ) -> Result<()> {
+        let bs = self.geometry.block_size();
+        with_tls(&ASYNC_SCRATCH, |scratch| {
+            let AsyncScratch {
+                queue: q,
+                completions,
+                ..
+            } = scratch;
+            q.reset();
+            completions.clear();
+
+            let mut tickets_in_order: u64 = 0;
+            let mut i = 0;
+            while i < blocks.len() {
+                let mut j = i + 1;
+                while j < blocks.len() && blocks[j] == blocks[j - 1] + 1 {
+                    j += 1;
+                }
+                let offset = self.geometry.locate_block(blocks[i]).physical_offset;
+                let run = &data[i * bs..j * bs];
+                self.io_meter(Category::Io, || {
+                    self.store
+                        .submit_write_vectored(q, &file.name, offset, &[IoSlice::new(run)])
+                });
+                tickets_in_order += 1;
+                i = j;
+            }
+            self.profiler.ops_submitted(tickets_in_order);
+
+            self.io_meter(Category::Queue, || {
+                self.store.wait_completions(q, completions)
+            });
+            self.profiler.ops_completed(completions.len() as u64);
+
+            // Tickets are issued with monotonically increasing sequence
+            // numbers, so min-by-ticket is the earliest submission.
+            let first_err = completions
+                .iter()
+                .filter(|c| c.result.is_err())
+                .min_by_key(|c| c.ticket)
+                .map(|c| c.result.clone().unwrap_err());
+            completions.clear();
+            match first_err {
+                Some(e) => Err(FsError::from(e)),
+                None => Ok(()),
+            }
+        })
     }
 
     // ------------------------------------------------------------------

@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod asyncio;
 mod error;
 mod handles;
 mod iovec;
@@ -48,7 +49,7 @@ pub use lamassufs::{IntegrityMode, LamassuConfig, LamassuFs, RecoveryReport, Ver
 pub use plainfs::PlainFs;
 pub use pool::{BlockBuf, BlockPool, PoolStats};
 pub use profiler::{Category, LatencyBreakdown, Profiler};
-pub use span::{SpanConfig, SpanPolicy};
+pub use span::{IoMode, SpanConfig, SpanPolicy};
 
 /// Result alias for file-system operations.
 pub type Result<T> = std::result::Result<T, FsError>;

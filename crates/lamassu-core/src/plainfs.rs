@@ -17,28 +17,41 @@
 //! the upper bound the encrypted shims' shared-read locking is measured
 //! against in the `scaling` experiment.
 
+use crate::asyncio;
 use crate::fs::{FileAttr, FileSystem, OpenFlags};
 use crate::handles::HandleTable;
 use crate::iovec;
 use crate::profiler::{Category, Profiler};
+use crate::span::IoMode;
 use crate::{Fd, FsError, Result};
 use lamassu_storage::ObjectStore;
-use std::io::IoSlice;
+use std::io::{IoSlice, IoSliceMut};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// The unencrypted pass-through shim.
 pub struct PlainFs {
     store: Arc<dyn ObjectStore>,
+    io_mode: IoMode,
     handles: HandleTable<()>,
     profiler: Arc<Profiler>,
 }
 
 impl PlainFs {
-    /// Mounts a PlainFS over `store`.
+    /// Mounts a PlainFS over `store` with the default (async) I/O mode.
     pub fn new(store: Arc<dyn ObjectStore>) -> Self {
+        Self::with_io(store, IoMode::default())
+    }
+
+    /// Mounts a PlainFS with an explicit I/O mode. Data reads and writes
+    /// under [`IoMode::Async`] go through the store's submission queue (one
+    /// operation per call, so PlainFS stays the flat single-round-trip
+    /// baseline at every queue depth); [`IoMode::Blocking`] keeps the direct
+    /// store calls as the differential oracle.
+    pub fn with_io(store: Arc<dyn ObjectStore>, io_mode: IoMode) -> Self {
         PlainFs {
             store,
+            io_mode,
             handles: HandleTable::new(),
             profiler: Profiler::new(),
         }
@@ -90,13 +103,31 @@ impl FileSystem for PlainFs {
     fn read_into(&self, fd: Fd, offset: u64, buf: &mut [u8]) -> Result<usize> {
         let entry = self.handles.get(fd)?;
         let path = entry.path();
-        self.io(|| self.store.read_into(&path, offset, buf))
+        match self.io_mode {
+            IoMode::Async => asyncio::roundtrip_read(
+                &self.profiler,
+                &*self.store,
+                &path,
+                offset,
+                &mut [IoSliceMut::new(buf)],
+            )
+            .map_err(FsError::from),
+            IoMode::Blocking => self.io(|| self.store.read_into(&path, offset, buf)),
+        }
     }
 
     fn write_vectored(&self, fd: Fd, offset: u64, bufs: &[IoSlice<'_>]) -> Result<usize> {
         let entry = self.handles.get(fd)?;
         let path = entry.path();
-        self.io(|| self.store.write_at_vectored(&path, offset, bufs))?;
+        match self.io_mode {
+            IoMode::Async => {
+                asyncio::roundtrip_write(&self.profiler, &*self.store, &path, offset, bufs)
+                    .map_err(FsError::from)?;
+            }
+            IoMode::Blocking => {
+                self.io(|| self.store.write_at_vectored(&path, offset, bufs))?;
+            }
+        }
         Ok(iovec::total_len(bufs))
     }
 

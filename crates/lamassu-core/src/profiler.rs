@@ -42,6 +42,7 @@ use crate::pool::{BlockPool, PoolStats};
 use lamassu_telemetry::{trace, HistSnapshot, Histogram, Snapshot, Tracer};
 use parking_lot::Mutex;
 use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -69,9 +70,14 @@ pub enum Category {
     /// member backends' own time (which stays in `Io`). Zero on unrouted
     /// mounts.
     Route,
+    /// Submit-to-completion wait in the async I/O engine: the time between
+    /// issuing a batch of submissions and observing their completions
+    /// (poll/wait drains, including the residual virtual transport time the
+    /// barrier exposes). Zero on blocking-pipeline mounts.
+    Queue,
 }
 
-const NUM_CATEGORIES: usize = 7;
+const NUM_CATEGORIES: usize = 8;
 
 impl Category {
     /// Every category, in discriminant order (the order
@@ -84,6 +90,7 @@ impl Category {
         Category::Cache,
         Category::Plan,
         Category::Route,
+        Category::Queue,
     ];
 
     /// Stable lowercase label used in metric names and exports.
@@ -113,6 +120,9 @@ pub struct LatencyBreakdown {
     /// Time spent in distribution-tier routing, net of the member backends'
     /// own time (zero on unrouted mounts).
     pub route: Duration,
+    /// Submit-to-completion wait of the async engine (zero on blocking
+    /// mounts).
+    pub queue: Duration,
     /// Everything else (buffer management, handle lookup, bookkeeping).
     pub misc: Duration,
 }
@@ -127,6 +137,7 @@ impl LatencyBreakdown {
             + self.cache
             + self.plan
             + self.route
+            + self.queue
             + self.misc
     }
 
@@ -160,6 +171,12 @@ pub struct Profiler {
     pools: Mutex<Vec<BlockPool>>,
     /// The mount's op tracer, once attached (one atomic load to consult).
     tracer: OnceLock<Arc<Tracer>>,
+    /// Submitted-but-not-completed backend operations right now (the async
+    /// engine's submission-queue occupancy gauge).
+    in_flight: AtomicU64,
+    /// High-water mark of `in_flight` since the last reset: how deep the
+    /// engine actually filled the submission queues.
+    in_flight_peak: AtomicU64,
 }
 
 impl Profiler {
@@ -204,6 +221,7 @@ impl Profiler {
             cache: cats[Category::Cache as usize],
             plan: cats[Category::Plan as usize],
             route: cats[Category::Route as usize],
+            queue: cats[Category::Queue as usize],
             misc: total_runtime.saturating_sub(explicit),
         }
     }
@@ -223,6 +241,10 @@ impl Profiler {
         for h in &self.hists {
             h.reset();
         }
+        // The live gauge is left alone (ops may genuinely be in flight);
+        // the peak restarts with the new window.
+        self.in_flight_peak
+            .store(self.in_flight.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     /// Full reset: everything [`Profiler::reset`] clears **plus** the
@@ -271,6 +293,32 @@ impl Profiler {
         self.tracer.get()
     }
 
+    /// Records `n` operations entering the submission queue (the async
+    /// engine calls this as it submits a batch). Updates the peak gauge.
+    #[inline]
+    pub fn ops_submitted(&self, n: u64) {
+        let now = self.in_flight.fetch_add(n, Ordering::Relaxed) + n;
+        self.in_flight_peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Records `n` completions drained from the queue.
+    #[inline]
+    pub fn ops_completed(&self, n: u64) {
+        self.in_flight.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Submitted-but-not-completed operations right now. Zero whenever no
+    /// async pipeline is mid-span.
+    pub fn in_flight_ops(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Deepest simultaneous submission-queue occupancy since the last
+    /// [`Profiler::reset`].
+    pub fn in_flight_peak(&self) -> u64 {
+        self.in_flight_peak.load(Ordering::Relaxed)
+    }
+
     /// Dumps this profiler into `snap` under `section`: the Figure 9
     /// breakdown (against `total_runtime`), the merged pool counters, and
     /// one latency histogram per category that saw traffic.
@@ -282,6 +330,19 @@ impl Profiler {
                 "pool".to_string(),
                 Serialize::to_value(&self.pool_stats()),
             )]),
+        );
+        snap.section_value(
+            section,
+            serde::Value::Object(vec![
+                (
+                    "in_flight_ops".to_string(),
+                    Serialize::to_value(&self.in_flight_ops()),
+                ),
+                (
+                    "in_flight_peak".to_string(),
+                    Serialize::to_value(&self.in_flight_peak()),
+                ),
+            ]),
         );
         for cat in Category::ALL {
             let hist = self.category_histogram(cat);
@@ -423,6 +484,24 @@ mod tests {
     }
 
     #[test]
+    fn in_flight_gauge_tracks_occupancy_and_peak() {
+        let p = Profiler::new();
+        assert_eq!(p.in_flight_ops(), 0);
+        p.ops_submitted(3);
+        p.ops_submitted(2);
+        assert_eq!(p.in_flight_ops(), 5);
+        assert_eq!(p.in_flight_peak(), 5);
+        p.ops_completed(4);
+        assert_eq!(p.in_flight_ops(), 1);
+        assert_eq!(p.in_flight_peak(), 5, "peak survives completions");
+        p.reset();
+        assert_eq!(p.in_flight_ops(), 1, "live gauge survives a reset");
+        assert_eq!(p.in_flight_peak(), 1, "peak restarts at the live value");
+        p.ops_completed(1);
+        assert_eq!(p.in_flight_ops(), 0);
+    }
+
+    #[test]
     fn export_composes_breakdown_pool_and_histograms() {
         let p = Profiler::new();
         p.add(Category::GetCeKey, Duration::from_millis(3));
@@ -432,6 +511,7 @@ mod tests {
         assert!(json.contains("\"get_ce_key\""), "{json}");
         assert!(json.contains("\"pool\""), "{json}");
         assert!(json.contains("get_ce_key_ns"), "{json}");
+        assert!(json.contains("\"in_flight_ops\""), "{json}");
         let prom = snap.to_prometheus();
         assert!(prom.contains("lamassu_shim_get_ce_key_seconds"), "{prom}");
         assert!(

@@ -37,11 +37,29 @@ pub enum SpanPolicy {
     PerBlock,
 }
 
+/// How the batched pipeline talks to the backend (ignored by
+/// [`SpanPolicy::PerBlock`], which is inherently blocking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoMode {
+    /// Submission/completion pipelining (the default): all of a span's runs
+    /// are submitted up front, and each run's crypto starts as its
+    /// completion lands while later runs are still in flight, so a single
+    /// client thread keeps up to `StorageProfile.queue_depth` backend
+    /// operations overlapped.
+    #[default]
+    Async,
+    /// One blocking vectored call per run — the differential oracle for the
+    /// async pipeline, mirroring how PerBlock backs Batched.
+    Blocking,
+}
+
 /// Span-pipeline configuration of one mount.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SpanConfig {
     /// Which pipeline to run.
     pub policy: SpanPolicy,
+    /// How the batched pipeline issues backend I/O.
+    pub io: IoMode,
     /// Crypto worker-pool size; `0` auto-sizes (see the module docs).
     pub workers: usize,
     /// Capacity of the mount's [`BlockPool`](crate::pool::BlockPool) in
@@ -65,6 +83,21 @@ impl SpanConfig {
             policy: SpanPolicy::PerBlock,
             ..SpanConfig::default()
         }
+    }
+
+    /// The batched pipeline with blocking vectored I/O (the async engine's
+    /// differential oracle).
+    pub fn blocking() -> Self {
+        SpanConfig {
+            io: IoMode::Blocking,
+            ..SpanConfig::default()
+        }
+    }
+
+    /// Returns a copy with the given I/O mode.
+    pub fn with_io(mut self, io: IoMode) -> Self {
+        self.io = io;
+        self
     }
 
     /// Returns a copy with an explicit block-pool capacity (see

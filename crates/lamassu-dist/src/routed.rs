@@ -47,7 +47,9 @@ use crate::ring::{HashRing, OwnerChain, MAX_REPLICAS};
 use crate::stats::{AtomicDistStats, DistStats, ScrubReport};
 use lamassu_core::{Category, Profiler};
 use lamassu_crypto::sha256::{sha256, Digest};
-use lamassu_storage::{IoCounters, ObjectStore, Result, StorageError};
+use lamassu_storage::{
+    Completion, IoCounters, ObjectStore, Result, StorageError, SubmitQueue, SubmitTicket,
+};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
 use std::io::{IoSlice, IoSliceMut};
@@ -784,6 +786,44 @@ impl<S: ObjectStore + ?Sized> ObjectStore for RoutedStore<S> {
         self.grow_len(&iname, offset + total);
         self.charge_route(op, backend_time);
         Ok(())
+    }
+
+    fn submit_read_vectored(
+        &self,
+        q: &mut SubmitQueue,
+        name: &str,
+        offset: u64,
+        bufs: &mut [IoSliceMut<'_>],
+    ) -> SubmitTicket {
+        // Pass-through tier: the routing-aware read (replica selection,
+        // failover, per-member accounting) runs eagerly and the completion
+        // is immediately visible; queue-depth overlap happens inside each
+        // member's own clock.
+        let result = self.read_into_vectored(name, offset, bufs);
+        q.complete_now(result)
+    }
+
+    fn submit_write_vectored(
+        &self,
+        q: &mut SubmitQueue,
+        name: &str,
+        offset: u64,
+        bufs: &[IoSlice<'_>],
+    ) -> SubmitTicket {
+        let total: usize = bufs.iter().map(|b| b.len()).sum();
+        let result = self.write_at_vectored(name, offset, bufs).map(|()| total);
+        q.complete_now(result)
+    }
+
+    fn wait_completions(&self, q: &mut SubmitQueue, out: &mut Vec<Completion>) {
+        q.release_all();
+        q.drain_ready(out);
+        // Propagate the transport barrier to every member: the queue is
+        // already drained, so these calls only raise each member clock's
+        // channel floor.
+        for m in &self.state.read().members {
+            m.store.wait_completions(q, out);
+        }
     }
 
     fn len(&self, name: &str) -> Result<u64> {
@@ -1789,6 +1829,31 @@ mod tests {
         r.create("f").unwrap();
         r.write_at("f", 0, b"both").unwrap();
         assert_eq!(members.iter().filter(|m| m.exists("f")).count(), 2);
+    }
+
+    #[test]
+    fn submitted_io_round_trips_through_the_routing_tier() {
+        let r = routed(3, 2, 128);
+        r.create("f").unwrap();
+        let data = pattern(512, 7);
+        let mut q = SubmitQueue::new();
+        let wt = r.submit_write_vectored(&mut q, "f", 0, &[IoSlice::new(&data)]);
+        let mut out = Vec::new();
+        r.wait_completions(&mut q, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].ticket, wt);
+        assert!(matches!(out[0].result, Ok(512)));
+
+        let mut buf = vec![0u8; 512];
+        let rt = {
+            let mut iov = [IoSliceMut::new(&mut buf)];
+            r.submit_read_vectored(&mut q, "f", 0, &mut iov)
+        };
+        out.clear();
+        r.wait_completions(&mut q, &mut out);
+        assert_eq!(out[0].ticket, rt);
+        assert!(matches!(out[0].result, Ok(512)));
+        assert_eq!(buf, data);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use crate::profile::{IoCounters, SimClock, StorageProfile};
 use crate::store::ObjectStore;
+use crate::submit::{Completion, SubmitQueue, SubmitTicket};
 use crate::{Result, StorageError};
 use lamassu_crypto::sha256::sha256;
 use parking_lot::RwLock;
@@ -177,16 +178,12 @@ impl DedupStore {
         self.shards.iter().map(|s| s.read().len()).sum()
     }
 
-    /// Charges the transport for every backend block a write span touches; a
+    /// Backend shape of a write span: `(rmw_blocks, touched_blocks)`. A
     /// block only partially covered forces a read-modify-write on the
     /// controller, which is what makes block-unaligned writes so expensive
     /// over NFS (§4.2 of the paper observes a >10x penalty).
-    fn charge_write_span(&self, offset: u64, len: usize) {
+    fn write_span_shape(&self, offset: u64, len: usize) -> (usize, usize) {
         let bs = self.block_size as u64;
-        if len == 0 {
-            self.clock.charge_write(&self.profile, 0);
-            return;
-        }
         let first = offset / bs;
         let last = (offset + len as u64 - 1) / bs;
         let touched = (last - first + 1) as usize;
@@ -199,11 +196,96 @@ impl DedupStore {
         if tail_partial && (last != first || !head_partial) {
             rmw_blocks += 1;
         }
-        for _ in 0..rmw_blocks.min(touched) {
+        (rmw_blocks.min(touched), touched)
+    }
+
+    /// Charges the transport for every backend block a write span touches
+    /// (blocking path: each constituent op serializes on the channel).
+    fn charge_write_span(&self, offset: u64, len: usize) {
+        if len == 0 {
+            self.clock.charge_write(&self.profile, 0);
+            return;
+        }
+        let (rmw_blocks, touched) = self.write_span_shape(offset, len);
+        for _ in 0..rmw_blocks {
             self.clock.charge_read(&self.profile, self.block_size);
         }
         self.clock
             .charge_write(&self.profile, touched * self.block_size);
+    }
+
+    /// Submit-path twin of [`Self::charge_write_span`]: the whole
+    /// read-modify-write span is folded into **one** lane submission (one
+    /// queue slot on the channel), with the constituent ops counted
+    /// identically to the blocking path.
+    fn submit_write_span(&self, offset: u64, len: usize) {
+        if len == 0 {
+            self.clock.submit_write(&self.profile, 0);
+            return;
+        }
+        let (rmw_blocks, touched) = self.write_span_shape(offset, len);
+        let mut cost = self.profile.write_cost(touched * self.block_size);
+        for _ in 0..rmw_blocks {
+            cost += self.profile.read_cost(self.block_size);
+            self.clock.count_read(self.block_size);
+        }
+        self.clock.submit_cost(&self.profile, cost);
+        self.clock.count_write(touched * self.block_size);
+    }
+
+    /// The data movement of a vectored span read, without touching the
+    /// virtual clock.
+    fn vectored_read_uncharged(
+        &self,
+        name: &str,
+        offset: u64,
+        bufs: &mut [std::io::IoSliceMut<'_>],
+    ) -> Result<usize> {
+        let total: usize = bufs.iter().map(|b| b.len()).sum();
+        let objects = self.shard(name).read();
+        let data = objects.get(name).ok_or_else(|| StorageError::NotFound {
+            name: name.to_string(),
+        })?;
+        let n = (data.len() as u64).saturating_sub(offset).min(total as u64) as usize;
+        let mut pos = offset as usize;
+        let mut remaining = n;
+        for buf in bufs.iter_mut() {
+            if remaining == 0 {
+                break;
+            }
+            let take = buf.len().min(remaining);
+            buf[..take].copy_from_slice(&data[pos..pos + take]);
+            pos += take;
+            remaining -= take;
+        }
+        Ok(n)
+    }
+
+    /// Applies a vectored span write to the object map, without touching the
+    /// virtual clock.
+    fn vectored_write_uncharged(
+        &self,
+        name: &str,
+        offset: u64,
+        bufs: &[std::io::IoSlice<'_>],
+    ) -> Result<usize> {
+        let total: usize = bufs.iter().map(|b| b.len()).sum();
+        let mut objects = self.shard(name).write();
+        let data = objects
+            .get_mut(name)
+            .ok_or_else(|| StorageError::NotFound {
+                name: name.to_string(),
+            })?;
+        let end = offset as usize + total;
+        if end > data.len() {
+            data.resize(end, 0);
+        }
+        let mut pos = offset as usize;
+        for buf in bufs {
+            data[pos..pos + buf.len()].copy_from_slice(buf);
+            pos += buf.len();
+        }
+        Ok(total)
     }
 }
 
@@ -245,26 +327,10 @@ impl ObjectStore for DedupStore {
         offset: u64,
         bufs: &mut [std::io::IoSliceMut<'_>],
     ) -> Result<usize> {
-        let total: usize = bufs.iter().map(|b| b.len()).sum();
-        let objects = self.shard(name).read();
-        let data = objects.get(name).ok_or_else(|| StorageError::NotFound {
-            name: name.to_string(),
-        })?;
-        let n = (data.len() as u64).saturating_sub(offset).min(total as u64) as usize;
         // One span, one charged operation: the scatter list travels as a
         // single request/response on the modelled transport.
+        let n = self.vectored_read_uncharged(name, offset, bufs)?;
         self.clock.charge_read(&self.profile, n);
-        let mut pos = offset as usize;
-        let mut remaining = n;
-        for buf in bufs.iter_mut() {
-            let take = buf.len().min(remaining);
-            buf[..take].copy_from_slice(&data[pos..pos + take]);
-            pos += take;
-            remaining -= take;
-            if remaining == 0 {
-                break;
-            }
-        }
         Ok(n)
     }
 
@@ -282,22 +348,46 @@ impl ObjectStore for DedupStore {
         // single contiguous write, applied under one lock acquisition.
         let total: usize = bufs.iter().map(|b| b.len()).sum();
         self.charge_write_span(offset, total);
-        let mut objects = self.shard(name).write();
-        let data = objects
-            .get_mut(name)
-            .ok_or_else(|| StorageError::NotFound {
-                name: name.to_string(),
-            })?;
-        let end = offset as usize + total;
-        if end > data.len() {
-            data.resize(end, 0);
-        }
-        let mut pos = offset as usize;
-        for buf in bufs {
-            data[pos..pos + buf.len()].copy_from_slice(buf);
-            pos += buf.len();
-        }
+        self.vectored_write_uncharged(name, offset, bufs)?;
         Ok(())
+    }
+
+    fn submit_read_vectored(
+        &self,
+        q: &mut SubmitQueue,
+        name: &str,
+        offset: u64,
+        bufs: &mut [std::io::IoSliceMut<'_>],
+    ) -> SubmitTicket {
+        // Execute eagerly, complete in virtual time: the bytes are scattered
+        // now, the round trip lands on a queue-depth lane.
+        let result = self.vectored_read_uncharged(name, offset, bufs);
+        if let Ok(n) = result {
+            self.clock.submit_read(&self.profile, n);
+        }
+        q.complete_now(result)
+    }
+
+    fn submit_write_vectored(
+        &self,
+        q: &mut SubmitQueue,
+        name: &str,
+        offset: u64,
+        bufs: &[std::io::IoSlice<'_>],
+    ) -> SubmitTicket {
+        let result = self.vectored_write_uncharged(name, offset, bufs);
+        if let Ok(total) = result {
+            self.submit_write_span(offset, total);
+        }
+        q.complete_now(result)
+    }
+
+    fn wait_completions(&self, q: &mut SubmitQueue, out: &mut Vec<Completion>) {
+        q.release_all();
+        q.drain_ready(out);
+        // The transport barrier: subsequent operations on this thread's
+        // channel start no earlier than the last drained submission.
+        self.clock.drain();
     }
 
     fn len(&self, name: &str) -> Result<u64> {
@@ -614,6 +704,48 @@ mod tests {
         assert_eq!(aligned_reads, 0);
         assert_eq!(unaligned.io_counters().read_ops, 2, "RMW of both edges");
         assert_eq!(unaligned.io_counters().bytes_written, 2 * 4096);
+    }
+
+    #[test]
+    fn submitted_spans_overlap_and_match_blocking_counters() {
+        let profile = StorageProfile::nfs_1gbe().with_queue_depth(8);
+        let s = DedupStore::new(4096, profile);
+        s.create("f").unwrap();
+        s.write_at("f", 0, &vec![3u8; 8 * 4096]).unwrap();
+        s.reset_io_accounting();
+
+        // Eight one-block submitted reads on a depth-8 channel: one round
+        // trip of makespan, eight round trips of busy work.
+        let mut q = SubmitQueue::new();
+        let mut bufs = vec![[0u8; 4096]; 8];
+        for (i, buf) in bufs.iter_mut().enumerate() {
+            let mut iov = [std::io::IoSliceMut::new(&mut buf[..])];
+            s.submit_read_vectored(&mut q, "f", i as u64 * 4096, &mut iov);
+        }
+        let mut out = Vec::new();
+        s.wait_completions(&mut q, &mut out);
+        assert_eq!(out.len(), 8);
+        assert!(out.iter().all(|c| matches!(c.result, Ok(4096))));
+        assert!(bufs.iter().all(|b| b.iter().all(|&x| x == 3)));
+        assert_eq!(s.io_time(), profile.read_cost(4096));
+        assert_eq!(s.io_counters().read_ops, 8);
+
+        // An unaligned submitted write folds its RMW into ONE lane slot but
+        // counts the same ops/bytes as the blocking path.
+        let blocking = DedupStore::new(4096, profile);
+        blocking.create("f").unwrap();
+        blocking.reset_io_accounting();
+        blocking.write_at("f", 80, &vec![1u8; 4096]).unwrap();
+        s.reset_io_accounting();
+        let data = vec![1u8; 4096];
+        let ticket = s.submit_write_vectored(&mut q, "f", 80, &[std::io::IoSlice::new(&data)]);
+        out.clear();
+        s.wait_completions(&mut q, &mut out);
+        assert_eq!(out[0].ticket, ticket);
+        assert!(matches!(out[0].result, Ok(4096)));
+        assert_eq!(s.io_counters(), blocking.io_counters());
+        assert_eq!(s.io_time(), blocking.io_time(), "RMW cost is preserved");
+        assert_eq!(s.read_at("f", 80, 4096).unwrap(), data);
     }
 
     #[test]

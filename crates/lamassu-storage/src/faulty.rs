@@ -11,6 +11,7 @@
 
 use crate::profile::IoCounters;
 use crate::store::ObjectStore;
+use crate::submit::{Completion, SubmitQueue, SubmitTicket};
 use crate::{Result, StorageError};
 use serde::Serialize;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -330,6 +331,64 @@ impl ObjectStore for FaultyStore {
         self.inner.write_at(name, offset, data)
     }
 
+    fn submit_read_vectored(
+        &self,
+        q: &mut SubmitQueue,
+        name: &str,
+        offset: u64,
+        bufs: &mut [std::io::IoSliceMut<'_>],
+    ) -> SubmitTicket {
+        if self.reads_until_crash.load(Ordering::SeqCst) == u64::MAX
+            && !self.crashed.load(Ordering::SeqCst)
+        {
+            // No read fault armed: let the inner store schedule the span on
+            // its queue-depth lanes, but park the completion so this tier
+            // controls when (and in what order) it becomes visible.
+            let ticket = self.inner.submit_read_vectored(q, name, offset, bufs);
+            q.defer(ticket);
+            return ticket;
+        }
+        // A fault is armed (or the machine is down): execute the
+        // de-vectorized credit-per-buffer path eagerly, but surface the
+        // outcome — including a mid-span crash — only at completion time.
+        let result = self.read_into_vectored(name, offset, bufs);
+        q.complete_deferred(result)
+    }
+
+    fn submit_write_vectored(
+        &self,
+        q: &mut SubmitQueue,
+        name: &str,
+        offset: u64,
+        bufs: &[std::io::IoSlice<'_>],
+    ) -> SubmitTicket {
+        match self.consume_write_credit() {
+            Ok(()) => {
+                let ticket = self.inner.submit_write_vectored(q, name, offset, bufs);
+                q.defer(ticket);
+                ticket
+            }
+            // The power cut surfaces when the completion is drained, like a
+            // real in-flight request lost at the wire.
+            Err(e) => q.complete_deferred(Err(e)),
+        }
+    }
+
+    fn poll_completions(&self, q: &mut SubmitQueue, out: &mut Vec<Completion>) {
+        // Deliberately adversarial: each poll releases only the NEWEST
+        // parked completion, so a pipeline sees completions in reverse
+        // submission order and must match tickets, not positions.
+        q.release_newest();
+        q.drain_ready(out);
+    }
+
+    fn wait_completions(&self, q: &mut SubmitQueue, out: &mut Vec<Completion>) {
+        // Releases everything newest-first, then delegates to the inner
+        // store so its transport barrier (clock drain) still runs.
+        q.release_all();
+        self.inner.wait_completions(q, out);
+    }
+
     fn write_at_vectored(
         &self,
         name: &str,
@@ -532,6 +591,88 @@ mod tests {
         assert_eq!(a, [9u8; 16]);
         assert_eq!(b, [9u8; 16]);
         assert_eq!(c, [0u8; 16]);
+    }
+
+    #[test]
+    fn submitted_reads_complete_deferred_and_reordered() {
+        let (_inner, faulty) = setup();
+        faulty.write_at("f", 0, &[5u8; 48]).unwrap();
+        let mut q = SubmitQueue::new();
+        let (mut a, mut b, mut c) = ([0u8; 16], [0u8; 16], [0u8; 16]);
+        let t1 = {
+            let mut iov = [std::io::IoSliceMut::new(&mut a)];
+            faulty.submit_read_vectored(&mut q, "f", 0, &mut iov)
+        };
+        let t2 = {
+            let mut iov = [std::io::IoSliceMut::new(&mut b)];
+            faulty.submit_read_vectored(&mut q, "f", 16, &mut iov)
+        };
+        let t3 = {
+            let mut iov = [std::io::IoSliceMut::new(&mut c)];
+            faulty.submit_read_vectored(&mut q, "f", 32, &mut iov)
+        };
+        // Nothing is visible until the store releases it; each poll releases
+        // exactly one completion, newest-first.
+        let mut out = Vec::new();
+        faulty.poll_completions(&mut q, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].ticket, t3, "poll releases the newest first");
+        faulty.wait_completions(&mut q, &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[1].ticket, t2);
+        assert_eq!(out[2].ticket, t1);
+        assert!(out.iter().all(|co| matches!(co.result, Ok(16))));
+        assert_eq!(a, [5u8; 16]);
+        assert_eq!(b, [5u8; 16]);
+        assert_eq!(c, [5u8; 16]);
+    }
+
+    #[test]
+    fn submitted_read_fault_surfaces_at_completion_time() {
+        let (_inner, faulty) = setup();
+        faulty.write_at("f", 0, &[9u8; 48]).unwrap();
+        faulty.crash_after_reads(2);
+        let mut q = SubmitQueue::new();
+        let (mut a, mut b, mut c) = ([0u8; 16], [0u8; 16], [0u8; 16]);
+        let ticket = {
+            let mut iov = [
+                std::io::IoSliceMut::new(&mut a),
+                std::io::IoSliceMut::new(&mut b),
+                std::io::IoSliceMut::new(&mut c),
+            ];
+            faulty.submit_read_vectored(&mut q, "f", 0, &mut iov)
+        };
+        // Submit itself reports nothing; the mid-span crash is only visible
+        // once the completion drains.
+        assert_eq!(q.deferred(), 1);
+        let mut out = Vec::new();
+        faulty.wait_completions(&mut q, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].ticket, ticket);
+        assert!(matches!(out[0].result, Err(StorageError::Crashed)));
+        // Partial span: the first two buffers were filled before the cut.
+        assert_eq!(a, [9u8; 16]);
+        assert_eq!(b, [9u8; 16]);
+        assert_eq!(c, [0u8; 16]);
+    }
+
+    #[test]
+    fn submitted_write_fault_surfaces_at_completion_time() {
+        let (inner, faulty) = setup();
+        faulty.crash_after_writes(1);
+        let mut q = SubmitQueue::new();
+        let data = [1u8; 8];
+        let t1 = faulty.submit_write_vectored(&mut q, "f", 0, &[std::io::IoSlice::new(&data)]);
+        let t2 = faulty.submit_write_vectored(&mut q, "f", 8, &[std::io::IoSlice::new(&data)]);
+        let mut out = Vec::new();
+        faulty.wait_completions(&mut q, &mut out);
+        assert_eq!(out.len(), 2);
+        // Newest-first: the failed second write drains before the first.
+        assert_eq!(out[0].ticket, t2);
+        assert!(matches!(out[0].result, Err(StorageError::Crashed)));
+        assert_eq!(out[1].ticket, t1);
+        assert!(matches!(out[1].result, Ok(8)));
+        assert_eq!(inner.len("f").unwrap(), 8, "only the first write landed");
     }
 
     #[test]

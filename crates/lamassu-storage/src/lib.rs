@@ -31,6 +31,7 @@ pub mod dirstore;
 pub mod faulty;
 pub mod profile;
 pub mod store;
+pub mod submit;
 
 mod error;
 
@@ -40,6 +41,7 @@ pub use error::StorageError;
 pub use faulty::{ArmedFaults, FaultSchedule, FaultStats, FaultyStore};
 pub use profile::{IoCounters, StorageProfile};
 pub use store::ObjectStore;
+pub use submit::{Completion, SubmitQueue, SubmitTicket};
 
 /// Result alias for storage operations.
 pub type Result<T> = std::result::Result<T, StorageError>;

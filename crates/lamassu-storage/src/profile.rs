@@ -26,8 +26,24 @@
 //! channel) still pays the full serial sum, keeping the paper's single-job
 //! Figures 7/8 shapes intact. Operation/byte counters are plain atomics and
 //! stay exact under any interleaving.
+//!
+//! # Queue-depth lanes (submission/completion model)
+//!
+//! Blocking charges serialize on the issuing thread's channel: each op starts
+//! where the previous one ended. The submit API
+//! ([`SimClock::submit_read`] / [`SimClock::submit_write`]) instead schedules
+//! the op onto one of the channel's [`StorageProfile::queue_depth`] **lanes**
+//! — the earliest-free lane, starting no earlier than the channel's serial
+//! frontier — so up to `queue_depth` submissions from *one* thread overlap in
+//! virtual time, exactly like keeping an io_uring ring of that depth full.
+//! Submissions beyond the depth queue behind the earliest-finishing lane.
+//! [`SimClock::drain`] is the completion barrier: it raises the channel's
+//! serial frontier to the latest lane, so subsequent blocking ops (or the
+//! next submission batch) cannot start before every drained submission has
+//! finished. `busy_time()` counts the charged cost of every op exactly once,
+//! submitted or blocking, in whatever order completions are observed.
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use serde::Serialize;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -117,6 +133,11 @@ pub struct StorageProfile {
     /// different client threads overlap up to this factor; a single thread
     /// always pays the serial sum. `1` models a strictly serial transport.
     pub parallelism: usize,
+    /// Per-channel submission queue depth: how many operations a *single*
+    /// client thread can keep in flight on its channel via the submit API
+    /// before they queue behind each other. Blocking operations ignore this
+    /// (they always serialize); `1` makes submissions serialize too.
+    pub queue_depth: usize,
 }
 
 impl StorageProfile {
@@ -132,6 +153,7 @@ impl StorageProfile {
             read_bandwidth_bps: 117 * 1024 * 1024,
             write_bandwidth_bps: 110 * 1024 * 1024,
             parallelism: 8,
+            queue_depth: 8,
         }
     }
 
@@ -143,6 +165,7 @@ impl StorageProfile {
             read_bandwidth_bps: 6 * 1024 * 1024 * 1024,
             write_bandwidth_bps: 4 * 1024 * 1024 * 1024,
             parallelism: 8,
+            queue_depth: 8,
         }
     }
 
@@ -154,6 +177,7 @@ impl StorageProfile {
             read_bandwidth_bps: u64::MAX,
             write_bandwidth_bps: u64::MAX,
             parallelism: 1,
+            queue_depth: 1,
         }
     }
 
@@ -162,6 +186,14 @@ impl StorageProfile {
     pub fn with_parallelism(mut self, width: usize) -> Self {
         assert!(width > 0, "transport parallelism must be non-zero");
         self.parallelism = width;
+        self
+    }
+
+    /// Returns a copy with the given per-channel submission queue depth
+    /// (the `--qd` knob; must be non-zero).
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        assert!(depth > 0, "queue depth must be non-zero");
+        self.queue_depth = depth;
         self
     }
 
@@ -199,7 +231,8 @@ impl StorageProfile {
 ///   — the modelled *makespan*. Concurrent operations on distinct channels
 ///   overlap; a single thread's operations always serialize on its one
 ///   channel.
-/// * The accumulation itself is a single atomic add; resolving the calling
+/// * The accumulation itself is one uncontended per-channel mutex (threads
+///   on distinct channels never touch the same lock); resolving the calling
 ///   thread's channel takes one read-mostly `RwLock` lookup (a write lock
 ///   only on a thread's first charge after a reset), so the clock adds no
 ///   meaningful serialization to the callers it measures.
@@ -216,8 +249,8 @@ impl StorageProfile {
 /// multi-reader makespans — the `scaling` experiment's subject — are
 /// faithful.
 pub struct SimClock {
-    /// Per-channel accumulated busy time in nanoseconds.
-    channels: Vec<AtomicU64>,
+    /// Per-channel virtual-time state (serial frontier + queue-depth lanes).
+    channels: Vec<Mutex<ChannelState>>,
     /// Which channel each thread charges, assigned round-robin on first use.
     assignments: RwLock<HashMap<ThreadId, usize>>,
     next_channel: AtomicUsize,
@@ -225,6 +258,29 @@ pub struct SimClock {
     write_ops: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
+}
+
+/// Virtual-time state of one transport channel. All values are nanoseconds.
+#[derive(Debug, Default)]
+struct ChannelState {
+    /// The serial frontier: blocking operations start here and advance it;
+    /// [`SimClock::drain`] raises it to the latest lane. Submissions start
+    /// no earlier than this.
+    now: u64,
+    /// Completion frontier of each queue-depth lane. Grown lazily to the
+    /// submitting profile's `queue_depth`; a lane below `now` is idle.
+    lanes: Vec<u64>,
+    /// Total cost charged on this channel (blocking + submitted), ignoring
+    /// overlap. Conserved regardless of completion order.
+    busy: u64,
+}
+
+impl ChannelState {
+    /// The channel's makespan: the latest of the serial frontier and every
+    /// lane's completion frontier.
+    fn frontier(&self) -> u64 {
+        self.lanes.iter().copied().fold(self.now, u64::max)
+    }
 }
 
 impl Default for SimClock {
@@ -243,7 +299,9 @@ impl SimClock {
     pub fn with_width(width: usize) -> Self {
         let width = width.max(1);
         SimClock {
-            channels: (0..width).map(|_| AtomicU64::new(0)).collect(),
+            channels: (0..width)
+                .map(|_| Mutex::new(ChannelState::default()))
+                .collect(),
             assignments: RwLock::new(HashMap::new()),
             next_channel: AtomicUsize::new(0),
             read_ops: AtomicU64::new(0),
@@ -267,7 +325,7 @@ impl SimClock {
     /// thread's first charge (so N ≤ width threads starting a measured
     /// phase together always land on N distinct channels, regardless of
     /// what other threads in the process are doing).
-    fn channel(&self) -> &AtomicU64 {
+    fn channel(&self) -> &Mutex<ChannelState> {
         /// Bound on remembered thread→channel assignments: a long-lived
         /// store serving short-lived threads must not grow the map forever.
         /// Clearing simply re-pins threads on their next charge.
@@ -287,8 +345,75 @@ impl SimClock {
     }
 
     fn charge(&self, cost: Duration) {
-        self.channel()
-            .fetch_add(cost.as_nanos() as u64, Ordering::Relaxed);
+        let mut st = self.channel().lock();
+        let cost = cost.as_nanos() as u64;
+        st.now += cost;
+        st.busy += cost;
+    }
+
+    /// Schedules one submitted operation of the given cost onto the calling
+    /// thread's channel: the earliest-free of the channel's `depth` lanes,
+    /// starting no earlier than the serial frontier. Up to `depth`
+    /// submissions overlap; further ones queue behind the earliest lane.
+    fn schedule(&self, depth: usize, cost: Duration) {
+        let cost = cost.as_nanos() as u64;
+        let depth = depth.max(1);
+        let mut st = self.channel().lock();
+        if st.lanes.len() < depth {
+            st.lanes.resize(depth, 0);
+        }
+        let idx = (0..depth).min_by_key(|&i| st.lanes[i]).expect("depth >= 1");
+        let start = st.lanes[idx].max(st.now);
+        st.lanes[idx] = start + cost;
+        st.busy += cost;
+    }
+
+    /// Submits one read of `bytes` under `profile` onto a queue-depth lane
+    /// (see `SimClock::schedule`'s overlap semantics). Counters are
+    /// charged at submit time, once, like the blocking path.
+    pub fn submit_read(&self, profile: &StorageProfile, bytes: usize) {
+        self.schedule(profile.queue_depth, profile.read_cost(bytes));
+        self.read_ops.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Submits one write of `bytes` under `profile` onto a queue-depth lane.
+    pub fn submit_write(&self, profile: &StorageProfile, bytes: usize) {
+        self.schedule(profile.queue_depth, profile.write_cost(bytes));
+        self.write_ops.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Schedules a pre-composed cost (e.g. a read-modify-write span at a
+    /// deduplicating backend) onto a queue-depth lane as **one** submission
+    /// — one lane slot — without touching the op counters; the caller
+    /// accounts the constituent ops via [`SimClock::count_read`] /
+    /// [`SimClock::count_write`].
+    pub fn submit_cost(&self, profile: &StorageProfile, cost: Duration) {
+        self.schedule(profile.queue_depth, cost);
+    }
+
+    /// Counts one read of `bytes` with no time charge (pairs with
+    /// [`SimClock::submit_cost`], which charges the composite time).
+    pub fn count_read(&self, bytes: usize) {
+        self.read_ops.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Counts one write of `bytes` with no time charge.
+    pub fn count_write(&self, bytes: usize) {
+        self.write_ops.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// The completion barrier for the calling thread's channel: raises its
+    /// serial frontier to the latest lane, so nothing charged after the
+    /// drain starts before every prior submission has finished.
+    pub fn drain(&self) {
+        let mut st = self.channel().lock();
+        st.now = st.frontier();
     }
 
     /// Charges one read of `bytes` under `profile`.
@@ -318,20 +443,17 @@ impl SimClock {
         let max = self
             .channels
             .iter()
-            .map(|c| c.load(Ordering::Relaxed))
+            .map(|c| c.lock().frontier())
             .max()
             .unwrap_or(0);
         Duration::from_nanos(max)
     }
 
     /// Sum of all channels' busy time: the total transport work performed,
-    /// ignoring overlap (`elapsed() * width` is its upper bound).
+    /// ignoring overlap (`elapsed() * width` is its upper bound). Submitted
+    /// operations count exactly once regardless of completion order.
     pub fn busy_time(&self) -> Duration {
-        let sum: u64 = self
-            .channels
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .sum();
+        let sum: u64 = self.channels.iter().map(|c| c.lock().busy).sum();
         Duration::from_nanos(sum)
     }
 
@@ -354,7 +476,10 @@ impl SimClock {
         assignments.clear();
         self.next_channel.store(0, Ordering::Relaxed);
         for c in &self.channels {
-            c.store(0, Ordering::Relaxed);
+            let mut st = c.lock();
+            st.now = 0;
+            st.busy = 0;
+            st.lanes.fill(0);
         }
         self.read_ops.store(0, Ordering::Relaxed);
         self.write_ops.store(0, Ordering::Relaxed);
@@ -486,5 +611,120 @@ mod tests {
         let p = StorageProfile::nfs_1gbe().with_parallelism(3);
         assert_eq!(p.parallelism, 3);
         assert_eq!(SimClock::for_profile(&p).width(), 3);
+    }
+
+    #[test]
+    fn with_queue_depth_overrides_the_depth() {
+        let p = StorageProfile::nfs_1gbe().with_queue_depth(16);
+        assert_eq!(p.queue_depth, 16);
+        assert_eq!(StorageProfile::instant().queue_depth, 1);
+    }
+
+    #[test]
+    fn depth_n_submissions_cost_one_round_trip() {
+        // N equal submissions on an idle depth-N channel all start at the
+        // serial frontier: the makespan is ONE round trip, the busy time N.
+        for depth in [1usize, 4, 8] {
+            let p = StorageProfile::nfs_1gbe().with_queue_depth(depth);
+            let clock = SimClock::for_profile(&p);
+            for _ in 0..depth {
+                clock.submit_read(&p, 4096);
+            }
+            clock.drain();
+            let rt = p.read_cost(4096);
+            assert_eq!(clock.elapsed(), rt, "depth {depth}: one makespan RT");
+            assert_eq!(clock.busy_time(), rt * depth as u32);
+        }
+    }
+
+    #[test]
+    fn depth_exceeding_submissions_queue() {
+        // depth+1 equal submissions: the extra op queues behind the
+        // earliest-finishing lane, so the makespan is exactly two round
+        // trips — and a serial (depth-1) profile degenerates to the
+        // blocking sum.
+        let p = StorageProfile::nfs_1gbe().with_queue_depth(4);
+        let clock = SimClock::for_profile(&p);
+        for _ in 0..5 {
+            clock.submit_read(&p, 4096);
+        }
+        clock.drain();
+        assert_eq!(clock.elapsed(), p.read_cost(4096) * 2);
+
+        let serial = StorageProfile::nfs_1gbe().with_queue_depth(1);
+        let clock = SimClock::for_profile(&serial);
+        for _ in 0..5 {
+            clock.submit_read(&serial, 4096);
+        }
+        clock.drain();
+        assert_eq!(clock.elapsed(), serial.read_cost(4096) * 5);
+    }
+
+    #[test]
+    fn drain_serializes_submission_batches() {
+        // Two drained batches of depth-N submissions cost two round trips:
+        // the barrier raises the serial frontier so batch 2 starts after
+        // batch 1 completes.
+        let p = StorageProfile::nfs_1gbe().with_queue_depth(8);
+        let clock = SimClock::for_profile(&p);
+        for _ in 0..2 {
+            for _ in 0..8 {
+                clock.submit_read(&p, 4096);
+            }
+            clock.drain();
+        }
+        assert_eq!(clock.elapsed(), p.read_cost(4096) * 2);
+        // ...and a blocking op after the drain starts on the raised
+        // frontier too.
+        clock.charge_op(&p);
+        assert_eq!(
+            clock.elapsed(),
+            p.read_cost(4096) * 2 + Duration::from_nanos(p.per_op_latency_ns)
+        );
+    }
+
+    #[test]
+    fn out_of_order_completion_conserves_busy_time() {
+        // Property: for any mix of submitted sizes — whose completions land
+        // in frontier order, not submission order — and any interleaved
+        // blocking ops, busy_time() is EXACTLY the sum of every op's cost,
+        // and elapsed() never exceeds it.
+        let mut seed = 0x243F_6A88_85A3_08D3u64; // deterministic xorshift
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..50 {
+            let depth = (next() % 8 + 1) as usize;
+            let p = StorageProfile::nfs_1gbe().with_queue_depth(depth);
+            let clock = SimClock::for_profile(&p);
+            let mut expect = Duration::ZERO;
+            for _ in 0..(next() % 24 + 1) {
+                let bytes = (next() % 1_000_000) as usize;
+                match next() % 3 {
+                    0 => {
+                        clock.submit_read(&p, bytes);
+                        expect += p.read_cost(bytes);
+                    }
+                    1 => {
+                        clock.submit_write(&p, bytes);
+                        expect += p.write_cost(bytes);
+                    }
+                    _ => {
+                        clock.charge_read(&p, bytes);
+                        expect += p.read_cost(bytes);
+                    }
+                }
+                if next() % 5 == 0 {
+                    clock.drain();
+                }
+            }
+            clock.drain();
+            assert_eq!(clock.busy_time(), expect, "busy time is conserved");
+            assert!(clock.elapsed() <= expect);
+            assert!(clock.elapsed() >= expect / (depth as u32 * 2));
+        }
     }
 }

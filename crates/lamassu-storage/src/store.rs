@@ -29,6 +29,7 @@
 //! so a multi-block span costs one round trip instead of one per block.
 
 use crate::profile::IoCounters;
+use crate::submit::{Completion, SubmitQueue, SubmitTicket};
 use crate::Result;
 use std::io::{IoSlice, IoSliceMut};
 use std::time::Duration;
@@ -125,6 +126,58 @@ pub trait ObjectStore: Send + Sync {
             pos += buf.len() as u64;
         }
         Ok(())
+    }
+
+    /// Submits the vectored read described by [`ObjectStore::read_into_vectored`]
+    /// to the store's completion queue and returns its ticket immediately.
+    ///
+    /// The contract is **execute eagerly, complete in virtual time**: the
+    /// buffers are filled during this call (the borrow ends on return), but
+    /// the operation's result — byte count or error — is only observable by
+    /// draining the matching [`Completion`] from `q`, and the modelled
+    /// transport cost lands on one of the channel's queue-depth lanes so up
+    /// to `StorageProfile.queue_depth` submissions overlap. The default
+    /// implementation executes the blocking read and records an immediately
+    /// ready completion, so every store supports the API.
+    fn submit_read_vectored(
+        &self,
+        q: &mut SubmitQueue,
+        name: &str,
+        offset: u64,
+        bufs: &mut [IoSliceMut<'_>],
+    ) -> SubmitTicket {
+        let result = self.read_into_vectored(name, offset, bufs);
+        q.complete_now(result)
+    }
+
+    /// Submits the vectored write described by [`ObjectStore::write_at_vectored`];
+    /// same contract as [`ObjectStore::submit_read_vectored`]. The completion
+    /// carries the total byte count of the scatter list on success.
+    fn submit_write_vectored(
+        &self,
+        q: &mut SubmitQueue,
+        name: &str,
+        offset: u64,
+        bufs: &[IoSlice<'_>],
+    ) -> SubmitTicket {
+        let total: usize = bufs.iter().map(|b| b.len()).sum();
+        let result = self.write_at_vectored(name, offset, bufs).map(|()| total);
+        q.complete_now(result)
+    }
+
+    /// Drains whatever completions have landed into `out` without forcing
+    /// anything still deferred. May legitimately produce nothing.
+    fn poll_completions(&self, q: &mut SubmitQueue, out: &mut Vec<Completion>) {
+        q.drain_ready(out);
+    }
+
+    /// Releases every in-flight operation and drains all completions. Also
+    /// the transport barrier: stores with a virtual clock raise the calling
+    /// thread's channel floor to the last completion, so subsequent blocking
+    /// operations cannot start before the drained submissions finish.
+    fn wait_completions(&self, q: &mut SubmitQueue, out: &mut Vec<Completion>) {
+        q.release_all();
+        q.drain_ready(out);
     }
 
     /// Current size of the object in bytes.

@@ -28,8 +28,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Number of child-span phases per operation — one per Figure 9 category.
-pub const NUM_PHASES: usize = 7;
+/// Number of child-span phases per operation — one per Figure 9 category
+/// (plus the submit-to-completion queue-wait phase of the async engine).
+pub const NUM_PHASES: usize = 8;
 
 /// Phase names, index-aligned with `lamassu-core::Category` (the profiler
 /// charges `Category as usize`, the tracer stores `phases_ns[same index]`).
@@ -41,6 +42,7 @@ pub const PHASE_NAMES: [&str; NUM_PHASES] = [
     "cache",
     "plan",
     "route",
+    "queue",
 ];
 
 /// Bytes of the file path retained in a trace record.

@@ -12,6 +12,15 @@
 //!   committed through the reusable span staging, metadata updated in place
 //!   and sealed into pooled blocks).
 //!
+//! Every re-read mount here runs [`IoMode::Async`] (the default): each
+//! measured read goes through the completion engine — submission queue,
+//! ticket-matched poll/complete, wait barrier — so the zero-allocation
+//! guarantee covers the async machinery itself (the queue's entry vectors,
+//! the pending-run table, and the completion staging are all warm
+//! thread-local state). The deep-pipeline test keeps several runs genuinely
+//! in flight at once over a depth-8 channel; the blocking-oracle test pins
+//! the same guarantee on the differential baseline.
+//!
 //! The tests install a `#[global_allocator]` that counts every `alloc` and
 //! `realloc`, warm each loop (first-touch costs: pool fills, thread-local
 //! scratch, metadata cache, transport-channel pinning), then assert the
@@ -30,7 +39,9 @@
 //! by design — that trade is documented in `lamassu-core::span` and the
 //! README's memory-model section.
 
-use lamassu::core::{FileSystem, IntegrityMode, LamassuConfig, LamassuFs, SpanConfig, SpanPolicy};
+use lamassu::core::{
+    FileSystem, IntegrityMode, IoMode, LamassuConfig, LamassuFs, SpanConfig, SpanPolicy,
+};
 use lamassu::dist::{DistConfig, Granularity, RoutedStore};
 use lamassu::keymgr::KeyManager;
 use lamassu::storage::{DedupStore, StorageProfile};
@@ -86,9 +97,15 @@ fn allocs_during(mut op: impl FnMut()) -> u64 {
 const BS: usize = 4096;
 
 /// A LamassuFS mount over an instant in-memory store, single crypto worker
-/// (the inline, allocation-free batch regime), full integrity.
+/// (the inline, allocation-free batch regime), full integrity, async I/O
+/// (the completion-engine default).
 fn mount() -> LamassuFs {
-    let store = Arc::new(DedupStore::new(BS, StorageProfile::instant()));
+    mount_with_io(StorageProfile::instant(), IoMode::Async)
+}
+
+/// Same mount with an explicit transport profile and I/O mode.
+fn mount_with_io(profile: StorageProfile, io: IoMode) -> LamassuFs {
+    let store = Arc::new(DedupStore::new(BS, profile));
     let km = KeyManager::new();
     let zone = km.create_zone(1).expect("fresh key manager");
     let keys = km.fetch_zone_keys(zone).expect("zone just created");
@@ -96,6 +113,7 @@ fn mount() -> LamassuFs {
         .integrity(IntegrityMode::Full)
         .span(SpanConfig {
             policy: SpanPolicy::Batched,
+            io,
             workers: 1,
             pool_blocks: None,
         });
@@ -182,6 +200,96 @@ fn warm_reread_loop_allocates_nothing() {
 }
 
 #[test]
+fn warm_async_deep_pipeline_reread_allocates_nothing() {
+    let _serial = serialize();
+    // 1 MiB application reads over the depth-8 NFS-profile channel: each
+    // read plans three ≤118-block segment runs and keeps them in flight
+    // together, so this loop exercises the completion engine with real
+    // pipeline depth — multiple submissions pending, out-of-order-capable
+    // ticket matching, a wait barrier per call — and must still not
+    // allocate once warm.
+    let fs = mount_with_io(StorageProfile::nfs_1gbe(), IoMode::Async);
+    let tracer = attach_tracer(&fs);
+    let size = 2 * 1024 * 1024;
+    let fd = populate(&fs, "/deep.dat", size);
+    let mut buf = vec![0u8; 1024 * 1024];
+
+    let mut sweep = |fs: &LamassuFs, offset_skew: usize| {
+        let mut off = offset_skew;
+        while off + buf.len() <= size {
+            let n = fs.read_into(fd, off as u64, &mut buf).expect("read");
+            assert_eq!(n, buf.len());
+            off += buf.len();
+        }
+    };
+    sweep(&fs, 0);
+    sweep(&fs, BS / 2);
+    sweep(&fs, 0);
+
+    let allocs = allocs_during(|| {
+        for _ in 0..8 {
+            sweep(&fs, 0);
+            sweep(&fs, BS / 2);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "deep async re-read loop (aligned + misaligned) must not allocate"
+    );
+
+    // The pipeline really was deep: several submissions were in flight at
+    // once, and every one of them was drained by the wait barrier.
+    let profiler = fs.profiler();
+    assert!(
+        profiler.in_flight_peak() >= 2,
+        "expected overlapped submissions, peak was {}",
+        profiler.in_flight_peak()
+    );
+    assert_eq!(
+        profiler.in_flight_ops(),
+        0,
+        "every submission must complete by the end of its call"
+    );
+    assert!(tracer.ops() > 0);
+}
+
+#[test]
+fn warm_blocking_oracle_reread_allocates_nothing() {
+    let _serial = serialize();
+    // The differential oracle (`IoMode::Blocking`) is held to the same bar:
+    // comparisons against it must not be skewed by allocator traffic.
+    let fs = mount_with_io(StorageProfile::instant(), IoMode::Blocking);
+    let size = 1024 * 1024;
+    let fd = populate(&fs, "/oracle.dat", size);
+    let mut buf = vec![0u8; 64 * 1024];
+
+    let mut sweep = |fs: &LamassuFs, offset_skew: usize| {
+        let mut off = offset_skew;
+        while off + buf.len() <= size {
+            let n = fs.read_into(fd, off as u64, &mut buf).expect("read");
+            assert_eq!(n, buf.len());
+            off += buf.len();
+        }
+    };
+    sweep(&fs, 0);
+    sweep(&fs, BS / 2);
+    sweep(&fs, 0);
+
+    let allocs = allocs_during(|| {
+        for _ in 0..8 {
+            sweep(&fs, 0);
+            sweep(&fs, BS / 2);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "warm blocking-oracle re-read loop must not allocate"
+    );
+    // The oracle never touches the submission queue.
+    assert_eq!(fs.profiler().in_flight_peak(), 0);
+}
+
+#[test]
 fn steady_rewrite_loop_allocates_nothing() {
     let _serial = serialize();
     let fs = mount();
@@ -237,6 +345,7 @@ fn warm_routed_reread_loop_allocates_nothing() {
             policy: SpanPolicy::Batched,
             workers: 1,
             pool_blocks: None,
+            ..SpanConfig::default()
         });
     let fs = LamassuFs::new(routed.clone(), keys, config);
     let tracer = attach_tracer(&fs);
@@ -309,6 +418,7 @@ fn warm_cached_reread_loop_allocates_nothing() {
             policy: SpanPolicy::Batched,
             workers: 1,
             pool_blocks: None,
+            ..SpanConfig::default()
         });
     let fs = LamassuFs::new(cache.clone(), keys, config);
     let tracer = attach_tracer(&fs);
