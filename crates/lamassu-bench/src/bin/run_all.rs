@@ -22,6 +22,7 @@ fn main() {
     experiments::scaling::run(fio.min(8 * 1024 * 1024));
     experiments::scaleout::run(fio.min(8 * 1024 * 1024));
     experiments::hot_path::run(8);
+    experiments::wide_crypto::run();
     let telemetry = std::env::args().any(|a| a == "--telemetry");
     experiments::latency::run(fio.min(8 * 1024 * 1024), telemetry);
     println!("\nAll experiments complete; JSON reports are under ./results/");

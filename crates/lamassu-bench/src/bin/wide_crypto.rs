@@ -1,0 +1,7 @@
+//! Wide crypto kernel comparison: fixsliced AES-256 and 4-lane SHA-256 vs
+//! the scalar T-table / single-lane baselines, on the batch shapes the span
+//! pipeline dispatches (see `experiments::wide_crypto`).
+
+fn main() {
+    lamassu_bench::experiments::wide_crypto::run();
+}

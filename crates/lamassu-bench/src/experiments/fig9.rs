@@ -55,6 +55,21 @@ pub struct Fig9Row {
     /// zero-allocation data path runs this to ~100 once warm; see
     /// `lamassu-core::pool`).
     pub pool_hit_pct: f64,
+    /// Share of AES blocks this workload dispatched to the wide fixsliced
+    /// kernel (the rest fell back to the scalar T-table path), in percent.
+    pub wide_block_pct: f64,
+    /// Share of convergent-key derivations that went through the 4-lane
+    /// SHA-256 path, in percent.
+    pub wide_derive_pct: f64,
+}
+
+/// Percentage `wide / (wide + scalar)`, or 0 when neither path ran.
+fn wide_pct(wide: u64, scalar: u64) -> f64 {
+    if wide + scalar == 0 {
+        0.0
+    } else {
+        wide as f64 * 100.0 / (wide + scalar) as f64
+    }
 }
 
 /// Runs the Figure 9 experiment with a `file_size`-byte file on a RAM disk.
@@ -73,9 +88,11 @@ pub fn run(file_size: u64) -> Vec<Fig9Row> {
         for workload in [Workload::SeqWrite, Workload::SeqRead] {
             let profiler = m.profiler.clone();
             profiler.reset();
+            let (wb0, sb0, wd0, sd0) = lamassu_crypto::stats::snapshot();
             let result = tester
                 .run(m.fs.as_ref(), m.store.as_ref(), "/fio.dat", workload)
                 .expect("benchmark workload");
+            let (wb1, sb1, wd1, sd1) = lamassu_crypto::stats::snapshot();
             let breakdown = profiler.breakdown(result.total_time);
             let per_op = |d: std::time::Duration| d.as_secs_f64() * 1e6 / result.ops as f64;
             rows.push(Fig9Row {
@@ -91,6 +108,8 @@ pub fn run(file_size: u64) -> Vec<Fig9Row> {
                 misc_us: per_op(breakdown.misc),
                 get_ce_key_pct: breakdown.get_ce_key_fraction() * 100.0,
                 pool_hit_pct: profiler.pool_stats().hit_rate() * 100.0,
+                wide_block_pct: wide_pct(wb1 - wb0, sb1 - sb0),
+                wide_derive_pct: wide_pct(wd1 - wd0, sd1 - sd0),
             });
         }
     }
@@ -110,6 +129,8 @@ pub fn run(file_size: u64) -> Vec<Fig9Row> {
             "Misc",
             "GetCEKey %",
             "Pool hit %",
+            "Wide AES %",
+            "Wide KDF %",
         ],
     );
     for r in &rows {
@@ -126,6 +147,8 @@ pub fn run(file_size: u64) -> Vec<Fig9Row> {
             format!("{:.1}", r.misc_us),
             format!("{:.0}%", r.get_ce_key_pct),
             format!("{:.0}%", r.pool_hit_pct),
+            format!("{:.0}%", r.wide_block_pct),
+            format!("{:.0}%", r.wide_derive_pct),
         ]);
     }
     table.print();

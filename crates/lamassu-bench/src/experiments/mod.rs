@@ -18,6 +18,7 @@
 //! | [`scaleout`] | beyond the paper — routed-tier throughput vs backend count |
 //! | [`hot_path`] | beyond the paper — allocs/op and ns/block on the steady-state data path |
 //! | [`latency`] | beyond the paper — per-op latency percentiles and the telemetry overhead budget |
+//! | [`wide_crypto`] | beyond the paper — wide constant-time AES/SHA kernels vs the scalar T-table oracle |
 
 pub mod ablation;
 pub mod ablation_ce_granularity;
@@ -35,6 +36,7 @@ pub mod scaling;
 pub mod span_io;
 pub mod table1;
 pub mod throughput;
+pub mod wide_crypto;
 
 use lamassu_core::FileSystem;
 

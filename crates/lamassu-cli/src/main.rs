@@ -16,12 +16,13 @@
 //! ```
 
 use lamassu_cache::{CacheConfig, CacheMode, CachedStore};
-use lamassu_core::{FileSystem, LamassuConfig, LamassuFs, OpenFlags};
+use lamassu_core::{CryptoBackend, FileSystem, LamassuConfig, LamassuFs, OpenFlags};
 use lamassu_dist::{DistConfig, Granularity, RoutedStore};
 use lamassu_keymgr::KeyManager;
 use lamassu_storage::{DirStore, ObjectStore, StorageProfile};
 use lamassu_telemetry::{Registry, Snapshot, TraceConfig, Tracer};
 use lamassu_workloads::{FioConfig, FioTester, JobLayout, Workload};
+use serde::Serialize;
 use std::collections::HashMap;
 use std::fs;
 use std::process::ExitCode;
@@ -59,6 +60,10 @@ OPTIONS:
     --reserved-slots <R>       reserved transient key slots (default: 8)
     --workers <n>              crypto worker threads for span batches
                                (default: 0 = auto, min(4, CPU cores))
+    --crypto <backend>         AES/SHA kernel selection: fixsliced (wide
+                               constant-time kernels, the default) or ttable
+                               (the scalar lookup-table oracle used for
+                               differential testing)
     --qd <n>                   per-channel queue depth of the backing store:
                                how many submitted operations the async data
                                path keeps in flight per transport channel
@@ -91,6 +96,7 @@ struct Options {
     block_size: usize,
     reserved_slots: usize,
     workers: usize,
+    crypto: CryptoBackend,
     qd: Option<usize>,
     jobs: usize,
     bench_layout: JobLayout,
@@ -180,6 +186,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         block_size: 4096,
         reserved_slots: 8,
         workers: 0,
+        crypto: CryptoBackend::default(),
         qd: None,
         jobs: 1,
         bench_layout: JobLayout::SharedFile,
@@ -212,6 +219,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     });
     flags.insert("--workers", |o, v| {
         o.workers = v.parse().map_err(|_| format!("bad worker count: {v}"))?;
+        Ok(())
+    });
+    flags.insert("--crypto", |o, v| {
+        o.crypto = match v.as_str() {
+            "fixsliced" => CryptoBackend::Fixsliced,
+            "ttable" => CryptoBackend::TTable,
+            other => {
+                return Err(format!(
+                    "bad crypto backend '{other}' (fixsliced or ttable)"
+                ))
+            }
+        };
         Ok(())
     });
     flags.insert("--qd", |o, v| {
@@ -391,6 +410,7 @@ fn mount(opts: &Options) -> Result<Mounted, String> {
             span: lamassu_core::SpanConfig {
                 policy: lamassu_core::SpanPolicy::Batched,
                 workers: opts.workers,
+                crypto: opts.crypto,
                 ..lamassu_core::SpanConfig::default()
             },
         },
@@ -673,6 +693,41 @@ fn is_bench_scratch(path: &str) -> bool {
 /// shim's latency breakdown and per-category histograms, the op/trace rings,
 /// cache and routed-tier counters, backend I/O counters and the workload's
 /// own per-request percentiles.
+/// The `crypto` section of the stats snapshot: how many AES blocks and key
+/// derivations the run dispatched to the wide constant-time kernels versus
+/// the scalar fallbacks (see `lamassu_crypto::stats`).
+#[derive(Serialize)]
+struct CryptoKernelStats {
+    wide_blocks: u64,
+    scalar_blocks: u64,
+    wide_derives: u64,
+    scalar_derives: u64,
+    wide_block_pct: f64,
+    wide_derive_pct: f64,
+}
+
+impl CryptoKernelStats {
+    fn collect() -> Self {
+        let (wide_blocks, scalar_blocks, wide_derives, scalar_derives) =
+            lamassu_crypto::stats::snapshot();
+        let pct = |wide: u64, scalar: u64| {
+            if wide + scalar == 0 {
+                0.0
+            } else {
+                wide as f64 * 100.0 / (wide + scalar) as f64
+            }
+        };
+        CryptoKernelStats {
+            wide_blocks,
+            scalar_blocks,
+            wide_derives,
+            scalar_derives,
+            wide_block_pct: pct(wide_blocks, scalar_blocks),
+            wide_derive_pct: pct(wide_derives, scalar_derives),
+        }
+    }
+}
+
 fn cmd_stats(opts: &Options) -> Result<(), String> {
     let workload = match opts.positional.as_slice() {
         [] => Workload::RandRead,
@@ -738,6 +793,7 @@ fn cmd_stats(opts: &Options) -> Result<(), String> {
     }
     snap.section("backend", &fs_mount.store.io_counters());
     snap.section("fio", &result.aggregate);
+    snap.section("crypto", &CryptoKernelStats::collect());
 
     if matches!(opts.format, StatsFormat::Json | StatsFormat::Both) {
         println!("{}", snap.to_json());

@@ -32,10 +32,12 @@ use crate::profiler::{Category, Profiler};
 use crate::span::{IoMode, SpanConfig, SpanPolicy};
 use crate::{Fd, FsError, Result};
 use lamassu_crypto::aes::Aes256;
+use lamassu_crypto::batch::SpanCipher;
 use lamassu_crypto::gcm::{Aes256Gcm, NONCE_LEN, TAG_LEN};
 use lamassu_crypto::kdf::ConvergentKdf;
 use lamassu_crypto::pool::CryptoPool;
 use lamassu_crypto::{batch, cbc};
+use lamassu_crypto::{fixsliced, stats, CryptoBackend};
 use lamassu_crypto::{Key256, FIXED_IV};
 use lamassu_keymgr::ZoneKeys;
 use lamassu_storage::ObjectStore;
@@ -103,7 +105,7 @@ impl CeFileFs {
             pool: span.pool(),
             blocks,
             kdf: ConvergentKdf::new(&keys.inner),
-            gcm: Aes256Gcm::new(&keys.outer),
+            gcm: Aes256Gcm::with_backend(&keys.outer, span.crypto),
             handles: HandleTable::new(),
             profiler,
             files: PathRegistry::new(),
@@ -196,11 +198,22 @@ impl CeFileFs {
         let file_key: Key256 = sealed[16..48].try_into().expect("32 bytes");
 
         self.profiler.time(Category::Decrypt, || {
-            let cipher = Aes256::new(&file_key);
             if batched {
-                batch::cbc_decrypt_parallel(&self.pool, &cipher, &FIXED_IV, &mut body)
+                let cipher = SpanCipher::new(&file_key);
+                batch::cbc_decrypt_parallel(
+                    &self.pool,
+                    &cipher,
+                    &FIXED_IV,
+                    &mut body,
+                    self.span.crypto,
+                )
+            } else if self.span.crypto == CryptoBackend::Fixsliced {
+                stats::count_wide_blocks(body.len() / 16);
+                fixsliced::cbc_decrypt(&fixsliced::Aes256Fix::new(&file_key), &FIXED_IV, &mut body);
+                Ok(())
             } else {
-                cbc::decrypt_in_place(&cipher, &FIXED_IV, &mut body)
+                stats::count_scalar_blocks(body.len() / 16);
+                cbc::decrypt_in_place(&Aes256::new(&file_key), &FIXED_IV, &mut body)
             }
         })?;
         body.truncate(logical);
@@ -209,7 +222,7 @@ impl CeFileFs {
         // re-derive from the decrypted contents.
         let expected = self
             .profiler
-            .time(Category::GetCeKey, || self.kdf.derive_for_block(&body));
+            .time(Category::GetCeKey, || self.derive_file_key(&body));
         if expected != file_key {
             return Err(FsError::IntegrityViolation {
                 path: path.to_string(),
@@ -222,16 +235,31 @@ impl CeFileFs {
         })
     }
 
+    /// Derives the whole-file convergent key on the mount's backend (the
+    /// keying step runs through the constant-time cipher under
+    /// [`CryptoBackend::Fixsliced`]).
+    fn derive_file_key(&self, data: &[u8]) -> Key256 {
+        stats::count_scalar_derives(1);
+        match self.span.crypto {
+            CryptoBackend::Fixsliced => self.kdf.derive_for_block_ct(data),
+            CryptoBackend::TTable => self.kdf.derive_for_block(data),
+        }
+    }
+
     /// Encrypts and writes the whole file back to the store.
     fn store_file(&self, path: &str, state: &mut CeFileState) -> Result<()> {
-        let file_key = self.profiler.time(Category::GetCeKey, || {
-            self.kdf.derive_for_block(&state.data)
-        });
+        let file_key = self
+            .profiler
+            .time(Category::GetCeKey, || self.derive_file_key(&state.data));
 
         let mut body = state.data.clone();
         let padded = body.len().div_ceil(self.block_size) * self.block_size;
         body.resize(padded, 0);
         self.profiler.time(Category::Encrypt, || {
+            // Whole-file CBC encryption is one strict chain — below the wide
+            // kernel's amortization width at any file size — so it stays on
+            // the T-table path under either backend.
+            stats::count_scalar_blocks(body.len() / 16);
             cbc::encrypt_in_place(&Aes256::new(&file_key), &FIXED_IV, &mut body)
         })?;
 

@@ -34,9 +34,10 @@ use crate::profiler::{Category, Profiler};
 use crate::span::{IoMode, SpanConfig, SpanPlan, SpanPlanner, SpanPolicy};
 use crate::{Fd, FsError, Result};
 use lamassu_crypto::aes::Aes256;
+use lamassu_crypto::batch::{self, SpanCipher};
 use lamassu_crypto::pool::CryptoPool;
-use lamassu_crypto::{batch, cbc};
-use lamassu_crypto::{Iv128, Key256};
+use lamassu_crypto::{cbc, fixsliced, stats};
+use lamassu_crypto::{CryptoBackend, Iv128, Key256};
 use lamassu_storage::{Completion, ObjectStore, SubmitQueue, SubmitTicket};
 use parking_lot::RwLock;
 use rand::RngCore;
@@ -118,7 +119,7 @@ impl Default for EncFsConfig {
 struct EncFileState {
     file_key: Key256,
     file_iv: [u8; 16],
-    cipher: Aes256,
+    cipher: SpanCipher,
     logical_size: u64,
     header_dirty: bool,
     /// Block staging buffer reused across *write* operations (used under the
@@ -269,7 +270,7 @@ impl EncFs {
         let state = Arc::new(RwLock::new(EncFileState {
             file_key,
             file_iv,
-            cipher: Aes256::new(&file_key),
+            cipher: SpanCipher::new(&file_key),
             logical_size,
             header_dirty: false,
             scratch: vec![0u8; self.config.block_size],
@@ -280,10 +281,32 @@ impl EncFs {
 
     /// Reads and decrypts one full logical block into `dest` (zero-filled
     /// for holes). `dest` must be exactly one block.
+    /// Decrypts one whole block in place under the file cipher: the wide
+    /// kernel on the fixsliced backend (CBC decryption is wide within a
+    /// chain), the T-table oracle otherwise.
+    fn decrypt_block_in_place(
+        &self,
+        cipher: &SpanCipher,
+        iv: &[u8; 16],
+        block: &mut [u8],
+    ) -> lamassu_crypto::Result<()> {
+        match self.config.span.crypto {
+            CryptoBackend::Fixsliced => {
+                stats::count_wide_blocks(block.len() / 16);
+                fixsliced::cbc_decrypt(cipher.fix(), iv, block);
+                Ok(())
+            }
+            CryptoBackend::TTable => {
+                stats::count_scalar_blocks(block.len() / 16);
+                cbc::decrypt_in_place(cipher.tt(), iv, block)
+            }
+        }
+    }
+
     fn read_block_into(
         &self,
         path: &str,
-        cipher: &Aes256,
+        cipher: &SpanCipher,
         file_iv: &[u8; 16],
         block: u64,
         dest: &mut [u8],
@@ -298,9 +321,9 @@ impl EncFs {
         if dest.iter().all(|&b| b == 0) {
             return Ok(());
         }
-        let iv = Self::block_iv(cipher, file_iv, block);
+        let iv = Self::block_iv(cipher.tt(), file_iv, block);
         self.profiler.time(Category::Decrypt, || {
-            cbc::decrypt_in_place(cipher, &iv, dest)
+            self.decrypt_block_in_place(cipher, &iv, dest)
         })?;
         Ok(())
     }
@@ -310,15 +333,18 @@ impl EncFs {
     fn encrypt_and_write_block(
         &self,
         path: &str,
-        cipher: &Aes256,
+        cipher: &SpanCipher,
         file_iv: &[u8; 16],
         block: u64,
         block_buf: &mut [u8],
     ) -> Result<()> {
         debug_assert_eq!(block_buf.len(), self.config.block_size);
-        let iv = Self::block_iv(cipher, file_iv, block);
+        // A single block is one strict CBC chain — below the wide kernel's
+        // amortization width — so encryption stays on the T-table path.
+        let iv = Self::block_iv(cipher.tt(), file_iv, block);
         self.profiler.time(Category::Encrypt, || {
-            cbc::encrypt_in_place(cipher, &iv, block_buf)
+            stats::count_scalar_blocks(block_buf.len() / 16);
+            cbc::encrypt_in_place(cipher.tt(), &iv, block_buf)
         })?;
         self.io(|| {
             self.store
@@ -570,9 +596,9 @@ impl EncFs {
                 let filled = n.min(bs);
                 head[filled..].fill(0);
                 if head.iter().any(|&b| b != 0) {
-                    let iv = Self::block_iv(&st.cipher, &st.file_iv, chunk_first);
+                    let iv = Self::block_iv(st.cipher.tt(), &st.file_iv, chunk_first);
                     self.profiler.time(Category::Decrypt, || {
-                        cbc::decrypt_in_place(&st.cipher, &iv, head)
+                        self.decrypt_block_in_place(&st.cipher, &iv, head)
                     })?;
                 }
             }
@@ -585,7 +611,7 @@ impl EncFs {
                     holes.push(i);
                 }
                 ivs.push(Self::block_iv(
-                    &st.cipher,
+                    st.cipher.tt(),
                     &st.file_iv,
                     chunk_first + chunk_idx as u64,
                 ));
@@ -593,7 +619,14 @@ impl EncFs {
             if mid_count > 0 {
                 let mid_slice = &mut buf[mid_range.clone()];
                 self.profiler.time(Category::Decrypt, || {
-                    batch::decrypt_span_with(&self.pool, &st.cipher, ivs, mid_slice, bs)
+                    batch::decrypt_span_with(
+                        &self.pool,
+                        &st.cipher,
+                        ivs,
+                        mid_slice,
+                        bs,
+                        self.config.span.crypto,
+                    )
                 })?;
                 for &i in holes.iter() {
                     buf[mid_range.start + i * bs..mid_range.start + (i + 1) * bs].fill(0);
@@ -603,9 +636,9 @@ impl EncFs {
                 let filled = n.saturating_sub((blocks - 1) * bs).min(bs);
                 tail[filled..].fill(0);
                 if tail.iter().any(|&b| b != 0) {
-                    let iv = Self::block_iv(&st.cipher, &st.file_iv, chunk_last);
+                    let iv = Self::block_iv(st.cipher.tt(), &st.file_iv, chunk_last);
                     self.profiler.time(Category::Decrypt, || {
-                        cbc::decrypt_in_place(&st.cipher, &iv, tail)
+                        self.decrypt_block_in_place(&st.cipher, &iv, tail)
                     })?;
                 }
             }
@@ -698,10 +731,17 @@ impl EncFs {
                     ivs.clear();
                     ivs.extend(
                         (chunk_first..=chunk_last)
-                            .map(|b| Self::block_iv(&st.cipher, &st.file_iv, b)),
+                            .map(|b| Self::block_iv(st.cipher.tt(), &st.file_iv, b)),
                     );
                     self.profiler.time(Category::Encrypt, || {
-                        batch::encrypt_span_with(&self.pool, &st.cipher, ivs, chunk, bs)
+                        batch::encrypt_span_with(
+                            &self.pool,
+                            &st.cipher,
+                            ivs,
+                            chunk,
+                            bs,
+                            self.config.span.crypto,
+                        )
                     })?;
                     Ok(())
                 })?;
@@ -774,7 +814,7 @@ impl FileSystem for EncFs {
         let mut state = EncFileState {
             file_key,
             file_iv,
-            cipher: Aes256::new(&file_key),
+            cipher: SpanCipher::new(&file_key),
             logical_size: 0,
             header_dirty: false,
             scratch: vec![0u8; self.config.block_size],

@@ -54,8 +54,8 @@ use lamassu_crypto::aes::Aes256;
 use lamassu_crypto::gcm::Aes256Gcm;
 use lamassu_crypto::kdf::ConvergentKdf;
 use lamassu_crypto::pool::CryptoPool;
-use lamassu_crypto::{batch, cbc};
-use lamassu_crypto::{Key256, FIXED_IV};
+use lamassu_crypto::{batch, cbc, fixsliced, stats};
+use lamassu_crypto::{CryptoBackend, Key256, FIXED_IV};
 use lamassu_format::{Geometry, MetadataBlock, TransientEntry};
 use lamassu_keymgr::ZoneKeys;
 use lamassu_storage::{Completion, ObjectStore, StorageError, SubmitQueue, SubmitTicket};
@@ -176,10 +176,10 @@ struct CryptoCtx {
 }
 
 impl CryptoCtx {
-    fn new(keys: ZoneKeys) -> Self {
+    fn new(keys: ZoneKeys, backend: CryptoBackend) -> Self {
         CryptoCtx {
             kdf: ConvergentKdf::new(&keys.inner),
-            gcm: Aes256Gcm::new(&keys.outer),
+            gcm: Aes256Gcm::with_backend(&keys.outer, backend),
             keys,
         }
     }
@@ -285,7 +285,7 @@ impl Engine {
             pool: config.span.pool(),
             blocks,
             planner: SpanPlanner::new(config.geometry.block_size()),
-            crypto: RwLock::new(CryptoCtx::new(keys)),
+            crypto: RwLock::new(CryptoCtx::new(keys, config.span.crypto)),
             profiler,
         }
     }
@@ -341,7 +341,7 @@ impl Engine {
 
     /// Replaces the mount's key pair (after a completed re-keying pass).
     pub(crate) fn switch_keys(&self, keys: ZoneKeys) {
-        *self.crypto.write() = CryptoCtx::new(keys);
+        *self.crypto.write() = CryptoCtx::new(keys, self.span.crypto);
     }
 
     /// Charges a backing-store call to the I/O latency category.
@@ -553,30 +553,55 @@ impl Engine {
     // ------------------------------------------------------------------
 
     /// Derives the convergent key for a plaintext block (Equation 1),
-    /// charging the hash/KDF time to the `GetCEKey` category.
+    /// charging the hash/KDF time to the `GetCEKey` category. On the
+    /// fixsliced backend the single-block derivation still runs the keying
+    /// step through the constant-time cipher.
     fn derive_key(&self, plaintext: &[u8]) -> Key256 {
         let crypto = self.crypto.read();
-        self.profiler.time(Category::GetCeKey, || {
-            crypto.kdf.derive_for_block(plaintext)
-        })
+        self.profiler
+            .time(Category::GetCeKey, || match self.span.crypto {
+                CryptoBackend::Fixsliced => {
+                    stats::count_scalar_derives(1);
+                    crypto.kdf.derive_for_block_ct(plaintext)
+                }
+                CryptoBackend::TTable => {
+                    stats::count_scalar_derives(1);
+                    crypto.kdf.derive_for_block(plaintext)
+                }
+            })
     }
 
     /// Convergent encryption of one data block in place (Equation 2).
+    /// A single block is one strict CBC chain — below the wide kernel's
+    /// amortization width — so this always uses the T-table path (the
+    /// documented scalar fallback of the fixsliced backend).
     fn encrypt_in_place(&self, buf: &mut [u8], key: &Key256) {
         self.profiler.time(Category::Encrypt, || {
+            stats::count_scalar_blocks(buf.len() / 16);
             let cipher = Aes256::new(key);
             cbc::encrypt_in_place(&cipher, &FIXED_IV, buf)
                 .expect("data blocks are 16-byte aligned");
         })
     }
 
-    /// Decryption of one data block in place.
+    /// Decryption of one data block in place. CBC decryption is wide
+    /// *within* a chain, so the fixsliced backend takes the wide kernel
+    /// even for one block.
     fn decrypt_in_place(&self, buf: &mut [u8], key: &Key256) {
-        self.profiler.time(Category::Decrypt, || {
-            let cipher = Aes256::new(key);
-            cbc::decrypt_in_place(&cipher, &FIXED_IV, buf)
-                .expect("data blocks are 16-byte aligned");
-        })
+        self.profiler
+            .time(Category::Decrypt, || match self.span.crypto {
+                CryptoBackend::Fixsliced => {
+                    stats::count_wide_blocks(buf.len() / 16);
+                    let cipher = fixsliced::Aes256Fix::new(key);
+                    fixsliced::cbc_decrypt(&cipher, &FIXED_IV, buf);
+                }
+                CryptoBackend::TTable => {
+                    stats::count_scalar_blocks(buf.len() / 16);
+                    let cipher = Aes256::new(key);
+                    cbc::decrypt_in_place(&cipher, &FIXED_IV, buf)
+                        .expect("data blocks are 16-byte aligned");
+                }
+            })
     }
 
     /// Decryption of one data block into a fresh vector (recovery path).
@@ -1109,8 +1134,15 @@ impl Engine {
             let mid_keys = &keys[head_staged as usize..head_staged as usize + mid_read];
             let mid_slice = &mut buf[mid_range.start..mid_range.start + mid_read * bs];
             self.profiler.time(Category::Decrypt, || {
-                batch::decrypt_span(&self.pool, mid_keys, &FIXED_IV, mid_slice, bs)
-                    .expect("data blocks are 16-byte aligned")
+                batch::decrypt_span(
+                    &self.pool,
+                    mid_keys,
+                    &FIXED_IV,
+                    mid_slice,
+                    bs,
+                    self.span.crypto,
+                )
+                .expect("data blocks are 16-byte aligned")
             });
         }
         if let Some(tail) = tail_stage.as_deref_mut() {
@@ -1138,8 +1170,15 @@ impl Engine {
                     derived.clear();
                     derived.resize(mid_read, [0u8; 32]);
                     self.profiler.time(Category::GetCeKey, || {
-                        batch::derive_span_into(&self.pool, &crypto.kdf, mid_slice, bs, derived)
-                            .expect("span length matches key count")
+                        batch::derive_span_into(
+                            &self.pool,
+                            &crypto.kdf,
+                            mid_slice,
+                            bs,
+                            derived,
+                            self.span.crypto,
+                        )
+                        .expect("span length matches key count")
                     });
                     for (i, (got, expected)) in derived.iter().zip(mid_keys).enumerate() {
                         if got != expected {
@@ -1318,8 +1357,15 @@ impl Engine {
                 SpanPolicy::Batched => {
                     let crypto = self.crypto.read();
                     self.profiler.time(Category::GetCeKey, || {
-                        batch::derive_span_into(&self.pool, &crypto.kdf, data, bs, new_keys)
-                            .expect("chunk is whole blocks")
+                        batch::derive_span_into(
+                            &self.pool,
+                            &crypto.kdf,
+                            data,
+                            bs,
+                            new_keys,
+                            self.span.crypto,
+                        )
+                        .expect("chunk is whole blocks")
                     });
                 }
                 SpanPolicy::PerBlock => {
@@ -1358,8 +1404,15 @@ impl Engine {
             match self.span.policy {
                 SpanPolicy::Batched => {
                     self.profiler.time(Category::Encrypt, || {
-                        batch::encrypt_span(&self.pool, new_keys, &FIXED_IV, data, bs)
-                            .expect("chunk is whole blocks")
+                        batch::encrypt_span(
+                            &self.pool,
+                            new_keys,
+                            &FIXED_IV,
+                            data,
+                            bs,
+                            self.span.crypto,
+                        )
+                        .expect("chunk is whole blocks")
                     });
                 }
                 SpanPolicy::PerBlock => {
@@ -1682,7 +1735,7 @@ impl Engine {
                 "outer re-keying must not change the inner key; use a full re-encryption instead"
             );
         }
-        let new_gcm = Aes256Gcm::new(&new_keys.outer);
+        let new_gcm = Aes256Gcm::with_backend(&new_keys.outer, self.span.crypto);
         let last_segment = self.last_physical_segment(&file.name)?;
         let mut rewritten = 0;
         let mut sealed = self.blocks.take();

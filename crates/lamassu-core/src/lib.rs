@@ -45,6 +45,7 @@ pub use cefilefs::CeFileFs;
 pub use encfs::{EncFs, EncFsConfig};
 pub use error::FsError;
 pub use fs::{Fd, FileAttr, FileSystem, OpenFlags};
+pub use lamassu_crypto::CryptoBackend;
 pub use lamassufs::{IntegrityMode, LamassuConfig, LamassuFs, RecoveryReport, VerifyReport};
 pub use plainfs::PlainFs;
 pub use pool::{BlockBuf, BlockPool, PoolStats};

@@ -26,6 +26,7 @@
 //! available_parallelism)`; the CLI exposes the knob as `--workers`.
 
 use lamassu_crypto::pool::CryptoPool;
+use lamassu_crypto::CryptoBackend;
 
 /// Which data-path pipeline a mount uses (see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -69,6 +70,10 @@ pub struct SpanConfig {
     /// other value bounds the idle buffers kept (rounded up per shard; see
     /// [`BlockPool::new`](crate::pool::BlockPool::new)).
     pub pool_blocks: Option<usize>,
+    /// Which AES/SHA kernel family the mount's span crypto runs on:
+    /// the wide constant-time fixsliced kernels (the default) or the
+    /// T-table oracle. The CLI exposes the knob as `--crypto`.
+    pub crypto: CryptoBackend,
 }
 
 impl SpanConfig {
@@ -104,6 +109,13 @@ impl SpanConfig {
     /// [`SpanConfig::pool_blocks`]).
     pub fn with_pool_blocks(mut self, blocks: usize) -> Self {
         self.pool_blocks = Some(blocks);
+        self
+    }
+
+    /// Returns a copy with an explicit crypto backend (see
+    /// [`SpanConfig::crypto`]).
+    pub fn with_crypto(mut self, crypto: CryptoBackend) -> Self {
+        self.crypto = crypto;
         self
     }
 

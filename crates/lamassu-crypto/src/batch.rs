@@ -35,15 +35,79 @@
 //!
 //! Every function validates block alignment up front and then runs the
 //! parallel section infallibly, so no error handling crosses threads.
+//!
+//! # Backend dispatch
+//!
+//! The span variants take a [`CryptoBackend`] and dispatch each contiguous
+//! run to the wide fixsliced kernel or the T-table oracle:
+//!
+//! * **decryption** always goes wide under
+//!   [`Fixsliced`](CryptoBackend::Fixsliced) — CBC decryption parallelizes
+//!   *within* a chain, so even a single 4 KiB block fills the
+//!   16-block slice;
+//! * **encryption** is a strict chain per block, so the wide kernel
+//!   interleaves whole chains and only wins once at least
+//!   [`WIDE_MIN_BLOCKS`] chains share a pass; narrower runs fall back to
+//!   the T-table path (and are counted as scalar dispatches in
+//!   [`crate::stats`]);
+//! * **key derivation** batches [`SHA_LANES`] blocks per multi-lane pass,
+//!   deriving the tail through the constant-time scalar path.
+//!
+//! The reference-slice APIs ([`derive_keys`], [`encrypt_blocks`], ...)
+//! intentionally stay on the T-table cipher: they are the per-block oracle
+//! the differential property tests compare the wide kernels against.
 
 use crate::aes::Aes256;
 use crate::cbc;
+use crate::fixsliced::{self, Aes256Fix};
 use crate::kdf::ConvergentKdf;
 use crate::pool::CryptoPool;
-use crate::{CryptoError, Iv128, Key256, Result};
+use crate::sha256::SHA_LANES;
+use crate::{stats, CryptoBackend, CryptoError, Iv128, Key256, Result};
 
 /// AES block size in bytes.
 const AES_BLOCK: usize = 16;
+
+/// Minimum number of CBC chains (file blocks) in a run before the wide
+/// fixsliced kernel beats the T-table path on *encryption*.
+///
+/// A wide encrypt pass advances one AES block of up to
+/// [`fixsliced::WIDE_BLOCKS`] independent chains, so its cost is flat in
+/// the number of occupied lanes; measured on 4 KiB blocks, the crossover
+/// where a partially-occupied pass beats per-chain T-table CBC sits at
+/// eight chains. Decryption has no such threshold (it is wide within a
+/// single chain).
+pub const WIDE_MIN_BLOCKS: usize = 8;
+
+/// A cipher pair for one key: the T-table schedule and the fixsliced
+/// schedule, expanded once so the span layer can dispatch per run without
+/// re-keying. Used by the shared-cipher span APIs ([`encrypt_span_with`],
+/// [`decrypt_span_with`], [`cbc_decrypt_parallel`]).
+#[derive(Clone)]
+pub struct SpanCipher {
+    tt: Aes256,
+    fix: Aes256Fix,
+}
+
+impl SpanCipher {
+    /// Expands both schedules for `key`.
+    pub fn new(key: &Key256) -> Self {
+        SpanCipher {
+            tt: Aes256::new(key),
+            fix: Aes256Fix::new(key),
+        }
+    }
+
+    /// The T-table schedule (scalar oracle and per-block helpers).
+    pub fn tt(&self) -> &Aes256 {
+        &self.tt
+    }
+
+    /// The fixsliced constant-time schedule.
+    pub fn fix(&self) -> &Aes256Fix {
+        &self.fix
+    }
+}
 
 fn check_aligned(blocks: &[&mut [u8]]) -> Result<()> {
     for block in blocks {
@@ -108,6 +172,7 @@ pub fn derive_span_into(
     data: &[u8],
     block_size: usize,
     out: &mut [Key256],
+    backend: CryptoBackend,
 ) -> Result<()> {
     if block_size == 0 || data.len() != out.len() * block_size {
         return Err(CryptoError::InvalidLength {
@@ -115,19 +180,36 @@ pub fn derive_span_into(
             expected_multiple_of: block_size.max(1),
         });
     }
-    match pool.chunking(out.len()) {
-        None => {
-            for (key, block) in out.iter_mut().zip(data.chunks_exact(block_size)) {
+    let derive_run = |keys: &mut [Key256], span: &[u8]| match backend {
+        CryptoBackend::TTable => {
+            stats::count_scalar_derives(keys.len());
+            for (key, block) in keys.iter_mut().zip(span.chunks_exact(block_size)) {
                 *key = kdf.derive_for_block(block);
             }
         }
-        Some(chunk) => std::thread::scope(|scope| {
-            for (keys, span) in out.chunks_mut(chunk).zip(data.chunks(chunk * block_size)) {
-                scope.spawn(move || {
-                    for (key, block) in keys.iter_mut().zip(span.chunks_exact(block_size)) {
-                        *key = kdf.derive_for_block(block);
+        CryptoBackend::Fixsliced => {
+            stats::count_wide_derives(keys.len() / SHA_LANES * SHA_LANES);
+            stats::count_scalar_derives(keys.len() % SHA_LANES);
+            let mut blocks = span.chunks_exact(block_size);
+            for group in keys.chunks_mut(SHA_LANES) {
+                if group.len() == SHA_LANES {
+                    let b: [&[u8]; SHA_LANES] =
+                        std::array::from_fn(|_| blocks.next().expect("span length checked"));
+                    group.copy_from_slice(&kdf.derive_x4(b));
+                } else {
+                    for key in group {
+                        *key = kdf.derive_for_block_ct(blocks.next().expect("span length checked"));
                     }
-                });
+                }
+            }
+        }
+    };
+    match pool.chunking(out.len()) {
+        None => derive_run(out, data),
+        Some(chunk) => std::thread::scope(|scope| {
+            let derive_run = &derive_run;
+            for (keys, span) in out.chunks_mut(chunk).zip(data.chunks(chunk * block_size)) {
+                scope.spawn(move || derive_run(keys, span));
             }
         }),
     }
@@ -199,71 +281,180 @@ fn span_for_each<B: Sync>(
     }
 }
 
+/// Runs `f` over whole `(sub-span, context-chunk)` pairs of one contiguous
+/// span — inline (the full span at once) or fanned out across the pool —
+/// without allocating. The wide kernels consume whole runs, so they get the
+/// run, not single blocks.
+fn span_chunks<B: Sync>(
+    pool: &CryptoPool,
+    data: &mut [u8],
+    block_size: usize,
+    ctx: &[B],
+    f: impl Fn(&mut [u8], &[B]) + Sync,
+) {
+    match pool.chunking(ctx.len()) {
+        None => f(data, ctx),
+        Some(chunk) => {
+            let f = &f;
+            std::thread::scope(|scope| {
+                for (span, cs) in data.chunks_mut(chunk * block_size).zip(ctx.chunks(chunk)) {
+                    scope.spawn(move || f(span, cs));
+                }
+            })
+        }
+    }
+}
+
 /// Convergent encryption (Equation 2) of one contiguous span of whole
 /// blocks in place, each block under its own key and the shared fixed IV.
 /// Allocation-free (the contiguous dual of [`encrypt_blocks`]).
+///
+/// Under [`CryptoBackend::Fixsliced`] the run is encrypted in groups of up
+/// to [`fixsliced::WIDE_BLOCKS`] interleaved chains; groups narrower than
+/// [`WIDE_MIN_BLOCKS`] fall back to the T-table path (below the wide
+/// kernel's amortization width).
 pub fn encrypt_span(
     pool: &CryptoPool,
     keys: &[Key256],
     iv: &Iv128,
     data: &mut [u8],
     block_size: usize,
+    backend: CryptoBackend,
 ) -> Result<()> {
     check_span(data.len(), keys.len(), block_size)?;
-    span_for_each(pool, data, block_size, keys, |block, key| {
-        let cipher = Aes256::new(key);
-        cbc::encrypt_in_place(&cipher, iv, block).expect("span alignment checked");
-    });
+    match backend {
+        CryptoBackend::TTable => {
+            span_for_each(pool, data, block_size, keys, |block, key| {
+                stats::count_scalar_blocks(block.len() / AES_BLOCK);
+                let cipher = Aes256::new(key);
+                cbc::encrypt_in_place(&cipher, iv, block).expect("span alignment checked");
+            });
+        }
+        CryptoBackend::Fixsliced => {
+            span_chunks(pool, data, block_size, keys, |span, ks| {
+                let groups = span
+                    .chunks_mut(fixsliced::WIDE_BLOCKS * block_size)
+                    .zip(ks.chunks(fixsliced::WIDE_BLOCKS));
+                for (run, group) in groups {
+                    if group.len() >= WIDE_MIN_BLOCKS {
+                        stats::count_wide_blocks(run.len() / AES_BLOCK);
+                        fixsliced::cbc_encrypt_chains(group, iv, run, block_size);
+                    } else {
+                        stats::count_scalar_blocks(run.len() / AES_BLOCK);
+                        for (block, key) in run.chunks_exact_mut(block_size).zip(group) {
+                            let cipher = Aes256::new(key);
+                            cbc::encrypt_in_place(&cipher, iv, block)
+                                .expect("span alignment checked");
+                        }
+                    }
+                }
+            });
+        }
+    }
     Ok(())
 }
 
 /// Decryption of one contiguous span of whole blocks in place (inverse of
 /// [`encrypt_span`]). Allocation-free.
+///
+/// Under [`CryptoBackend::Fixsliced`] every run decrypts through the wide
+/// kernel unconditionally: CBC decryption is parallel *within* a chain, so
+/// a single 4 KiB block already fills the slice.
 pub fn decrypt_span(
     pool: &CryptoPool,
     keys: &[Key256],
     iv: &Iv128,
     data: &mut [u8],
     block_size: usize,
+    backend: CryptoBackend,
 ) -> Result<()> {
     check_span(data.len(), keys.len(), block_size)?;
-    span_for_each(pool, data, block_size, keys, |block, key| {
-        let cipher = Aes256::new(key);
-        cbc::decrypt_in_place(&cipher, iv, block).expect("span alignment checked");
-    });
+    match backend {
+        CryptoBackend::TTable => {
+            span_for_each(pool, data, block_size, keys, |block, key| {
+                stats::count_scalar_blocks(block.len() / AES_BLOCK);
+                let cipher = Aes256::new(key);
+                cbc::decrypt_in_place(&cipher, iv, block).expect("span alignment checked");
+            });
+        }
+        CryptoBackend::Fixsliced => {
+            span_chunks(pool, data, block_size, keys, |span, ks| {
+                stats::count_wide_blocks(span.len() / AES_BLOCK);
+                fixsliced::cbc_decrypt_chains(ks, iv, span, block_size);
+            });
+        }
+    }
     Ok(())
 }
 
 /// CBC encryption of one contiguous span of whole blocks in place under one
 /// shared cipher with per-block IVs (the EncFS layout). Allocation-free.
+/// Wide/scalar dispatch follows [`encrypt_span`].
 pub fn encrypt_span_with(
     pool: &CryptoPool,
-    cipher: &Aes256,
+    cipher: &SpanCipher,
     ivs: &[Iv128],
     data: &mut [u8],
     block_size: usize,
+    backend: CryptoBackend,
 ) -> Result<()> {
     check_span(data.len(), ivs.len(), block_size)?;
-    span_for_each(pool, data, block_size, ivs, |block, iv| {
-        cbc::encrypt_in_place(cipher, iv, block).expect("span alignment checked");
-    });
+    match backend {
+        CryptoBackend::TTable => {
+            span_for_each(pool, data, block_size, ivs, |block, iv| {
+                stats::count_scalar_blocks(block.len() / AES_BLOCK);
+                cbc::encrypt_in_place(cipher.tt(), iv, block).expect("span alignment checked");
+            });
+        }
+        CryptoBackend::Fixsliced => {
+            span_chunks(pool, data, block_size, ivs, |span, ivs| {
+                let groups = span
+                    .chunks_mut(fixsliced::WIDE_BLOCKS * block_size)
+                    .zip(ivs.chunks(fixsliced::WIDE_BLOCKS));
+                for (run, group) in groups {
+                    if group.len() >= WIDE_MIN_BLOCKS {
+                        stats::count_wide_blocks(run.len() / AES_BLOCK);
+                        fixsliced::cbc_encrypt_chains_shared(cipher.fix(), group, run, block_size);
+                    } else {
+                        stats::count_scalar_blocks(run.len() / AES_BLOCK);
+                        for (block, iv) in run.chunks_exact_mut(block_size).zip(group) {
+                            cbc::encrypt_in_place(cipher.tt(), iv, block)
+                                .expect("span alignment checked");
+                        }
+                    }
+                }
+            });
+        }
+    }
     Ok(())
 }
 
 /// CBC decryption of one contiguous span of whole blocks in place under one
 /// shared cipher with per-block IVs (inverse of [`encrypt_span_with`]).
-/// Allocation-free.
+/// Allocation-free. Wide/scalar dispatch follows [`decrypt_span`].
 pub fn decrypt_span_with(
     pool: &CryptoPool,
-    cipher: &Aes256,
+    cipher: &SpanCipher,
     ivs: &[Iv128],
     data: &mut [u8],
     block_size: usize,
+    backend: CryptoBackend,
 ) -> Result<()> {
     check_span(data.len(), ivs.len(), block_size)?;
-    span_for_each(pool, data, block_size, ivs, |block, iv| {
-        cbc::decrypt_in_place(cipher, iv, block).expect("span alignment checked");
-    });
+    match backend {
+        CryptoBackend::TTable => {
+            span_for_each(pool, data, block_size, ivs, |block, iv| {
+                stats::count_scalar_blocks(block.len() / AES_BLOCK);
+                cbc::decrypt_in_place(cipher.tt(), iv, block).expect("span alignment checked");
+            });
+        }
+        CryptoBackend::Fixsliced => {
+            span_chunks(pool, data, block_size, ivs, |span, ivs| {
+                stats::count_wide_blocks(span.len() / AES_BLOCK);
+                fixsliced::cbc_decrypt_chains_shared(cipher.fix(), ivs, span, block_size);
+            });
+        }
+    }
     Ok(())
 }
 
@@ -309,9 +500,10 @@ pub fn decrypt_blocks_with(
 /// starts, then the chunks decrypt concurrently.
 pub fn cbc_decrypt_parallel(
     pool: &CryptoPool,
-    cipher: &Aes256,
+    cipher: &SpanCipher,
     iv: &Iv128,
     data: &mut [u8],
+    backend: CryptoBackend,
 ) -> Result<()> {
     if !data.len().is_multiple_of(AES_BLOCK) {
         return Err(CryptoError::InvalidLength {
@@ -337,8 +529,15 @@ pub fn cbc_decrypt_parallel(
         boundary += chunk;
     }
     let mut work: Vec<(&mut [u8], Iv128)> = data.chunks_mut(chunk).zip(ivs).collect();
-    pool.for_each(&mut work, |(part, part_iv)| {
-        cbc::decrypt_in_place(cipher, part_iv, part).expect("alignment checked above");
+    pool.for_each(&mut work, |(part, part_iv)| match backend {
+        CryptoBackend::TTable => {
+            stats::count_scalar_blocks(part.len() / AES_BLOCK);
+            cbc::decrypt_in_place(cipher.tt(), part_iv, part).expect("alignment checked above");
+        }
+        CryptoBackend::Fixsliced => {
+            stats::count_wide_blocks(part.len() / AES_BLOCK);
+            fixsliced::cbc_decrypt(cipher.fix(), part_iv, part);
+        }
     });
     Ok(())
 }
@@ -416,70 +615,149 @@ mod tests {
         assert_eq!(batch, plain);
     }
 
+    const BACKENDS: [CryptoBackend; 2] = [CryptoBackend::Fixsliced, CryptoBackend::TTable];
+
     #[test]
     fn cbc_decrypt_parallel_matches_serial_for_odd_sizes() {
-        let cipher = Aes256::new(&[0x44; 32]);
-        for aes_blocks in [0usize, 1, 2, 3, 7, 64, 65, 255] {
-            let plain: Vec<u8> = (0..aes_blocks * 16).map(|i| (i % 253) as u8).collect();
-            let mut ct = plain.clone();
-            cbc::encrypt_in_place(&cipher, &FIXED_IV, &mut ct).unwrap();
-            let mut par = ct.clone();
-            cbc_decrypt_parallel(&pool(), &cipher, &FIXED_IV, &mut par).unwrap();
-            assert_eq!(par, plain, "{aes_blocks} AES blocks");
+        let cipher = SpanCipher::new(&[0x44; 32]);
+        for backend in BACKENDS {
+            for aes_blocks in [0usize, 1, 2, 3, 7, 64, 65, 255] {
+                let plain: Vec<u8> = (0..aes_blocks * 16).map(|i| (i % 253) as u8).collect();
+                let mut ct = plain.clone();
+                cbc::encrypt_in_place(cipher.tt(), &FIXED_IV, &mut ct).unwrap();
+                let mut par = ct.clone();
+                cbc_decrypt_parallel(&pool(), &cipher, &FIXED_IV, &mut par, backend).unwrap();
+                assert_eq!(par, plain, "{aes_blocks} AES blocks ({backend:?})");
+            }
         }
     }
 
     #[test]
     fn span_apis_match_reference_slice_apis() {
         let kdf = ConvergentKdf::new(&[0x55; 32]);
-        let cipher = Aes256::new(&[0x66; 32]);
-        for blocks in [1usize, 2, 3, 4, 7, 16] {
-            let bs = 128;
-            let span: Vec<u8> = (0..blocks * bs).map(|i| (i % 251) as u8).collect();
+        let cipher = SpanCipher::new(&[0x66; 32]);
+        // 7 straddles the SHA_LANES tail; 9 and 16 straddle WIDE_MIN_BLOCKS,
+        // so both sides of every wide/scalar dispatch run under each backend.
+        for backend in BACKENDS {
+            for blocks in [1usize, 2, 3, 4, 7, 9, 16, 21] {
+                let bs = 128;
+                let span: Vec<u8> = (0..blocks * bs).map(|i| (i % 251) as u8).collect();
 
-            // derive_span_into == derive_keys on the same blocks.
-            let refs: Vec<&[u8]> = span.chunks(bs).collect();
-            let expected_keys = derive_keys(&pool(), &kdf, &refs);
-            let mut keys = vec![[0u8; 32]; blocks];
-            derive_span_into(&pool(), &kdf, &span, bs, &mut keys).unwrap();
-            assert_eq!(keys, expected_keys, "{blocks} blocks");
+                // derive_span_into == derive_keys on the same blocks.
+                let refs: Vec<&[u8]> = span.chunks(bs).collect();
+                let expected_keys = derive_keys(&pool(), &kdf, &refs);
+                let mut keys = vec![[0u8; 32]; blocks];
+                derive_span_into(&pool(), &kdf, &span, bs, &mut keys, backend).unwrap();
+                assert_eq!(keys, expected_keys, "{blocks} blocks ({backend:?})");
 
-            // encrypt_span/decrypt_span == encrypt_blocks/decrypt_blocks.
-            let mut a = span.clone();
-            encrypt_span(&pool(), &keys, &FIXED_IV, &mut a, bs).unwrap();
-            let mut b = span.clone();
-            {
-                let mut refs: Vec<&mut [u8]> = b.chunks_mut(bs).collect();
-                encrypt_blocks(&pool(), &keys, &FIXED_IV, &mut refs).unwrap();
+                // encrypt_span/decrypt_span == encrypt_blocks/decrypt_blocks.
+                let mut a = span.clone();
+                encrypt_span(&pool(), &keys, &FIXED_IV, &mut a, bs, backend).unwrap();
+                let mut b = span.clone();
+                {
+                    let mut refs: Vec<&mut [u8]> = b.chunks_mut(bs).collect();
+                    encrypt_blocks(&pool(), &keys, &FIXED_IV, &mut refs).unwrap();
+                }
+                assert_eq!(a, b, "{blocks} blocks ({backend:?})");
+                decrypt_span(&pool(), &keys, &FIXED_IV, &mut a, bs, backend).unwrap();
+                assert_eq!(a, span, "{blocks} blocks ({backend:?})");
+
+                // The shared-cipher per-IV variants agree too.
+                let ivs: Vec<Iv128> = (0..blocks as u8).map(|i| [i ^ 0x3c; 16]).collect();
+                let mut c = span.clone();
+                encrypt_span_with(&pool(), &cipher, &ivs, &mut c, bs, backend).unwrap();
+                let mut d = span.clone();
+                {
+                    let mut refs: Vec<&mut [u8]> = d.chunks_mut(bs).collect();
+                    encrypt_blocks_with(&pool(), cipher.tt(), &ivs, &mut refs).unwrap();
+                }
+                assert_eq!(c, d, "{blocks} blocks ({backend:?})");
+                decrypt_span_with(&pool(), &cipher, &ivs, &mut c, bs, backend).unwrap();
+                assert_eq!(c, span, "{blocks} blocks ({backend:?})");
             }
-            assert_eq!(a, b);
-            decrypt_span(&pool(), &keys, &FIXED_IV, &mut a, bs).unwrap();
-            assert_eq!(a, span);
-
-            // The shared-cipher per-IV variants agree too.
-            let ivs: Vec<Iv128> = (0..blocks as u8).map(|i| [i ^ 0x3c; 16]).collect();
-            let mut c = span.clone();
-            encrypt_span_with(&pool(), &cipher, &ivs, &mut c, bs).unwrap();
-            let mut d = span.clone();
-            {
-                let mut refs: Vec<&mut [u8]> = d.chunks_mut(bs).collect();
-                encrypt_blocks_with(&pool(), &cipher, &ivs, &mut refs).unwrap();
-            }
-            assert_eq!(c, d);
-            decrypt_span_with(&pool(), &cipher, &ivs, &mut c, bs).unwrap();
-            assert_eq!(c, span);
         }
+    }
+
+    #[test]
+    fn backends_produce_identical_ciphertext() {
+        // The backend must never change bytes on disk — only how they are
+        // computed. 4 KiB blocks exercise the real data-path shape.
+        let kdf = ConvergentKdf::new(&[0x77; 32]);
+        let bs = 4096;
+        let blocks = 12;
+        let span: Vec<u8> = (0..blocks * bs).map(|i| (i * 7 % 256) as u8).collect();
+        let mut keys_fix = vec![[0u8; 32]; blocks];
+        let mut keys_tt = vec![[0u8; 32]; blocks];
+        derive_span_into(
+            &pool(),
+            &kdf,
+            &span,
+            bs,
+            &mut keys_fix,
+            CryptoBackend::Fixsliced,
+        )
+        .unwrap();
+        derive_span_into(
+            &pool(),
+            &kdf,
+            &span,
+            bs,
+            &mut keys_tt,
+            CryptoBackend::TTable,
+        )
+        .unwrap();
+        assert_eq!(keys_fix, keys_tt);
+        let mut fix = span.clone();
+        encrypt_span(
+            &pool(),
+            &keys_fix,
+            &FIXED_IV,
+            &mut fix,
+            bs,
+            CryptoBackend::Fixsliced,
+        )
+        .unwrap();
+        let mut tt = span.clone();
+        encrypt_span(
+            &pool(),
+            &keys_tt,
+            &FIXED_IV,
+            &mut tt,
+            bs,
+            CryptoBackend::TTable,
+        )
+        .unwrap();
+        assert_eq!(fix, tt, "backends must produce byte-identical ciphertext");
+        decrypt_span(
+            &pool(),
+            &keys_fix,
+            &FIXED_IV,
+            &mut tt,
+            bs,
+            CryptoBackend::Fixsliced,
+        )
+        .unwrap();
+        assert_eq!(tt, span);
     }
 
     #[test]
     fn span_length_mismatches_rejected() {
         let kdf = ConvergentKdf::new(&[1; 32]);
+        let backend = CryptoBackend::default();
         let mut keys = [[0u8; 32]; 2];
-        assert!(derive_span_into(&pool(), &kdf, &[0u8; 100], 64, &mut keys).is_err());
+        assert!(derive_span_into(&pool(), &kdf, &[0u8; 100], 64, &mut keys, backend).is_err());
         let mut data = vec![0u8; 100];
-        assert!(encrypt_span(&pool(), &[[0u8; 32]; 2], &FIXED_IV, &mut data, 64).is_err());
+        assert!(encrypt_span(&pool(), &[[0u8; 32]; 2], &FIXED_IV, &mut data, 64, backend).is_err());
         let mut aligned = vec![0u8; 128];
-        assert!(decrypt_span(&pool(), &[[0u8; 32]; 2], &FIXED_IV, &mut aligned, 63).is_err());
+        assert!(decrypt_span(
+            &pool(),
+            &[[0u8; 32]; 2],
+            &FIXED_IV,
+            &mut aligned,
+            63,
+            backend
+        )
+        .is_err());
     }
 
     #[test]
@@ -487,7 +765,9 @@ mod tests {
         let mut bad = vec![0u8; 17];
         let mut refs: Vec<&mut [u8]> = vec![bad.as_mut_slice()];
         assert!(encrypt_blocks(&pool(), &[[0u8; 32]], &FIXED_IV, &mut refs).is_err());
-        let cipher = Aes256::new(&[0u8; 32]);
-        assert!(cbc_decrypt_parallel(&pool(), &cipher, &FIXED_IV, &mut bad).is_err());
+        let cipher = SpanCipher::new(&[0u8; 32]);
+        for backend in BACKENDS {
+            assert!(cbc_decrypt_parallel(&pool(), &cipher, &FIXED_IV, &mut bad, backend).is_err());
+        }
     }
 }

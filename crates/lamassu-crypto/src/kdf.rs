@@ -11,7 +11,8 @@
 //! isolation zone is preserved.
 
 use crate::aes::{ecb_decrypt_in_place, ecb_encrypt_in_place, Aes256};
-use crate::sha256::{digest_block, Digest};
+use crate::fixsliced::{self, Aes256Fix};
+use crate::sha256::{digest_block, digest_blocks_x4, Digest, SHA_LANES};
 use crate::Key256;
 
 /// Derives convergent encryption keys from block hashes under an inner key.
@@ -33,6 +34,7 @@ use crate::Key256;
 #[derive(Clone)]
 pub struct ConvergentKdf {
     inner: Aes256,
+    inner_fix: Aes256Fix,
 }
 
 impl ConvergentKdf {
@@ -40,6 +42,7 @@ impl ConvergentKdf {
     pub fn new(inner_key: &Key256) -> Self {
         ConvergentKdf {
             inner: Aes256::new(inner_key),
+            inner_fix: Aes256Fix::new(inner_key),
         }
     }
 
@@ -55,6 +58,48 @@ impl ConvergentKdf {
     /// (4 KiB) messages this is called with on every data-path operation.
     pub fn derive_for_block(&self, block: &[u8]) -> Key256 {
         self.derive(&digest_block(block))
+    }
+
+    /// Like [`derive`](Self::derive), but routed through the fixsliced
+    /// constant-time cipher instead of the T-table oracle. Produces the
+    /// identical key; used for sub-batch tails on the wide span path so the
+    /// default backend never touches a secret-indexed table.
+    pub fn derive_ct(&self, block_hash: &Digest) -> Key256 {
+        let mut key = *block_hash;
+        fixsliced::ecb_encrypt(&self.inner_fix, &mut key);
+        key
+    }
+
+    /// Constant-time variant of [`derive_for_block`](Self::derive_for_block).
+    pub fn derive_for_block_ct(&self, block: &[u8]) -> Key256 {
+        self.derive_ct(&digest_block(block))
+    }
+
+    /// Derives convergent keys for four equal-length blocks in one pass.
+    ///
+    /// The hashes come from the 4-lane interleaved SHA-256
+    /// ([`digest_blocks_x4`]) and the keying `F` runs as a single wide
+    /// fixsliced ECB pass over all eight 16-byte digest halves, so the whole
+    /// derivation is constant-time and amortizes the kernel width. Output is
+    /// bit-identical to four scalar [`derive_for_block`](Self::derive_for_block)
+    /// calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the four blocks are not the same length (the span layer
+    /// only batches uniform whole blocks).
+    pub fn derive_x4(&self, blocks: [&[u8]; SHA_LANES]) -> [Key256; SHA_LANES] {
+        let digests = digest_blocks_x4(blocks);
+        let mut buf = [0u8; 32 * SHA_LANES];
+        for (i, d) in digests.iter().enumerate() {
+            buf[i * 32..(i + 1) * 32].copy_from_slice(d);
+        }
+        fixsliced::ecb_encrypt(&self.inner_fix, &mut buf);
+        std::array::from_fn(|i| {
+            let mut key = [0u8; 32];
+            key.copy_from_slice(&buf[i * 32..(i + 1) * 32]);
+            key
+        })
     }
 
     /// Recovers the block hash from a convergent key (the KDF is invertible
@@ -102,6 +147,29 @@ mod tests {
         let hash = sha256(b"some block contents");
         let key = kdf.derive(&hash);
         assert_eq!(kdf.invert(&key), hash);
+    }
+
+    #[test]
+    fn derive_ct_matches_ttable_derive() {
+        let kdf = ConvergentKdf::new(&[0x42u8; 32]);
+        for i in 0..16u8 {
+            let hash = sha256(&[i; 100]);
+            assert_eq!(kdf.derive_ct(&hash), kdf.derive(&hash));
+        }
+    }
+
+    #[test]
+    fn derive_x4_matches_scalar_lanes() {
+        let kdf = ConvergentKdf::new(&[0x99u8; 32]);
+        let blocks: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i.wrapping_mul(37); 4096]).collect();
+        let wide = kdf.derive_x4([&blocks[0], &blocks[1], &blocks[2], &blocks[3]]);
+        for lane in 0..4 {
+            assert_eq!(
+                wide[lane],
+                kdf.derive_for_block(&blocks[lane]),
+                "lane {lane}"
+            );
+        }
     }
 
     #[test]

@@ -287,6 +287,189 @@ pub fn sha256(data: &[u8]) -> Digest {
     digest_block(data)
 }
 
+// ---------------------------------------------------------------------------
+// Four-lane interleaved SHA-256.
+// ---------------------------------------------------------------------------
+
+/// Number of independent messages hashed per [`digest_blocks_x4`] pass.
+pub const SHA_LANES: usize = 4;
+
+/// A four-lane SHA-256 word: lane `i` holds the working state of message
+/// `i`. Every operation is elementwise, so one compression pass carries
+/// four independent message schedules — the four 32-bit lanes pack into a
+/// single 128-bit vector register and the serial `t1`/`t2` dependency
+/// chain that bounds scalar SHA-256 throughput is paid once for four
+/// digests instead of once per digest.
+#[derive(Clone, Copy)]
+struct L([u32; SHA_LANES]);
+
+impl L {
+    const ZERO: L = L([0; SHA_LANES]);
+
+    #[inline(always)]
+    fn splat(v: u32) -> L {
+        L([v; SHA_LANES])
+    }
+
+    #[inline(always)]
+    fn add(self, o: L) -> L {
+        L(std::array::from_fn(|i| self.0[i].wrapping_add(o.0[i])))
+    }
+
+    #[inline(always)]
+    fn xor(self, o: L) -> L {
+        L(std::array::from_fn(|i| self.0[i] ^ o.0[i]))
+    }
+
+    #[inline(always)]
+    fn and(self, o: L) -> L {
+        L(std::array::from_fn(|i| self.0[i] & o.0[i]))
+    }
+
+    #[inline(always)]
+    fn andnot(self, o: L) -> L {
+        L(std::array::from_fn(|i| !self.0[i] & o.0[i]))
+    }
+
+    #[inline(always)]
+    fn rotr(self, n: u32) -> L {
+        L(std::array::from_fn(|i| self.0[i].rotate_right(n)))
+    }
+
+    #[inline(always)]
+    fn shr(self, n: u32) -> L {
+        L(std::array::from_fn(|i| self.0[i] >> n))
+    }
+}
+
+/// One four-lane compression: `blocks[i]` is the next 64-byte block of
+/// message `i`, compressed into `states[i]`.
+#[allow(unused_assignments)]
+fn compress_x4(states: &mut [[u32; 8]; SHA_LANES], blocks: [&[u8]; SHA_LANES]) {
+    let mut w = [L::ZERO; 16];
+    for (t, wt) in w.iter_mut().enumerate() {
+        *wt = L(std::array::from_fn(|i| {
+            u32::from_be_bytes(blocks[i][t * 4..t * 4 + 4].try_into().expect("4-byte word"))
+        }));
+    }
+
+    let mut v: [L; 8] = std::array::from_fn(|j| L(std::array::from_fn(|i| states[i][j])));
+    let init = v;
+
+    // One round with the classic rotating-index renaming: at round `t` the
+    // working variable playing role `r` (0 = a .. 7 = h) lives at
+    // `v[(r + 64 - t) & 7]`. Kept as a *rolled* loop on purpose: the small
+    // body is a region the SLP vectorizer handles, so every `L` operation
+    // becomes one 128-bit vector instruction instead of four scalar ones
+    // (the fully-unrolled form scalarizes).
+    #[inline(always)]
+    fn round_t(v: &mut [L; 8], t: usize, wt: L) {
+        let x = |r: usize| (r + 64 - t) & 7;
+        let (a, b, c, d) = (v[x(0)], v[x(1)], v[x(2)], v[x(3)]);
+        let (e, f, g, h) = (v[x(4)], v[x(5)], v[x(6)], v[x(7)]);
+        let s1 = e.rotr(6).xor(e.rotr(11)).xor(e.rotr(25));
+        let ch = e.and(f).xor(e.andnot(g));
+        let t1 = h.add(s1).add(ch).add(L::splat(K[t])).add(wt);
+        let s0 = a.rotr(2).xor(a.rotr(13)).xor(a.rotr(22));
+        let maj = a.and(b).xor(a.and(c)).xor(b.and(c));
+        v[x(3)] = d.add(t1);
+        v[x(7)] = t1.add(s0.add(maj));
+    }
+
+    for (t, &wt) in w.iter().enumerate() {
+        round_t(&mut v, t, wt);
+    }
+    for t in 16..64 {
+        let w15 = w[(t + 1) & 15];
+        let w2 = w[(t + 14) & 15];
+        let s0 = w15.rotr(7).xor(w15.rotr(18)).xor(w15.shr(3));
+        let s1 = w2.rotr(17).xor(w2.rotr(19)).xor(w2.shr(10));
+        let wt = w[t & 15].add(s0).add(w[(t + 9) & 15]).add(s1);
+        w[t & 15] = wt;
+        round_t(&mut v, t, wt);
+    }
+
+    for (j, start) in init.iter().enumerate() {
+        v[j] = v[j].add(*start);
+    }
+    for (i, state) in states.iter_mut().enumerate() {
+        for (j, word) in state.iter_mut().enumerate() {
+            *word = v[j].0[i];
+        }
+    }
+}
+
+/// Hashes four equal-length messages in one interleaved pass.
+///
+/// This is the wide kernel behind batched convergent key derivation
+/// (`H(block)` over a span of data blocks) and the read-path integrity
+/// self-check: the four message schedules run in lockstep, so the
+/// compression's serial dependency chain is amortized fourfold. Returns
+/// the four digests in input order; results are bit-identical to
+/// [`sha256`] on each message.
+///
+/// # Panics
+///
+/// Panics if the four messages differ in length (lockstep lanes must pad
+/// identically; the batch layer routes unequal tails to the scalar path).
+///
+/// # Examples
+///
+/// ```
+/// use lamassu_crypto::sha256::{digest_blocks_x4, sha256};
+///
+/// let blocks = [&b"aaaa"[..], b"bbbb", b"cccc", b"dddd"];
+/// let wide = digest_blocks_x4(blocks);
+/// for (w, b) in wide.iter().zip(blocks) {
+///     assert_eq!(*w, sha256(b));
+/// }
+/// ```
+pub fn digest_blocks_x4(blocks: [&[u8]; SHA_LANES]) -> [Digest; SHA_LANES] {
+    let len = blocks[0].len();
+    assert!(
+        blocks.iter().all(|b| b.len() == len),
+        "digest_blocks_x4 requires equal-length messages"
+    );
+
+    let mut states = [H0; SHA_LANES];
+    let whole = len / 64;
+    for t in 0..whole {
+        compress_x4(
+            &mut states,
+            std::array::from_fn(|i| &blocks[i][t * 64..(t + 1) * 64]),
+        );
+    }
+
+    // All lanes share one padding layout: terminator after the common
+    // tail, zeros, 64-bit bit length — one or two final blocks.
+    let tail = len - whole * 64;
+    let bits = (len as u64).wrapping_mul(8).to_be_bytes();
+    let mut pads = [[0u8; 128]; SHA_LANES];
+    for (i, pad) in pads.iter_mut().enumerate() {
+        pad[..tail].copy_from_slice(&blocks[i][whole * 64..]);
+        pad[tail] = 0x80;
+    }
+    let pad_blocks = if tail < 56 { 1 } else { 2 };
+    for (i, pad) in pads.iter_mut().enumerate() {
+        pad[pad_blocks * 64 - 8..pad_blocks * 64].copy_from_slice(&bits);
+        let _ = i;
+    }
+    for t in 0..pad_blocks {
+        compress_x4(
+            &mut states,
+            std::array::from_fn(|i| &pads[i][t * 64..(t + 1) * 64]),
+        );
+    }
+
+    std::array::from_fn(|i| {
+        let mut out = [0u8; 32];
+        for (j, word) in states[i].iter().enumerate() {
+            out[j * 4..j * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,5 +581,46 @@ hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
             let msg = vec![b'a'; len];
             assert_eq!(to_hex(&sha256(&msg)), hex, "length {len}");
         }
+    }
+
+    #[test]
+    fn x4_nist_vectors() {
+        // FIPS 180-4 example vectors, all four driven through one pass.
+        let msgs: [&[u8]; SHA_LANES] = [b"abc", b"abc", b"abc", b"abc"];
+        for d in digest_blocks_x4(msgs) {
+            assert_eq!(
+                to_hex(&d),
+                "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+            );
+        }
+        let two = b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+        for d in digest_blocks_x4([two, two, two, two]) {
+            assert_eq!(
+                to_hex(&d),
+                "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+            );
+        }
+    }
+
+    #[test]
+    fn x4_matches_scalar_at_padding_boundaries() {
+        // Distinct lane contents across every padding regime: empty, short,
+        // one-block tail (55/56/63/64), multi-block, and 4 KiB data blocks.
+        for len in [0usize, 1, 31, 55, 56, 57, 63, 64, 65, 127, 128, 960, 4096] {
+            let lanes: Vec<Vec<u8>> = (0..SHA_LANES)
+                .map(|i| (0..len).map(|j| (i * 37 + j * 11 + 5) as u8).collect())
+                .collect();
+            let refs: [&[u8]; SHA_LANES] = std::array::from_fn(|i| lanes[i].as_slice());
+            let wide = digest_blocks_x4(refs);
+            for (i, d) in wide.iter().enumerate() {
+                assert_eq!(*d, sha256(&lanes[i]), "lane {i} length {len}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn x4_rejects_unequal_lengths() {
+        let _ = digest_blocks_x4([&b"aa"[..], b"aa", b"aa", b"a"]);
     }
 }

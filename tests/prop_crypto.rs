@@ -1,10 +1,14 @@
 //! Property-based tests over the from-scratch crypto substrate.
+//!
+//! The `fixsliced_*` properties are differential: the bitsliced constant-time
+//! kernels must be bit-for-bit interchangeable with the scalar T-table
+//! implementation, which serves as the reference oracle.
 
 use lamassu::crypto::aes::{ecb_decrypt_in_place, ecb_encrypt_in_place, Aes256};
 use lamassu::crypto::gcm::Aes256Gcm;
 use lamassu::crypto::kdf::ConvergentKdf;
-use lamassu::crypto::sha256::{sha256, Sha256};
-use lamassu::crypto::{cbc, ctr, CryptoError, FIXED_IV};
+use lamassu::crypto::sha256::{digest_blocks_x4, sha256, Sha256, SHA_LANES};
+use lamassu::crypto::{cbc, ctr, fixsliced, CryptoBackend, CryptoError, FIXED_IV};
 use proptest::prelude::*;
 
 proptest! {
@@ -141,5 +145,122 @@ proptest! {
         let kb = kdf.derive_for_block(&b);
         prop_assert_eq!(ka == kb, a == b, "key equality must track plaintext equality");
         prop_assert_eq!(kdf.invert(&ka), sha256(&a));
+    }
+
+    #[test]
+    fn fixsliced_ecb_matches_ttable(
+        key in any::<[u8; 32]>(),
+        blocks in 0usize..48,
+        seed in any::<u8>()
+    ) {
+        let fix = fixsliced::Aes256Fix::new(&key);
+        let aes = Aes256::new(&key);
+        let original: Vec<u8> = (0..blocks * 16).map(|i| (i as u8).wrapping_mul(37).wrapping_add(seed)).collect();
+        let mut wide = original.clone();
+        let mut scalar = original.clone();
+        fixsliced::ecb_encrypt(&fix, &mut wide);
+        ecb_encrypt_in_place(&aes, &mut scalar);
+        prop_assert_eq!(&wide, &scalar, "ECB encrypt differs between backends");
+        fixsliced::ecb_decrypt(&fix, &mut wide);
+        prop_assert_eq!(wide, original);
+    }
+
+    #[test]
+    fn fixsliced_cbc_matches_ttable(
+        key in any::<[u8; 32]>(),
+        iv in any::<[u8; 16]>(),
+        blocks in 1usize..48,
+        data in prop::collection::vec(any::<u8>(), 48 * 16)
+    ) {
+        let fix = fixsliced::Aes256Fix::new(&key);
+        let aes = Aes256::new(&key);
+        let original = &data[..blocks * 16];
+        let mut wide = original.to_vec();
+        let mut scalar = original.to_vec();
+        cbc::encrypt_in_place(&aes, &iv, &mut scalar).unwrap();
+        fixsliced::cbc_encrypt(&fix, &iv, &mut wide);
+        prop_assert_eq!(&wide, &scalar, "CBC encrypt differs between backends");
+        fixsliced::cbc_decrypt(&fix, &iv, &mut wide);
+        prop_assert_eq!(wide, original);
+    }
+
+    #[test]
+    fn fixsliced_cbc_chains_match_per_chain_ttable(
+        keys in prop::collection::vec(any::<[u8; 32]>(), 1..24),
+        iv in any::<[u8; 16]>(),
+        chain_blocks in 1usize..5,
+        seed in any::<u8>()
+    ) {
+        // Every chain count from below to well above the 16-chain slicing
+        // width, with chain lengths that are not multiples of the width.
+        let chain_len = chain_blocks * 16;
+        let original: Vec<u8> = (0..keys.len() * chain_len)
+            .map(|i| (i as u8).wrapping_mul(101).wrapping_add(seed))
+            .collect();
+        let mut wide = original.clone();
+        fixsliced::cbc_encrypt_chains(&keys, &iv, &mut wide, chain_len);
+        let mut scalar = original.clone();
+        for (chain, key) in scalar.chunks_mut(chain_len).zip(&keys) {
+            cbc::encrypt_in_place(&Aes256::new(key), &iv, chain).unwrap();
+        }
+        prop_assert_eq!(&wide, &scalar, "chained CBC encrypt differs between backends");
+        fixsliced::cbc_decrypt_chains(&keys, &iv, &mut wide, chain_len);
+        prop_assert_eq!(wide, original);
+    }
+
+    #[test]
+    fn fixsliced_ctr_matches_ttable(
+        key in any::<[u8; 32]>(),
+        counter in any::<[u8; 16]>(),
+        data in prop::collection::vec(any::<u8>(), 0..2000)
+    ) {
+        let fix = fixsliced::Aes256Fix::new(&key);
+        let aes = Aes256::new(&key);
+        let mut wide = data.clone();
+        let mut scalar = data.clone();
+        fixsliced::ctr32_xor(&fix, &counter, &mut wide);
+        ctr::ctr32_xor_in_place(&aes, &counter, &mut scalar);
+        prop_assert_eq!(&wide, &scalar, "CTR keystream differs between backends");
+        fixsliced::ctr32_xor(&fix, &counter, &mut wide);
+        prop_assert_eq!(wide, data);
+    }
+
+    #[test]
+    fn gcm_backends_are_interchangeable(
+        key in any::<[u8; 32]>(),
+        nonce in any::<[u8; 12]>(),
+        aad in prop::collection::vec(any::<u8>(), 0..32),
+        data in prop::collection::vec(any::<u8>(), 0..1024)
+    ) {
+        let wide = Aes256Gcm::with_backend(&key, CryptoBackend::Fixsliced);
+        let scalar = Aes256Gcm::with_backend(&key, CryptoBackend::TTable);
+        let mut wide_buf = data.clone();
+        let mut scalar_buf = data.clone();
+        let wide_tag = wide.encrypt_in_place(&nonce, &aad, &mut wide_buf);
+        let scalar_tag = scalar.encrypt_in_place(&nonce, &aad, &mut scalar_buf);
+        prop_assert_eq!(&wide_buf, &scalar_buf, "GCM ciphertext differs between backends");
+        prop_assert_eq!(wide_tag, scalar_tag, "GCM tag differs between backends");
+        // Each backend authenticates and decrypts the other's output.
+        scalar.decrypt_in_place(&nonce, &aad, &mut wide_buf, &wide_tag).unwrap();
+        prop_assert_eq!(wide_buf, data);
+    }
+
+    #[test]
+    fn sha256_x4_matches_scalar_lanes(
+        len in 0usize..3000,
+        seeds in any::<[u8; SHA_LANES]>()
+    ) {
+        // Lengths sweep across the one-vs-two-padding-block boundary at
+        // every `len % 64`; the four lanes carry different content so a
+        // lane mix-up cannot cancel out.
+        let lanes: Vec<Vec<u8>> = seeds
+            .iter()
+            .map(|&s| (0..len).map(|i| (i as u8).wrapping_mul(13).wrapping_add(s)).collect())
+            .collect();
+        let refs: [&[u8]; SHA_LANES] = std::array::from_fn(|i| lanes[i].as_slice());
+        let wide = digest_blocks_x4(refs);
+        for (lane, digest) in lanes.iter().zip(wide.iter()) {
+            prop_assert_eq!(*digest, sha256(lane), "multi-lane digest differs from scalar");
+        }
     }
 }

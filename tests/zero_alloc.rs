@@ -40,7 +40,8 @@
 //! README's memory-model section.
 
 use lamassu::core::{
-    FileSystem, IntegrityMode, IoMode, LamassuConfig, LamassuFs, SpanConfig, SpanPolicy,
+    CryptoBackend, FileSystem, IntegrityMode, IoMode, LamassuConfig, LamassuFs, SpanConfig,
+    SpanPolicy,
 };
 use lamassu::dist::{DistConfig, Granularity, RoutedStore};
 use lamassu::keymgr::KeyManager;
@@ -103,7 +104,9 @@ fn mount() -> LamassuFs {
     mount_with_io(StorageProfile::instant(), IoMode::Async)
 }
 
-/// Same mount with an explicit transport profile and I/O mode.
+/// Same mount with an explicit transport profile and I/O mode. The crypto
+/// backend is pinned to the wide fixsliced kernels (the default) so every
+/// zero-allocation guarantee below is asserted for the constant-time path.
 fn mount_with_io(profile: StorageProfile, io: IoMode) -> LamassuFs {
     let store = Arc::new(DedupStore::new(BS, profile));
     let km = KeyManager::new();
@@ -116,6 +119,7 @@ fn mount_with_io(profile: StorageProfile, io: IoMode) -> LamassuFs {
             io,
             workers: 1,
             pool_blocks: None,
+            crypto: CryptoBackend::Fixsliced,
         });
     LamassuFs::new(store, keys, config)
 }
@@ -167,13 +171,20 @@ fn warm_reread_loop_allocates_nothing() {
     sweep(&fs, BS / 2);
     sweep(&fs, 0);
 
-    // Aligned warm re-reads: zero allocations per op.
+    // Aligned warm re-reads: zero allocations per op, and the reads must
+    // actually run the wide fixsliced kernels (not fall back to T-table).
+    let (wide_before, _, _, _) = lamassu::crypto::stats::snapshot();
     let allocs = allocs_during(|| {
         for _ in 0..8 {
             sweep(&fs, 0);
         }
     });
     assert_eq!(allocs, 0, "aligned warm re-read loop must not allocate");
+    let (wide_after, _, _, _) = lamassu::crypto::stats::snapshot();
+    assert!(
+        wide_after > wide_before,
+        "warm re-reads must decrypt through the wide fixsliced kernels"
+    );
 
     // Misaligned warm re-reads (head/tail blocks stage through the pool —
     // still zero allocations).
