@@ -23,6 +23,7 @@ fn main() {
     experiments::scaleout::run(fio.min(8 * 1024 * 1024));
     experiments::hot_path::run(8);
     experiments::wide_crypto::run();
+    experiments::chaos::run(fio.min(4 * 1024 * 1024));
     let telemetry = std::env::args().any(|a| a == "--telemetry");
     experiments::latency::run(fio.min(8 * 1024 * 1024), telemetry);
     println!("\nAll experiments complete; JSON reports are under ./results/");

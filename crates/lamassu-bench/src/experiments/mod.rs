@@ -19,11 +19,13 @@
 //! | [`hot_path`] | beyond the paper — allocs/op and ns/block on the steady-state data path |
 //! | [`latency`] | beyond the paper — per-op latency percentiles and the telemetry overhead budget |
 //! | [`wide_crypto`] | beyond the paper — wide constant-time AES/SHA kernels vs the scalar T-table oracle |
+//! | [`chaos`] | beyond the paper — self-healing under transient faults and a burst outage |
 
 pub mod ablation;
 pub mod ablation_ce_granularity;
 pub mod ablation_key_server;
 pub mod cache;
+pub mod chaos;
 pub mod fig10;
 pub mod fig11;
 pub mod fig6;

@@ -16,9 +16,14 @@
 //! ```
 
 use lamassu_cache::{CacheConfig, CacheMode, CachedStore};
-use lamassu_core::{CryptoBackend, FileSystem, LamassuConfig, LamassuFs, OpenFlags};
+use lamassu_core::{
+    CryptoBackend, FileSystem, LamassuConfig, LamassuFs, OpenFlags, ResilienceConfig,
+};
 use lamassu_dist::{DistConfig, Granularity, RoutedStore};
 use lamassu_keymgr::KeyManager;
+use lamassu_resilience::{
+    BreakerConfig, BreakerSet, HedgeConfig, OpBudget, ResilientStore, RetryPolicy,
+};
 use lamassu_storage::{DirStore, ObjectStore, StorageProfile};
 use lamassu_telemetry::{Registry, Snapshot, TraceConfig, Tracer};
 use lamassu_workloads::{FioConfig, FioTester, JobLayout, Workload};
@@ -85,6 +90,19 @@ OPTIONS:
                                block-range placement, read failover, and
                                scrub/read-repair during fsck. Composes with
                                --cache (cache above the routed tier).
+    --resilience <r[:ms]>      self-healing wrapper around the volume (or the
+                               routed tier): retry transient failures up to
+                               <r> times per operation with deterministic
+                               virtual-time backoff. An optional :<ms> also
+                               enables hedged reads — a read whose modelled
+                               latency crosses the live p95 (never below <ms>
+                               milliseconds) launches a duplicate attempt and
+                               the first completion wins. With --dist, also
+                               attaches per-shard circuit breakers: a failing
+                               shard is skipped (degraded reads/writes) until
+                               a half-open probe re-admits it, and a
+                               successful probe queues a targeted scrub that
+                               fsck/stats drain.
     --format <f>               stats output format: json (pretty snapshot),
                                prom (Prometheus text) or both (default)
 ";
@@ -103,6 +121,7 @@ struct Options {
     bench_mb: u64,
     cache: Option<(CacheMode, usize)>,
     dist: Option<(usize, usize)>,
+    resilience: ResilienceConfig,
     format: StatsFormat,
     positional: Vec<String>,
 }
@@ -141,6 +160,31 @@ fn parse_dist_spec(value: &str) -> Result<(usize, usize), String> {
         None => 1,
     };
     Ok((backends, replicas))
+}
+
+/// Parses `--resilience` values: `retries[:hedge-ms]` with `retries >= 1`
+/// transient retries per operation and an optional hedged-read floor in
+/// milliseconds (`>= 1`).
+fn parse_resilience_spec(value: &str) -> Result<ResilienceConfig, String> {
+    let (retries_str, hedge_str) = match value.split_once(':') {
+        Some((r, h)) => (r, Some(h)),
+        None => (value, None),
+    };
+    let retries = retries_str
+        .parse::<u32>()
+        .ok()
+        .filter(|&r| r >= 1)
+        .ok_or_else(|| format!("bad retry count: {retries_str}"))?;
+    let hedge_ms = match hedge_str {
+        Some(h) => Some(
+            h.parse::<u32>()
+                .ok()
+                .filter(|&ms| ms >= 1)
+                .ok_or_else(|| format!("bad hedge floor: {h} (milliseconds, >= 1)"))?,
+        ),
+        None => None,
+    };
+    Ok(ResilienceConfig { retries, hedge_ms })
 }
 
 /// Parses `--cache` values: `off`, `write-through[:blocks]`,
@@ -193,6 +237,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         bench_mb: 8,
         cache: None,
         dist: None,
+        resilience: ResilienceConfig::default(),
         format: StatsFormat::Both,
         positional: Vec::new(),
     };
@@ -274,6 +319,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         o.dist = Some(parse_dist_spec(&v)?);
         Ok(())
     });
+    flags.insert("--resilience", |o, v| {
+        o.resilience = parse_resilience_spec(&v)?;
+        Ok(())
+    });
     flags.insert("--format", |o, v| {
         o.format = match v.as_str() {
             "json" => StatsFormat::Json,
@@ -320,9 +369,15 @@ struct Mounted {
     /// The routed tier, when `--dist` spread the volume over shards — `fsck`
     /// runs its scrub/read-repair pass.
     dist: Option<Arc<RoutedStore>>,
+    /// The self-healing tier, when `--resilience` wrapped the volume —
+    /// `stats` exports its retry/hedge counters.
+    resilience: Option<Arc<ResilientStore>>,
+    /// Per-shard circuit breakers, when `--resilience` composes with
+    /// `--dist` — `stats` exports their open/reclose counters.
+    breakers: Option<Arc<BreakerSet>>,
     /// The store tier the shim sits on (the cache when one is configured,
-    /// then the router, then the volume's `DirStore`) — where `bench` reads
-    /// accounting.
+    /// then the resilience wrapper, the router, and the volume's `DirStore`)
+    /// — where `bench` reads accounting.
     store: Arc<dyn ObjectStore>,
 }
 
@@ -384,6 +439,34 @@ fn mount(opts: &Options) -> Result<Mounted, String> {
             router
         }
     };
+    // The self-healing wrapper sits directly above the volume (or the
+    // routed tier), below any cache, so retried and hedged attempts hit the
+    // transport rather than the cache's fast path.
+    let mut resilience = None;
+    let mut breakers = None;
+    let dir: Arc<dyn ObjectStore> = if opts.resilience.enabled() {
+        if let Some(router) = &dist {
+            let set = Arc::new(BreakerSet::new(BreakerConfig::default()));
+            router.set_health_gate(set.clone());
+            breakers = Some(set);
+        }
+        let budget = OpBudget {
+            max_attempts: opts.resilience.retries.saturating_add(1),
+            ..OpBudget::default()
+        };
+        let mut wrapped = ResilientStore::new(dir, RetryPolicy::default(), budget);
+        if let Some(ms) = opts.resilience.hedge_ms {
+            wrapped = wrapped.with_hedging(HedgeConfig {
+                floor: std::time::Duration::from_millis(u64::from(ms)),
+                ..HedgeConfig::default()
+            });
+        }
+        let wrapped = Arc::new(wrapped);
+        resilience = Some(wrapped.clone());
+        wrapped
+    } else {
+        dir
+    };
     let mut cache = None;
     let store: Arc<dyn ObjectStore> = match opts.cache {
         None => dir,
@@ -411,6 +494,7 @@ fn mount(opts: &Options) -> Result<Mounted, String> {
                 policy: lamassu_core::SpanPolicy::Batched,
                 workers: opts.workers,
                 crypto: opts.crypto,
+                resilience: opts.resilience,
                 ..lamassu_core::SpanConfig::default()
             },
         },
@@ -419,6 +503,8 @@ fn mount(opts: &Options) -> Result<Mounted, String> {
         fs,
         cache,
         dist,
+        resilience,
+        breakers,
         store,
     })
 }
@@ -551,6 +637,15 @@ fn cmd_verify(opts: &Options) -> Result<(), String> {
 fn cmd_fsck(opts: &Options) -> Result<(), String> {
     let fs_mount = mount(opts)?;
     if let Some(router) = &fs_mount.dist {
+        // A breaker that reclosed during this process queued its shard for
+        // a targeted resync; drain those before the full pass.
+        for id in router.take_probe_scrub_requests() {
+            let probe = router.scrub_member(id);
+            println!(
+                "probe scrub shard {id}: {} units checked, {} repaired",
+                probe.units, probe.repaired
+            );
+        }
         let scrub = router.scrub();
         println!(
             "scrub: {} objects, {} units checked; {} mismatches, {} repaired, \
@@ -788,8 +883,19 @@ fn cmd_stats(opts: &Options) -> Result<(), String> {
         snap.section("cache", &cache.stats());
     }
     if let Some(router) = &fs_mount.dist {
+        // Drain breaker-triggered resyncs so the scrub totals below include
+        // them (mirroring fsck's maintenance pass).
+        for id in router.take_probe_scrub_requests() {
+            router.scrub_member(id);
+        }
         snap.section("dist", &router.stats());
         snap.section("scrub", &router.scrub_totals());
+    }
+    if let Some(resilient) = &fs_mount.resilience {
+        snap.section("resilience", &resilient.stats());
+    }
+    if let Some(breakers) = &fs_mount.breakers {
+        snap.section("breakers", &breakers.stats());
     }
     snap.section("backend", &fs_mount.store.io_counters());
     snap.section("fio", &result.aggregate);

@@ -31,11 +31,13 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod health;
 pub mod ring;
 pub mod routed;
 pub mod stats;
 
 pub use config::{DistConfig, Granularity};
+pub use health::{HealthEvent, HealthGate};
 pub use ring::{HashRing, MAX_REPLICAS};
 pub use routed::RoutedStore;
 pub use stats::{DistStats, ScrubReport};

@@ -43,6 +43,7 @@
 //! never a torn one.
 
 use crate::config::{DistConfig, Granularity};
+use crate::health::{HealthEvent, HealthGate};
 use crate::ring::{HashRing, OwnerChain, MAX_REPLICAS};
 use crate::stats::{AtomicDistStats, DistStats, ScrubReport};
 use lamassu_core::{Category, Profiler};
@@ -74,11 +75,35 @@ struct Membership<S: ObjectStore + ?Sized> {
 /// Why a `(member, object)` pair awaits repair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SuspectKind {
-    /// The member missed a write (or failed a read) and must be
-    /// resynchronized from a good replica.
+    /// The member failed a *read* attempt. Reads modify nothing, so the
+    /// member's data is merely unverified, not known-stale: a later
+    /// successful read from the same `(member, object)` clears the entry
+    /// without waiting for a scrub. Scrub still distrusts it in digest
+    /// votes while it stands.
+    Probation,
+    /// The member missed a write and must be resynchronized from a good
+    /// replica. Only a clean scrub of the object clears it.
     Resync,
     /// The object was removed but this member still holds a stale copy.
     Tombstone,
+}
+
+impl SuspectKind {
+    /// Entries a clean scrub of the object resolves (everything except
+    /// tombstones, which have their own cleanup path).
+    fn repairable(self) -> bool {
+        matches!(self, SuspectKind::Probation | SuspectKind::Resync)
+    }
+
+    /// Severity order for the upgrade lattice in `note_suspect`:
+    /// `Probation < Resync < Tombstone`.
+    fn rank(self) -> u8 {
+        match self {
+            SuspectKind::Probation => 0,
+            SuspectKind::Resync => 1,
+            SuspectKind::Tombstone => 2,
+        }
+    }
 }
 
 /// Runs `f` and adds its wall time to `acc` (separates member-store time
@@ -145,6 +170,11 @@ pub struct RoutedStore<S: ObjectStore + ?Sized = dyn ObjectStore> {
     /// Running union of every scrub pass (see [`RoutedStore::scrub_totals`]).
     scrub_totals: Mutex<ScrubReport>,
     profiler: RwLock<Option<Arc<Profiler>>>,
+    /// Optional per-member admission control (circuit breakers).
+    health: RwLock<Option<Arc<dyn HealthGate>>>,
+    /// Member ids whose breaker just reclosed and who therefore await a
+    /// targeted scrub (see [`RoutedStore::take_probe_scrub_requests`]).
+    probe_scrubs: Mutex<Vec<u32>>,
 }
 
 impl<S: ObjectStore + ?Sized> RoutedStore<S> {
@@ -174,6 +204,8 @@ impl<S: ObjectStore + ?Sized> RoutedStore<S> {
             stats: AtomicDistStats::default(),
             scrub_totals: Mutex::new(ScrubReport::default()),
             profiler: RwLock::new(None),
+            health: RwLock::new(None),
+            probe_scrubs: Mutex::new(Vec::new()),
         }
     }
 
@@ -242,6 +274,27 @@ impl<S: ObjectStore + ?Sized> RoutedStore<S> {
         *self.profiler.write() = Some(profiler);
     }
 
+    /// Attaches a per-member [`HealthGate`] (typically the resilience
+    /// layer's breaker set). Once attached, reads and writes skip members
+    /// the gate rejects — degrading to replica reads and suspect-marked
+    /// writes — unless no admitted member can serve the operation, and
+    /// every attempt's outcome is reported back to the gate. A member
+    /// whose gate recloses (recovers) is queued for a targeted scrub.
+    pub fn set_health_gate(&self, gate: Arc<dyn HealthGate>) {
+        *self.health.write() = Some(gate);
+    }
+
+    /// Drains the pending targeted-scrub requests: stable ids of members
+    /// whose health gate reclosed since the last call, deduplicated. The
+    /// caller runs [`RoutedStore::scrub_member`] for each — the half-open
+    /// probe that reclosed the breaker doubles as the resync trigger.
+    pub fn take_probe_scrub_requests(&self) -> Vec<u32> {
+        let mut ids = std::mem::take(&mut *self.probe_scrubs.lock());
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
     // ---- internal helpers -------------------------------------------------
 
     fn op_start(&self) -> Option<Instant> {
@@ -278,8 +331,35 @@ impl<S: ObjectStore + ?Sized> RoutedStore<S> {
     fn note_suspect(&self, member_id: u32, name: &Arc<str>, kind: SuspectKind) {
         let mut suspects = self.suspects.lock();
         let entry = suspects.entry((member_id, name.clone())).or_insert(kind);
-        if kind == SuspectKind::Tombstone {
-            *entry = SuspectKind::Tombstone;
+        // Upgrade-only lattice (Probation < Resync < Tombstone): a read
+        // failure never downgrades a known missed write, and nothing
+        // overrides a pending removal.
+        if kind.rank() > entry.rank() {
+            *entry = kind;
+        }
+    }
+
+    /// A successful read from `(member, object)` disproves a read-failure
+    /// suspicion: drop a `Probation` entry (and only that kind) without
+    /// waiting for a scrub. Alloc-free; the common no-suspects case is one
+    /// uncontended lock and an `is_empty` check.
+    fn clear_probation(&self, member_id: u32, name: &Arc<str>) {
+        let mut suspects = self.suspects.lock();
+        if suspects.is_empty() {
+            return;
+        }
+        let key = (member_id, name.clone());
+        if suspects.get(&key) == Some(&SuspectKind::Probation) {
+            suspects.remove(&key);
+            AtomicDistStats::bump(&self.stats.suspects_cleared_inline);
+        }
+    }
+
+    /// Reacts to a health-gate state transition: a member whose breaker
+    /// reclosed (came back after an outage) is queued for a targeted scrub.
+    fn gate_event(&self, member_id: u32, ev: HealthEvent) {
+        if ev == HealthEvent::Reclosed {
+            self.probe_scrubs.lock().push(member_id);
         }
     }
 
@@ -372,6 +452,136 @@ impl<S: ObjectStore + ?Sized> RoutedStore<S> {
         }
     }
 
+    /// Tries `attempt` against the chain's members in order, consulting
+    /// the health gate. Members the gate rejects are skipped on the first
+    /// pass (counted as `breaker_skips`); if no admitted member succeeded,
+    /// a second pass retries the skipped ones — the tier prefers serving a
+    /// read off a dubious replica over refusing it. Every real attempt's
+    /// outcome feeds the gate; failures put the member on `Probation`,
+    /// success clears it. Allocation-free on success.
+    fn try_chain(
+        &self,
+        m: &Membership<S>,
+        name: &Arc<str>,
+        chain: &[u32],
+        mut attempt: impl FnMut(&Member<S>) -> Result<()>,
+    ) -> Result<()> {
+        let gate = self.health.read().clone();
+        let n = chain.len();
+        let mut tried = [false; MAX_REPLICAS];
+        let mut last_err: Option<StorageError> = None;
+        let mut skipped = false;
+        for pass in 0..2 {
+            for (i, &slot) in chain.iter().enumerate() {
+                if tried[i] {
+                    continue;
+                }
+                let mem = &m.members[slot as usize];
+                if pass == 0 {
+                    if let Some(g) = &gate {
+                        if !g.allow(mem.id) {
+                            skipped = true;
+                            AtomicDistStats::bump(&self.stats.breaker_skips);
+                            continue;
+                        }
+                    }
+                }
+                tried[i] = true;
+                match attempt(mem) {
+                    Ok(()) => {
+                        if let Some(g) = &gate {
+                            self.gate_event(mem.id, g.record(mem.id, true));
+                        }
+                        self.clear_probation(mem.id, name);
+                        return Ok(());
+                    }
+                    Err(e) => {
+                        if let Some(g) = &gate {
+                            self.gate_event(mem.id, g.record(mem.id, false));
+                        }
+                        if i + 1 < n {
+                            AtomicDistStats::bump(&self.stats.read_failovers);
+                        }
+                        self.note_suspect(mem.id, name, SuspectKind::Probation);
+                        last_err = Some(e);
+                    }
+                }
+            }
+            if !skipped {
+                break;
+            }
+        }
+        Err(last_err.unwrap_or_else(|| no_backends(name)))
+    }
+
+    /// Fans `attempt` out to every member of the chain, consulting the
+    /// health gate. Gate-rejected owners are skipped (a *degraded* write:
+    /// they miss the data and are marked `Resync` so the next scrub
+    /// rewrites them) unless no admitted owner took the write, in which
+    /// case the skipped ones are tried after all — availability wins.
+    fn write_chain(
+        &self,
+        m: &Membership<S>,
+        name: &Arc<str>,
+        chain: &[u32],
+        mut attempt: impl FnMut(&Member<S>) -> Result<()>,
+    ) -> Result<()> {
+        let gate = self.health.read().clone();
+        let n = chain.len();
+        let mut tried = [false; MAX_REPLICAS];
+        let mut ok = 0;
+        let mut first_err: Option<StorageError> = None;
+        let mut skipped = false;
+        for pass in 0..2 {
+            for (i, &slot) in chain.iter().enumerate() {
+                if tried[i] {
+                    continue;
+                }
+                let mem = &m.members[slot as usize];
+                if pass == 0 {
+                    if let Some(g) = &gate {
+                        if !g.allow(mem.id) {
+                            skipped = true;
+                            AtomicDistStats::bump(&self.stats.breaker_skips);
+                            continue;
+                        }
+                    }
+                }
+                tried[i] = true;
+                match attempt(mem) {
+                    Ok(()) => {
+                        if let Some(g) = &gate {
+                            self.gate_event(mem.id, g.record(mem.id, true));
+                        }
+                        ok += 1;
+                    }
+                    Err(e) => {
+                        if let Some(g) = &gate {
+                            self.gate_event(mem.id, g.record(mem.id, false));
+                        }
+                        self.note_suspect(mem.id, name, SuspectKind::Resync);
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                    }
+                }
+            }
+            if !(skipped && ok == 0) {
+                break;
+            }
+        }
+        // Owners never attempted (their breaker was open and the admitted
+        // owners sufficed) missed the write: mark them for resync now —
+        // *after* the passes, so a skipped owner the fallback pass did
+        // reach is not wrongly suspected.
+        for (i, &slot) in chain.iter().enumerate() {
+            if !tried[i] {
+                self.note_suspect(m.members[slot as usize].id, name, SuspectKind::Resync);
+            }
+        }
+        self.finish_unit_write(ok, n, first_err, name)
+    }
+
     /// Reads `buf.len()` bytes at `pos` (all inside one placement unit and
     /// the logical length) from the unit's replica chain, failing over down
     /// the chain and zero-filling whatever a sparse member object cannot
@@ -386,24 +596,11 @@ impl<S: ObjectStore + ?Sized> RoutedStore<S> {
     ) -> Result<()> {
         let mut chain: OwnerChain = [0; MAX_REPLICAS];
         let n = self.owners_for(m, name, pos, &mut chain);
-        let mut last_err: Option<StorageError> = None;
-        for (i, &slot) in chain[..n].iter().enumerate() {
-            let mem = &m.members[slot as usize];
-            match timed(backend_time, || mem.store.read_into(name, pos, buf)) {
-                Ok(got) => {
-                    buf[got..].fill(0);
-                    return Ok(());
-                }
-                Err(e) => {
-                    if i + 1 < n {
-                        AtomicDistStats::bump(&self.stats.read_failovers);
-                    }
-                    self.note_suspect(mem.id, name, SuspectKind::Resync);
-                    last_err = Some(e);
-                }
-            }
-        }
-        Err(last_err.unwrap_or_else(|| no_backends(name)))
+        self.try_chain(m, name, &chain[..n], |mem| {
+            let got = timed(backend_time, || mem.store.read_into(name, pos, buf))?;
+            buf[got..].fill(0);
+            Ok(())
+        })
     }
 
     /// Vectored dual of [`RoutedStore::read_unit`]: `bufs` is a run of
@@ -419,26 +616,13 @@ impl<S: ObjectStore + ?Sized> RoutedStore<S> {
     ) -> Result<()> {
         let mut chain: OwnerChain = [0; MAX_REPLICAS];
         let n = self.owners_for(m, name, pos, &mut chain);
-        let mut last_err: Option<StorageError> = None;
-        for (i, &slot) in chain[..n].iter().enumerate() {
-            let mem = &m.members[slot as usize];
-            match timed(backend_time, || {
+        self.try_chain(m, name, &chain[..n], |mem| {
+            let got = timed(backend_time, || {
                 mem.store.read_into_vectored(name, pos, bufs)
-            }) {
-                Ok(got) => {
-                    zero_fill_bufs(bufs, got);
-                    return Ok(());
-                }
-                Err(e) => {
-                    if i + 1 < n {
-                        AtomicDistStats::bump(&self.stats.read_failovers);
-                    }
-                    self.note_suspect(mem.id, name, SuspectKind::Resync);
-                    last_err = Some(e);
-                }
-            }
-        }
-        Err(last_err.unwrap_or_else(|| no_backends(name)))
+            })?;
+            zero_fill_bufs(bufs, got);
+            Ok(())
+        })
     }
 
     /// Writes `data` at `pos` (inside one placement unit) to every owner.
@@ -454,21 +638,9 @@ impl<S: ObjectStore + ?Sized> RoutedStore<S> {
     ) -> Result<()> {
         let mut chain: OwnerChain = [0; MAX_REPLICAS];
         let n = self.owners_for(m, name, pos, &mut chain);
-        let mut ok = 0;
-        let mut first_err: Option<StorageError> = None;
-        for &slot in &chain[..n] {
-            let mem = &m.members[slot as usize];
-            match timed(backend_time, || mem.store.write_at(name, pos, data)) {
-                Ok(()) => ok += 1,
-                Err(e) => {
-                    self.note_suspect(mem.id, name, SuspectKind::Resync);
-                    if first_err.is_none() {
-                        first_err = Some(e);
-                    }
-                }
-            }
-        }
-        self.finish_unit_write(ok, n, first_err, name)
+        self.write_chain(m, name, &chain[..n], |mem| {
+            timed(backend_time, || mem.store.write_at(name, pos, data))
+        })
     }
 
     /// Vectored dual of [`RoutedStore::write_unit`].
@@ -482,23 +654,11 @@ impl<S: ObjectStore + ?Sized> RoutedStore<S> {
     ) -> Result<()> {
         let mut chain: OwnerChain = [0; MAX_REPLICAS];
         let n = self.owners_for(m, name, pos, &mut chain);
-        let mut ok = 0;
-        let mut first_err: Option<StorageError> = None;
-        for &slot in &chain[..n] {
-            let mem = &m.members[slot as usize];
-            match timed(backend_time, || {
+        self.write_chain(m, name, &chain[..n], |mem| {
+            timed(backend_time, || {
                 mem.store.write_at_vectored(name, pos, bufs)
-            }) {
-                Ok(()) => ok += 1,
-                Err(e) => {
-                    self.note_suspect(mem.id, name, SuspectKind::Resync);
-                    if first_err.is_none() {
-                        first_err = Some(e);
-                    }
-                }
-            }
-        }
-        self.finish_unit_write(ok, n, first_err, name)
+            })
+        })
     }
 
     fn finish_unit_write(
@@ -571,10 +731,11 @@ impl<S: ObjectStore + ?Sized> RoutedStore<S> {
             return Err(not_found(name));
         };
         self.meta.lock().remove(name);
-        // Pending resyncs of a removed object are moot.
+        // Pending resyncs (and read-failure probations) of a removed
+        // object are moot.
         self.suspects
             .lock()
-            .retain(|(_, n), k| !(*k == SuspectKind::Resync && n.as_ref() == name));
+            .retain(|(_, n), k| !(k.repairable() && n.as_ref() == name));
         self.fan_out(m, &iname, SuspectKind::Tombstone, true, |mem| {
             mem.store.remove(name)
         })
@@ -932,6 +1093,15 @@ impl<S: ObjectStore + ?Sized> ObjectStore for RoutedStore<S> {
         })
     }
 
+    fn sleep_virtual(&self, d: Duration) {
+        // A retry layer's backoff above this tier waits on every member:
+        // io_time() is the max over member clocks, so advancing them all
+        // makes the wait visible no matter which member serves next.
+        for m in &self.state.read().members {
+            m.store.sleep_virtual(d);
+        }
+    }
+
     fn io_time(&self) -> Duration {
         // Members are independent servers: the modelled wall time of the
         // tier is the busiest member's makespan, the cross-backend
@@ -1007,10 +1177,11 @@ impl<S: ObjectStore + ?Sized> RoutedStore<S> {
                 pos = uend;
             }
             if clean {
-                // Every unit verified or repaired: pending resyncs are done.
-                self.suspects.lock().retain(|(_, n), k| {
-                    !(*k == SuspectKind::Resync && n.as_ref() == iname.as_ref())
-                });
+                // Every unit verified or repaired: pending resyncs (and
+                // probations) are done.
+                self.suspects
+                    .lock()
+                    .retain(|(_, n), k| !(k.repairable() && n.as_ref() == iname.as_ref()));
             }
         }
         AtomicDistStats::add(&self.stats.scrub_mismatches, report.mismatches);
@@ -1027,6 +1198,72 @@ impl<S: ObjectStore + ?Sized> RoutedStore<S> {
     /// outcome telemetry snapshots export.
     pub fn scrub_totals(&self) -> ScrubReport {
         *self.scrub_totals.lock()
+    }
+
+    /// Targeted scrub of one member: verifies and repairs only the units
+    /// whose owner chain includes the member with stable id `id` (and that
+    /// member's container objects). This is the resync a reclosing circuit
+    /// breaker requests — the member was down, its breaker's half-open
+    /// probe just succeeded, and exactly the data it can hold needs
+    /// verification, not the whole cluster.
+    ///
+    /// Clean objects drop the member's pending `Resync`/`Probation`
+    /// entries. Returns an empty report if the member is not in the
+    /// cluster.
+    pub fn scrub_member(&self, id: u32) -> ScrubReport {
+        let m = self.state.write();
+        let mut report = ScrubReport::default();
+        if !m.members.iter().any(|mem| mem.id == id) {
+            return report;
+        }
+        AtomicDistStats::bump(&self.stats.probe_scrubs);
+        let names = self.known_objects(&m);
+        for name in names {
+            let mut backend_time = Duration::ZERO;
+            let Some((iname, len)) = self.object_len(&m, &name, &mut backend_time) else {
+                continue;
+            };
+            let holds = self
+                .holder_slots(&m, &iname)
+                .iter()
+                .any(|&slot| m.members[slot as usize].id == id);
+            if !holds {
+                continue;
+            }
+            report.objects += 1;
+            let mut clean = self.repair_containers(&m, &iname, len, &mut report);
+            let mut pos = 0u64;
+            loop {
+                let uend = self.config.unit_end(pos).min(len);
+                let mut chain: OwnerChain = [0; MAX_REPLICAS];
+                let n = self.owners_for(&m, &iname, pos, &mut chain);
+                if chain[..n]
+                    .iter()
+                    .any(|&slot| m.members[slot as usize].id == id)
+                {
+                    report.units += 1;
+                    if !self.scrub_unit(&m, &iname, pos, (uend - pos) as usize, &mut report) {
+                        clean = false;
+                    }
+                }
+                if uend >= len {
+                    break;
+                }
+                pos = uend;
+            }
+            if clean {
+                self.suspects.lock().retain(|(mid, n), k| {
+                    !(*mid == id && k.repairable() && n.as_ref() == iname.as_ref())
+                });
+            }
+        }
+        AtomicDistStats::add(&self.stats.scrub_mismatches, report.mismatches);
+        AtomicDistStats::add(&self.stats.scrub_repairs, report.repaired);
+        {
+            let mut totals = self.scrub_totals.lock();
+            *totals = totals.merge(&report);
+        }
+        report
     }
 
     fn clear_tombstones(&self, m: &Membership<S>, report: &mut ScrubReport) {
@@ -1854,6 +2091,173 @@ mod tests {
         assert_eq!(out[0].ticket, rt);
         assert!(matches!(out[0].result, Ok(512)));
         assert_eq!(buf, data);
+    }
+
+    /// Scriptable [`HealthGate`] for tests: deny-listed members are
+    /// rejected; members in `reclose_on_success` report [`HealthEvent::Reclosed`]
+    /// on their next successful attempt (once).
+    #[derive(Default)]
+    struct TestGate {
+        denied: Mutex<std::collections::HashSet<u32>>,
+        reclose_on_success: Mutex<std::collections::HashSet<u32>>,
+    }
+
+    impl HealthGate for TestGate {
+        fn allow(&self, member: u32) -> bool {
+            !self.denied.lock().contains(&member)
+        }
+
+        fn record(&self, member: u32, ok: bool) -> HealthEvent {
+            if ok && self.reclose_on_success.lock().remove(&member) {
+                HealthEvent::Reclosed
+            } else {
+                HealthEvent::None
+            }
+        }
+    }
+
+    #[test]
+    fn open_gate_skips_member_on_reads_and_writes() {
+        let members = dedup_members(3);
+        let r = RoutedStore::new(
+            members.clone(),
+            DistConfig::new(2).granularity(Granularity::BlockRange(64)),
+        );
+        r.create("f").unwrap();
+        let data = pattern(64 * 24, 5);
+        r.write_at("f", 0, &data).unwrap();
+
+        let gate = Arc::new(TestGate::default());
+        gate.denied.lock().insert(0);
+        r.set_health_gate(gate.clone());
+
+        // Reads skip member 0 wherever it is in a chain and serve off the
+        // other replica instead — no client-visible error.
+        assert_eq!(read_all(&r, "f"), data);
+        let stats = r.stats();
+        assert!(stats.breaker_skips > 0, "{stats:?}");
+        assert_eq!(stats.read_failovers, 0, "skips are not failovers");
+
+        // Writes skip member 0 too: degraded, member 0 marked suspect.
+        let fresh = pattern(64 * 24, 6);
+        r.write_at("f", 0, &fresh).unwrap();
+        let stats = r.stats();
+        assert!(stats.degraded_writes > 0, "{stats:?}");
+        assert!(r.suspects_pending() > 0);
+        assert_eq!(read_all(&r, "f"), fresh);
+
+        // Member 0 readmitted: scrub resyncs the writes it missed.
+        gate.denied.lock().clear();
+        let report = r.scrub();
+        assert!(report.repaired > 0, "{report:?}");
+        assert_eq!(r.suspects_pending(), 0);
+        assert_eq!(r.scrub().mismatches, 0);
+    }
+
+    #[test]
+    fn gate_rejecting_everyone_falls_back_to_serving_anyway() {
+        let r = routed(2, 2, 128);
+        r.create("f").unwrap();
+        let data = pattern(512, 9);
+        r.write_at("f", 0, &data).unwrap();
+        let gate = Arc::new(TestGate::default());
+        gate.denied.lock().extend([0u32, 1]);
+        r.set_health_gate(gate);
+        // Every owner's breaker is open, but refusing service would turn a
+        // health precaution into an outage: the fallback pass serves it.
+        assert_eq!(read_all(&r, "f"), data);
+        let fresh = pattern(512, 10);
+        r.write_at("f", 0, &fresh).unwrap();
+        assert_eq!(read_all(&r, "f"), fresh);
+        assert!(r.stats().breaker_skips > 0);
+    }
+
+    #[test]
+    fn reclosed_gate_queues_targeted_scrub_that_resyncs_the_member() {
+        let members = dedup_members(2);
+        let r = RoutedStore::new(
+            members.clone(),
+            DistConfig::new(2).granularity(Granularity::BlockRange(128)),
+        );
+        r.create("f").unwrap();
+        r.write_at("f", 0, &pattern(1024, 1)).unwrap();
+
+        let gate = Arc::new(TestGate::default());
+        gate.denied.lock().insert(1);
+        r.set_health_gate(gate.clone());
+        let fresh = pattern(1024, 2);
+        r.write_at("f", 0, &fresh).unwrap(); // member 1 skipped: degraded
+        assert!(r.suspects_pending() > 0);
+
+        // Member 1 recovers; its next successful attempt recloses the gate,
+        // which queues a targeted scrub of exactly that member. (Until that
+        // scrub runs, units where the stale member is primary still serve
+        // its old bytes — content is only asserted after the resync.)
+        gate.denied.lock().clear();
+        gate.reclose_on_success.lock().insert(1);
+        let _ = read_all(&r, "f");
+        let pending = r.take_probe_scrub_requests();
+        assert_eq!(pending, vec![1]);
+        assert!(r.take_probe_scrub_requests().is_empty(), "drained");
+
+        let report = r.scrub_member(1);
+        assert!(report.repaired > 0, "{report:?}");
+        assert_eq!(r.stats().probe_scrubs, 1);
+        assert_eq!(r.suspects_pending(), 0);
+        assert_eq!(read_all(members[1].as_ref(), "f"), fresh);
+        assert_eq!(read_all(&r, "f"), fresh);
+        assert_eq!(r.scrub().mismatches, 0);
+    }
+
+    #[test]
+    fn scrub_member_ignores_unknown_ids() {
+        let r = routed(2, 2, 128);
+        r.create("f").unwrap();
+        r.write_at("f", 0, &pattern(256, 1)).unwrap();
+        let report = r.scrub_member(99);
+        assert_eq!(report, ScrubReport::default());
+        assert_eq!(r.stats().probe_scrubs, 0);
+    }
+
+    #[test]
+    fn successful_read_clears_probation_without_a_scrub() {
+        let r = faulty_cluster(2, 2, 64);
+        r.create("f").unwrap();
+        let data = pattern(64 * 8, 4);
+        r.write_at("f", 0, &data).unwrap();
+        // Member 0 refuses reads for a while: every unit read fails over,
+        // putting (0, "f") on probation.
+        let flaky = r.member_store(0).unwrap();
+        flaky.crash_after_reads(0);
+        assert_eq!(read_all(&r, "f"), data);
+        assert_eq!(r.suspects_pending(), 1);
+        assert!(r.stats().read_failovers > 0);
+        // It comes back; the next successful read disproves the suspicion
+        // inline — no scrub needed.
+        flaky.disarm();
+        assert_eq!(read_all(&r, "f"), data);
+        assert_eq!(r.suspects_pending(), 0);
+        assert!(r.stats().suspects_cleared_inline > 0);
+    }
+
+    #[test]
+    fn missed_write_resync_is_not_cleared_by_a_read() {
+        let r = faulty_cluster(2, 2, 128);
+        r.create("f").unwrap();
+        r.write_at("f", 0, &pattern(512, 1)).unwrap();
+        let stale = r.member_store(1).unwrap();
+        stale.crash_after_writes(0);
+        let fresh = pattern(512, 2);
+        r.write_at("f", 0, &fresh).unwrap(); // member 1 misses it: Resync
+        stale.disarm();
+        // Reads succeed off member 0 (and maybe member 1 where it is
+        // primary and stale — the chain serves *some* copy), but a read
+        // success must never clear a missed-write suspicion.
+        let _ = read_all(&r, "f");
+        assert!(r.suspects_pending() > 0, "Resync survives reads");
+        let report = r.scrub();
+        assert!(report.repaired > 0, "{report:?}");
+        assert_eq!(r.suspects_pending(), 0);
     }
 
     #[test]

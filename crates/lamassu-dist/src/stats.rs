@@ -11,6 +11,9 @@ pub(crate) struct AtomicDistStats {
     pub scrub_mismatches: AtomicU64,
     pub scrub_repairs: AtomicU64,
     pub rebalanced_units: AtomicU64,
+    pub breaker_skips: AtomicU64,
+    pub probe_scrubs: AtomicU64,
+    pub suspects_cleared_inline: AtomicU64,
 }
 
 impl AtomicDistStats {
@@ -29,6 +32,9 @@ impl AtomicDistStats {
             scrub_mismatches: self.scrub_mismatches.load(Ordering::Relaxed),
             scrub_repairs: self.scrub_repairs.load(Ordering::Relaxed),
             rebalanced_units: self.rebalanced_units.load(Ordering::Relaxed),
+            breaker_skips: self.breaker_skips.load(Ordering::Relaxed),
+            probe_scrubs: self.probe_scrubs.load(Ordering::Relaxed),
+            suspects_cleared_inline: self.suspects_cleared_inline.load(Ordering::Relaxed),
             suspects_pending,
         }
     }
@@ -48,6 +54,15 @@ pub struct DistStats {
     pub scrub_repairs: u64,
     /// Unit copies performed by membership-change rebalancing.
     pub rebalanced_units: u64,
+    /// Replica attempts skipped because the member's health gate (circuit
+    /// breaker) rejected it.
+    pub breaker_skips: u64,
+    /// Targeted per-member scrubs run after a health gate reclosed
+    /// (see [`crate::RoutedStore::scrub_member`]).
+    pub probe_scrubs: u64,
+    /// Read-failure (`Probation`) suspect entries cleared inline by a later
+    /// successful read, without waiting for a scrub.
+    pub suspects_cleared_inline: u64,
     /// `(member, object)` pairs currently awaiting repair.
     pub suspects_pending: u64,
 }
@@ -64,6 +79,9 @@ impl DistStats {
             scrub_mismatches: self.scrub_mismatches + other.scrub_mismatches,
             scrub_repairs: self.scrub_repairs + other.scrub_repairs,
             rebalanced_units: self.rebalanced_units + other.rebalanced_units,
+            breaker_skips: self.breaker_skips + other.breaker_skips,
+            probe_scrubs: self.probe_scrubs + other.probe_scrubs,
+            suspects_cleared_inline: self.suspects_cleared_inline + other.suspects_cleared_inline,
             suspects_pending: self.suspects_pending + other.suspects_pending,
         }
     }

@@ -1,0 +1,163 @@
+//! Retry policy and per-operation deadline budgets.
+//!
+//! Backoff is *virtual-time* backoff: [`crate::ResilientStore`] charges the
+//! sleep to the wrapped store's `SimClock` via `ObjectStore::sleep_virtual`,
+//! so a retried run is deterministic, its latency telemetry includes the
+//! waits, and nothing ever sleeps on the wall clock.
+
+use crate::splitmix64;
+use std::time::Duration;
+
+/// Bounded exponential backoff with deterministic equal-jitter.
+///
+/// Attempt `k` (1-based: the wait before the k-th retry) backs off for a
+/// duration drawn uniformly from `[cap/2, cap]` where
+/// `cap = min(base * 2^(k-1), max)`. The draw is a pure function of
+/// `(seed, op, attempt)` via splitmix64, so a replayed workload backs off
+/// identically — jitter decorrelates concurrent retries without
+/// sacrificing reproducibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// First-retry backoff ceiling.
+    pub base: Duration,
+    /// Upper bound the exponential curve saturates at.
+    pub max: Duration,
+    /// Seed decorrelating this instance's jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// 1 ms doubling to a 1 s ceiling — milliseconds-scale transports
+    /// (the NFS profile) recover within a few attempts, and a saturated
+    /// backoff still fits several times into the default [`OpBudget`].
+    fn default() -> Self {
+        RetryPolicy {
+            base: Duration::from_millis(1),
+            max: Duration::from_secs(1),
+            seed: 0x1a2a_3a4a_5a6a_7a8a,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff to sleep before retry number `attempt` (1-based) of
+    /// logical operation number `op`.
+    pub fn backoff(&self, op: u64, attempt: u32) -> Duration {
+        let base = self.base.as_nanos().max(1) as u64;
+        let max = self.max.as_nanos().max(1) as u64;
+        let shift = attempt.saturating_sub(1).min(63);
+        let cap = base.saturating_shl(shift).min(max).max(1);
+        let lo = cap / 2;
+        let span = cap - lo + 1;
+        let draw = splitmix64(self.seed ^ splitmix64(op) ^ ((attempt as u64) << 32));
+        Duration::from_nanos(lo + draw % span)
+    }
+}
+
+/// Helper: `u64::checked_shl` that saturates instead of wrapping.
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> u64 {
+        self.checked_shl(shift).unwrap_or(u64::MAX)
+    }
+}
+
+/// What one logical operation may spend on transient-failure recovery
+/// before the error surfaces: a bound on attempts and a bound on virtual
+/// elapsed time (measured as the wrapped store's `io_time()` delta, which
+/// includes both the attempts' transport time and the backoff sleeps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpBudget {
+    /// Total attempts allowed, including the first (so `1` disables
+    /// retries entirely).
+    pub max_attempts: u32,
+    /// Virtual elapsed-time deadline; once exceeded no further retry is
+    /// scheduled even if attempts remain.
+    pub max_elapsed: Duration,
+}
+
+impl Default for OpBudget {
+    /// Four attempts inside two virtual seconds: enough to ride out the
+    /// chaos harness's transient schedules, small enough that a genuinely
+    /// dead cluster fails fast.
+    fn default() -> Self {
+        OpBudget {
+            max_attempts: 4,
+            max_elapsed: Duration::from_secs(2),
+        }
+    }
+}
+
+impl OpBudget {
+    /// True when, having already made `attempts` attempts with `elapsed`
+    /// virtual time spent, another retry is within budget.
+    pub fn allows_retry(&self, attempts: u32, elapsed: Duration) -> bool {
+        attempts < self.max_attempts && elapsed < self.max_elapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        for op in 0..50u64 {
+            for attempt in 1..=10u32 {
+                let a = p.backoff(op, attempt);
+                let b = p.backoff(op, attempt);
+                assert_eq!(a, b, "same (op, attempt) must reproduce");
+                let cap = p.base.saturating_mul(1 << (attempt - 1).min(20)).min(p.max);
+                assert!(a <= cap, "op {op} attempt {attempt}: {a:?} > {cap:?}");
+                assert!(
+                    a >= cap / 2,
+                    "op {op} attempt {attempt}: {a:?} < {:?}",
+                    cap / 2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_grows_then_saturates() {
+        let p = RetryPolicy {
+            base: Duration::from_millis(1),
+            max: Duration::from_millis(8),
+            seed: 7,
+        };
+        // Ceilings double 1, 2, 4, 8, then stay at 8.
+        assert!(p.backoff(0, 1) <= Duration::from_millis(1));
+        assert!(p.backoff(0, 4) <= Duration::from_millis(8));
+        assert!(p.backoff(0, 20) <= Duration::from_millis(8));
+        assert!(p.backoff(0, 20) >= Duration::from_millis(4));
+        // Huge attempt numbers must not overflow the shift.
+        assert!(p.backoff(0, u32::MAX) <= Duration::from_millis(8));
+    }
+
+    #[test]
+    fn jitter_differs_across_ops() {
+        let p = RetryPolicy::default();
+        let distinct: std::collections::HashSet<Duration> =
+            (0..32).map(|op| p.backoff(op, 3)).collect();
+        assert!(distinct.len() > 16, "jitter should spread draws out");
+    }
+
+    #[test]
+    fn budget_gates_attempts_and_elapsed() {
+        let b = OpBudget {
+            max_attempts: 3,
+            max_elapsed: Duration::from_millis(10),
+        };
+        assert!(b.allows_retry(1, Duration::ZERO));
+        assert!(b.allows_retry(2, Duration::from_millis(9)));
+        assert!(!b.allows_retry(3, Duration::ZERO), "attempts exhausted");
+        assert!(
+            !b.allows_retry(1, Duration::from_millis(10)),
+            "deadline exhausted"
+        );
+    }
+}

@@ -468,6 +468,10 @@ impl ObjectStore for DedupStore {
         Ok(())
     }
 
+    fn sleep_virtual(&self, d: Duration) {
+        self.clock.advance(d);
+    }
+
     fn io_time(&self) -> Duration {
         self.clock.elapsed()
     }

@@ -299,6 +299,10 @@ impl ObjectStore for DirStore {
         file.sync_all().map_err(|e| Self::io_err(name, e))
     }
 
+    fn sleep_virtual(&self, d: Duration) {
+        self.clock.advance(d);
+    }
+
     fn io_time(&self) -> Duration {
         self.clock.elapsed()
     }

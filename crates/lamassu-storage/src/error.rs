@@ -39,6 +39,27 @@ pub enum StorageError {
     },
 }
 
+impl StorageError {
+    /// True when the failure is *transient*: the same operation may succeed
+    /// if retried against the same backend (a transport hiccup, a powered-off
+    /// member that will come back, a full queue). [`StorageError::Backend`]
+    /// and [`StorageError::Crashed`] are transient — a crashed member can be
+    /// healed (see `FaultyStore`'s transient schedules) or replaced.
+    ///
+    /// Everything else is *terminal*: retrying cannot change the outcome.
+    /// `NotFound`, `AlreadyExists` and `OutOfBounds` describe the state of
+    /// the namespace, not of the transport, so a retry layer must surface
+    /// them immediately instead of burning its budget.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StorageError::Crashed | StorageError::Backend { .. })
+    }
+
+    /// True when retrying can never help (see [`StorageError::is_transient`]).
+    pub fn is_terminal(&self) -> bool {
+        !self.is_transient()
+    }
+}
+
 impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

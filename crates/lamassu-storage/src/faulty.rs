@@ -28,6 +28,12 @@ pub struct FaultStats {
     pub read_crashes: u64,
     /// Operations refused because the simulated machine was already down.
     pub refused_ops: u64,
+    /// Times a transient crash auto-healed (refusal budget or virtual-time
+    /// outage expired) and service resumed without a `disarm`.
+    pub heals: u64,
+    /// One-shot transient faults injected by an armed per-op fault rate
+    /// (non-sticky [`StorageError::Backend`] failures).
+    pub transient_faults: u64,
 }
 
 impl FaultStats {
@@ -38,6 +44,8 @@ impl FaultStats {
             write_crashes: self.write_crashes + other.write_crashes,
             read_crashes: self.read_crashes + other.read_crashes,
             refused_ops: self.refused_ops + other.refused_ops,
+            heals: self.heals + other.heals,
+            transient_faults: self.transient_faults + other.transient_faults,
         }
     }
 }
@@ -68,9 +76,25 @@ pub struct FaultyStore {
     /// [`FaultyStore::crash_after_reads`]).
     reads_until_crash: AtomicU64,
     crashed: AtomicBool,
+    /// Refused ops left before a crashed store auto-heals; `u64::MAX` means
+    /// the crash is sticky (the default).
+    heal_after_refused: AtomicU64,
+    /// Configured outage duration in virtual nanoseconds; `u64::MAX` means
+    /// no time-based healing. Latched into `heal_at_ns` when a crash fires.
+    heal_outage_ns: AtomicU64,
+    /// Absolute virtual-time deadline (inner `io_time()` nanoseconds) after
+    /// which the current outage heals; `u64::MAX` means none pending.
+    heal_at_ns: AtomicU64,
+    /// Per-op transient fault threshold: a 32-bit draw below this value
+    /// injects one non-sticky `Backend` failure. `0` disarms the rate.
+    transient_threshold: AtomicU64,
+    transient_seed: AtomicU64,
+    transient_ctr: AtomicU64,
     write_crashes: AtomicU64,
     read_crashes: AtomicU64,
     refused_ops: AtomicU64,
+    heals: AtomicU64,
+    transient_faults: AtomicU64,
 }
 
 impl FaultyStore {
@@ -81,9 +105,17 @@ impl FaultyStore {
             writes_until_crash: AtomicU64::new(u64::MAX),
             reads_until_crash: AtomicU64::new(u64::MAX),
             crashed: AtomicBool::new(false),
+            heal_after_refused: AtomicU64::new(u64::MAX),
+            heal_outage_ns: AtomicU64::new(u64::MAX),
+            heal_at_ns: AtomicU64::new(u64::MAX),
+            transient_threshold: AtomicU64::new(0),
+            transient_seed: AtomicU64::new(0),
+            transient_ctr: AtomicU64::new(0),
             write_crashes: AtomicU64::new(0),
             read_crashes: AtomicU64::new(0),
             refused_ops: AtomicU64::new(0),
+            heals: AtomicU64::new(0),
+            transient_faults: AtomicU64::new(0),
         }
     }
 
@@ -95,6 +127,8 @@ impl FaultyStore {
             write_crashes: self.write_crashes.load(Ordering::Relaxed),
             read_crashes: self.read_crashes.load(Ordering::Relaxed),
             refused_ops: self.refused_ops.load(Ordering::Relaxed),
+            heals: self.heals.load(Ordering::Relaxed),
+            transient_faults: self.transient_faults.load(Ordering::Relaxed),
         }
     }
 
@@ -116,11 +150,48 @@ impl FaultyStore {
         self.crashed.store(false, Ordering::SeqCst);
     }
 
+    /// Makes the next crash *transient*: once the store is down, the first
+    /// `n` operations are refused as usual, then the store heals itself —
+    /// the crashed flag clears, the crash credits disarm, and service
+    /// resumes. `n = 0` heals on the first operation after the crash. Sticky
+    /// crashes (the default) never heal without [`FaultyStore::disarm`].
+    pub fn heal_after_refusals(&self, n: u64) {
+        self.heal_after_refused.store(n, Ordering::SeqCst);
+    }
+
+    /// Makes the next crash transient with a *virtual-time* outage: when the
+    /// crash fires, a deadline of `outage` past the inner store's current
+    /// `io_time()` is latched, and the first operation at or after that
+    /// deadline heals the store. Deterministic because the clock only moves
+    /// when the workload charges it (including `sleep_virtual` backoff).
+    pub fn heal_after_virtual(&self, outage: Duration) {
+        self.heal_outage_ns.store(
+            outage.as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::SeqCst,
+        );
+    }
+
+    /// Arms a deterministic per-operation transient fault rate: each data
+    /// operation draws from a splitmix64 stream seeded by `seed` and fails
+    /// with a non-sticky [`StorageError::Backend`] with probability `rate`
+    /// (clamped to `[0, 1]`). Unlike the crash credits nothing latches — the
+    /// very next operation may succeed — so this is the fault mode a retry
+    /// layer can actually win against. `rate = 0.0` disarms.
+    pub fn transient_fault_rate(&self, seed: u64, rate: f64) {
+        let threshold = (rate.clamp(0.0, 1.0) * (1u64 << 32) as f64) as u64;
+        self.transient_seed.store(seed, Ordering::SeqCst);
+        self.transient_threshold.store(threshold, Ordering::SeqCst);
+    }
+
     /// Disarms the fault and clears the crashed state (a "reboot" of the
     /// client would instead mount the inner store directly).
     pub fn disarm(&self) {
         self.writes_until_crash.store(u64::MAX, Ordering::SeqCst);
         self.reads_until_crash.store(u64::MAX, Ordering::SeqCst);
+        self.heal_after_refused.store(u64::MAX, Ordering::SeqCst);
+        self.heal_outage_ns.store(u64::MAX, Ordering::SeqCst);
+        self.heal_at_ns.store(u64::MAX, Ordering::SeqCst);
+        self.transient_threshold.store(0, Ordering::SeqCst);
         self.crashed.store(false, Ordering::SeqCst);
     }
 
@@ -144,13 +215,50 @@ impl FaultyStore {
         self.inner.clone()
     }
 
+    /// Clears the outage: the store is back, crash credits disarmed, heal
+    /// triggers reset (each configured heal is one-shot).
+    fn heal(&self) {
+        self.writes_until_crash.store(u64::MAX, Ordering::SeqCst);
+        self.reads_until_crash.store(u64::MAX, Ordering::SeqCst);
+        self.heal_after_refused.store(u64::MAX, Ordering::SeqCst);
+        self.heal_outage_ns.store(u64::MAX, Ordering::SeqCst);
+        self.heal_at_ns.store(u64::MAX, Ordering::SeqCst);
+        self.crashed.store(false, Ordering::SeqCst);
+        self.heals.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn check_alive(&self) -> Result<()> {
-        if self.crashed.load(Ordering::SeqCst) {
-            self.refused_ops.fetch_add(1, Ordering::Relaxed);
-            Err(StorageError::Crashed)
-        } else {
-            Ok(())
+        if !self.crashed.load(Ordering::SeqCst) {
+            return Ok(());
         }
+        // A virtual-time outage heals once the inner clock passes the
+        // deadline latched when the crash fired (backoff sleeps count).
+        let deadline = self.heal_at_ns.load(Ordering::SeqCst);
+        if deadline != u64::MAX
+            && self.inner.io_time().as_nanos().min(u64::MAX as u128) as u64 >= deadline
+        {
+            self.heal();
+            return Ok(());
+        }
+        // A refusal-budget outage refuses its first `n` ops, then heals.
+        let mut left = self.heal_after_refused.load(Ordering::SeqCst);
+        while left != u64::MAX {
+            if left == 0 {
+                self.heal();
+                return Ok(());
+            }
+            match self.heal_after_refused.compare_exchange(
+                left,
+                left - 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => break,
+                Err(actual) => left = actual,
+            }
+        }
+        self.refused_ops.fetch_add(1, Ordering::Relaxed);
+        Err(StorageError::Crashed)
     }
 
     /// Consumes one credit from `credits`, crashing (and counting the
@@ -165,12 +273,41 @@ impl FaultyStore {
             if cur == 0 {
                 self.crashed.store(true, Ordering::SeqCst);
                 crash_counter.fetch_add(1, Ordering::Relaxed);
+                // Latch the virtual-time heal deadline at outage start.
+                let outage = self.heal_outage_ns.load(Ordering::SeqCst);
+                if outage != u64::MAX {
+                    let now = self.inner.io_time().as_nanos().min(u64::MAX as u128) as u64;
+                    self.heal_at_ns
+                        .store(now.saturating_add(outage), Ordering::SeqCst);
+                }
                 return Err(StorageError::Crashed);
             }
             match credits.compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst) {
                 Ok(_) => return Ok(()),
                 Err(actual) => cur = actual,
             }
+        }
+    }
+
+    /// Draws the armed per-op transient fault rate (no-op when disarmed):
+    /// with the configured probability, injects one non-sticky
+    /// [`StorageError::Backend`] failure attributed to `name`.
+    fn maybe_transient(&self, name: &str) -> Result<()> {
+        let threshold = self.transient_threshold.load(Ordering::Relaxed);
+        if threshold == 0 {
+            return Ok(());
+        }
+        let seed = self.transient_seed.load(Ordering::Relaxed);
+        let n = self.transient_ctr.fetch_add(1, Ordering::Relaxed);
+        let draw = splitmix64(seed ^ splitmix64(n)) & 0xFFFF_FFFF;
+        if draw < threshold {
+            self.transient_faults.fetch_add(1, Ordering::Relaxed);
+            Err(StorageError::Backend {
+                name: name.to_string(),
+                detail: "injected transient fault".to_string(),
+            })
+        } else {
+            Ok(())
         }
     }
 
@@ -210,6 +347,9 @@ pub struct FaultSchedule {
     seed: u64,
     max_writes: Option<u64>,
     max_reads: Option<u64>,
+    max_heal_refusals: Option<u64>,
+    heal_outage: Option<Duration>,
+    transient_rate_ppm: Option<u32>,
 }
 
 /// The fault points a [`FaultSchedule`] drew for one instance; armed on a
@@ -221,6 +361,17 @@ pub struct ArmedFaults {
     /// Successful read units allowed before the crash, if a read fault is
     /// set.
     pub reads_before_crash: Option<u64>,
+    /// Refused ops after which the crash auto-heals (transient outage); the
+    /// crash is sticky when unset.
+    pub heal_after_refusals: Option<u64>,
+    /// Virtual-time outage duration after which the crash auto-heals.
+    pub heal_outage: Option<Duration>,
+    /// Per-op transient fault probability in parts-per-million, with the
+    /// fault stream seeded from the schedule's seed and instance index.
+    pub transient_rate_ppm: Option<u32>,
+    /// Seed for the per-op transient fault stream (derived from the
+    /// schedule's seed and instance index).
+    pub transient_seed: u64,
 }
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -237,6 +388,9 @@ impl FaultSchedule {
             seed,
             max_writes: None,
             max_reads: None,
+            max_heal_refusals: None,
+            heal_outage: None,
+            transient_rate_ppm: None,
         }
     }
 
@@ -254,12 +408,40 @@ impl FaultSchedule {
         self
     }
 
+    /// Makes scheduled crashes *transient*: each instance draws a refusal
+    /// budget uniformly from `0..=max`, after which the outage heals itself
+    /// (see [`FaultyStore::heal_after_refusals`]).
+    pub fn heal_within_refusals(mut self, max: u64) -> Self {
+        self.max_heal_refusals = Some(max);
+        self
+    }
+
+    /// Makes scheduled crashes transient with a fixed virtual-time outage:
+    /// every instance heals `outage` of virtual time after its crash fires
+    /// (see [`FaultyStore::heal_after_virtual`]).
+    pub fn heal_after(mut self, outage: Duration) -> Self {
+        self.heal_outage = Some(outage);
+        self
+    }
+
+    /// Arms a per-op transient fault rate of `rate_ppm` parts-per-million on
+    /// every instance, each with its own deterministic fault stream (see
+    /// [`FaultyStore::transient_fault_rate`]).
+    pub fn transient_ppm(mut self, rate_ppm: u32) -> Self {
+        self.transient_rate_ppm = Some(rate_ppm);
+        self
+    }
+
     /// The fault points for instance `k`. Deterministic in `(seed, k)`.
     pub fn for_instance(&self, k: u64) -> ArmedFaults {
         let draw = |salt: u64, max: u64| splitmix64(self.seed ^ salt ^ splitmix64(k)) % (max + 1);
         ArmedFaults {
             writes_before_crash: self.max_writes.map(|m| draw(0x57u64, m)),
             reads_before_crash: self.max_reads.map(|m| draw(0x52u64, m)),
+            heal_after_refusals: self.max_heal_refusals.map(|m| draw(0x48u64, m)),
+            heal_outage: self.heal_outage,
+            transient_rate_ppm: self.transient_rate_ppm,
+            transient_seed: splitmix64(self.seed ^ 0x54u64 ^ splitmix64(k)),
         }
     }
 }
@@ -273,6 +455,15 @@ impl FaultyStore {
         }
         if let Some(n) = faults.reads_before_crash {
             self.reads_until_crash.store(n, Ordering::SeqCst);
+        }
+        if let Some(n) = faults.heal_after_refusals {
+            self.heal_after_refusals(n);
+        }
+        if let Some(outage) = faults.heal_outage {
+            self.heal_after_virtual(outage);
+        }
+        if let Some(ppm) = faults.transient_rate_ppm {
+            self.transient_fault_rate(faults.transient_seed, ppm as f64 / 1_000_000.0);
         }
         self.crashed.store(false, Ordering::SeqCst);
     }
@@ -290,11 +481,13 @@ impl ObjectStore for FaultyStore {
 
     fn read_into(&self, name: &str, offset: u64, buf: &mut [u8]) -> Result<usize> {
         self.consume_read_credit()?;
+        self.maybe_transient(name)?;
         self.inner.read_into(name, offset, buf)
     }
 
     fn read_at(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
         self.consume_read_credit()?;
+        self.maybe_transient(name)?;
         self.inner.read_at(name, offset, len)
     }
 
@@ -305,6 +498,7 @@ impl ObjectStore for FaultyStore {
         bufs: &mut [std::io::IoSliceMut<'_>],
     ) -> Result<usize> {
         self.check_alive()?;
+        self.maybe_transient(name)?;
         if self.reads_until_crash.load(Ordering::SeqCst) == u64::MAX {
             // No read fault armed: pass the span through as one operation.
             return self.inner.read_into_vectored(name, offset, bufs);
@@ -328,6 +522,7 @@ impl ObjectStore for FaultyStore {
 
     fn write_at(&self, name: &str, offset: u64, data: &[u8]) -> Result<()> {
         self.consume_write_credit()?;
+        self.maybe_transient(name)?;
         self.inner.write_at(name, offset, data)
     }
 
@@ -343,7 +538,11 @@ impl ObjectStore for FaultyStore {
         {
             // No read fault armed: let the inner store schedule the span on
             // its queue-depth lanes, but park the completion so this tier
-            // controls when (and in what order) it becomes visible.
+            // controls when (and in what order) it becomes visible. An armed
+            // transient rate still draws — surfacing at completion time.
+            if let Err(e) = self.maybe_transient(name) {
+                return q.complete_deferred(Err(e));
+            }
             let ticket = self.inner.submit_read_vectored(q, name, offset, bufs);
             q.defer(ticket);
             return ticket;
@@ -362,7 +561,10 @@ impl ObjectStore for FaultyStore {
         offset: u64,
         bufs: &[std::io::IoSlice<'_>],
     ) -> SubmitTicket {
-        match self.consume_write_credit() {
+        match self
+            .consume_write_credit()
+            .and_then(|()| self.maybe_transient(name))
+        {
             Ok(()) => {
                 let ticket = self.inner.submit_write_vectored(q, name, offset, bufs);
                 q.defer(ticket);
@@ -399,6 +601,7 @@ impl ObjectStore for FaultyStore {
         // as a single atomic operation, so the simulated power cut cannot
         // land between its slices.
         self.consume_write_credit()?;
+        self.maybe_transient(name)?;
         self.inner.write_at_vectored(name, offset, bufs)
     }
 
@@ -429,6 +632,13 @@ impl ObjectStore for FaultyStore {
     fn flush(&self, name: &str) -> Result<()> {
         self.check_alive()?;
         self.inner.flush(name)
+    }
+
+    fn sleep_virtual(&self, d: Duration) {
+        // Backoff is client-side: it advances virtual time even while the
+        // simulated machine is down (that is exactly what lets a
+        // virtual-time outage expire under a retry loop).
+        self.inner.sleep_virtual(d);
     }
 
     fn io_time(&self) -> Duration {
@@ -673,6 +883,98 @@ mod tests {
         assert_eq!(out[1].ticket, t1);
         assert!(matches!(out[1].result, Ok(8)));
         assert_eq!(inner.len("f").unwrap(), 8, "only the first write landed");
+    }
+
+    #[test]
+    fn refusal_budget_outage_heals_itself() {
+        let (_inner, faulty) = setup();
+        faulty.crash_after_writes(1);
+        faulty.heal_after_refusals(2);
+        faulty.write_at("f", 0, b"a").unwrap();
+        assert!(faulty.write_at("f", 1, b"b").is_err()); // crash fires
+        assert!(faulty.read_at("f", 0, 1).is_err()); // refusal 1
+        assert!(faulty.write_at("f", 1, b"b").is_err()); // refusal 2
+                                                         // Budget spent: the outage heals and service resumes.
+        assert!(faulty.write_at("f", 1, b"b").is_ok());
+        assert!(!faulty.has_crashed());
+        let stats = faulty.fault_stats();
+        assert_eq!(stats.heals, 1);
+        assert_eq!(stats.refused_ops, 2);
+        // Healing disarms the credits: no instant re-crash.
+        assert!(faulty.write_at("f", 2, b"c").is_ok());
+    }
+
+    #[test]
+    fn virtual_time_outage_heals_when_the_clock_passes_the_deadline() {
+        let (_inner, faulty) = setup();
+        faulty.crash_after_writes(0);
+        faulty.heal_after_virtual(Duration::from_millis(5));
+        assert!(faulty.write_at("f", 0, b"x").is_err()); // crash fires
+        assert!(faulty.write_at("f", 0, b"x").is_err()); // still down
+                                                         // A backoff sleep advances the virtual clock past the outage.
+        faulty.sleep_virtual(Duration::from_millis(6));
+        assert!(faulty.write_at("f", 0, b"x").is_ok());
+        assert_eq!(faulty.fault_stats().heals, 1);
+    }
+
+    #[test]
+    fn transient_rate_injects_nonsticky_backend_faults() {
+        let (_inner, faulty) = setup();
+        faulty.write_at("f", 0, &[1u8; 64]).unwrap();
+        faulty.transient_fault_rate(7, 0.5);
+        let mut failures = 0;
+        let mut successes = 0;
+        for i in 0..200 {
+            match faulty.read_at("f", i % 64, 1) {
+                Ok(_) => successes += 1,
+                Err(StorageError::Backend { .. }) => failures += 1,
+                Err(e) => panic!("unexpected error kind: {e}"),
+            }
+            assert!(!faulty.has_crashed(), "rate faults must not latch");
+        }
+        assert!(failures > 50, "rate too low: {failures}");
+        assert!(successes > 50, "rate too high: {successes}");
+        assert_eq!(faulty.fault_stats().transient_faults, failures);
+        faulty.transient_fault_rate(7, 0.0);
+        for i in 0..50 {
+            faulty.read_at("f", i, 1).unwrap();
+        }
+    }
+
+    #[test]
+    fn transient_rate_stream_is_deterministic() {
+        let run = || {
+            let (_inner, faulty) = setup();
+            faulty.write_at("f", 0, &[1u8; 8]).unwrap();
+            faulty.transient_fault_rate(99, 0.3);
+            (0..64)
+                .map(|_| faulty.read_at("f", 0, 1).is_ok())
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(), run(), "same seed must give the same fault stream");
+    }
+
+    #[test]
+    fn schedule_heal_and_transient_fields_are_deterministic() {
+        let s = FaultSchedule::seeded(3)
+            .writes_within(10)
+            .heal_within_refusals(4)
+            .heal_after(Duration::from_millis(2))
+            .transient_ppm(50_000);
+        let a = s.for_instance(5);
+        assert_eq!(a, s.for_instance(5));
+        assert!(a.heal_after_refusals.unwrap() <= 4);
+        assert_eq!(a.heal_outage, Some(Duration::from_millis(2)));
+        assert_eq!(a.transient_rate_ppm, Some(50_000));
+        assert_ne!(
+            a.transient_seed,
+            s.for_instance(6).transient_seed,
+            "instances must draw distinct fault streams"
+        );
+        // Arming applies the transient config.
+        let (_inner, faulty) = setup();
+        faulty.arm(a);
+        assert_eq!(faulty.writes_remaining(), a.writes_before_crash.unwrap());
     }
 
     #[test]

@@ -408,6 +408,17 @@ impl SimClock {
             .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
+    /// Advances the calling thread's channel by `d` of **idle** virtual
+    /// time: the serial frontier moves forward but no busy time and no
+    /// counters are charged. This is the virtual-time analogue of a
+    /// `sleep` — a retry layer's backoff parks the channel, so `elapsed()`
+    /// (and a store's `io_time()`) reflect the wait deterministically
+    /// without any wall-clock sleeping.
+    pub fn advance(&self, d: Duration) {
+        let mut st = self.channel().lock();
+        st.now += d.as_nanos() as u64;
+    }
+
     /// The completion barrier for the calling thread's channel: raises its
     /// serial frontier to the latest lane, so nothing charged after the
     /// drain starts before every prior submission has finished.

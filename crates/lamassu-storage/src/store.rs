@@ -199,6 +199,19 @@ pub trait ObjectStore: Send + Sync {
     /// shims call it where a real deployment would `fsync`).
     fn flush(&self, name: &str) -> Result<()>;
 
+    /// Parks the calling thread's transport channel for `d` of idle
+    /// **virtual** time — the deterministic stand-in for a retry layer's
+    /// backoff sleep. The wait shows up in [`ObjectStore::io_time`] (so
+    /// deadline budgets measured in virtual time see it) but charges no busy
+    /// time and no counters, and never sleeps on the wall clock.
+    ///
+    /// The default is a no-op for stores without a virtual clock; stores
+    /// backed by a [`SimClock`](crate::profile::SimClock) advance it, and
+    /// wrappers delegate to the store(s) below them.
+    fn sleep_virtual(&self, d: Duration) {
+        let _ = d;
+    }
+
     /// Total *virtual* I/O time charged so far by the storage profile.
     ///
     /// The benchmark harness adds this to the measured compute time to obtain

@@ -172,6 +172,37 @@ impl Histogram {
         }
     }
 
+    /// Estimates the `q`-quantile directly from the live buckets, without
+    /// copying a snapshot out — **allocation-free**, so hot-path consumers
+    /// (e.g. a hedged-read threshold refresh) can call it per-op. Same
+    /// bucket-resolution estimate as [`HistSnapshot::quantile`]; under
+    /// concurrent recording the walk sees each bucket once, so the estimate
+    /// can trail in-flight records by at most those records. Returns 0 when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let i = &self.inner;
+        let count = i.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return 0;
+        }
+        let max = i.max.load(Ordering::Relaxed);
+        let min = i.min.load(Ordering::Relaxed);
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (b, bucket) in i.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_upper(b).min(max).max(min);
+            }
+        }
+        max
+    }
+
+    /// Total recorded values (allocation-free; see [`Histogram::quantile`]).
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
     /// Zeroes every bucket and counter (a measurement-window reset). Racing
     /// recorders are not lost wholesale — each atomic is cleared
     /// independently — but a record striding the reset may split across the
@@ -342,6 +373,24 @@ pub struct LatencySummary {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn live_quantile_matches_snapshot_quantile() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.99), 0, "empty histogram");
+        let mut x = 0x1234_5678u64;
+        for _ in 0..500 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            h.record(x % 1_000_000);
+        }
+        let snap = h.snapshot();
+        for q in [0.0, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), snap.quantile(q), "q={q}");
+        }
+        assert_eq!(h.count(), 500);
+    }
 
     #[test]
     fn bucket_index_is_monotone_and_total() {

@@ -25,6 +25,11 @@
 //!   consistent-hash placement over N child backends with R-way replication,
 //!   read failover, digest-based scrub/read-repair and delta-only
 //!   rebalancing on membership change.
+//! * [`resilience`] — the self-healing layer: [`resilience::ResilientStore`]
+//!   retries with virtual-time backoff under deadline budgets and hedges
+//!   slow reads, while [`resilience::BreakerSet`] gives the routed tier
+//!   per-backend circuit breakers whose half-open probes trigger targeted
+//!   scrubs.
 //! * [`keymgr`] — KMIP-like key manager with isolation zones.
 //! * [`core`] — the [`core::FileSystem`] trait and the three shims:
 //!   [`core::PlainFs`], [`core::EncFs`] and [`core::LamassuFs`].
@@ -65,6 +70,7 @@ pub use lamassu_crypto as crypto;
 pub use lamassu_dist as dist;
 pub use lamassu_format as format;
 pub use lamassu_keymgr as keymgr;
+pub use lamassu_resilience as resilience;
 pub use lamassu_storage as storage;
 pub use lamassu_telemetry as telemetry;
 pub use lamassu_workloads as workloads;

@@ -7,6 +7,7 @@ use lamassu::cache::{CacheConfig, CacheMode, CachedStore};
 use lamassu::core::{FileSystem, LamassuConfig, LamassuFs, OpenFlags};
 use lamassu::dist::{DistConfig, Granularity, RoutedStore};
 use lamassu::keymgr::ZoneKeys;
+use lamassu::resilience::{BreakerConfig, BreakerSet};
 use lamassu::storage::{DedupStore, FaultyStore, ObjectStore, StorageError, StorageProfile};
 use std::sync::Arc;
 
@@ -533,6 +534,101 @@ fn read_repair_after_silent_replica_corruption() {
             "block {b} damaged after read-repair"
         );
     }
+}
+
+#[test]
+fn breaker_open_degrades_writes_then_probe_reclose_scrubs_clean() {
+    // A replica dies; its circuit breaker opens after a handful of recorded
+    // errors, so the cluster stops even attempting the dead member (degraded
+    // writes, failover reads) while the client workload never sees a fault.
+    // Half-open probes eventually find the healed member, the breaker
+    // recloses, and the requested targeted scrub resynchronizes everything
+    // the member missed while it was gated out.
+    let blocks = 24usize;
+    let (members, routed) = faulty_pair();
+    let breakers = Arc::new(BreakerSet::new(BreakerConfig {
+        window: 8,
+        min_samples: 2,
+        error_rate_pct: 50,
+        cooldown: 2,
+    }));
+    routed.set_health_gate(breakers.clone());
+
+    let fs = LamassuFs::new(
+        routed.clone(),
+        keys(),
+        LamassuConfig::with_reserved_slots(2).unwrap(),
+    );
+    let fd = fs.create("/file").unwrap();
+    for b in 0..blocks {
+        fs.write(fd, (b * 4096) as u64, &pattern(1, b)).unwrap();
+    }
+    fs.fsync(fd).unwrap();
+
+    // Member 1 dies but will come back once it has refused 12 operations —
+    // only half-open probes reach it while the breaker is open, so healing
+    // is paced by the probe cadence.
+    members[1].heal_after_refusals(12);
+    members[1].crash_after_writes(0);
+
+    // Drive overwrites until the full open -> probe -> reclose cycle has
+    // happened. Every client op must succeed throughout.
+    let mut recovered = false;
+    for round in 0..200 {
+        let b = (round * 2) % blocks;
+        fs.write(fd, (b * 4096) as u64, &pattern(2, b)).unwrap();
+        let got = fs.read(fd, (b * 4096) as u64, 4096).unwrap();
+        assert_eq!(got, pattern(2, b), "round {round} read-back diverged");
+        if breakers.stats().recloses >= 1 {
+            recovered = true;
+            break;
+        }
+    }
+    fs.fsync(fd).unwrap();
+    fs.close(fd).unwrap();
+
+    let bstats = breakers.stats();
+    assert!(recovered, "breaker never reclosed: {bstats:?}");
+    assert!(bstats.opens >= 1, "breaker never opened: {bstats:?}");
+    assert!(
+        bstats.rejections >= 1,
+        "open breaker never skipped the dead member: {bstats:?}"
+    );
+    assert_eq!(bstats.open_now, 0, "breaker still open: {bstats:?}");
+    assert_eq!(members[1].fault_stats().heals, 1, "member never healed");
+    assert!(
+        routed.stats().degraded_writes > 0,
+        "the outage should have produced degraded writes"
+    );
+
+    // The reclose queued a targeted scrub for the reclaimed member; running
+    // it repairs everything the member missed, and a full scrub afterwards
+    // finds nothing left.
+    let requests = routed.take_probe_scrub_requests();
+    assert_eq!(requests, vec![1], "reclose must request a targeted scrub");
+    let probe = routed.scrub_member(1);
+    assert!(
+        probe.repaired > 0,
+        "targeted scrub repaired nothing: {probe:?}"
+    );
+    let clean = routed.scrub();
+    assert_eq!(clean.mismatches, 0, "cluster still dirty: {clean:?}");
+    for name in routed.list() {
+        assert_eq!(
+            member_copy(&members[0], &name),
+            member_copy(&members[1], &name),
+            "replica copies of {name} diverge after the breaker cycle"
+        );
+    }
+
+    // A fresh mount over the healed cluster verifies clean and serves the
+    // final contents from either replica.
+    let fs2 = LamassuFs::new(
+        routed,
+        keys(),
+        LamassuConfig::with_reserved_slots(2).unwrap(),
+    );
+    assert!(fs2.verify("/file").unwrap().is_clean());
 }
 
 #[test]

@@ -45,6 +45,7 @@ use lamassu::core::{
 };
 use lamassu::dist::{DistConfig, Granularity, RoutedStore};
 use lamassu::keymgr::KeyManager;
+use lamassu::resilience::{OpBudget, ResilientStore, RetryPolicy};
 use lamassu::storage::{DedupStore, StorageProfile};
 use lamassu::telemetry::{OpKind, Registry, TraceConfig, Tracer};
 use lamassu_cache::{CacheConfig, CachedStore};
@@ -120,6 +121,7 @@ fn mount_with_io(profile: StorageProfile, io: IoMode) -> LamassuFs {
             workers: 1,
             pool_blocks: None,
             crypto: CryptoBackend::Fixsliced,
+            ..SpanConfig::default()
         });
     LamassuFs::new(store, keys, config)
 }
@@ -402,6 +404,69 @@ fn warm_routed_reread_loop_allocates_nothing() {
         routed.stats().read_failovers,
         0,
         "healthy cluster reads must stay on the primary"
+    );
+}
+
+#[test]
+fn warm_resilient_reread_loop_allocates_nothing() {
+    let _serial = serialize();
+    // LamassuFS over a ResilientStore with retries armed but no faults and
+    // hedging off: the self-healing wrapper's happy path (attempt counter,
+    // virtual-clock reads, stats atomics) must be pure pass-through — the
+    // warm re-read guarantee survives the resilience tier.
+    let store = Arc::new(DedupStore::new(BS, StorageProfile::instant()));
+    let resilient = Arc::new(ResilientStore::new(
+        store,
+        RetryPolicy::default(),
+        OpBudget::default(),
+    ));
+    let km = KeyManager::new();
+    let zone = km.create_zone(1).expect("fresh key manager");
+    let keys = km.fetch_zone_keys(zone).expect("zone just created");
+    let config = LamassuConfig::default()
+        .integrity(IntegrityMode::Full)
+        .span(SpanConfig {
+            policy: SpanPolicy::Batched,
+            workers: 1,
+            pool_blocks: None,
+            ..SpanConfig::default()
+        });
+    let fs = LamassuFs::new(resilient.clone(), keys, config);
+    let tracer = attach_tracer(&fs);
+
+    let size = 1024 * 1024;
+    let fd = populate(&fs, "/resilient.dat", size);
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut sweep = |fs: &LamassuFs, offset_skew: usize| {
+        let mut off = offset_skew;
+        while off + buf.len() <= size {
+            let n = fs.read_into(fd, off as u64, &mut buf).expect("read");
+            assert_eq!(n, buf.len());
+            off += buf.len();
+        }
+    };
+    sweep(&fs, 0);
+    sweep(&fs, BS / 2);
+    sweep(&fs, 0);
+
+    let allocs = allocs_during(|| {
+        for _ in 0..8 {
+            sweep(&fs, 0);
+            sweep(&fs, BS / 2);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "warm resilient re-read loop (aligned + misaligned) must not allocate"
+    );
+
+    // The fault-free loop never needed the recovery machinery.
+    let stats = resilient.stats();
+    assert_eq!(stats.retries, 0, "no faults, no retries: {stats:?}");
+    assert_eq!(stats.hedged_reads, 0, "hedging is off: {stats:?}");
+    assert!(
+        tracer.ops() > 0,
+        "the tracer must have spanned the resilient reads"
     );
 }
 
